@@ -1,0 +1,7 @@
+"""Benchmark suite: one module per figure of the paper, plus ablations
+and structure micro-benchmarks.  Run with::
+
+    pytest benchmarks/ --benchmark-only
+
+Scale via the RTS_BENCH_SCALE environment variable (paper sizes divided
+by it; default 4000)."""

@@ -1,0 +1,38 @@
+"""Ablations of the DT engine's internal design choices (DESIGN.md).
+
+* heaps vs scans — Section 4's per-node min-heaps against the naive
+  inspect-every-query strategy, on the adversarial shape (many queries
+  sharing a canonical node) where the difference is asymptotic;
+* logarithmic method vs full rebuild — Section 5's dynamization against
+  rebuilding the single endpoint tree on every registration.
+"""
+
+import pytest
+
+from repro import Query, RTSSystem, StreamElement
+
+from .conftest import replay_once, stochastic_script
+
+
+@pytest.mark.parametrize("engine", ["dt", "dt-scan"])
+def test_ablation_slack_inspection_shared_node(benchmark, engine):
+    """1,500 queries share one canonical node; stream 500 elements."""
+    m, n = 1_500, 500
+
+    def run():
+        system = RTSSystem(dims=1, engine=engine)
+        system.register_batch(
+            [Query([(0, 100)], 10**6, query_id=i) for i in range(m)]
+        )
+        for _ in range(n):
+            system.process(StreamElement(50.0, 1))
+        return system
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+    benchmark.extra_info.update({"engine": engine, "m": m, "elements": n})
+
+
+@pytest.mark.parametrize("engine", ["dt", "dt-static", "dt-scan"])
+def test_ablation_dynamization(benchmark, engine):
+    """Dynamic stochastic workload: log method vs full rebuilds."""
+    replay_once(benchmark, stochastic_script(1, p_ins=0.3), engine)

@@ -1,0 +1,58 @@
+"""Distributed-tracking protocol benchmarks (Sections 3.2, 7).
+
+Quantifies the substrate the RTS reduction relies on: the protocol's
+O(h log tau) messages against the naive tracker's tau, and the weighted
+variant's O(n + h log tau) CPU independence from tau.
+"""
+
+import numpy as np
+import pytest
+
+from repro.dt.protocol import run_naive, run_tracking
+
+
+def _sites(h, n, seed=0):
+    return [int(s) for s in np.random.default_rng(seed).integers(0, h, size=n)]
+
+
+@pytest.mark.parametrize("tau", [10_000, 100_000])
+def test_protocol_unweighted(benchmark, tau):
+    h = 16
+    sites = _sites(h, tau)
+    result = benchmark.pedantic(
+        lambda: run_tracking(h, tau, ((s, 1) for s in sites)),
+        rounds=1,
+        iterations=1,
+    )
+    assert result.matured_at_step == tau
+    benchmark.extra_info.update(
+        {"tau": tau, "messages": result.messages, "rounds": result.rounds}
+    )
+
+
+@pytest.mark.parametrize("tau", [10_000, 100_000])
+def test_naive_tracker(benchmark, tau):
+    h = 16
+    sites = _sites(h, tau)
+    result = benchmark.pedantic(
+        lambda: run_naive(h, tau, ((s, 1) for s in sites)),
+        rounds=1,
+        iterations=1,
+    )
+    assert result.messages == tau
+    benchmark.extra_info.update({"tau": tau, "messages": result.messages})
+
+
+def test_protocol_weighted_huge_tau(benchmark):
+    """CPU must scale with n (increments), not tau: tau = 1e12, n = 2e4."""
+    h, tau, n = 8, 10**12, 20_000
+    rng = np.random.default_rng(1)
+    incs = [
+        (int(s), int(d))
+        for s, d in zip(rng.integers(0, h, n), rng.integers(10**7, 10**8, n))
+    ]
+    result = benchmark.pedantic(
+        lambda: run_tracking(h, tau, incs), rounds=1, iterations=1
+    )
+    assert result.matured
+    benchmark.extra_info.update({"messages": result.messages})

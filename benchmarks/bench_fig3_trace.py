@@ -1,0 +1,24 @@
+"""Figure 3: per-operation cost over a static-scenario stream.
+
+Paper setting: m = 1M, tau = 20M, all queries registered up front; the
+figure traces average per-operation cost as the stream evolves, 1D (a)
+and 2D (b).  Here each engine replays the identical scaled workload; the
+per-op averages land in ``extra_info`` (us_per_op) and the relative
+ordering across engines is the figure's content.
+"""
+
+import pytest
+
+from repro.experiments.harness import engines_for_dims
+
+from .conftest import replay_once, static_script
+
+
+@pytest.mark.parametrize("engine", engines_for_dims(1))
+def test_fig3a_static_1d(benchmark, engine):
+    replay_once(benchmark, static_script(1), engine)
+
+
+@pytest.mark.parametrize("engine", engines_for_dims(2))
+def test_fig3b_static_2d(benchmark, engine):
+    replay_once(benchmark, static_script(2), engine)

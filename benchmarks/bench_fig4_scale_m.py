@@ -1,0 +1,26 @@
+"""Figure 4: total running time as a function of the query count m.
+
+Paper setting: tau = 20M fixed, m swept from 100k to 2M (here the same
+factors of the scaled base m).  DT's time should grow far more slowly
+with m than the baselines' (the quadratic-barrier claim).
+"""
+
+import pytest
+
+from repro.experiments.harness import engines_for_dims
+
+from .conftest import replay_once, static_script
+
+M_FACTORS = (0.5, 1.0, 2.0)
+
+
+@pytest.mark.parametrize("m_factor", M_FACTORS)
+@pytest.mark.parametrize("engine", engines_for_dims(1))
+def test_fig4a_sweep_m_1d(benchmark, engine, m_factor):
+    replay_once(benchmark, static_script(1, m_factor=m_factor), engine)
+
+
+@pytest.mark.parametrize("m_factor", M_FACTORS)
+@pytest.mark.parametrize("engine", engines_for_dims(2))
+def test_fig4b_sweep_m_2d(benchmark, engine, m_factor):
+    replay_once(benchmark, static_script(2, m_factor=m_factor), engine)

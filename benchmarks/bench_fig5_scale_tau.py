@@ -1,0 +1,26 @@
+"""Figure 5: total running time as a function of the threshold tau.
+
+Paper setting: m = 1M fixed, tau swept from 5M to 80M (same factors of
+the scaled base tau).  The stabbing baselines carry an O(m * tau_max)
+term, so their cost grows ~linearly in tau; DT grows only with log tau.
+"""
+
+import pytest
+
+from repro.experiments.harness import engines_for_dims
+
+from .conftest import replay_once, static_script
+
+TAU_FACTORS = (0.25, 1.0, 4.0)
+
+
+@pytest.mark.parametrize("tau_factor", TAU_FACTORS)
+@pytest.mark.parametrize("engine", engines_for_dims(1))
+def test_fig5a_sweep_tau_1d(benchmark, engine, tau_factor):
+    replay_once(benchmark, static_script(1, tau_factor=tau_factor), engine)
+
+
+@pytest.mark.parametrize("tau_factor", TAU_FACTORS)
+@pytest.mark.parametrize("engine", engines_for_dims(2))
+def test_fig5b_sweep_tau_2d(benchmark, engine, tau_factor):
+    replay_once(benchmark, static_script(2, tau_factor=tau_factor), engine)

@@ -1,0 +1,22 @@
+"""Figure 6: per-operation cost over time, dynamic stochastic mode.
+
+Paper setting: 1M initial queries, 3M elements, new queries arriving
+with probability p_ins = 0.3 per timestamp during the first 2M
+timestamps.  DT's cost now includes logarithmic-method merges.
+"""
+
+import pytest
+
+from repro.experiments.harness import engines_for_dims
+
+from .conftest import replay_once, stochastic_script
+
+
+@pytest.mark.parametrize("engine", engines_for_dims(1))
+def test_fig6a_stochastic_1d(benchmark, engine):
+    replay_once(benchmark, stochastic_script(1, p_ins=0.3), engine)
+
+
+@pytest.mark.parametrize("engine", engines_for_dims(2))
+def test_fig6b_stochastic_2d(benchmark, engine):
+    replay_once(benchmark, stochastic_script(2, p_ins=0.3), engine)

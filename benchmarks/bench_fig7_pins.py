@@ -1,0 +1,27 @@
+"""Figure 7: total running time as a function of p_ins.
+
+Paper setting: stochastic mode with p_ins from 0.1 to 0.5 (0.5 means one
+new query every two stream elements — a very busy system).  Running time
+grows with p_ins for every method; the R-tree suffers most from the
+update volume.
+"""
+
+import pytest
+
+from repro.experiments.harness import engines_for_dims
+
+from .conftest import replay_once, stochastic_script
+
+P_INS = (0.1, 0.3, 0.5)
+
+
+@pytest.mark.parametrize("p_ins", P_INS)
+@pytest.mark.parametrize("engine", engines_for_dims(1))
+def test_fig7a_pins_1d(benchmark, engine, p_ins):
+    replay_once(benchmark, stochastic_script(1, p_ins=p_ins), engine)
+
+
+@pytest.mark.parametrize("p_ins", P_INS)
+@pytest.mark.parametrize("engine", engines_for_dims(2))
+def test_fig7b_pins_2d(benchmark, engine, p_ins):
+    replay_once(benchmark, stochastic_script(2, p_ins=p_ins), engine)

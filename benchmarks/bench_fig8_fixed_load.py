@@ -1,0 +1,24 @@
+"""Figure 8: per-operation cost over time, fixed-load mode.
+
+Paper setting: every matured/terminated query is immediately replaced,
+keeping 1M queries alive for the whole 3M-element stream — the highest
+update volume of the evaluation.  The paper's headline observation here:
+the R-tree degrades below even the Baseline (its updates collapse on
+large, heavily-overlapping rectangles).
+"""
+
+import pytest
+
+from repro.experiments.harness import engines_for_dims
+
+from .conftest import fixed_load_script, replay_once
+
+
+@pytest.mark.parametrize("engine", engines_for_dims(1))
+def test_fig8a_fixed_load_1d(benchmark, engine):
+    replay_once(benchmark, fixed_load_script(1), engine)
+
+
+@pytest.mark.parametrize("engine", engines_for_dims(2))
+def test_fig8b_fixed_load_2d(benchmark, engine):
+    replay_once(benchmark, fixed_load_script(2), engine)

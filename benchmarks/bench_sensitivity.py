@@ -1,0 +1,30 @@
+"""Extended study: element-distribution sensitivity (beyond the paper).
+
+Replays the 1-D static scenario with each element-value distribution of
+:mod:`repro.streams.distributions`; the stabbing baselines' cost should
+track the stab rate while DT stays flat.
+"""
+
+from functools import lru_cache
+
+import pytest
+
+from repro.streams.scale import paper_params
+from repro.streams.workload import build_static_workload
+
+from .conftest import BENCH_SCALE, BENCH_SEED, replay_once
+
+DISTRIBUTIONS = ("uniform", "clustered", "bimodal", "zipf")
+
+
+@lru_cache(maxsize=None)
+def _script(distribution: str):
+    params = paper_params(1, BENCH_SCALE).with_(value_distribution=distribution)
+    return build_static_workload(params, seed=BENCH_SEED)
+
+
+@pytest.mark.parametrize("distribution", DISTRIBUTIONS)
+@pytest.mark.parametrize("engine", ["dt", "baseline", "interval-tree"])
+def test_distribution_sensitivity(benchmark, engine, distribution):
+    result = replay_once(benchmark, _script(distribution), engine)
+    benchmark.extra_info["distribution"] = distribution

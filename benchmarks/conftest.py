@@ -1,0 +1,82 @@
+"""Shared machinery for the benchmark suite.
+
+Every ``bench_fig*.py`` module regenerates the data behind one figure of
+the paper (Section 8) through pytest-benchmark.  The workload scale is
+the paper's sizes divided by ``RTS_BENCH_SCALE`` (environment variable,
+default 1000: m = 1,000, tau = 20,000 — the whole suite runs in about a
+minute; use 250 for the EXPERIMENTS.md quality runs or 4000 for a smoke
+pass).
+
+Workload scripts are built once per parameter set and cached — script
+construction (the numpy oracle) is excluded from every measurement;
+benchmarks time pure engine work, replaying identical operation
+sequences across engines.
+"""
+
+from __future__ import annotations
+
+import os
+from functools import lru_cache
+
+import pytest
+
+from repro.streams.scale import paper_params
+from repro.streams.workload import (
+    build_fixed_load_workload,
+    build_static_workload,
+    build_stochastic_workload,
+)
+
+#: Paper sizes divided by this (m = 1e6/scale, tau = 2e7/scale, ...).
+BENCH_SCALE = int(os.environ.get("RTS_BENCH_SCALE", "1000"))
+BENCH_SEED = int(os.environ.get("RTS_BENCH_SEED", "0"))
+
+
+@lru_cache(maxsize=None)
+def static_script(dims: int, m_factor: float = 1.0, tau_factor: float = 1.0):
+    params = paper_params(dims, BENCH_SCALE)
+    params = params.with_(
+        m=max(1, int(params.m * m_factor)),
+        tau=max(1, int(params.tau * tau_factor)),
+    )
+    return build_static_workload(params, seed=BENCH_SEED)
+
+
+@lru_cache(maxsize=None)
+def stochastic_script(dims: int, p_ins: float = 0.3):
+    params = paper_params(dims, BENCH_SCALE)
+    return build_stochastic_workload(params, seed=BENCH_SEED, p_ins=p_ins)
+
+
+@lru_cache(maxsize=None)
+def fixed_load_script(dims: int):
+    params = paper_params(dims, BENCH_SCALE)
+    return build_fixed_load_workload(params, seed=BENCH_SEED)
+
+
+def replay_once(benchmark, script, engine: str):
+    """Benchmark one engine replaying one script (one verified round)."""
+    from repro.experiments.harness import run_cell
+
+    holder = {}
+
+    def run():
+        holder["result"] = run_cell(script, engine)
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+    result = holder["result"]
+    assert result.correct, f"{engine} disagreed with the oracle"
+    benchmark.extra_info.update(
+        {
+            "engine": engine,
+            "mode": script.mode,
+            "dims": script.params.dims,
+            "m": script.params.m,
+            "tau": script.params.tau,
+            "ops": result.op_count,
+            "us_per_op": round(result.avg_op_seconds * 1e6, 2),
+            "total_work": result.total_work,
+            "matured": result.n_matured,
+        }
+    )
+    return result

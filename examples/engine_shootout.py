@@ -1,0 +1,54 @@
+"""Compare every RTS method on one reproducible paper workload.
+
+Uses the experiment harness to replay the identical Scenario-1 workload
+(Section 8.1, scaled down) against the paper's full method line-up,
+verifying each engine against the ground-truth oracle and printing both
+wall-clock and machine-independent work accounting.
+
+Run with::
+
+    python examples/engine_shootout.py [scale]
+
+``scale`` divides the paper's workload sizes (default 1000; smaller means
+bigger workloads — 250 shows the separation more clearly, 1 is the
+paper's full size).
+"""
+
+import sys
+
+from repro.experiments.harness import engines_for_dims, run_cell
+from repro.streams.scale import paper_params
+from repro.streams.workload import build_static_workload
+
+
+def main(scale: int = 1000) -> None:
+    for dims in (1, 2):
+        params = paper_params(dims, scale)
+        print(
+            f"\n=== {dims}D static scenario: m={params.m:,}, tau={params.tau:,} "
+            f"(paper sizes / {scale}) ==="
+        )
+        script = build_static_workload(params, seed=0)
+        print(
+            f"workload: {script.operation_count():,} operations, "
+            f"{script.n_elements:,} elements, "
+            f"{len(script.expected_maturities)} maturities expected\n"
+        )
+        results = []
+        for engine in engines_for_dims(dims):
+            result = run_cell(script, engine)
+            results.append(result)
+            print(result.summary())
+        dt = next(r for r in results if r.engine == "dt")
+        print("\nagainst DT:")
+        for r in results:
+            if r.engine == "dt":
+                continue
+            print(
+                f"  {r.engine:<14} {r.total_seconds / dt.total_seconds:5.1f}x "
+                f"wall-clock, {r.total_work / dt.total_work:5.1f}x abstract work"
+            )
+
+
+if __name__ == "__main__":
+    main(int(sys.argv[1]) if len(sys.argv) > 1 else 1000)

@@ -1,0 +1,49 @@
+"""Quickstart: register range-thresholding queries, stream elements,
+receive maturity alerts.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from repro import Interval, Query, Rect, RTSSystem
+
+
+def main() -> None:
+    # An RTS system over a one-dimensional stream, using the paper's
+    # distributed-tracking algorithm (the default engine).
+    system = RTSSystem(dims=1, engine="dt")
+
+    # REGISTER: "alert me when 25 units of weight land in [10, 20]".
+    alert = system.register([(10, 20)], threshold=25, query_id="hot-spot")
+
+    # Maturity callbacks fire synchronously, inside process().
+    system.on_maturity(
+        lambda ev: print(
+            f"  ALERT: query {ev.query.query_id!r} matured at element "
+            f"#{ev.timestamp} with accumulated weight {ev.weight_seen}"
+        )
+    )
+
+    # Stream elements: (value, weight) pairs.
+    stream = [(12, 5), (3, 99), (19, 10), (25, 4), (15, 7), (11, 6)]
+    for value, weight in stream:
+        print(f"element value={value} weight={weight}")
+        system.process(value, weight=weight)
+
+    print(f"status: {system.status(alert).value}")
+    print(f"maturity time: {system.maturity_time(alert)}")
+
+    # Queries can use any open/closed endpoint combination, in any
+    # dimensionality, and can be terminated early.
+    system2 = RTSSystem(dims=2)
+    q = system2.register(
+        Query(Rect([Interval.closed(0, 10), Interval.at_most(100)]), 50),
+    )
+    system2.process((5, 42), weight=10)
+    system2.terminate(q)
+    print(f"2-D query after TERMINATE: {system2.status(q).value}")
+
+
+if __name__ == "__main__":
+    main()

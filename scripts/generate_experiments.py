@@ -1,0 +1,86 @@
+"""Generate the data behind EXPERIMENTS.md.
+
+Runs every figure at an evaluation scale (default 250: m = 4,000,
+tau = 80,000 — large enough for the paper's relative ordering to show
+through pure-Python constant factors), plus a larger-m "hero" run at
+scale 100 demonstrating the 1-D crossover, and writes text renderings
+into ``results/``.
+
+Usage::
+
+    python scripts/generate_experiments.py [--scale 250] [--out results]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import time
+
+from repro.experiments.cli import run_figure
+from repro.experiments.figures import FIGURES
+from repro.experiments.harness import run_cell
+from repro.experiments.report import format_figure, summarize_speedups
+from repro.streams.scale import paper_params
+from repro.streams.workload import build_static_workload
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--scale", type=int, default=250)
+    parser.add_argument("--hero-scale", type=int, default=100)
+    parser.add_argument("--out", type=pathlib.Path, default=pathlib.Path("results"))
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args()
+    args.out.mkdir(parents=True, exist_ok=True)
+
+    summary = {"scale": args.scale, "figures": {}}
+    for name in FIGURES:
+        started = time.perf_counter()
+        print(f"=== {name} (scale {args.scale}) ===", flush=True)
+        figures = run_figure(name, scale=args.scale, seed=args.seed)
+        elapsed = time.perf_counter() - started
+        for fig in figures:
+            text = format_figure(fig)
+            if "DT" in fig.series:
+                text += "\nspeedups vs DT:\n" + summarize_speedups(fig)
+            text += f"\n(generated in {elapsed:.1f}s at scale {args.scale})\n"
+            (args.out / f"{fig.figure_id}.txt").write_text(text)
+            summary["figures"][fig.figure_id] = {
+                "title": fig.title,
+                "series_totals": {
+                    label: sum(y for _, y in pts)
+                    for label, pts in fig.series.items()
+                },
+                "work_totals": {
+                    label: sum(y for _, y in pts)
+                    for label, pts in fig.work_series.items()
+                },
+                "elapsed_s": round(elapsed, 1),
+            }
+            print(f"  wrote {fig.figure_id}.txt", flush=True)
+
+    # Hero run: 1-D static at larger m, where DT beats every baseline in
+    # wall clock despite Python constant factors.
+    print(f"=== hero run (scale {args.hero_scale}) ===", flush=True)
+    params = paper_params(1, args.hero_scale)
+    script = build_static_workload(params, seed=args.seed)
+    hero = {}
+    for engine in ("dt", "baseline", "interval-tree"):
+        result = run_cell(script, engine)
+        hero[engine] = {
+            "total_seconds": round(result.total_seconds, 3),
+            "us_per_op": round(result.avg_op_seconds * 1e6, 2),
+            "total_work": result.total_work,
+            "ops": result.op_count,
+        }
+        print(f"  {result.summary()}", flush=True)
+    summary["hero_1d"] = {"m": params.m, "tau": params.tau, "results": hero}
+
+    (args.out / "summary.json").write_text(json.dumps(summary, indent=2))
+    print("done", flush=True)
+
+
+if __name__ == "__main__":
+    main()

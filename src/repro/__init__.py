@@ -1,0 +1,51 @@
+"""repro — a full reproduction of *Range Thresholding on Streams*
+(Qiao, Gan, Tao; SIGMOD 2016).
+
+An RTS query registers a d-dimensional rectangle and a weight threshold,
+and must be alerted the instant the stream has delivered that much weight
+inside the rectangle.  This package provides:
+
+* the paper's distributed-tracking algorithm (Theorem 1) — the first
+  method to process ``n`` elements and ``m`` queries in ``~O(n + m)``
+  time — as the default engine of :class:`RTSSystem`;
+* every baseline from the paper's evaluation (Baseline, Interval tree,
+  Seg-Intv tree, R-tree), behind the same engine interface;
+* the standalone distributed-tracking protocol (:mod:`repro.dt`);
+* the workload generators and experiment harness that regenerate each of
+  the paper's figures (:mod:`repro.streams`, :mod:`repro.experiments`).
+
+Quickstart::
+
+    from repro import RTSSystem
+
+    system = RTSSystem(dims=1)
+    q = system.register([(100, 105)], threshold=100_000)
+    system.on_maturity(lambda ev: print(f"{ev.query.query_id} matured at t={ev.timestamp}"))
+    system.process(102.40, weight=70_000)
+    system.process(103.10, weight=40_000)   # fires the alert
+"""
+
+from .core.engine import Engine, EngineError, WorkCounters
+from .core.events import MaturityEvent
+from .core.geometry import Interval, Rect
+from .core.query import Query, QueryStatus
+from .core.system import RTSSystem, available_engines, make_engine
+from .streams.element import StreamElement
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Engine",
+    "EngineError",
+    "Interval",
+    "MaturityEvent",
+    "Query",
+    "QueryStatus",
+    "Rect",
+    "RTSSystem",
+    "StreamElement",
+    "WorkCounters",
+    "available_engines",
+    "make_engine",
+    "__version__",
+]

@@ -1,0 +1,13 @@
+"""The paper's comparison methods (Section 8), one engine per method."""
+
+from .interval_engine import IntervalTreeEngine
+from .naive import NaiveEngine
+from .rtree_engine import RTreeEngine
+from .seg_intv_engine import SegIntvEngine
+
+__all__ = [
+    "IntervalTreeEngine",
+    "NaiveEngine",
+    "RTreeEngine",
+    "SegIntvEngine",
+]

@@ -1,0 +1,93 @@
+"""The **Baseline** method (paper Sections 1, 3.1, 8).
+
+Keep the precise remaining threshold of every alive query; on each
+incoming element, probe *all* alive queries: if ``v(e)`` is in ``R_q``,
+decrease the remainder by ``w(e)`` and report maturity when it reaches
+zero.  Space is the minimum possible, ``O(m_alive)``, but processing an
+element costs ``O(m_alive)`` — the quadratic trap ``O(nm)`` that the
+paper's DT algorithm escapes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from ..core.engine import Engine, EngineError
+from ..core.events import MaturityEvent
+from ..core.query import Query
+from ..streams.element import StreamElement
+
+
+class NaiveEngine(Engine):
+    """Probe every alive query per element; O(m) time per element."""
+
+    name = "Baseline"
+
+    def __init__(self, dims: int = 1):
+        super().__init__(dims)
+        #: query_id -> [query, remaining_threshold, per-dim (lo, hi) keys]
+        self._alive: Dict[object, list] = {}
+
+    # -- registration --------------------------------------------------
+
+    def register(self, query: Query) -> None:
+        self.validate_query(query)
+        if query.query_id in self._alive:
+            raise EngineError(f"query id {query.query_id!r} already registered")
+        bounds = tuple((iv.lo, iv.hi) for iv in query.rect.intervals)
+        self._alive[query.query_id] = [query, query.threshold, bounds]
+
+    # -- stream processing ------------------------------------------------
+
+    def process(self, element: StreamElement, timestamp: int) -> List[MaturityEvent]:
+        self.validate_element(element)
+        keys = tuple((v, 0) for v in element.value)
+        weight = element.weight
+        counters = self.counters
+        matured: List[Tuple[object, Query, int]] = []
+        for query_id, record in self._alive.items():
+            counters.containment_checks += 1
+            inside = True
+            for k, (lo, hi) in zip(keys, record[2]):
+                if not lo <= k < hi:
+                    inside = False
+                    break
+            if not inside:
+                continue
+            record[1] -= weight
+            if record[1] <= 0:
+                query = record[0]
+                matured.append(
+                    (query_id, query, query.threshold - record[1])
+                )
+        events = []
+        for query_id, query, weight_seen in matured:
+            del self._alive[query_id]
+            events.append(
+                MaturityEvent(query=query, timestamp=timestamp, weight_seen=weight_seen)
+            )
+        return events
+
+    # -- termination ------------------------------------------------------
+
+    def terminate(self, query_id: object) -> bool:
+        return self._alive.pop(query_id, None) is not None
+
+    # -- introspection ------------------------------------------------------
+
+    @property
+    def alive_count(self) -> int:
+        return len(self._alive)
+
+    def remaining_threshold(self, query_id: object) -> int:
+        """Exact remaining weight until maturity (tests use this oracle)."""
+        record = self._alive.get(query_id)
+        if record is None:
+            raise KeyError(f"query {query_id!r} is not alive")
+        return record[1]
+
+    def collected_weight(self, query_id: object) -> int:
+        record = self._alive.get(query_id)
+        if record is None:
+            raise KeyError(f"query {query_id!r} is not alive")
+        return record[0].threshold - record[1]

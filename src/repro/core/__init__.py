@@ -1,0 +1,26 @@
+"""Core RTS machinery: the paper's primary contribution.
+
+Contains the problem model (queries, events, geometry), the endpoint
+tree + distributed-tracking engine of Sections 4–7, and the public
+:class:`~repro.core.system.RTSSystem` façade.
+"""
+
+from .engine import Engine, EngineError, WorkCounters
+from .events import MaturityEvent
+from .geometry import Interval, Rect
+from .query import Query, QueryStatus
+from .system import RTSSystem, available_engines, make_engine
+
+__all__ = [
+    "Engine",
+    "EngineError",
+    "Interval",
+    "MaturityEvent",
+    "Query",
+    "QueryStatus",
+    "Rect",
+    "RTSSystem",
+    "WorkCounters",
+    "available_engines",
+    "make_engine",
+]

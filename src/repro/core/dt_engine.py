@@ -1,0 +1,267 @@
+"""Single-endpoint-tree RTS processing with global rebuilding (Section 4).
+
+:class:`TreeInstance` bundles one (static) endpoint tree with the query
+trackers living on it and implements the per-element hot path: counter
+maintenance along the descent paths, then the heap-drain slack inspection
+at each touched node.
+
+:class:`StaticDTEngine` wraps a single :class:`TreeInstance` into the full
+:class:`~repro.core.engine.Engine` interface.  It is the algorithm of
+Section 4 verbatim: ideal when all queries are registered up front (the
+paper's "one-time registration" setting), with *global rebuilding* keeping
+space at ``O(m_alive log m_alive)``.  Mid-stream registration is supported
+only via a full rebuild — which is exactly the naive dynamization that the
+logarithmic method of Section 5 (:mod:`repro.core.logmethod`) improves
+upon, so this engine doubles as the ablation baseline for that design
+choice.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..streams.element import StreamElement
+from ..structures.heap import AddressableMinHeap
+from .endpoint_tree import EndpointTree
+from .engine import Engine, EngineError, WorkCounters
+from .events import MaturityEvent
+from .query import Query
+from .tracker import QueryTracker, TrackerState
+
+
+class TreeInstance:
+    """One endpoint tree plus the DT trackers of the queries it manages.
+
+    Parameters
+    ----------
+    entries:
+        ``(query, remaining_threshold, consumed)`` triples.  Thresholds are
+        relative to this tree's epoch (the moment of construction): callers
+        re-base them by subtracting weight already collected elsewhere,
+        accumulating that weight into ``consumed`` so maturity events can
+        report the lifetime total ``W(q)``.
+    dims:
+        Data-space dimensionality.
+    counters:
+        Shared work-counter sink.
+    """
+
+    __slots__ = ("trackers", "tree", "built_count", "alive", "_counters")
+
+    def __init__(
+        self,
+        entries: Sequence[Tuple[Query, int, int]],
+        dims: int,
+        counters: WorkCounters,
+        heap_factory=AddressableMinHeap,
+    ):
+        self._counters = counters
+        self.trackers: Dict[object, QueryTracker] = {}
+        items = []
+        for query, tau, consumed in entries:
+            if query.query_id in self.trackers:
+                raise EngineError(f"duplicate query id {query.query_id!r}")
+            tracker = QueryTracker(query, tau, consumed)
+            self.trackers[query.query_id] = tracker
+            items.append((query.rect, tracker.nodes))
+        self.tree = EndpointTree(items, 0, dims, counters)
+        heapified = set()
+        for tracker in self.trackers.values():
+            tracker.start(counters, heap_factory)
+            for node in tracker.nodes:
+                heapified.add(node)
+        for node in heapified:
+            node.heap.heapify()
+        self.built_count = len(self.trackers)
+        self.alive = self.built_count
+
+    # -- hot path ---------------------------------------------------------
+
+    def process(self, element: StreamElement) -> List[Tuple[Query, int]]:
+        """Feed one element; return ``(query, W(q))`` for each maturity.
+
+        Implements the two per-element steps of Section 4: bump ``c(u)``
+        along the descent path(s), then drain each touched node's heap —
+        popping sigma entries while the minimum is at most ``c(u)`` and
+        letting the owning tracker run the DT protocol step.
+        """
+        matured: List[Tuple[Query, int]] = []
+        counters = self._counters
+        touched = self.tree.update(element.value, element.weight)
+        counters.counter_bumps += len(touched)
+        for node in touched:
+            heap = node.heap
+            if heap is None:
+                continue
+            c = node.counter
+            while True:
+                entry = heap.first_due(c)
+                if entry is None:
+                    break
+                tracker: QueryTracker = entry.payload
+                weight_seen = tracker.on_signal(node, entry, counters)
+                if weight_seen is not None:
+                    matured.append((tracker.query, weight_seen))
+                    self.alive -= 1
+        return matured
+
+    # -- management ---------------------------------------------------------
+
+    def terminate(self, query_id: object) -> bool:
+        """TERMINATE: detach the query's heap entries; skeleton unchanged."""
+        tracker = self.trackers.get(query_id)
+        if tracker is None or tracker.state is TrackerState.DONE:
+            return False
+        tracker.detach(self._counters)
+        self.alive -= 1
+        return True
+
+    def alive_entries(self) -> List[Tuple[Query, int, int]]:
+        """Snapshot of alive queries with re-based remaining thresholds.
+
+        For each alive query the exact collected weight ``W(q)`` (sum of
+        its canonical counters) is subtracted from its epoch-relative
+        threshold — Section 4's threshold adjustment during rebuilding —
+        and added to the query's ``consumed`` offset.
+        """
+        out: List[Tuple[Query, int, int]] = []
+        for tracker in self.trackers.values():
+            if tracker.state is TrackerState.DONE:
+                continue
+            collected = tracker.collected_weight()
+            remaining = tracker.tau - collected
+            if remaining < 1:
+                raise AssertionError(
+                    f"query {tracker.query.query_id!r} should have matured: "
+                    f"remaining threshold {remaining}"
+                )
+            out.append((tracker.query, remaining, tracker.consumed + collected))
+        return out
+
+    def contains(self, query_id: object) -> bool:
+        tracker = self.trackers.get(query_id)
+        return tracker is not None and tracker.state is not TrackerState.DONE
+
+    def collected_weight(self, query_id: object) -> int:
+        """Exact W(q) for an alive query: canonical counter sum plus the
+        weight absorbed in earlier tree epochs (Section 4's derivation,
+        ``O(h_q)`` = polylog time)."""
+        tracker = self.trackers.get(query_id)
+        if tracker is None or tracker.state is TrackerState.DONE:
+            raise KeyError(f"query {query_id!r} is not alive")
+        return tracker.consumed + tracker.collected_weight()
+
+    @property
+    def needs_rebuild(self) -> bool:
+        """Global-rebuilding trigger: alive count halved since build."""
+        return self.built_count > 0 and 2 * self.alive <= self.built_count
+
+    def stats(self) -> Dict[str, object]:
+        """Structural snapshot of this tree (diagnostics)."""
+        heap_entries = 0
+        nodes = 0
+        for node in self.tree.iter_nodes():
+            nodes += 1
+            if node.heap is not None:
+                heap_entries += len(node.heap)
+        return {
+            "alive": self.alive,
+            "built": self.built_count,
+            "primary_height": self.tree.height(),
+            "primary_nodes": nodes,
+            "heap_entries": heap_entries,
+        }
+
+
+class StaticDTEngine(Engine):
+    """Section 4's algorithm: one endpoint tree, global rebuilding.
+
+    ``register_batch`` is the intended entry point (one-time registration).
+    ``register`` mid-stream triggers a *full* rebuild of the tree — an
+    O(m log m) operation per registration that this engine accepts for
+    completeness and for ablating the logarithmic method against.
+    """
+
+    name = "DT-static"
+
+    def __init__(self, dims: int = 1, heap_factory=AddressableMinHeap):
+        super().__init__(dims)
+        self._heap_factory = heap_factory
+        self._instance: Optional[TreeInstance] = None
+
+    # -- registration --------------------------------------------------
+
+    def register(self, query: Query) -> None:
+        self.validate_query(query)
+        if self._instance is not None and self._instance.contains(query.query_id):
+            raise EngineError(f"query id {query.query_id!r} already registered")
+        entries = self._alive_entries()
+        entries.append((query, query.threshold, 0))
+        self._instance = TreeInstance(
+            entries, self.dims, self.counters, self._heap_factory
+        )
+
+    def register_batch(self, queries: Iterable[Query]) -> None:
+        entries = self._alive_entries()
+        seen = {query.query_id for query, _tau, _consumed in entries}
+        for query in queries:
+            self.validate_query(query)
+            if query.query_id in seen:
+                raise EngineError(f"query id {query.query_id!r} already registered")
+            seen.add(query.query_id)
+            entries.append((query, query.threshold, 0))
+        self._instance = TreeInstance(
+            entries, self.dims, self.counters, self._heap_factory
+        )
+
+    def _alive_entries(self) -> List[Tuple[Query, int, int]]:
+        if self._instance is None:
+            return []
+        return self._instance.alive_entries()
+
+    # -- stream processing ------------------------------------------------
+
+    def process(self, element: StreamElement, timestamp: int) -> List[MaturityEvent]:
+        self.validate_element(element)
+        if self._instance is None:
+            return []
+        matured = self._instance.process(element)
+        events = [
+            MaturityEvent(query=query, timestamp=timestamp, weight_seen=w)
+            for query, w in matured
+        ]
+        self._maybe_rebuild()
+        return events
+
+    # -- termination ------------------------------------------------------
+
+    def terminate(self, query_id: object) -> bool:
+        if self._instance is None:
+            return False
+        removed = self._instance.terminate(query_id)
+        if removed:
+            self._maybe_rebuild()
+        return removed
+
+    def _maybe_rebuild(self) -> None:
+        instance = self._instance
+        if instance is not None and instance.needs_rebuild:
+            self._instance = TreeInstance(
+                instance.alive_entries(), self.dims, self.counters, self._heap_factory
+            )
+
+    # -- introspection ------------------------------------------------------
+
+    @property
+    def alive_count(self) -> int:
+        return self._instance.alive if self._instance is not None else 0
+
+    def collected_weight(self, query_id: object) -> int:
+        if self._instance is None:
+            raise KeyError(f"query {query_id!r} is not alive")
+        return self._instance.collected_weight(query_id)
+
+    def describe(self) -> Dict[str, object]:
+        payload = super().describe()
+        payload["tree"] = self._instance.stats() if self._instance else None
+        return payload

@@ -1,0 +1,323 @@
+"""The d-dimensional endpoint tree (paper Sections 4 and 6).
+
+One dimension (Section 4)
+-------------------------
+The endpoint tree ``T`` is a balanced binary search tree over the distinct
+endpoints of all query intervals.  Every node ``u`` owns a *jurisdiction
+interval* ``I(u)``:
+
+* a leaf storing endpoint ``x`` has ``I(u) = [x, x')`` where ``x'`` is the
+  endpoint stored by the succeeding leaf (``+inf`` for the last leaf);
+* an internal node's jurisdiction is the union of its children's.
+
+A query interval ``R_q = [x, y)`` is partitioned by the jurisdiction
+intervals of its *canonical node set* ``U_q`` — the minimum set of nodes
+with disjoint jurisdictions whose union equals ``R_q`` (at most two nodes
+per level, so ``|U_q| = O(log m)``).
+
+Every node carries a counter ``c(u)`` accumulating the total weight of
+stream elements whose value falls in ``I(u)``; an element updates the
+``O(log m)`` counters along a single root-to-leaf descent, and is then
+discarded — the structure never stores elements.
+
+Higher dimensions (Section 6)
+-----------------------------
+For ``d >= 2`` the construction layers like a range tree: the primary tree
+indexes the dimension-0 endpoints; each primary node ``u`` that appears in
+some query's canonical set owns a *secondary* endpoint tree over the
+dimension-1 endpoints of exactly those queries, and so on recursively.
+Only nodes of the **last** dimension carry counters (and the per-node
+min-heaps ``H(u)`` used by the tracking algorithm); the geometric region
+of such a node is the box ``I(u_0) x I(u_1) x ... x I(u_{d-1})`` along the
+chain of trees that leads to it, and the regions of a query's canonical
+nodes form a disjoint partition of ``R_q``.
+
+The tree is *static*: dynamic registration is provided one level up by the
+logarithmic method (:mod:`repro.core.logmethod`), exactly as in Section 5.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional, Sequence, Tuple
+
+from ..structures.bst import build_skeleton as _build_skeleton
+from ..structures.heap import AddressableMinHeap
+from .engine import WorkCounters
+from .geometry import PLUS_INFINITY, BoundaryKey, Rect
+
+
+class ETNode:
+    """A node of one endpoint tree level.
+
+    Attributes
+    ----------
+    lo, hi:
+        Boundary keys of the jurisdiction interval ``I(u) = [lo, hi)``.
+    left, right:
+        Children (both None for a leaf).
+    counter:
+        The weight counter ``c(u)``.  Only meaningful on last-dimension
+        nodes; kept at 0 elsewhere.
+    heap:
+        The min-heap ``H(u)`` of sigma values (lazily created; None until a
+        query tracker attaches an entry).  Last-dimension nodes only.
+    secondary:
+        For non-final dimensions: the next-dimension endpoint tree over the
+        queries assigned to this node (None when no query uses this node).
+    """
+
+    __slots__ = ("lo", "hi", "left", "right", "counter", "heap", "secondary")
+
+    def __init__(self, lo: BoundaryKey, hi: BoundaryKey):
+        self.lo = lo
+        self.hi = hi
+        self.left: Optional[ETNode] = None
+        self.right: Optional[ETNode] = None
+        self.counter = 0
+        self.heap: Optional[AddressableMinHeap] = None
+        self.secondary: Optional["EndpointTree"] = None
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.left is None
+
+    def ensure_heap(self, factory=AddressableMinHeap):
+        """Return the node's heap, creating it via ``factory`` on first use."""
+        if self.heap is None:
+            self.heap = factory()
+        return self.heap
+
+    def __repr__(self) -> str:
+        kind = "leaf" if self.is_leaf else "internal"
+        return f"ETNode({kind}, I=[{self.lo!r}, {self.hi!r}), c={self.counter})"
+
+
+def build_skeleton(keys: Sequence[BoundaryKey]) -> Optional[ETNode]:
+    """Balanced skeleton of :class:`ETNode` over sorted distinct keys.
+
+    Leaf ``i`` owns jurisdiction ``[keys[i], keys[i+1])``; the last leaf
+    extends to ``+inf``.  Returns None for an empty key set.
+    """
+    return _build_skeleton(keys, ETNode)
+
+
+def canonical_nodes(root: Optional[ETNode], lo: BoundaryKey, hi: BoundaryKey) -> List[ETNode]:
+    """Compute the canonical node set covering ``[lo, hi)``.
+
+    ``lo`` (and ``hi``, unless it is ``+inf``) must be endpoint keys present
+    in the tree — this is guaranteed by construction, since the tree is
+    built on the endpoints of the very queries being decomposed.  The
+    result is the minimum set of nodes with disjoint jurisdiction intervals
+    whose union is exactly ``[lo, hi)`` (paper Section 4, footnote 1).
+    """
+    out: List[ETNode] = []
+    if root is None or lo >= hi or hi <= root.lo or lo >= root.hi:
+        return out
+
+    # Descend to the split node: the highest node whose left child's
+    # jurisdiction separates lo from hi.
+    node = root
+    while node.left is not None:
+        boundary = node.left.hi
+        if hi <= boundary:
+            node = node.left
+        elif lo >= boundary:
+            node = node.right
+        else:
+            break
+    if lo <= node.lo and node.hi <= hi:
+        return [node]  # the whole subtree is covered (minimality)
+    if node.left is None:
+        raise AssertionError(
+            f"leaf {node!r} partially overlaps [{lo!r}, {hi!r}); "
+            "query endpoints must be keys of the tree"
+        )
+
+    # Left walk: follow the path to lo, collecting right siblings.
+    v = node.left
+    while True:
+        if lo <= v.lo:
+            out.append(v)  # v.hi <= split-left.hi < hi, so fully covered
+            break
+        if v.left is None:
+            raise AssertionError(
+                f"leaf {v!r} partially overlaps [{lo!r}, {hi!r}); "
+                "query endpoints must be keys of the tree"
+            )
+        if lo < v.left.hi:
+            out.append(v.right)
+            v = v.left
+        else:
+            v = v.right
+
+    # Right walk: follow the path to hi, collecting left siblings.
+    v = node.right
+    while True:
+        if v.hi <= hi:
+            out.append(v)  # v.lo >= split boundary > lo, so fully covered
+            break
+        if v.left is None:
+            # The leaf storing hi itself: disjoint from [lo, hi).
+            if v.lo != hi:
+                raise AssertionError(
+                    f"leaf {v!r} partially overlaps [{lo!r}, {hi!r}); "
+                    "query endpoints must be keys of the tree"
+                )
+            break
+        if hi >= v.left.hi:
+            out.append(v.left)
+            v = v.right
+        else:
+            v = v.left
+    return out
+
+
+class EndpointTree:
+    """One endpoint tree level, recursively containing deeper levels.
+
+    Parameters
+    ----------
+    items:
+        ``(rect, sink)`` pairs.  ``rect`` is the query rectangle; ``sink``
+        is a mutable list that receives the query's last-dimension
+        canonical nodes (its DT "participants") as construction proceeds.
+    dim:
+        The dimension this level indexes (0-based).
+    counters:
+        Shared work-counter sink for machine-independent accounting.
+    """
+
+    __slots__ = ("root", "dim", "last_dim", "_counters", "size")
+
+    def __init__(
+        self,
+        items: Sequence[Tuple[Rect, List[ETNode]]],
+        dim: int,
+        ndims: int,
+        counters: Optional[WorkCounters] = None,
+    ):
+        if not 0 <= dim < ndims:
+            raise ValueError(f"dim {dim} out of range for {ndims} dimensions")
+        self.dim = dim
+        self.last_dim = dim == ndims - 1
+        self._counters = counters
+        self.size = len(items)
+
+        keys = set()
+        usable: List[Tuple[Rect, List[ETNode]]] = []
+        for rect, sink in items:
+            if rect.is_empty():
+                continue  # empty region: no participants, can never mature
+            iv = rect.intervals[dim]
+            keys.add(iv.lo)
+            if iv.hi != PLUS_INFINITY:
+                keys.add(iv.hi)
+            usable.append((rect, sink))
+
+        self.root = build_skeleton(sorted(keys))
+        if counters is not None:
+            counters.rebuilds += 1
+
+        if self.root is None:
+            return
+
+        if self.last_dim:
+            for rect, sink in usable:
+                iv = rect.intervals[dim]
+                sink.extend(canonical_nodes(self.root, iv.lo, iv.hi))
+        else:
+            # Group queries by canonical node, then recurse per node.
+            per_node: dict[int, Tuple[ETNode, List[Tuple[Rect, List[ETNode]]]]] = {}
+            for rect, sink in usable:
+                iv = rect.intervals[dim]
+                for node in canonical_nodes(self.root, iv.lo, iv.hi):
+                    bucket = per_node.get(id(node))
+                    if bucket is None:
+                        per_node[id(node)] = (node, [(rect, sink)])
+                    else:
+                        bucket[1].append((rect, sink))
+            for node, assigned in per_node.values():
+                node.secondary = EndpointTree(assigned, dim + 1, ndims, counters)
+
+    # -- stream-side operations -------------------------------------------
+
+    def update(self, point: Sequence[float], weight: int) -> List[ETNode]:
+        """Add one element: bump ``c(u)`` along every relevant descent.
+
+        Returns the last-dimension nodes whose counters changed, so the
+        engine can run the slack-inspection (heap drain) step on each.
+        The element itself is not stored anywhere (Section 4: "we then
+        discard e forever").
+        """
+        touched: List[ETNode] = []
+        self._descend(point, weight, touched)
+        return touched
+
+    def _descend(self, point: Sequence[float], weight: int, touched: List[ETNode]) -> None:
+        node = self.root
+        if node is None:
+            return
+        key = (point[self.dim], 0)
+        if key < node.lo:
+            return  # below the leftmost endpoint: ignored (Section 4)
+        if self.last_dim:
+            while True:
+                node.counter += weight
+                touched.append(node)
+                left = node.left
+                if left is None:
+                    break
+                node = left if key < left.hi else node.right
+        else:
+            while True:
+                secondary = node.secondary
+                if secondary is not None:
+                    secondary._descend(point, weight, touched)
+                left = node.left
+                if left is None:
+                    break
+                node = left if key < left.hi else node.right
+
+    # -- introspection -------------------------------------------------------
+
+    def range_count(self, rect: Rect) -> int:
+        """Exact accumulated weight inside ``rect`` since construction.
+
+        Sums ``c(u)`` over the canonical nodes of ``rect`` — this is how
+        the engine obtains ``W(q)`` in ``O(polylog m)`` time for threshold
+        re-basing during rebuilds (Section 4, "Handling Maturity").  The
+        rectangle's endpoints must be endpoints of registered queries.
+        """
+        sink: List[ETNode] = []
+        self._collect_canonical(rect, sink)
+        return sum(node.counter for node in sink)
+
+    def _collect_canonical(self, rect: Rect, sink: List[ETNode]) -> None:
+        if self.root is None or rect.is_empty():
+            return
+        iv = rect.intervals[self.dim]
+        for node in canonical_nodes(self.root, iv.lo, iv.hi):
+            if self.last_dim:
+                sink.append(node)
+            elif node.secondary is not None:
+                node.secondary._collect_canonical(rect, sink)
+
+    def iter_nodes(self) -> Iterator[ETNode]:
+        """Depth-first iteration over this level's nodes (tests/debug)."""
+        stack = [self.root] if self.root is not None else []
+        while stack:
+            node = stack.pop()
+            yield node
+            if node.left is not None:
+                stack.append(node.left)
+                stack.append(node.right)
+
+    def height(self) -> int:
+        """Height of this level's skeleton (0 for a single leaf)."""
+
+        def rec(node: Optional[ETNode]) -> int:
+            if node is None or node.is_leaf:
+                return 0
+            return 1 + max(rec(node.left), rec(node.right))
+
+        return rec(self.root)

@@ -1,0 +1,81 @@
+"""Maturity events and listener plumbing.
+
+The RTS contract (paper Section 2) requires the system to "report the
+maturity of q at its maturity time": the report must fire *during* the
+processing of the element whose arrival makes ``W(q)`` reach ``tau_q``.
+Engines therefore surface maturities synchronously from ``process()``;
+this module defines the event record and a tiny dispatcher used by
+:class:`~repro.core.system.RTSSystem` to fan events out to user callbacks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List
+
+from .query import Query
+
+
+@dataclass(frozen=True, slots=True)
+class MaturityEvent:
+    """A query reached its threshold.
+
+    Attributes
+    ----------
+    query:
+        The matured :class:`~repro.core.query.Query`.
+    timestamp:
+        Arrival index of the element that triggered maturity (the paper's
+        maturity time ``j'``; 1-based, counted over the whole stream).
+    weight_seen:
+        The accumulated weight ``W(q)`` at maturity.  Because element
+        weights may exceed the remaining threshold, ``weight_seen`` can be
+        strictly larger than ``query.threshold``; it is never smaller.
+    """
+
+    query: Query
+    timestamp: int
+    weight_seen: int
+
+    def __post_init__(self) -> None:
+        if self.weight_seen < self.query.threshold:
+            raise ValueError(
+                f"maturity event with W(q)={self.weight_seen} below "
+                f"threshold {self.query.threshold}"
+            )
+
+
+MaturityCallback = Callable[[MaturityEvent], None]
+
+
+class EventDispatcher:
+    """Fan-out of maturity events to registered listeners.
+
+    Listeners are called synchronously, in registration order, from inside
+    the element-processing call.  A listener that raises aborts the
+    dispatch (the exception propagates to the ``process`` caller), which
+    keeps failures loud per the "errors should never pass silently" rule.
+    """
+
+    __slots__ = ("_listeners",)
+
+    def __init__(self) -> None:
+        self._listeners: List[MaturityCallback] = []
+
+    def subscribe(self, callback: MaturityCallback) -> None:
+        """Register a callback invoked for every maturity event."""
+        if not callable(callback):
+            raise TypeError(f"maturity callback must be callable: {callback!r}")
+        self._listeners.append(callback)
+
+    def unsubscribe(self, callback: MaturityCallback) -> None:
+        """Remove a previously registered callback (ValueError if absent)."""
+        self._listeners.remove(callback)
+
+    def dispatch(self, event: MaturityEvent) -> None:
+        """Deliver one event to every listener."""
+        for listener in self._listeners:
+            listener(event)
+
+    def __len__(self) -> int:
+        return len(self._listeners)

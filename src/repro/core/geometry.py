@@ -1,0 +1,324 @@
+"""Geometric primitives for range thresholding on streams.
+
+The paper (Section 4) treats every query interval as half-open ``[x, y)``
+and notes that a closed interval ``[x, y]`` can be regarded as
+``[x, y + eps)`` for an infinitesimal ``eps > 0``.  Rather than perturbing
+floating-point values (which is lossy), this module realises the trick
+*symbolically*: every interval endpoint is represented by a **boundary
+key** — a pair ``(value, bit)`` with ``bit in {0, 1}``:
+
+* ``(v, 0)`` sits exactly *at* ``v``;
+* ``(v, 1)`` sits *just above* ``v`` (i.e. ``v + eps``).
+
+Stream-element values are mapped to keys ``(v, 0)``.  Membership of a
+value ``v`` in an interval with boundary keys ``lo`` and ``hi`` is then
+the exact half-open test ``lo <= (v, 0) < hi``, which yields all four
+open/closed combinations:
+
+=============  =============  =============
+interval       ``lo``         ``hi``
+=============  =============  =============
+``[x, y)``     ``(x, 0)``     ``(y, 0)``
+``[x, y]``     ``(x, 0)``     ``(y, 1)``
+``(x, y)``     ``(x, 1)``     ``(y, 0)``
+``(x, y]``     ``(x, 1)``     ``(y, 1)``
+=============  =============  =============
+
+Boundary keys are plain tuples so that the hot comparison paths (tree
+descents, stabbing queries) pay only tuple-comparison cost.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Sequence, Tuple
+
+#: A boundary key: ``(value, bit)`` with ``bit in {0, 1}``.
+BoundaryKey = Tuple[float, int]
+
+#: Key strictly above every finite boundary key (used as the right
+#: jurisdiction bound of the rightmost leaf in an endpoint tree).
+PLUS_INFINITY: BoundaryKey = (math.inf, 1)
+
+#: Key at-or-below every finite boundary key.
+MINUS_INFINITY: BoundaryKey = (-math.inf, 0)
+
+
+def value_key(v: float) -> BoundaryKey:
+    """Map a stream-element coordinate to its boundary key ``(v, 0)``."""
+    return (v, 0)
+
+
+def lower_key(x: float, closed: bool = True) -> BoundaryKey:
+    """Boundary key of a left endpoint (``closed=True`` for ``[x``)."""
+    return (x, 0) if closed else (x, 1)
+
+
+def upper_key(y: float, closed: bool = False) -> BoundaryKey:
+    """Boundary key of a right endpoint (``closed=True`` for ``y]``)."""
+    return (y, 1) if closed else (y, 0)
+
+
+class Interval:
+    """A one-dimensional interval with exact open/closed endpoint semantics.
+
+    Instances are immutable and hashable.  The canonical internal form is
+    the pair of boundary keys ``(lo, hi)``; the interval is the set of
+    reals ``v`` with ``lo <= (v, 0) < hi``.
+
+    Use the class-method constructors for clarity::
+
+        Interval.half_open(3, 7)   # [3, 7)   -- the paper's default form
+        Interval.closed(3, 7)      # [3, 7]
+        Interval.open(3, 7)        # (3, 7)
+        Interval.point(5)          # [5, 5] == the single value 5
+        Interval.at_most(7)        # (-inf, 7]
+        Interval.at_least(3)       # [3, +inf)
+    """
+
+    __slots__ = ("lo", "hi")
+
+    def __init__(self, lo: BoundaryKey, hi: BoundaryKey):
+        if not (isinstance(lo, tuple) and isinstance(hi, tuple)):
+            raise TypeError(
+                "Interval() takes boundary keys; use Interval.closed()/"
+                "half_open()/open() to construct from plain numbers"
+            )
+        if lo[1] not in (0, 1) or hi[1] not in (0, 1):
+            raise ValueError(f"boundary bits must be 0 or 1: {lo!r}, {hi!r}")
+        if math.isnan(lo[0]) or math.isnan(hi[0]):
+            raise ValueError(f"interval bounds must not be NaN: {lo!r}, {hi!r}")
+        object.__setattr__(self, "lo", lo)
+        object.__setattr__(self, "hi", hi)
+
+    # -- constructors ---------------------------------------------------
+
+    @classmethod
+    def half_open(cls, x: float, y: float) -> "Interval":
+        """``[x, y)`` — the paper's canonical interval form."""
+        return cls((x, 0), (y, 0))
+
+    @classmethod
+    def closed(cls, x: float, y: float) -> "Interval":
+        """``[x, y]`` — realised as ``[x, y + eps)`` symbolically."""
+        return cls((x, 0), (y, 1))
+
+    @classmethod
+    def open(cls, x: float, y: float) -> "Interval":
+        """``(x, y)``."""
+        return cls((x, 1), (y, 0))
+
+    @classmethod
+    def left_open(cls, x: float, y: float) -> "Interval":
+        """``(x, y]``."""
+        return cls((x, 1), (y, 1))
+
+    @classmethod
+    def point(cls, x: float) -> "Interval":
+        """The degenerate closed interval ``[x, x]`` (a single value)."""
+        return cls((x, 0), (x, 1))
+
+    @classmethod
+    def at_most(cls, y: float) -> "Interval":
+        """``(-inf, y]``."""
+        return cls(MINUS_INFINITY, (y, 1))
+
+    @classmethod
+    def less_than(cls, y: float) -> "Interval":
+        """``(-inf, y)``."""
+        return cls(MINUS_INFINITY, (y, 0))
+
+    @classmethod
+    def at_least(cls, x: float) -> "Interval":
+        """``[x, +inf)``."""
+        return cls((x, 0), PLUS_INFINITY)
+
+    @classmethod
+    def everything(cls) -> "Interval":
+        """``(-inf, +inf)`` — matches every value."""
+        return cls(MINUS_INFINITY, PLUS_INFINITY)
+
+    # -- predicates ------------------------------------------------------
+
+    def contains(self, v: float) -> bool:
+        """Exact membership test for a real value ``v``."""
+        k = (v, 0)
+        return self.lo <= k < self.hi
+
+    def contains_key(self, k: BoundaryKey) -> bool:
+        """Membership test for an already-encoded boundary key."""
+        return self.lo <= k < self.hi
+
+    def is_empty(self) -> bool:
+        """True when the interval contains no real value at all."""
+        return self.lo >= self.hi
+
+    def intersects(self, other: "Interval") -> bool:
+        """True when the two intervals share at least one real value."""
+        return max(self.lo, other.lo) < min(self.hi, other.hi)
+
+    def covers(self, other: "Interval") -> bool:
+        """True when ``other`` is a subset of this interval."""
+        if other.is_empty():
+            return True
+        return self.lo <= other.lo and other.hi <= self.hi
+
+    # -- geometry --------------------------------------------------------
+
+    def length(self) -> float:
+        """Lebesgue measure of the interval (ignores the eps bits)."""
+        if self.is_empty():
+            return 0.0
+        return self.hi[0] - self.lo[0]
+
+    def intersection(self, other: "Interval") -> "Interval":
+        """Set intersection (possibly empty)."""
+        lo = max(self.lo, other.lo)
+        hi = min(self.hi, other.hi)
+        if lo >= hi:
+            return Interval((0.0, 0), (0.0, 0))  # canonical empty
+        return Interval(lo, hi)
+
+    # -- dunder plumbing ---------------------------------------------------
+
+    def __contains__(self, v: float) -> bool:
+        return self.contains(v)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Interval):
+            return NotImplemented
+        if self.is_empty() and other.is_empty():
+            return True
+        return self.lo == other.lo and self.hi == other.hi
+
+    def __hash__(self) -> int:
+        if self.is_empty():
+            return hash("empty-interval")
+        return hash((self.lo, self.hi))
+
+    def __setattr__(self, name: str, value: object) -> None:
+        raise AttributeError("Interval is immutable")
+
+    def __repr__(self) -> str:
+        lbrace = "[" if self.lo[1] == 0 else "("
+        rbrace = "]" if self.hi[1] == 1 else ")"
+        return f"Interval{lbrace}{self.lo[0]!r}, {self.hi[0]!r}{rbrace}"
+
+
+class Rect:
+    """A ``d``-dimensional axis-parallel rectangle: one :class:`Interval`
+    per dimension.
+
+    A rectangle is the query region ``R_q`` of Section 2: an element with
+    value point ``p`` is *covered* when every coordinate lies in the
+    corresponding interval.
+
+    Construct from intervals or from plain bounds::
+
+        Rect([Interval.half_open(0, 10), Interval.closed(-5, 5)])
+        Rect.closed([(0, 10), (-5, 5)])     # [0,10] x [-5,5]
+        Rect.half_open([(0, 10), (-5, 5)])  # [0,10) x [-5,5)
+    """
+
+    __slots__ = ("intervals",)
+
+    def __init__(self, intervals: Sequence[Interval]):
+        ivs = tuple(intervals)
+        if not ivs:
+            raise ValueError("Rect needs at least one dimension")
+        for iv in ivs:
+            if not isinstance(iv, Interval):
+                raise TypeError(f"Rect components must be Interval, got {iv!r}")
+        object.__setattr__(self, "intervals", ivs)
+
+    # -- constructors ------------------------------------------------------
+
+    @classmethod
+    def closed(cls, bounds: Iterable[Tuple[float, float]]) -> "Rect":
+        """Rectangle with closed bounds per dimension: ``[x, y]`` each."""
+        return cls([Interval.closed(x, y) for x, y in bounds])
+
+    @classmethod
+    def half_open(cls, bounds: Iterable[Tuple[float, float]]) -> "Rect":
+        """Rectangle with half-open bounds per dimension: ``[x, y)`` each."""
+        return cls([Interval.half_open(x, y) for x, y in bounds])
+
+    @classmethod
+    def from_interval(cls, interval: Interval) -> "Rect":
+        """One-dimensional rectangle wrapping a single interval."""
+        return cls([interval])
+
+    # -- accessors -----------------------------------------------------------
+
+    @property
+    def dims(self) -> int:
+        """Dimensionality ``d`` of the rectangle."""
+        return len(self.intervals)
+
+    def interval(self, dim: int) -> Interval:
+        """Projection of the rectangle onto dimension ``dim``."""
+        return self.intervals[dim]
+
+    # -- predicates ------------------------------------------------------------
+
+    def contains(self, point: Sequence[float]) -> bool:
+        """True when the value point lies inside the rectangle."""
+        ivs = self.intervals
+        if len(point) != len(ivs):
+            raise ValueError(
+                f"point has {len(point)} coords, rect has {len(ivs)} dims"
+            )
+        for v, iv in zip(point, ivs):
+            k = (v, 0)
+            if not (iv.lo <= k < iv.hi):
+                return False
+        return True
+
+    def is_empty(self) -> bool:
+        """True when any dimension's interval is empty."""
+        return any(iv.is_empty() for iv in self.intervals)
+
+    def intersects(self, other: "Rect") -> bool:
+        """True when the two rectangles share at least one point."""
+        self._check_dims(other)
+        return all(a.intersects(b) for a, b in zip(self.intervals, other.intervals))
+
+    def covers(self, other: "Rect") -> bool:
+        """True when ``other`` is a subset of this rectangle."""
+        self._check_dims(other)
+        return all(a.covers(b) for a, b in zip(self.intervals, other.intervals))
+
+    # -- geometry -----------------------------------------------------------------
+
+    def volume(self) -> float:
+        """Lebesgue measure (product of interval lengths)."""
+        vol = 1.0
+        for iv in self.intervals:
+            vol *= iv.length()
+        return vol
+
+    def _check_dims(self, other: "Rect") -> None:
+        if self.dims != other.dims:
+            raise ValueError(
+                f"dimensionality mismatch: {self.dims} vs {other.dims}"
+            )
+
+    # -- dunder plumbing -------------------------------------------------------------
+
+    def __contains__(self, point: Sequence[float]) -> bool:
+        return self.contains(point)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Rect):
+            return NotImplemented
+        return self.intervals == other.intervals
+
+    def __hash__(self) -> int:
+        return hash(self.intervals)
+
+    def __setattr__(self, name: str, value: object) -> None:
+        raise AttributeError("Rect is immutable")
+
+    def __repr__(self) -> str:
+        inner = " x ".join(repr(iv) for iv in self.intervals)
+        return f"Rect({inner})"

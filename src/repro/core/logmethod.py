@@ -1,0 +1,223 @@
+"""The full dynamic RTS engine: logarithmic method over endpoint trees
+(paper Section 5) — the algorithm of Theorem 1.
+
+The endpoint tree of Section 4 is *semi-dynamic*: deletions (maturity,
+TERMINATE) are easy, but inserting a new query's endpoints would trigger
+BST rebalancing that disrupts the canonical node sets of many queries.
+The logarithmic method (Bentley–Saxe) converts the semi-dynamic structure
+into a fully dynamic one.  The engine maintains ``g = O(log m)`` endpoint
+trees ``T_1 ... T_g`` such that:
+
+* **P1** ``g = O(log m)``;
+* **P2** every alive query is managed by exactly one tree;
+* **P3** tree ``T_i`` manages at most ``2^(i-1)`` alive queries.
+
+``REGISTER(q)`` finds the smallest ``j`` with
+``sum_{i<=j} m_alive(i) < 2^(j-1)`` (Eq. 8), merges the alive queries of
+``T_1 ... T_j`` together with ``q`` into a freshly built ``T_j`` — with
+every moved query's threshold re-based by the weight it has already
+collected — and empties the lower slots.  A query only ever moves to a
+higher-ranked tree, so it is charged ``O(log m)`` moves overall.
+
+Each incoming element updates the counters of every tree (``O(log^2 m)``
+for d = 1).  Global rebuilding (Section 4) applies *per tree*: when a
+tree's alive count halves, it is rebuilt in place, which preserves P3
+because alive counts only shrink between merges.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from ..streams.element import StreamElement
+from ..structures.heap import AddressableMinHeap
+from .dt_engine import TreeInstance
+from .engine import Engine, EngineError
+from .events import MaturityEvent
+from .query import Query
+
+
+class DTEngine(Engine):
+    """The paper's proposed method ("DT" in the experiment legends).
+
+    Processes ``n`` elements and ``m`` queries in
+    ``O(n log^(d+1) m + m log^(d+1) m log tau_max)`` time with
+    ``O(m_alive log^d m_alive)`` space — Theorem 1.
+
+    Parameters
+    ----------
+    dims:
+        Data-space dimensionality ``d`` (any constant >= 1).
+    """
+
+    name = "DT"
+
+    def __init__(self, dims: int = 1, heap_factory=AddressableMinHeap):
+        super().__init__(dims)
+        self._heap_factory = heap_factory
+        #: Slot s holds T_{s+1} (paper indexing is 1-based); None = empty.
+        self._trees: List[Optional[TreeInstance]] = []
+        #: query_id -> slot index of the tree currently managing it.
+        self._locator: Dict[object, int] = {}
+
+    # -- registration (Section 5) ----------------------------------------
+
+    def register(self, query: Query) -> None:
+        self.validate_query(query)
+        if query.query_id in self._locator:
+            raise EngineError(f"query id {query.query_id!r} already registered")
+        self._merge_into_slot([(query, query.threshold, 0)])
+
+    def register_batch(self, queries: Iterable[Query]) -> None:
+        """Register many queries at once with a single merge.
+
+        Equivalent to repeated ``register`` calls but builds one tree,
+        which reproduces the paper's static scenario (all queries present
+        before the first element) at construction cost ``O(m log m)``.
+        """
+        new_entries: List[Tuple[Query, int, int]] = []
+        seen = set(self._locator)
+        for query in queries:
+            self.validate_query(query)
+            if query.query_id in seen:
+                raise EngineError(f"query id {query.query_id!r} already registered")
+            seen.add(query.query_id)
+            new_entries.append((query, query.threshold, 0))
+        if new_entries:
+            self._merge_into_slot(new_entries, merge_all=True)
+
+    def _merge_into_slot(
+        self,
+        new_entries: List[Tuple[Query, int, int]],
+        merge_all: bool = False,
+    ) -> None:
+        """Merge lower trees plus ``new_entries`` into one rebuilt slot.
+
+        Implements Eq. (8): the target slot ``s`` (0-based; ``j = s + 1``)
+        is the smallest whose capacity ``2^s`` can absorb the new queries
+        plus everything alive in slots ``0..s``.  With ``merge_all`` every
+        existing tree participates (used for batch registration), and the
+        slot is the smallest capacity that fits the grand total.
+        """
+        trees = self._trees
+        total = len(new_entries)
+        slot = None
+        if merge_all:
+            for tree in trees:
+                if tree is not None:
+                    total += tree.alive
+            slot = 0
+            while (1 << slot) < total:
+                slot += 1
+            merged_upto = len(trees)
+        else:
+            cumulative = total
+            for s in range(len(trees)):
+                tree = trees[s]
+                cumulative += tree.alive if tree is not None else 0
+                if cumulative <= (1 << s):
+                    slot = s
+                    break
+            if slot is None:
+                slot = len(trees)
+            merged_upto = slot + 1
+
+        # Collect alive queries (with re-based thresholds) from the merged
+        # prefix, then discard those trees.
+        entries = list(new_entries)
+        for s in range(min(merged_upto, len(trees))):
+            tree = trees[s]
+            if tree is None:
+                continue
+            entries.extend(tree.alive_entries())
+            trees[s] = None
+
+        while len(trees) <= slot:
+            trees.append(None)
+        instance = TreeInstance(
+            entries, self.dims, self.counters, self._heap_factory
+        )
+        trees[slot] = instance
+        for query, _tau, _consumed in entries:
+            self._locator[query.query_id] = slot
+
+    # -- stream processing (Section 5) --------------------------------------
+
+    def process(self, element: StreamElement, timestamp: int) -> List[MaturityEvent]:
+        self.validate_element(element)
+        events: List[MaturityEvent] = []
+        for slot, tree in enumerate(self._trees):
+            if tree is None:
+                continue
+            for query, weight_seen in tree.process(element):
+                del self._locator[query.query_id]
+                events.append(
+                    MaturityEvent(
+                        query=query, timestamp=timestamp, weight_seen=weight_seen
+                    )
+                )
+            if tree.needs_rebuild:
+                self._rebuild_slot(slot)
+        return events
+
+    # -- termination ------------------------------------------------------
+
+    def terminate(self, query_id: object) -> bool:
+        slot = self._locator.get(query_id)
+        if slot is None:
+            return False
+        tree = self._trees[slot]
+        assert tree is not None, "locator points at an empty slot"
+        removed = tree.terminate(query_id)
+        if removed:
+            del self._locator[query_id]
+            if tree.needs_rebuild:
+                self._rebuild_slot(slot)
+        return removed
+
+    def _rebuild_slot(self, slot: int) -> None:
+        """Per-tree global rebuilding (Section 4) in place.
+
+        Rebuilding never grows the alive count, so property P3 holds for
+        the slot afterwards.  A tree whose queries all disappeared becomes
+        an empty placeholder.
+        """
+        tree = self._trees[slot]
+        assert tree is not None
+        entries = tree.alive_entries()
+        if not entries:
+            self._trees[slot] = None
+            return
+        self._trees[slot] = TreeInstance(
+            entries, self.dims, self.counters, self._heap_factory
+        )
+
+    # -- introspection ------------------------------------------------------
+
+    @property
+    def alive_count(self) -> int:
+        return len(self._locator)
+
+    @property
+    def tree_count(self) -> int:
+        """Number of non-empty endpoint trees (``<= g``; P1 bounds it)."""
+        return sum(1 for tree in self._trees if tree is not None)
+
+    def slot_sizes(self) -> List[int]:
+        """Alive query count per slot — tests assert P3 on this."""
+        return [tree.alive if tree is not None else 0 for tree in self._trees]
+
+    def collected_weight(self, query_id: object) -> int:
+        slot = self._locator.get(query_id)
+        if slot is None:
+            raise KeyError(f"query {query_id!r} is not alive")
+        tree = self._trees[slot]
+        assert tree is not None, "locator points at an empty slot"
+        return tree.collected_weight(query_id)
+
+    def describe(self) -> Dict[str, object]:
+        payload = super().describe()
+        payload["slots"] = [
+            None if tree is None else tree.stats() for tree in self._trees
+        ]
+        return payload

@@ -1,0 +1,133 @@
+"""Query model for the RTS problem (paper Section 2).
+
+An RTS query ``q`` registers a ``d``-dimensional axis-parallel rectangle
+``R_q`` and an integer threshold ``tau_q >= 1``.  The query *matures* at
+the smallest timestamp ``j'`` such that the total weight of elements that
+(a) arrived strictly after the query's registration, and (b) fall inside
+``R_q``, reaches ``tau_q``.
+
+:class:`Query` objects are owned by the user.  Engines never mutate the
+user-visible fields; all per-engine bookkeeping (remaining thresholds,
+tracker state, ...) is kept inside the engines themselves so that the same
+:class:`Query` object can be replayed against several engines when
+comparing methods.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from typing import Optional, Sequence, Tuple, Union
+
+from .geometry import Interval, Rect
+
+_query_ids = itertools.count(1)
+
+
+class QueryStatus(enum.Enum):
+    """Lifecycle of a query inside an :class:`~repro.core.system.RTSSystem`.
+
+    ``ALIVE``
+        Registered and neither matured nor terminated (the paper's set Q).
+    ``MATURED``
+        The accumulated weight reached ``tau_q``; the system reported the
+        maturity and automatically terminated the query.
+    ``TERMINATED``
+        Explicitly removed via ``TERMINATE(q)`` before maturing.
+    """
+
+    ALIVE = "alive"
+    MATURED = "matured"
+    TERMINATED = "terminated"
+
+
+RectLike = Union[Rect, Interval, Sequence[Tuple[float, float]]]
+
+
+def coerce_rect(region: RectLike, dims: Optional[int] = None) -> Rect:
+    """Normalise user input into a :class:`Rect`.
+
+    Accepted forms:
+
+    * a :class:`Rect` — used as is;
+    * an :class:`Interval` — wrapped into a one-dimensional rectangle;
+    * a sequence of ``(lo, hi)`` pairs — interpreted as *closed* bounds
+      per dimension (matching the paper's example queries such as
+      ``[100, 105] x (-inf, 4600]``, which users write with closed ends).
+
+    When ``dims`` is given, the resulting rectangle must have exactly that
+    dimensionality.
+    """
+    if isinstance(region, Rect):
+        rect = region
+    elif isinstance(region, Interval):
+        rect = Rect.from_interval(region)
+    else:
+        try:
+            rect = Rect.closed(tuple(region))
+        except (TypeError, ValueError) as exc:
+            raise TypeError(
+                "query region must be a Rect, an Interval, or a sequence "
+                f"of (lo, hi) pairs; got {region!r}"
+            ) from exc
+    if dims is not None and rect.dims != dims:
+        raise ValueError(
+            f"query region has {rect.dims} dimension(s); system expects {dims}"
+        )
+    return rect
+
+
+class Query:
+    """An RTS query: a region of interest plus a weight threshold.
+
+    Parameters
+    ----------
+    region:
+        The rectangle ``R_q`` (or anything :func:`coerce_rect` accepts).
+    threshold:
+        The maturity threshold ``tau_q``; a positive integer.
+    query_id:
+        Optional explicit identifier.  When omitted, a process-unique id is
+        assigned.  Identifiers must be hashable and unique within a system.
+
+    Attributes
+    ----------
+    rect:
+        The normalised :class:`Rect`.
+    threshold:
+        ``tau_q`` as registered (never mutated by engines).
+    query_id:
+        The identifier used in maturity events and ``terminate`` calls.
+    """
+
+    __slots__ = ("query_id", "rect", "threshold")
+
+    def __init__(
+        self,
+        region: RectLike,
+        threshold: int,
+        query_id: Optional[object] = None,
+    ):
+        rect = coerce_rect(region)
+        if not isinstance(threshold, int) or isinstance(threshold, bool):
+            raise TypeError(f"threshold must be an int, got {threshold!r}")
+        if threshold < 1:
+            raise ValueError(f"threshold must be >= 1, got {threshold}")
+        self.rect = rect
+        self.threshold = threshold
+        self.query_id = query_id if query_id is not None else next(_query_ids)
+
+    @property
+    def dims(self) -> int:
+        """Dimensionality of the query region."""
+        return self.rect.dims
+
+    def matches(self, point: Sequence[float]) -> bool:
+        """True when a value point falls inside ``R_q``."""
+        return self.rect.contains(point)
+
+    def __repr__(self) -> str:
+        return (
+            f"Query(id={self.query_id!r}, rect={self.rect!r}, "
+            f"threshold={self.threshold})"
+        )

@@ -1,0 +1,88 @@
+"""JSON serialization of the core model objects.
+
+Workload scripts — and the queries/elements inside them — are the unit of
+reproducibility in this project: a saved script replays bit-identically
+against any engine on any machine.  This module provides lossless
+conversions to plain JSON-compatible objects, including the symbolic
+boundary bits (open/closed endpoint semantics) and the infinities used by
+unbounded ranges.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Dict, List, Sequence
+
+from ..streams.element import StreamElement
+from .geometry import BoundaryKey, Interval, Rect
+from .query import Query
+
+
+def _value_to_obj(v: float) -> Any:
+    """JSON has no infinities; encode them as strings."""
+    if v == math.inf:
+        return "inf"
+    if v == -math.inf:
+        return "-inf"
+    return v
+
+
+def _value_from_obj(obj: Any) -> float:
+    if obj == "inf":
+        return math.inf
+    if obj == "-inf":
+        return -math.inf
+    return float(obj)
+
+
+def boundary_to_obj(key: BoundaryKey) -> List[Any]:
+    """``(value, bit)`` as a JSON pair."""
+    return [_value_to_obj(key[0]), key[1]]
+
+
+def boundary_from_obj(obj: Sequence[Any]) -> BoundaryKey:
+    value, bit = obj
+    if bit not in (0, 1):
+        raise ValueError(f"boundary bit must be 0 or 1, got {bit!r}")
+    return (_value_from_obj(value), int(bit))
+
+
+def interval_to_obj(interval: Interval) -> Dict[str, Any]:
+    return {"lo": boundary_to_obj(interval.lo), "hi": boundary_to_obj(interval.hi)}
+
+
+def interval_from_obj(obj: Dict[str, Any]) -> Interval:
+    return Interval(boundary_from_obj(obj["lo"]), boundary_from_obj(obj["hi"]))
+
+
+def rect_to_obj(rect: Rect) -> List[Dict[str, Any]]:
+    return [interval_to_obj(iv) for iv in rect.intervals]
+
+
+def rect_from_obj(obj: Sequence[Dict[str, Any]]) -> Rect:
+    return Rect([interval_from_obj(o) for o in obj])
+
+
+def query_to_obj(query: Query) -> Dict[str, Any]:
+    """Query ids must themselves be JSON-compatible to round-trip."""
+    return {
+        "id": query.query_id,
+        "rect": rect_to_obj(query.rect),
+        "threshold": query.threshold,
+    }
+
+
+def query_from_obj(obj: Dict[str, Any]) -> Query:
+    return Query(
+        rect_from_obj(obj["rect"]),
+        int(obj["threshold"]),
+        query_id=obj["id"],
+    )
+
+
+def element_to_obj(element: StreamElement) -> Dict[str, Any]:
+    return {"v": list(element.value), "w": element.weight}
+
+
+def element_from_obj(obj: Dict[str, Any]) -> StreamElement:
+    return StreamElement(tuple(obj["v"]), int(obj["w"]))

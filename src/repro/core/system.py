@@ -1,0 +1,270 @@
+"""Public façade: :class:`RTSSystem`.
+
+Wraps any RTS engine behind one convenient, validated API:
+
+>>> from repro import RTSSystem
+>>> system = RTSSystem(dims=1)                 # DT engine by default
+>>> q = system.register([(100, 105)], threshold=100_000)
+>>> system.on_maturity(lambda event: print("matured:", event.query.query_id))
+>>> events = system.process(102.5, weight=60_000)
+>>> events = system.process(104.0, weight=50_000)   # q matures here
+
+The façade assigns arrival timestamps (1-based, as in the paper), tracks
+query lifecycles, dispatches maturity events, and exposes the engine's
+work counters for inspection.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple, Type, Union
+
+from ..streams.element import StreamElement
+from .engine import Engine
+from .events import EventDispatcher, MaturityCallback, MaturityEvent
+from .query import Query, QueryStatus, RectLike, coerce_rect
+
+
+def _engine_registry() -> Dict[str, Type[Engine]]:
+    # Imported lazily to avoid a circular import at package load time.
+    from ..baselines.interval_engine import IntervalTreeEngine
+    from ..baselines.naive import NaiveEngine
+    from ..baselines.rtree_engine import RTreeEngine
+    from ..baselines.seg_intv_engine import SegIntvEngine
+    from ..structures.heap import ScanMinList
+    from .dt_engine import StaticDTEngine
+    from .logmethod import DTEngine
+
+    class ScanDTEngine(DTEngine):
+        """Ablation: DT without the per-node min-heaps of Section 4.
+
+        Slack inspection scans every query at a node on each counter
+        bump — the naive strategy the paper calls "overly expensive".
+        """
+
+        name = "DT-scan"
+
+        def __init__(self, dims: int = 1):
+            super().__init__(dims, heap_factory=ScanMinList)
+
+    return {
+        "dt": DTEngine,
+        "dt-static": StaticDTEngine,
+        "dt-scan": ScanDTEngine,
+        "baseline": NaiveEngine,
+        "interval-tree": IntervalTreeEngine,
+        "seg-intv-tree": SegIntvEngine,
+        "rtree": RTreeEngine,
+    }
+
+
+def available_engines() -> List[str]:
+    """Names accepted by ``RTSSystem(engine=...)`` and by the harness."""
+    return sorted(_engine_registry())
+
+
+def make_engine(name: str, dims: int, **options) -> Engine:
+    """Instantiate an engine by registry name."""
+    registry = _engine_registry()
+    try:
+        cls = registry[name]
+    except KeyError:
+        known = ", ".join(sorted(registry))
+        raise ValueError(f"unknown engine {name!r}; choose one of: {known}") from None
+    return cls(dims=dims, **options)
+
+
+class RTSSystem:
+    """A running RTS service over one engine.
+
+    Parameters
+    ----------
+    dims:
+        Data-space dimensionality ``d``.
+    engine:
+        Engine name (see :func:`available_engines`) or an already
+        constructed :class:`~repro.core.engine.Engine` instance.
+    engine_options:
+        Extra keyword arguments for the engine constructor.
+    """
+
+    def __init__(
+        self,
+        dims: int = 1,
+        engine: Union[str, Engine] = "dt",
+        **engine_options,
+    ):
+        if isinstance(engine, Engine):
+            if engine.dims != dims:
+                raise ValueError(
+                    f"engine handles {engine.dims} dims, system asked for {dims}"
+                )
+            if engine_options:
+                raise ValueError("engine_options only apply when engine is a name")
+            self.engine = engine
+        else:
+            self.engine = make_engine(engine, dims, **engine_options)
+        self.dims = dims
+        self._dispatcher = EventDispatcher()
+        self._status: Dict[object, QueryStatus] = {}
+        self._queries: Dict[object, Query] = {}
+        self._maturity_times: Dict[object, int] = {}
+        self._clock = 0  # arrival index of the last processed element
+
+    # -- registration --------------------------------------------------
+
+    def register(
+        self,
+        region: RectLike,
+        threshold: Optional[int] = None,
+        query_id: Optional[object] = None,
+    ) -> Query:
+        """REGISTER: accept a query at the current moment.
+
+        ``region`` may be a :class:`Query` (then ``threshold`` must be
+        omitted), a :class:`~repro.core.geometry.Rect`, an
+        :class:`~repro.core.geometry.Interval`, or a sequence of
+        ``(lo, hi)`` closed bounds.  Returns the registered query.
+        """
+        if isinstance(region, Query):
+            if threshold is not None or query_id is not None:
+                raise ValueError(
+                    "pass either a Query object or (region, threshold), not both"
+                )
+            query = region
+        else:
+            if threshold is None:
+                raise ValueError("threshold is required when passing a region")
+            query = Query(coerce_rect(region, self.dims), threshold, query_id)
+        if query.query_id in self._queries:
+            raise ValueError(f"query id {query.query_id!r} already used")
+        self.engine.register(query)
+        self._queries[query.query_id] = query
+        self._status[query.query_id] = QueryStatus.ALIVE
+        return query
+
+    def register_batch(self, queries: Iterable[Query]) -> List[Query]:
+        """Register many queries in one engine call (bulk build path)."""
+        batch = list(queries)
+        for query in batch:
+            if not isinstance(query, Query):
+                raise TypeError(f"register_batch takes Query objects, got {query!r}")
+            if query.query_id in self._queries:
+                raise ValueError(f"query id {query.query_id!r} already used")
+        self.engine.register_batch(batch)
+        for query in batch:
+            self._queries[query.query_id] = query
+            self._status[query.query_id] = QueryStatus.ALIVE
+        return batch
+
+    # -- stream processing ------------------------------------------------
+
+    def process(
+        self,
+        value: Union[float, Sequence[float], StreamElement],
+        weight: int = 1,
+    ) -> List[MaturityEvent]:
+        """Feed the next stream element; returns the maturities it causes.
+
+        Accepts a ready :class:`StreamElement` or a raw value (plus
+        weight).  Matured queries are reported synchronously — both in the
+        returned list and through :meth:`on_maturity` callbacks — and are
+        automatically terminated, per the problem definition.
+        """
+        if isinstance(value, StreamElement):
+            element = value
+        else:
+            element = StreamElement(value, weight)
+        self._clock += 1
+        events = self.engine.process(element, self._clock)
+        for event in events:
+            self._status[event.query.query_id] = QueryStatus.MATURED
+            self._maturity_times[event.query.query_id] = event.timestamp
+            self._dispatcher.dispatch(event)
+        return events
+
+    def process_many(
+        self, elements: Iterable[StreamElement]
+    ) -> List[MaturityEvent]:
+        """Feed a batch of elements; returns all maturities in order."""
+        out: List[MaturityEvent] = []
+        for element in elements:
+            out.extend(self.process(element))
+        return out
+
+    # -- termination ------------------------------------------------------
+
+    def terminate(self, query: Union[Query, object]) -> bool:
+        """TERMINATE: remove an alive query; returns False if not alive."""
+        query_id = query.query_id if isinstance(query, Query) else query
+        if self._status.get(query_id) is not QueryStatus.ALIVE:
+            return False
+        removed = self.engine.terminate(query_id)
+        if removed:
+            self._status[query_id] = QueryStatus.TERMINATED
+        return removed
+
+    # -- callbacks ----------------------------------------------------------
+
+    def on_maturity(self, callback: MaturityCallback) -> None:
+        """Register a callback fired synchronously at each maturity."""
+        self._dispatcher.subscribe(callback)
+
+    # -- introspection ------------------------------------------------------
+
+    @property
+    def now(self) -> int:
+        """Arrival index of the most recently processed element."""
+        return self._clock
+
+    @property
+    def alive_count(self) -> int:
+        """Number of alive queries (``m_alive``)."""
+        return self.engine.alive_count
+
+    def status(self, query: Union[Query, object]) -> QueryStatus:
+        """Lifecycle status of a query known to this system."""
+        query_id = query.query_id if isinstance(query, Query) else query
+        try:
+            return self._status[query_id]
+        except KeyError:
+            raise KeyError(f"unknown query {query_id!r}") from None
+
+    def maturity_time(self, query: Union[Query, object]) -> Optional[int]:
+        """The query's maturity timestamp, or None if it has not matured."""
+        query_id = query.query_id if isinstance(query, Query) else query
+        return self._maturity_times.get(query_id)
+
+    def progress(self, query: Union[Query, object]) -> Tuple[int, int]:
+        """Exact ``(W(q), tau_q)`` for an alive query.
+
+        ``W(q)`` is the weight collected since registration — answered
+        exactly by every engine (the DT engine derives it from its
+        canonical counters in polylog time, as in Section 4's rebuilding
+        step).  Raises KeyError when the query is not alive.
+        """
+        query_id = query.query_id if isinstance(query, Query) else query
+        if self._status.get(query_id) is not QueryStatus.ALIVE:
+            raise KeyError(f"query {query_id!r} is not alive")
+        return (
+            self.engine.collected_weight(query_id),
+            self._queries[query_id].threshold,
+        )
+
+    @property
+    def work_counters(self):
+        """The engine's machine-independent work counters."""
+        return self.engine.counters
+
+    def describe(self) -> Dict[str, object]:
+        """Engine diagnostics plus system-level lifecycle counts."""
+        payload = self.engine.describe()
+        payload["now"] = self._clock
+        payload["registered_total"] = len(self._queries)
+        payload["matured_total"] = len(self._maturity_times)
+        return payload
+
+    def __repr__(self) -> str:
+        return (
+            f"RTSSystem(dims={self.dims}, engine={self.engine.name!r}, "
+            f"alive={self.alive_count}, now={self._clock})"
+        )

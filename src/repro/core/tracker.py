@@ -1,0 +1,249 @@
+"""Per-query distributed-tracking state (paper Sections 3.2, 4 and 7).
+
+Every RTS query defines a conceptual *distributed tracking* (DT) instance:
+its canonical endpoint-tree nodes are the "participants" (each node's
+counter ``c(u)`` is the participant's counter), and the query itself is
+the "coordinator" that must capture the moment ``sum c(u) >= tau_q``.
+Nothing is actually distributed — all "messages" are O(1) simulated steps
+on one machine — but the DT protocol's round structure is what breaks the
+quadratic barrier.
+
+Protocol recap
+--------------
+With ``h`` participants and remaining threshold ``tau'``:
+
+* **Normal round** (``tau' > 6h``): the coordinator announces the slack
+  ``lambda = floor(tau' / (2h))``.  A participant signals whenever its
+  counter has grown by ``lambda`` since its last signal — realised here by
+  keeping ``sigma_q(u) = cbar_q(u) + lambda`` in the node's min-heap and
+  signalling while ``c(u) >= sigma_q(u)`` (the weighted drain of
+  Section 7: one increment may emit several signals).  When ``h`` signals
+  have arrived, the coordinator collects the precise counters, checks
+  maturity, subtracts, and opens the next round.  Each round removes at
+  least a third of ``tau'``, so there are ``O(log tau)`` rounds.
+* **Final phase** (``tau' <= 6h``): the "straightforward" protocol — every
+  counter increment is forwarded (as a weighted delta) to the coordinator,
+  which keeps a running total.  Realised with ``sigma_q(u) = c(u) + 1``
+  re-armed after each signal, so the coordinator's work is O(1) per
+  increment, giving the ``O(n + h log tau)`` CPU bound of Section 7.
+
+The min-heap trick (Section 4, Eq. 5) makes slack inspection at a node
+cost O(1) when no signal is due, regardless of how many queries share the
+node: only the query with the *smallest* sigma can possibly be due.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import List, Optional, Tuple
+
+from ..structures.heap import AddressableMinHeap, HeapEntry
+from .endpoint_tree import ETNode
+from .engine import WorkCounters
+from .query import Query
+
+#: The constant of the DT protocol: the "straightforward" final phase is
+#: entered once the remaining threshold drops to ``6h`` or below.
+FINAL_PHASE_FACTOR = 6
+
+
+class TrackerState(enum.Enum):
+    """Lifecycle of a query's DT instance within one endpoint tree."""
+
+    ROUND = "round"  # normal round with positive slack
+    FINAL = "final"  # straightforward final phase (tau' <= 6h)
+    INERT = "inert"  # empty canonical set: the query can never mature
+    DONE = "done"  # matured or terminated; detached from all heaps
+
+
+class QueryTracker:
+    """DT coordinator state for one query inside one endpoint tree.
+
+    The tracker owns the query's heap entries (one per canonical node) and
+    drives round transitions.  ``tau`` is the *remaining* threshold
+    relative to the tree's epoch: the engine re-bases it whenever the
+    query moves between trees (logarithmic method) or the tree is rebuilt
+    (global rebuilding), by subtracting the weight already collected.
+
+    Attributes
+    ----------
+    nodes:
+        The canonical node set ``U_q`` (last-dimension nodes).  Populated
+        by :class:`~repro.core.endpoint_tree.EndpointTree` construction.
+    entries:
+        Heap entry handles, parallel to ``nodes``.
+    lam:
+        Current slack ``lambda_q`` (0 while in the final phase).
+    signals:
+        Signals received in the current round.
+    w_run:
+        Final phase only: the coordinator's running total of
+        ``sum c(u)``.
+    """
+
+    __slots__ = (
+        "query",
+        "tau",
+        "consumed",
+        "nodes",
+        "entries",
+        "state",
+        "lam",
+        "signals",
+        "w_run",
+        "rounds_run",
+    )
+
+    def __init__(self, query: Query, tau: int, consumed: int = 0):
+        if tau < 1:
+            raise ValueError(f"remaining threshold must be >= 1, got {tau}")
+        if consumed < 0:
+            raise ValueError(f"consumed weight must be >= 0, got {consumed}")
+        self.query = query
+        self.tau = tau
+        #: weight already collected in previous tree epochs (re-basing
+        #: offset), so maturity reports the lifetime total W(q).
+        self.consumed = consumed
+        self.nodes: List[ETNode] = []
+        self.entries: List[HeapEntry] = []
+        self.state = TrackerState.INERT
+        self.lam = 0
+        self.signals = 0
+        self.w_run = 0
+        self.rounds_run = 0
+
+    # -- setup -------------------------------------------------------------
+
+    def start(self, counters: WorkCounters, heap_factory=AddressableMinHeap) -> None:
+        """Begin tracking on a freshly built tree (all counters zero).
+
+        Must be called exactly once, after tree construction has filled
+        ``self.nodes``.  Installs one sigma entry per canonical node
+        (*unordered*: the owner heapifies each node's heap once after all
+        trackers have started) and opens the first round (or goes straight
+        to the final phase when ``tau <= 6h``).  ``heap_factory`` selects
+        the per-node container (the real min-heap, or the scan list for
+        the ablation).
+        """
+        if self.entries:
+            raise RuntimeError("tracker already started")
+        h = len(self.nodes)
+        if h == 0:
+            self.state = TrackerState.INERT
+            return
+        if self.tau <= FINAL_PHASE_FACTOR * h:
+            self.state = TrackerState.FINAL
+            self.lam = 0
+            self.w_run = 0
+            for node in self.nodes:
+                entry = node.ensure_heap(heap_factory).push_unordered(
+                    node.counter + 1, self
+                )
+                self.entries.append(entry)
+                counters.heap_ops += 1
+        else:
+            self.state = TrackerState.ROUND
+            self.lam = self.tau // (2 * h)
+            self.signals = 0
+            # Announcing the slack costs one message per participant.
+            counters.messages += h
+            for node in self.nodes:
+                entry = node.ensure_heap(heap_factory).push_unordered(
+                    node.counter + self.lam, self
+                )
+                self.entries.append(entry)
+                counters.heap_ops += 1
+
+    # -- signal handling ----------------------------------------------------
+
+    def on_signal(
+        self, node: ETNode, entry: HeapEntry, counters: WorkCounters
+    ) -> Optional[int]:
+        """Handle one due signal (``c(u) >= sigma_q(u)``) at ``node``.
+
+        Returns the total collected weight ``W(q)`` when the query matures
+        on this signal, else None.  On maturity the tracker detaches all
+        its heap entries and transitions to DONE.
+        """
+        counters.messages += 1  # the participant's one-bit signal
+        if self.state is TrackerState.FINAL:
+            # Weighted delta forwarding: sigma was cbar + 1.
+            delta = node.counter - (entry.key - 1)
+            self.w_run += delta
+            node.heap.update_key(entry, node.counter + 1)
+            counters.heap_ops += 1
+            if self.w_run >= self.tau:
+                self._mature(counters)
+                return self.consumed + self.w_run
+            return None
+
+        # Normal round: advance cbar by lambda (sigma += lambda); the heap
+        # drain loop re-pops the entry if the weighted increment covered
+        # several slacks (Section 7's "repeat Line 1").
+        self.signals += 1
+        node.heap.update_key(entry, entry.key + self.lam)
+        counters.heap_ops += 1
+        if self.signals < len(self.nodes):
+            return None
+        return self._end_round(counters)
+
+    def _end_round(self, counters: WorkCounters) -> Optional[int]:
+        """Round boundary: collect counters, check maturity, re-slack."""
+        h = len(self.nodes)
+        # Collecting precise counters: one request + one reply per site.
+        counters.messages += 2 * h
+        counters.rounds += 1
+        self.rounds_run += 1
+        w_now = 0
+        for node in self.nodes:
+            w_now += node.counter
+        if w_now >= self.tau:
+            self._mature(counters)
+            return self.consumed + w_now
+        tau_prime = self.tau - w_now
+        if tau_prime <= FINAL_PHASE_FACTOR * h:
+            self.state = TrackerState.FINAL
+            self.lam = 0
+            self.w_run = w_now
+            for node, entry in zip(self.nodes, self.entries):
+                node.heap.update_key(entry, node.counter + 1)
+                counters.heap_ops += 1
+        else:
+            self.lam = tau_prime // (2 * h)
+            self.signals = 0
+            counters.messages += h  # announce the new slack
+            for node, entry in zip(self.nodes, self.entries):
+                node.heap.update_key(entry, node.counter + self.lam)
+                counters.heap_ops += 1
+        return None
+
+    # -- teardown ----------------------------------------------------------
+
+    def _mature(self, counters: WorkCounters) -> None:
+        self.detach(counters)
+
+    def detach(self, counters: WorkCounters) -> None:
+        """Remove every heap entry (maturity, termination, or rebuild)."""
+        for node, entry in zip(self.nodes, self.entries):
+            if entry.in_heap:
+                node.heap.remove(entry)
+                counters.heap_ops += 1
+        self.entries = []
+        self.state = TrackerState.DONE
+
+    # -- introspection ------------------------------------------------------
+
+    def collected_weight(self) -> int:
+        """Exact ``W(q)`` relative to the tree epoch (sum of ``c(u)``)."""
+        return sum(node.counter for node in self.nodes)
+
+    @property
+    def is_live(self) -> bool:
+        """True while the tracker still participates in the protocol."""
+        return self.state in (TrackerState.ROUND, TrackerState.FINAL)
+
+    def __repr__(self) -> str:
+        return (
+            f"QueryTracker(q={self.query.query_id!r}, tau={self.tau}, "
+            f"h={len(self.nodes)}, state={self.state.value}, lam={self.lam})"
+        )

@@ -1,0 +1,29 @@
+"""Standalone distributed tracking (Cormode–Muthukrishnan–Yi; paper
+Sections 3.2 and 7) — the substrate the RTS algorithm reduces to."""
+
+from .coordinator import Coordinator
+from .messages import COORDINATOR, Message, MessageType
+from .network import StarNetwork
+from .participant import Participant, ParticipantMode
+from .protocol import (
+    NaiveTracker,
+    TrackingResult,
+    run_naive,
+    run_tracking,
+    run_unweighted,
+)
+
+__all__ = [
+    "COORDINATOR",
+    "Coordinator",
+    "Message",
+    "MessageType",
+    "NaiveTracker",
+    "Participant",
+    "ParticipantMode",
+    "StarNetwork",
+    "TrackingResult",
+    "run_naive",
+    "run_tracking",
+    "run_unweighted",
+]

@@ -1,0 +1,144 @@
+"""Coordinator-side logic of distributed tracking (Sections 3.2 and 7).
+
+The coordinator drives the round structure:
+
+1. If the remaining threshold ``tau'`` is at most ``6h``, run the
+   *straightforward* phase: ask every participant to forward each counter
+   increment, and keep a running total.
+2. Otherwise announce the slack ``lambda = floor(tau' / (2h))`` and count
+   incoming signals.  On the ``h``-th signal, end the round: collect the
+   precise counters, declare maturity if their sum reaches ``tau``, else
+   subtract and start the next round.
+
+Each round shrinks ``tau'`` by at least a third (the paper shows
+``tau' <= 2 tau / 3`` from ``tau > 6h``), giving ``O(log tau)`` rounds and
+``O(h log tau)`` messages overall.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from .messages import COORDINATOR, Message, MessageType
+from .network import StarNetwork
+
+#: ``tau <= FINAL_PHASE_FACTOR * h`` triggers the straightforward phase.
+FINAL_PHASE_FACTOR = 6
+
+
+class Coordinator:
+    """The tracking coordinator ``q``.
+
+    Parameters
+    ----------
+    h:
+        Number of participants (addresses ``0 .. h-1`` on the network).
+    tau:
+        The maturity threshold (positive integer).
+    network:
+        The :class:`~repro.dt.network.StarNetwork` all sites share.
+
+    Attributes
+    ----------
+    matured_at:
+        Set to the collected total when maturity is declared; None before.
+    rounds:
+        Number of completed normal rounds.
+    """
+
+    __slots__ = (
+        "h",
+        "tau",
+        "network",
+        "matured_at",
+        "rounds",
+        "_signals",
+        "_final",
+        "_running_total",
+        "_collect_sum",
+        "_collect_pending",
+    )
+
+    def __init__(self, h: int, tau: int, network: StarNetwork):
+        if h < 1:
+            raise ValueError(f"need at least one participant, got {h}")
+        if tau < 1:
+            raise ValueError(f"threshold must be positive, got {tau}")
+        self.h = h
+        self.tau = tau
+        self.network = network
+        self.matured_at: Optional[int] = None
+        self.rounds = 0
+        self._signals = 0
+        self._final = False
+        self._running_total = 0  # final phase: sum of forwarded deltas
+        self._collect_sum = 0
+        self._collect_pending = 0
+        network.attach(COORDINATOR, self.handle)
+
+    # -- protocol driving ------------------------------------------------
+
+    def start(self) -> None:
+        """Open the first round (call once, before any increments)."""
+        self._open_phase(self.tau, already_collected=0)
+
+    def _open_phase(self, tau_remaining: int, already_collected: int) -> None:
+        if tau_remaining <= FINAL_PHASE_FACTOR * self.h:
+            self._final = True
+            self._running_total = already_collected
+            self._broadcast(MessageType.FINAL_PHASE)
+        else:
+            lam = tau_remaining // (2 * self.h)
+            self._signals = 0
+            self._broadcast(MessageType.SLACK, payload=lam)
+
+    def handle(self, message: Message) -> None:
+        """React to a participant message."""
+        if self.matured_at is not None:
+            return  # tracking is over; late messages are ignored
+        if message.mtype is MessageType.SIGNAL:
+            if self._final:
+                self._running_total += message.payload
+                if self._running_total >= self.tau:
+                    self.matured_at = self._running_total
+                return
+            self._signals += 1
+            if self._signals >= self.h:
+                self._end_round()
+        elif message.mtype is MessageType.REPORT:
+            self._collect_sum += message.payload
+            self._collect_pending -= 1
+        else:
+            raise ValueError(f"coordinator got unexpected message {message!r}")
+
+    def _end_round(self) -> None:
+        self.rounds += 1
+        # Tell everyone the round is over (stops further signalling), then
+        # collect the precise counters.
+        self._broadcast(MessageType.ROUND_END)
+        self._collect_sum = 0
+        self._collect_pending = self.h
+        self._broadcast(MessageType.COLLECT)
+        assert self._collect_pending == 0, "synchronous delivery expected"
+        total = self._collect_sum
+        if total >= self.tau:
+            self.matured_at = total
+            return
+        self._open_phase(self.tau - total, already_collected=total)
+
+    def _broadcast(self, mtype: MessageType, payload=None) -> None:
+        for i in range(self.h):
+            self.network.send(
+                Message(mtype=mtype, src=COORDINATOR, dst=i, payload=payload)
+            )
+
+    # -- introspection ------------------------------------------------------
+
+    @property
+    def matured(self) -> bool:
+        return self.matured_at is not None
+
+    def __repr__(self) -> str:
+        phase = "final" if self._final else f"round {self.rounds + 1}"
+        state = f"matured at {self.matured_at}" if self.matured else phase
+        return f"Coordinator(h={self.h}, tau={self.tau}, {state})"

@@ -1,0 +1,99 @@
+"""Participant-side logic of distributed tracking (Sections 3.2 and 7).
+
+A participant owns one integer counter.  Its entire protocol obligation is
+local: compare the counter's growth since the last signal against the
+round's slack and emit one-bit signals accordingly.  In the weighted
+variant (Section 7) a single increment may cover several slacks, so the
+participant keeps signalling — "repeat Line 1" — until either the residual
+drops below the slack or the coordinator has declared the round over.  In
+the final phase it simply forwards every increment as a weighted delta.
+"""
+
+from __future__ import annotations
+
+import enum
+
+from .messages import COORDINATOR, Message, MessageType
+from .network import StarNetwork
+
+
+class ParticipantMode(enum.Enum):
+    IDLE = "idle"  # before the first SLACK / after maturity
+    ROUND = "round"  # normal round: slack rule in force
+    FINAL = "final"  # straightforward phase: forward all increments
+
+
+class Participant:
+    """One tracking site ``s_i`` with counter ``c_i``."""
+
+    __slots__ = ("index", "network", "c", "cbar", "lam", "mode", "_round_id")
+
+    def __init__(self, index: int, network: StarNetwork):
+        self.index = index
+        self.network = network
+        self.c = 0  # cumulative counter (never reset)
+        self.cbar = 0  # counter value at the last signal / round start
+        self.lam = 0
+        self.mode = ParticipantMode.IDLE
+        self._round_id = 0
+        network.attach(index, self.handle)
+
+    # -- local event ------------------------------------------------------
+
+    def increase(self, delta: int = 1) -> None:
+        """Local counter increment (the only external stimulus).
+
+        In the unweighted problem ``delta`` is 1; the weighted variant
+        allows any positive integer.
+        """
+        if delta < 1:
+            raise ValueError(f"counter increments must be positive, got {delta}")
+        self.c += delta
+        if self.mode is ParticipantMode.FINAL:
+            # Forward the whole increment as one weighted message.
+            self.cbar = self.c
+            self._send(MessageType.SIGNAL, payload=delta)
+            return
+        if self.mode is ParticipantMode.ROUND:
+            my_round = self._round_id
+            while (
+                self.mode is ParticipantMode.ROUND
+                and self._round_id == my_round
+                and self.c - self.cbar >= self.lam
+            ):
+                self.cbar += self.lam
+                self._send(MessageType.SIGNAL)
+
+    # -- protocol messages ------------------------------------------------
+
+    def handle(self, message: Message) -> None:
+        """React to a coordinator message."""
+        if message.mtype is MessageType.SLACK:
+            # New round: slack announced; growth is measured from here.
+            self.lam = message.payload
+            self.cbar = self.c
+            self.mode = ParticipantMode.ROUND
+            self._round_id += 1
+        elif message.mtype is MessageType.COLLECT:
+            self._send(MessageType.REPORT, payload=self.c)
+        elif message.mtype is MessageType.ROUND_END:
+            # Stop signalling until the next SLACK (or FINAL_PHASE).
+            self.mode = ParticipantMode.IDLE
+            self._round_id += 1
+        elif message.mtype is MessageType.FINAL_PHASE:
+            self.mode = ParticipantMode.FINAL
+            self.cbar = self.c
+            self._round_id += 1
+        else:
+            raise ValueError(f"participant got unexpected message {message!r}")
+
+    def _send(self, mtype: MessageType, payload=None) -> None:
+        self.network.send(
+            Message(mtype=mtype, src=self.index, dst=COORDINATOR, payload=payload)
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"Participant(s{self.index + 1}, c={self.c}, cbar={self.cbar}, "
+            f"lam={self.lam}, {self.mode.value})"
+        )

@@ -1,0 +1,26 @@
+"""Experiment harness: per-figure configs, instrumentation, analysis,
+reporting, and export."""
+
+from .analysis import PowerLawFit, estimate_crossover, fit_power_law, growth_report
+from .export import export_figures, write_figure_csv, write_figure_json
+from .figures import FIGURES, FigureResult
+from .harness import RunResult, compare_engines, engines_for_dims, run_cell
+from .instrumentation import TraceRecorder, TraceWindow
+
+__all__ = [
+    "FIGURES",
+    "FigureResult",
+    "PowerLawFit",
+    "RunResult",
+    "TraceRecorder",
+    "TraceWindow",
+    "compare_engines",
+    "engines_for_dims",
+    "estimate_crossover",
+    "export_figures",
+    "fit_power_law",
+    "growth_report",
+    "run_cell",
+    "write_figure_csv",
+    "write_figure_json",
+]

@@ -1,0 +1,123 @@
+"""Quantitative analysis of figure series: growth exponents, crossovers.
+
+The paper's claims are about *growth*: the DT algorithm's cost is
+``~O(n + m)`` (polylog factors) while the baselines are quadratic — i.e.
+on the Figure 4/5 sweeps the baselines' totals grow with exponent ~1 in
+the swept parameter while DT's exponent stays well below.  This module
+turns the raw sweep series into those numbers:
+
+* :func:`fit_power_law` — least-squares slope in log-log space, with R²;
+* :func:`growth_report` — exponents for every series of a sweep figure;
+* :func:`estimate_crossover` — where two series intersect (the parameter
+  value beyond which one method wins), extrapolating power-law fits when
+  the measured ranges do not overlap.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .figures import FigureResult
+
+
+@dataclass(frozen=True, slots=True)
+class PowerLawFit:
+    """``y ~= coefficient * x ** exponent`` with goodness of fit."""
+
+    exponent: float
+    coefficient: float
+    r_squared: float
+    points: int
+
+    def predict(self, x: float) -> float:
+        return self.coefficient * x**self.exponent
+
+    def __str__(self) -> str:
+        return (
+            f"y ~ {self.coefficient:.3g} * x^{self.exponent:.2f} "
+            f"(R^2={self.r_squared:.3f}, n={self.points})"
+        )
+
+
+def fit_power_law(points: Sequence[Tuple[float, float]]) -> PowerLawFit:
+    """Least-squares fit of ``log y = a + b log x``.
+
+    Requires at least two points with positive coordinates; raises
+    ValueError otherwise (a figure with missing data should fail loudly,
+    not produce a silent nonsense exponent).
+    """
+    usable = [(x, y) for x, y in points if x > 0 and y > 0]
+    if len(usable) < 2:
+        raise ValueError(
+            f"power-law fit needs >= 2 positive points, got {len(usable)}"
+        )
+    lx = np.log([x for x, _ in usable])
+    ly = np.log([y for _, y in usable])
+    slope, intercept = np.polyfit(lx, ly, 1)
+    predicted = slope * lx + intercept
+    ss_res = float(np.sum((ly - predicted) ** 2))
+    ss_tot = float(np.sum((ly - ly.mean()) ** 2))
+    r2 = 1.0 if ss_tot == 0 else 1.0 - ss_res / ss_tot
+    return PowerLawFit(
+        exponent=float(slope),
+        coefficient=float(math.exp(intercept)),
+        r_squared=r2,
+        points=len(usable),
+    )
+
+
+def growth_report(fig: FigureResult, work: bool = False) -> Dict[str, PowerLawFit]:
+    """Power-law exponents for every series of a sweep figure.
+
+    ``work=True`` fits the machine-independent work series instead of the
+    wall-clock series — the hardware-free form of the asymptotic claim.
+    """
+    if fig.kind != "sweep":
+        raise ValueError(f"growth_report needs a sweep figure, got {fig.kind!r}")
+    source = fig.work_series if work else fig.series
+    return {label: fit_power_law(points) for label, points in source.items()}
+
+
+def estimate_crossover(
+    a: Sequence[Tuple[float, float]],
+    b: Sequence[Tuple[float, float]],
+) -> Optional[float]:
+    """The x where series ``a`` stops being cheaper than series ``b``.
+
+    Fits both series as power laws and solves
+    ``ca * x^ea = cb * x^eb``.  Returns None when the two fits never
+    cross for positive x (parallel growth) or cross "backwards" (``a``
+    is already the cheaper one everywhere above the intersection when
+    its exponent is larger — the caller interprets direction).
+    """
+    fit_a = fit_power_law(a)
+    fit_b = fit_power_law(b)
+    if abs(fit_a.exponent - fit_b.exponent) < 1e-9:
+        return None  # (numerically) parallel growth: no crossover
+    log_x = math.log(fit_b.coefficient / fit_a.coefficient) / (
+        fit_a.exponent - fit_b.exponent
+    )
+    return math.exp(log_x)
+
+
+def format_growth_report(fig: FigureResult) -> str:
+    """Human-readable exponent table for EXPERIMENTS.md."""
+    lines = [f"growth exponents for {fig.figure_id} (x = {fig.x_label}):"]
+    time_fits = growth_report(fig)
+    try:
+        work_fits = growth_report(fig, work=True)
+    except ValueError:
+        work_fits = {}
+    for label, fit in time_fits.items():
+        work_part = ""
+        if label in work_fits:
+            work_part = f"   work exponent {work_fits[label].exponent:.2f}"
+        lines.append(
+            f"  {label:<26} time exponent {fit.exponent:.2f} "
+            f"(R^2={fit.r_squared:.2f}){work_part}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,204 @@
+"""Command-line entry point for regenerating the paper's figures.
+
+Usage (installed as ``rts-experiments``, or ``python -m
+repro.experiments.cli``)::
+
+    rts-experiments list
+    rts-experiments fig3 --scale 1000 --seed 0
+    rts-experiments all --scale 2000 --out results/
+
+    # workload persistence & verification
+    rts-experiments workload --mode fixed-load --dims 2 --scale 2000 \
+        --save wl.json
+    rts-experiments verify wl.json --engine dt
+
+``--scale`` divides the paper's workload sizes (1 = the paper's exact
+parameters — hours of CPU in pure Python; 1000 = the default laptop
+scale).  Output is the text rendering of each figure (chart + table +
+paper expectation + fitted growth exponents for sweeps); ``--out``
+additionally writes one ``<figure>.txt`` per figure into a directory.
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import sys
+import time
+from typing import List, Optional
+
+from .figures import FIGURES, FigureResult
+from .report import format_figure, summarize_speedups
+
+
+def _as_list(result) -> List[FigureResult]:
+    return result if isinstance(result, list) else [result]
+
+
+def run_figure(name: str, scale: int, seed: int) -> List[FigureResult]:
+    """Regenerate one figure's data by registry name."""
+    fn = FIGURES[name]
+    if name == "ablation-dt-messages":
+        return _as_list(fn(seed=seed))  # protocol-level: no workload scale
+    return _as_list(fn(scale=scale, seed=seed))
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="rts-experiments",
+        description=(
+            "Regenerate the figures of 'Range Thresholding on Streams' "
+            "(SIGMOD 2016) at a configurable scale."
+        ),
+    )
+    parser.add_argument(
+        "target",
+        help="figure id (fig3..fig8, ablation-dt-messages, "
+        "ablation-design), 'all', 'list', 'workload', or 'verify'",
+    )
+    parser.add_argument(
+        "script_path",
+        nargs="?",
+        default=None,
+        help="saved workload file (verify target only)",
+    )
+    parser.add_argument(
+        "--mode",
+        choices=["static", "stochastic", "fixed-load"],
+        default="static",
+        help="scenario for the 'workload' target",
+    )
+    parser.add_argument("--dims", type=int, default=1, help="dimensionality")
+    parser.add_argument(
+        "--p-ins", type=float, default=0.3, help="stochastic insertion rate"
+    )
+    parser.add_argument(
+        "--save", type=pathlib.Path, default=None, help="workload output file"
+    )
+    parser.add_argument(
+        "--engine",
+        default="dt",
+        help="engine name for the 'verify' target (default: dt)",
+    )
+    parser.add_argument(
+        "--scale",
+        type=int,
+        default=1000,
+        help="divide the paper's workload sizes by this factor "
+        "(default 1000; 1 reproduces the paper's exact parameters)",
+    )
+    parser.add_argument("--seed", type=int, default=0, help="workload RNG seed")
+    parser.add_argument(
+        "--out",
+        type=pathlib.Path,
+        default=None,
+        help="directory to write one <figure>.txt per figure",
+    )
+    parser.add_argument(
+        "--no-chart",
+        action="store_true",
+        help="omit the ASCII charts (tables only)",
+    )
+    parser.add_argument(
+        "--export",
+        type=pathlib.Path,
+        default=None,
+        help="directory for machine-readable CSV/JSON exports of each figure",
+    )
+    args = parser.parse_args(argv)
+
+    if args.target == "list":
+        for name in FIGURES:
+            print(name)
+        return 0
+
+    if args.target == "workload":
+        return _generate_workload(args, parser)
+
+    if args.target == "verify":
+        return _verify_workload(args, parser)
+
+    names = list(FIGURES) if args.target == "all" else [args.target]
+    unknown = [n for n in names if n not in FIGURES]
+    if unknown:
+        parser.error(
+            f"unknown figure(s) {unknown}; run 'rts-experiments list'"
+        )
+
+    if args.out is not None:
+        args.out.mkdir(parents=True, exist_ok=True)
+
+    for name in names:
+        started = time.perf_counter()
+        figures = run_figure(name, scale=args.scale, seed=args.seed)
+        elapsed = time.perf_counter() - started
+        for fig in figures:
+            text = format_figure(fig, chart=not args.no_chart)
+            if "DT" in fig.series:
+                text += "\nspeedups:\n" + summarize_speedups(fig)
+            if fig.kind == "sweep" and len(next(iter(fig.series.values()))) >= 2:
+                from .analysis import format_growth_report
+
+                try:
+                    text += "\n" + format_growth_report(fig)
+                except ValueError:
+                    pass  # degenerate series (zeros): skip the fit
+            text += f"\n(generated in {elapsed:.1f}s at scale {args.scale})\n"
+            print(text)
+            print()
+            if args.out is not None:
+                (args.out / f"{fig.figure_id}.txt").write_text(text + "\n")
+            if args.export is not None:
+                from .export import export_figures
+
+                export_figures([fig], args.export)
+    return 0
+
+
+def _generate_workload(args, parser) -> int:
+    from ..streams.scale import paper_params
+    from ..streams.workload import (
+        build_fixed_load_workload,
+        build_static_workload,
+        build_stochastic_workload,
+    )
+
+    if args.save is None:
+        parser.error("the 'workload' target requires --save PATH")
+    params = paper_params(args.dims, args.scale)
+    if args.mode == "static":
+        script = build_static_workload(params, seed=args.seed)
+    elif args.mode == "stochastic":
+        script = build_stochastic_workload(params, seed=args.seed, p_ins=args.p_ins)
+    else:
+        script = build_fixed_load_workload(params, seed=args.seed)
+    script.save(args.save)
+    print(
+        f"wrote {args.save}: mode={script.mode} dims={params.dims} "
+        f"m={params.m} tau={params.tau} ops={script.operation_count()} "
+        f"expected maturities={len(script.expected_maturities)}"
+    )
+    return 0
+
+
+def _verify_workload(args, parser) -> int:
+    from ..core.system import RTSSystem
+    from ..streams.workload import WorkloadScript
+
+    if args.script_path is None:
+        parser.error("the 'verify' target requires a workload file path")
+    script = WorkloadScript.load(args.script_path)
+    system = RTSSystem(dims=script.params.dims, engine=args.engine)
+    started = time.perf_counter()
+    script.verify(system)
+    elapsed = time.perf_counter() - started
+    print(
+        f"{args.engine}: verified exact on {script.mode!r} workload "
+        f"({script.operation_count()} ops, "
+        f"{len(script.expected_maturities)} maturities) in {elapsed:.2f}s"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,96 @@
+"""Export figure results to CSV/JSON for external plotting tools.
+
+The built-in reports are terminal-friendly (ASCII charts); anyone who
+wants publication-grade plots can export the raw series and feed them to
+matplotlib/gnuplot/R.  One CSV per figure in long format
+(``series,x,y,work``), plus a JSON bundle mirroring
+:class:`~repro.experiments.figures.FigureResult`.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+import pathlib
+from typing import Iterable, List, Union
+
+from .figures import FigureResult
+
+PathLike = Union[str, pathlib.Path]
+
+
+def figure_to_rows(fig: FigureResult) -> List[dict]:
+    """Flatten a figure into long-format rows.
+
+    Each row: ``series`` label, ``x``, ``y`` (seconds), and — when the
+    figure carries a machine-independent series — ``work`` at the same x.
+    """
+    rows: List[dict] = []
+    for label, points in fig.series.items():
+        work_lookup = dict(fig.work_series.get(label, ()))
+        for x, y in points:
+            rows.append(
+                {
+                    "series": label,
+                    "x": x,
+                    "y": y,
+                    "work": work_lookup.get(x),
+                }
+            )
+    return rows
+
+
+def write_figure_csv(fig: FigureResult, path: PathLike) -> pathlib.Path:
+    """Write one figure's series as a CSV file; returns the path."""
+    path = pathlib.Path(path)
+    rows = figure_to_rows(fig)
+    with open(path, "w", newline="") as handle:
+        writer = csv.DictWriter(handle, fieldnames=["series", "x", "y", "work"])
+        writer.writeheader()
+        writer.writerows(rows)
+    return path
+
+
+def write_figure_json(fig: FigureResult, path: PathLike) -> pathlib.Path:
+    """Write one figure as a JSON document; returns the path."""
+    path = pathlib.Path(path)
+    doc = {
+        "figure_id": fig.figure_id,
+        "title": fig.title,
+        "kind": fig.kind,
+        "x_label": fig.x_label,
+        "y_label": fig.y_label,
+        "expectation": fig.expectation,
+        "series": {label: list(points) for label, points in fig.series.items()},
+        "work_series": {
+            label: list(points) for label, points in fig.work_series.items()
+        },
+        "cells": [
+            {
+                "engine": cell.engine,
+                "mode": cell.mode,
+                "dims": cell.dims,
+                "op_count": cell.op_count,
+                "total_seconds": cell.total_seconds,
+                "correct": cell.correct,
+                "n_matured": cell.n_matured,
+                "counters": cell.counters,
+            }
+            for cell in fig.cells
+        ],
+    }
+    path.write_text(json.dumps(doc, indent=1))
+    return path
+
+
+def export_figures(
+    figures: Iterable[FigureResult], out_dir: PathLike
+) -> List[pathlib.Path]:
+    """CSV + JSON for every figure into ``out_dir``; returns the paths."""
+    out_dir = pathlib.Path(out_dir)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    written: List[pathlib.Path] = []
+    for fig in figures:
+        written.append(write_figure_csv(fig, out_dir / f"{fig.figure_id}.csv"))
+        written.append(write_figure_json(fig, out_dir / f"{fig.figure_id}.json"))
+    return written

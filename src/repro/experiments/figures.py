@@ -1,0 +1,545 @@
+"""One experiment configuration per figure of the paper (Section 8).
+
+Every public ``figN`` function regenerates the corresponding figure's data
+at a configurable ``scale`` (see :mod:`repro.streams.scale`; the paper's
+sizes divided by ``scale``, ratios preserved).  Results come back as
+:class:`FigureResult` objects — engine-labelled series ready for the text
+renderer in :mod:`repro.experiments.report` — and each carries the paper's
+qualitative expectation, so EXPERIMENTS.md can record paper-vs-measured
+side by side.
+
+Figure inventory (paper -> here):
+
+====== ============================================================
+fig3   per-operation cost vs stream progress; static; 1D (a), 2D (b)
+fig4   total time vs m in [100k, 2M]; static; 1D (a), 2D (b)
+fig5   total time vs tau in [5M, 80M]; static; 1D (a), 2D (b)
+fig6   per-operation cost vs progress; stochastic p_ins = 0.3; 1D/2D
+fig7   total time vs p_ins in [0.1, 0.5]; stochastic; 1D (a), 2D (b)
+fig8   per-operation cost vs progress; fixed-load; 1D/2D
+====== ============================================================
+
+Plus two ablations that quantify the paper's internal design choices:
+
+* ``ablation_dt_messages`` — protocol messages vs the naive tracker
+  (Section 3.2's O(h log tau) against tau);
+* ``ablation_design`` — the full DT engine against (i) slack inspection
+  without heaps ("dt-scan", Section 4's "overly expensive" strategy) and
+  (ii) full-rebuild dynamization instead of the logarithmic method
+  ("dt-static", Section 5's motivation).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..streams.scale import PAPER_M, PAPER_TAU, paper_params
+from ..streams.workload import (
+    WorkloadScript,
+    build_fixed_load_workload,
+    build_static_workload,
+    build_stochastic_workload,
+)
+from .harness import RunResult, engines_for_dims, run_cell
+
+#: Engine registry name -> legend label used in the paper's figures.
+LEGEND = {
+    "dt": "DT",
+    "baseline": "Baseline",
+    "interval-tree": "Interval tree",
+    "seg-intv-tree": "Seg-Intv tree",
+    "rtree": "R-tree",
+    "dt-static": "DT-static (full rebuild)",
+    "dt-scan": "DT-scan (no heaps)",
+}
+
+
+@dataclass(slots=True)
+class FigureResult:
+    """Data behind one (sub)figure."""
+
+    figure_id: str
+    title: str
+    kind: str  # "trace" (x = operation index) or "sweep" (x = parameter)
+    x_label: str
+    y_label: str
+    #: legend label -> [(x, y)] points; y is seconds (avg/op for traces,
+    #: totals for sweeps).
+    series: Dict[str, List[Tuple[float, float]]]
+    #: legend label -> [(x, work-units)] — machine-independent counterpart.
+    work_series: Dict[str, List[Tuple[float, float]]] = field(default_factory=dict)
+    #: the paper's qualitative expectation for this figure.
+    expectation: str = ""
+    #: raw per-cell results for deeper inspection.
+    cells: List[RunResult] = field(default_factory=list)
+    meta: Dict[str, object] = field(default_factory=dict)
+
+
+def _trace_figure(
+    figure_id: str,
+    title: str,
+    script: WorkloadScript,
+    engines: Sequence[str],
+    expectation: str,
+    trace_window: Optional[int] = None,
+) -> FigureResult:
+    if trace_window is None:
+        trace_window = max(20, script.operation_count() // 60)
+    series: Dict[str, List[Tuple[float, float]]] = {}
+    work: Dict[str, List[Tuple[float, float]]] = {}
+    cells = []
+    for engine in engines:
+        result = run_cell(script, engine, trace_window=trace_window)
+        label = LEGEND.get(engine, engine)
+        series[label] = [(w.mid_op, w.avg_seconds) for w in result.trace]
+        work[label] = [(w.mid_op, w.avg_work) for w in result.trace]
+        cells.append(result)
+    return FigureResult(
+        figure_id=figure_id,
+        title=title,
+        kind="trace",
+        x_label="operations processed",
+        y_label="avg seconds per operation",
+        series=series,
+        work_series=work,
+        expectation=expectation,
+        cells=cells,
+        meta={"params": script.params, "seed": script.seed, "mode": script.mode},
+    )
+
+
+def _sweep_figure(
+    figure_id: str,
+    title: str,
+    x_label: str,
+    points: Sequence[Tuple[float, WorkloadScript]],
+    engines: Sequence[str],
+    expectation: str,
+) -> FigureResult:
+    series: Dict[str, List[Tuple[float, float]]] = {
+        LEGEND.get(e, e): [] for e in engines
+    }
+    work: Dict[str, List[Tuple[float, float]]] = {
+        LEGEND.get(e, e): [] for e in engines
+    }
+    cells = []
+    for x, script in points:
+        for engine in engines:
+            result = run_cell(script, engine)
+            label = LEGEND.get(engine, engine)
+            series[label].append((x, result.total_seconds))
+            work[label].append((x, float(result.total_work)))
+            cells.append(result)
+    return FigureResult(
+        figure_id=figure_id,
+        title=title,
+        kind="sweep",
+        x_label=x_label,
+        y_label="total seconds",
+        series=series,
+        work_series=work,
+        expectation=expectation,
+        cells=cells,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Figure 3: per-operation cost over time, static queries
+# ---------------------------------------------------------------------------
+
+def fig3(scale: int = 1000, seed: int = 0) -> List[FigureResult]:
+    """Figure 3: efficiency as a function of time (static queries).
+
+    Paper setting: m = 1M, tau = 20M, queries registered up front.
+    """
+    out = []
+    for sub, dims in (("a", 1), ("b", 2)):
+        params = paper_params(dims, scale)
+        script = build_static_workload(params, seed)
+        out.append(
+            _trace_figure(
+                f"fig3{sub}",
+                f"Fig 3{sub}: per-op cost vs time ({dims}D, static, "
+                f"m={params.m}, tau={params.tau})",
+                script,
+                engines_for_dims(dims),
+                expectation=(
+                    "DT's per-operation cost sits well below every "
+                    "competitor (paper: >2x in 1D, ~an order of magnitude "
+                    "in 2D); all curves rise to a plateau; DT shows "
+                    "occasional rebuild bumps."
+                ),
+            )
+        )
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Figure 4: total time vs m, static queries
+# ---------------------------------------------------------------------------
+
+def fig4(
+    scale: int = 1000,
+    seed: int = 0,
+    m_factors: Sequence[float] = (0.1, 0.5, 1.0, 1.5, 2.0),
+) -> List[FigureResult]:
+    """Figure 4: scalability with the number of queries m (tau fixed).
+
+    Paper setting: tau = 20M, m from 100k to 2M.
+    """
+    out = []
+    for sub, dims in (("a", 1), ("b", 2)):
+        points = []
+        for f in m_factors:
+            m = max(1, int(f * PAPER_M) // scale)
+            params = paper_params(dims, scale, m=m)
+            points.append((m, build_static_workload(params, seed)))
+        out.append(
+            _sweep_figure(
+                f"fig4{sub}",
+                f"Fig 4{sub}: total time vs m ({dims}D, static, "
+                f"tau={paper_params(dims, scale).tau})",
+                "m (number of queries)",
+                points,
+                engines_for_dims(dims),
+                expectation=(
+                    "DT scales near-linearly and much more slowly than the "
+                    "others; its advantage grows with m."
+                ),
+            )
+        )
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Figure 5: total time vs tau, static queries
+# ---------------------------------------------------------------------------
+
+def fig5(
+    scale: int = 1000,
+    seed: int = 0,
+    tau_factors: Sequence[float] = (0.25, 0.5, 1.0, 2.0, 4.0),
+) -> List[FigureResult]:
+    """Figure 5: scalability with the threshold tau (m fixed).
+
+    Paper setting: m = 1M, tau from 5M to 80M.
+    """
+    out = []
+    for sub, dims in (("a", 1), ("b", 2)):
+        points = []
+        for f in tau_factors:
+            tau = max(1, int(f * PAPER_TAU) // scale)
+            params = paper_params(dims, scale, tau=tau)
+            points.append((tau, build_static_workload(params, seed)))
+        out.append(
+            _sweep_figure(
+                f"fig5{sub}",
+                f"Fig 5{sub}: total time vs tau ({dims}D, static, "
+                f"m={paper_params(dims, scale).m})",
+                "tau (threshold)",
+                points,
+                engines_for_dims(dims),
+                expectation=(
+                    "The stabbing methods' cost grows ~linearly in tau "
+                    "(the m*tau_max term); DT grows only logarithmically "
+                    "in tau, so the gap widens."
+                ),
+            )
+        )
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Figure 6: per-operation cost over time, stochastic dynamic queries
+# ---------------------------------------------------------------------------
+
+def fig6(scale: int = 1000, seed: int = 0, p_ins: float = 0.3) -> List[FigureResult]:
+    """Figure 6: efficiency over time, stochastic mode (p_ins = 0.3)."""
+    out = []
+    for sub, dims in (("a", 1), ("b", 2)):
+        params = paper_params(dims, scale)
+        script = build_stochastic_workload(params, seed, p_ins=p_ins)
+        out.append(
+            _trace_figure(
+                f"fig6{sub}",
+                f"Fig 6{sub}: per-op cost vs time ({dims}D, dynamic "
+                f"stochastic p_ins={p_ins})",
+                script,
+                engines_for_dims(dims),
+                expectation=(
+                    "Same ordering as Fig 3; DT's bumps now include "
+                    "logarithmic-method reconstructions."
+                ),
+            )
+        )
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Figure 7: total time vs p_ins, stochastic dynamic queries
+# ---------------------------------------------------------------------------
+
+def fig7(
+    scale: int = 1000,
+    seed: int = 0,
+    p_ins_values: Sequence[float] = (0.1, 0.2, 0.3, 0.4, 0.5),
+) -> List[FigureResult]:
+    """Figure 7: total time as a function of the insertion rate p_ins."""
+    out = []
+    for sub, dims in (("a", 1), ("b", 2)):
+        points = []
+        for p in p_ins_values:
+            params = paper_params(dims, scale)
+            points.append((p, build_stochastic_workload(params, seed, p_ins=p)))
+        out.append(
+            _sweep_figure(
+                f"fig7{sub}",
+                f"Fig 7{sub}: total time vs p_ins ({dims}D, stochastic)",
+                "p_ins (per-timestamp insertion probability)",
+                points,
+                engines_for_dims(dims),
+                expectation=(
+                    "Running time grows with p_ins for every method; DT "
+                    "stays far below the rest; the R-tree degrades worst "
+                    "(update-heavy workload)."
+                ),
+            )
+        )
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Figure 8: per-operation cost over time, fixed-load dynamic queries
+# ---------------------------------------------------------------------------
+
+def fig8(scale: int = 1000, seed: int = 0) -> List[FigureResult]:
+    """Figure 8: efficiency over time in fixed-load mode."""
+    out = []
+    for sub, dims in (("a", 1), ("b", 2)):
+        params = paper_params(dims, scale)
+        script = build_fixed_load_workload(params, seed)
+        out.append(
+            _trace_figure(
+                f"fig8{sub}",
+                f"Fig 8{sub}: per-op cost vs time ({dims}D, fixed-load)",
+                script,
+                engines_for_dims(dims),
+                expectation=(
+                    "DT keeps its large lead under maximum churn; in 2D "
+                    "the R-tree performs even worse than Baseline (its "
+                    "updates collapse on large overlapping rectangles)."
+                ),
+            )
+        )
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Ablations
+# ---------------------------------------------------------------------------
+
+def ablation_dt_messages(
+    h: int = 16,
+    tau_values: Sequence[int] = (1_000, 10_000, 100_000, 1_000_000),
+    seed: int = 0,
+) -> FigureResult:
+    """Messages: DT protocol's O(h log tau) vs the naive tracker's tau."""
+    import numpy as np
+
+    from ..dt.protocol import run_naive, run_unweighted
+
+    rng = np.random.default_rng(seed)
+    series: Dict[str, List[Tuple[float, float]]] = {
+        "DT protocol": [],
+        "Naive (1 msg/increment)": [],
+    }
+    for tau in tau_values:
+        sites = rng.integers(0, h, size=tau + 10)
+        res = run_unweighted(h, int(tau), (int(s) for s in sites))
+        naive = run_naive(h, int(tau), ((int(s), 1) for s in sites))
+        series["DT protocol"].append((tau, float(res.messages)))
+        series["Naive (1 msg/increment)"].append((tau, float(naive.messages)))
+    return FigureResult(
+        figure_id="ablation-dt-messages",
+        title=f"Ablation: DT protocol messages vs naive (h={h})",
+        kind="sweep",
+        x_label="tau",
+        y_label="messages",
+        series=series,
+        expectation=(
+            "Protocol messages grow ~logarithmically with tau; the naive "
+            "tracker transmits exactly tau messages."
+        ),
+    )
+
+
+def ablation_design(scale: int = 2000, seed: int = 0) -> FigureResult:
+    """The DT engine's two key design choices, quantified.
+
+    Two workload cells, each isolating one ingredient:
+
+    * ``x = 1`` — *dynamic stochastic* workload (p_ins = 0.3): here the
+      logarithmic method matters; the full-rebuild variant ("dt-static")
+      pays O(m log m) per registration.
+    * ``x = 2`` — *shared-node* adversarial workload (every query has the
+      same interval, so all share one canonical node): here the Section 4
+      min-heaps matter; the scan variant ("dt-scan") pays O(|Q(u)|) per
+      counter bump — the paper's "overly expensive" strategy.
+    """
+    import time as _time
+
+    from ..core.query import Query
+    from ..core.system import RTSSystem
+    from ..streams.element import StreamElement
+
+    engines = ["dt", "dt-scan", "dt-static", "baseline"]
+    series: Dict[str, List[Tuple[float, float]]] = {
+        LEGEND.get(e, e): [] for e in engines
+    }
+    cells = []
+
+    # Cell 1: dynamic stochastic.
+    params = paper_params(1, scale)
+    script = build_stochastic_workload(params, seed, p_ins=0.3)
+    for engine in engines:
+        result = run_cell(script, engine)
+        series[LEGEND.get(engine, engine)].append((1.0, result.total_seconds))
+        cells.append(result)
+
+    # Cell 2: shared-node adversarial (static registration, so the
+    # logarithmic method is idle and only slack inspection differs).
+    m = max(200, 3 * params.m)
+    n_elements = max(200, params.stream_len // 4)
+    for engine in engines:
+        system = RTSSystem(dims=1, engine=engine)
+        system.register_batch(
+            [Query([(0, 100)], 10**9, query_id=i) for i in range(m)]
+        )
+        started = _time.perf_counter()
+        for _ in range(n_elements):
+            system.process(StreamElement(50.0, 1))
+        elapsed = _time.perf_counter() - started
+        series[LEGEND.get(engine, engine)].append((2.0, elapsed))
+
+    return FigureResult(
+        figure_id="ablation-design",
+        title="Ablation: heaps (Sec. 4) and the logarithmic method (Sec. 5)",
+        kind="sweep",
+        x_label="cell (1 = stochastic, 2 = shared-node)",
+        y_label="total seconds",
+        series=series,
+        expectation=(
+            "Removing the logarithmic method costs a large slowdown on "
+            "dynamic workloads (cell 1); removing the heaps costs a large "
+            "slowdown when many queries share canonical nodes (cell 2)."
+        ),
+        cells=cells,
+        meta={"shared_node_m": m, "shared_node_elements": n_elements},
+    )
+
+
+def sensitivity_distributions(
+    scale: int = 1000,
+    seed: int = 0,
+    distributions: Sequence[str] = ("uniform", "clustered", "bimodal", "zipf"),
+) -> FigureResult:
+    """Extended study (beyond the paper): element-distribution skew.
+
+    The paper's evaluation fixes elements uniform, which pins the stab
+    rate at 10%.  This experiment re-runs the 1-D static scenario with
+    skewed element distributions — elements piled *onto* the query
+    hot-spot ("clustered"), split away from it ("bimodal"), or collapsed
+    to low values ("zipf") — and reports each method's total time.  The
+    expectation from the analysis: the stabbing methods' cost tracks the
+    stab rate (they suffer most when elements hit many queries), while
+    DT's polylog per-element cost is insensitive to where elements land.
+    """
+    engines = engines_for_dims(1)
+    series: Dict[str, List[Tuple[float, float]]] = {
+        LEGEND.get(e, e): [] for e in engines
+    }
+    work: Dict[str, List[Tuple[float, float]]] = {
+        LEGEND.get(e, e): [] for e in engines
+    }
+    cells = []
+    labels = {}
+    for x, name in enumerate(distributions, start=1):
+        labels[x] = name
+        params = paper_params(1, scale).with_(value_distribution=name)
+        script = build_static_workload(params, seed)
+        for engine in engines:
+            result = run_cell(script, engine)
+            label = LEGEND.get(engine, engine)
+            series[label].append((x, result.total_seconds))
+            work[label].append((x, float(result.total_work)))
+            cells.append(result)
+    return FigureResult(
+        figure_id="sensitivity-distributions",
+        title="Extended: element-distribution sensitivity (1D static)",
+        kind="sweep",
+        x_label="distribution (1=uniform 2=clustered 3=bimodal 4=zipf)",
+        y_label="total seconds",
+        series=series,
+        work_series=work,
+        expectation=(
+            "Stabbing methods' cost tracks the stab rate (worst when "
+            "elements pile onto the query hot-spot); DT stays flat across "
+            "distributions."
+        ),
+        cells=cells,
+        meta={"distributions": dict(labels)},
+    )
+
+
+def extension_3d(
+    scale: int = 2000,
+    seed: int = 0,
+    m_factors: Sequence[float] = (0.5, 1.0, 2.0),
+) -> FigureResult:
+    """Extended study (beyond the paper): three-dimensional RTS.
+
+    Theorem 1 covers any constant dimensionality, but the paper's
+    evaluation stops at d = 2.  This experiment runs the static scenario
+    in d = 3 (value = a point in R^3, queries = boxes of 10% volume)
+    sweeping m, against the two baselines that generalise to 3-D
+    (Baseline and the R-tree).
+    """
+    engines = engines_for_dims(3)
+    points = []
+    from ..streams.scale import PAPER_M as _PAPER_M
+
+    for f in m_factors:
+        m = max(1, int(f * _PAPER_M) // scale)
+        params = paper_params(3, scale, m=m)
+        points.append((m, build_static_workload(params, seed)))
+    fig = _sweep_figure(
+        "extension-3d",
+        f"Extended: 3D static scenario, total time vs m "
+        f"(tau={paper_params(3, scale).tau})",
+        "m (number of queries)",
+        points,
+        engines,
+        expectation=(
+            "The DT engine handles d = 3 with one extra log factor; the "
+            "same relative ordering as 2D, with Baseline growing linearly "
+            "in m."
+        ),
+    )
+    fig.figure_id = "extension-3d"
+    return fig
+
+
+#: Registry used by the CLI and the benchmark suite.
+FIGURES: Dict[str, Callable[..., object]] = {
+    "fig3": fig3,
+    "fig4": fig4,
+    "fig5": fig5,
+    "fig6": fig6,
+    "fig7": fig7,
+    "fig8": fig8,
+    "ablation-dt-messages": ablation_dt_messages,
+    "ablation-design": ablation_design,
+    "sensitivity-distributions": sensitivity_distributions,
+    "extension-3d": extension_3d,
+}

@@ -1,0 +1,161 @@
+"""Experiment harness: run (workload, engine) cells and collect results.
+
+The harness replays one :class:`~repro.streams.workload.WorkloadScript`
+against one engine, timing every operation, verifying the reported
+maturities against the script's oracle, and snapshotting the engine's work
+counters.  Figures are assembled from grids of such cells in
+:mod:`repro.experiments.figures`.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..core.system import RTSSystem
+from ..streams.workload import ELEMENT, REGISTER, REGISTER_BATCH, WorkloadScript
+from .instrumentation import TraceRecorder, TraceWindow
+
+
+@dataclass(slots=True)
+class RunResult:
+    """Outcome of replaying one script against one engine."""
+
+    engine: str
+    mode: str
+    dims: int
+    op_count: int
+    total_seconds: float
+    correct: bool
+    n_matured: int
+    counters: Dict[str, int]
+    trace: List[TraceWindow] = field(default_factory=list)
+
+    @property
+    def avg_op_seconds(self) -> float:
+        """Average wall time per operation over the whole run."""
+        return self.total_seconds / self.op_count if self.op_count else 0.0
+
+    @property
+    def total_work(self) -> int:
+        """Sum of all abstract work counters at the end of the run."""
+        return sum(self.counters.values())
+
+    def summary(self) -> str:
+        status = "ok" if self.correct else "WRONG RESULTS"
+        return (
+            f"{self.engine:<14} {self.mode:<10} d={self.dims} "
+            f"ops={self.op_count:<8} total={self.total_seconds:8.3f}s "
+            f"avg={self.avg_op_seconds * 1e6:9.2f}us/op "
+            f"work={self.total_work:<10} [{status}]"
+        )
+
+
+def run_cell(
+    script: WorkloadScript,
+    engine: str,
+    trace_window: Optional[int] = None,
+    verify: bool = True,
+) -> RunResult:
+    """Replay ``script`` on a fresh ``engine``; measure and verify.
+
+    Parameters
+    ----------
+    script:
+        The workload to replay.
+    engine:
+        Engine registry name ("dt", "baseline", ...).
+    trace_window:
+        When given, per-operation costs are recorded in windows of this
+        many operations (Figures 3 / 6 / 8 need this; sweeps do not).
+    verify:
+        Assert the observed maturities equal the script's oracle.  Always
+        computed; ``verify=False`` merely downgrades a mismatch from an
+        exception to ``correct=False`` in the result.
+    """
+    system = RTSSystem(dims=script.params.dims, engine=engine)
+    observed: Dict[object, Tuple[int, int]] = {}
+    system.on_maturity(
+        lambda ev: observed.__setitem__(
+            ev.query.query_id, (ev.timestamp, ev.weight_seen)
+        )
+    )
+    recorder = TraceRecorder(trace_window) if trace_window else None
+    counters = system.work_counters
+
+    total_start = time.perf_counter()
+    if recorder is None:
+        # Tight loop without per-op timing overhead.
+        for kind, payload in script.events:
+            if kind == ELEMENT:
+                system.process(payload)
+            elif kind == REGISTER:
+                system.register(payload)
+            elif kind == REGISTER_BATCH:
+                system.register_batch(payload)
+            else:
+                system.terminate(payload)
+    else:
+        last_work = 0
+        for kind, payload in script.events:
+            op_start = time.perf_counter()
+            if kind == ELEMENT:
+                system.process(payload)
+            elif kind == REGISTER:
+                system.register(payload)
+            elif kind == REGISTER_BATCH:
+                system.register_batch(payload)
+            else:
+                system.terminate(payload)
+            op_seconds = time.perf_counter() - op_start
+            work = counters.total()
+            if kind == REGISTER_BATCH:
+                # Amortise the batch over its queries, as the paper does
+                # when tracing per-operation cost from the stream start.
+                k = len(payload)
+                recorder.record_many(op_seconds, work - last_work, k)
+            else:
+                recorder.record(op_seconds, work - last_work)
+            last_work = work
+    total_seconds = time.perf_counter() - total_start
+
+    correct = observed == script.expected_maturities
+    if verify and not correct:
+        raise AssertionError(
+            f"engine {engine!r} disagreed with the oracle on "
+            f"{script.mode!r} workload (seed {script.seed})"
+        )
+    return RunResult(
+        engine=engine,
+        mode=script.mode,
+        dims=script.params.dims,
+        op_count=script.operation_count(),
+        total_seconds=total_seconds,
+        correct=correct,
+        n_matured=len(observed),
+        counters=counters.snapshot(),
+        trace=recorder.finish() if recorder else [],
+    )
+
+
+def compare_engines(
+    script: WorkloadScript,
+    engines: Sequence[str],
+    trace_window: Optional[int] = None,
+    verify: bool = True,
+) -> Dict[str, RunResult]:
+    """Replay the same script against several engines."""
+    return {
+        engine: run_cell(script, engine, trace_window=trace_window, verify=verify)
+        for engine in engines
+    }
+
+
+def engines_for_dims(dims: int) -> List[str]:
+    """The paper's method line-up for a given dimensionality (Section 8)."""
+    if dims == 1:
+        return ["dt", "baseline", "interval-tree"]
+    if dims == 2:
+        return ["dt", "baseline", "seg-intv-tree", "rtree"]
+    return ["dt", "baseline", "rtree"]

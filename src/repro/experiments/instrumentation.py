@@ -1,0 +1,143 @@
+"""Operation-level instrumentation for experiment runs.
+
+The paper's trace figures (3, 6, 8) plot the *average per-operation cost*
+as the stream evolves, where an operation is "the handling of an incoming
+element, or the insertion, deletion, or maturity of a query".  This module
+measures exactly that: a :class:`TraceRecorder` accumulates per-operation
+wall time into fixed-size windows, yielding the (operation index, average
+cost) series the figures show.  Alongside wall time it snapshots the
+engine's machine-independent work counters per window, so the asymptotic
+behaviour is visible independent of the Python interpreter's constant
+factor.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+
+@dataclass(slots=True)
+class TraceWindow:
+    """Aggregated costs for one window of consecutive operations."""
+
+    first_op: int  # 1-based index of the first operation in the window
+    op_count: int
+    seconds: float  # total wall time spent in the window
+    work: int  # work-counter delta over the window
+
+    @property
+    def avg_seconds(self) -> float:
+        """Average per-operation wall time in this window."""
+        return self.seconds / self.op_count if self.op_count else 0.0
+
+    @property
+    def avg_work(self) -> float:
+        """Average abstract work units per operation in this window."""
+        return self.work / self.op_count if self.op_count else 0.0
+
+    @property
+    def mid_op(self) -> float:
+        """Window midpoint on the operation axis (for plotting)."""
+        return self.first_op + (self.op_count - 1) / 2.0
+
+
+class TraceRecorder:
+    """Windows per-operation costs as the replay progresses.
+
+    Parameters
+    ----------
+    window:
+        Operations per window.  The figures in the paper use enough
+        windows to show the curve shape; ~50-200 windows over a run reads
+        well.
+    """
+
+    __slots__ = ("window", "_windows", "_count", "_seconds", "_work", "_first")
+
+    def __init__(self, window: int = 100):
+        if window < 1:
+            raise ValueError("window must be >= 1")
+        self.window = window
+        self._windows: List[TraceWindow] = []
+        self._count = 0
+        self._seconds = 0.0
+        self._work = 0
+        self._first = 1
+
+    def record(self, seconds: float, work: int = 0) -> None:
+        """Add one operation's cost."""
+        self._count += 1
+        self._seconds += seconds
+        self._work += work
+        if self._count >= self.window:
+            self._flush()
+
+    def record_many(self, seconds: float, work: int, count: int) -> None:
+        """Add ``count`` operations that together cost ``seconds``/``work``.
+
+        Used for registration batches: the cost is spread evenly so the
+        trace's x-axis stays in operations.
+        """
+        if count < 1:
+            raise ValueError("count must be >= 1")
+        per_s = seconds / count
+        per_w = work // count
+        remainder = work - per_w * count
+        for i in range(count):
+            self.record(per_s, per_w + (1 if i < remainder else 0))
+
+    def _flush(self) -> None:
+        if self._count == 0:
+            return
+        self._windows.append(
+            TraceWindow(
+                first_op=self._first,
+                op_count=self._count,
+                seconds=self._seconds,
+                work=self._work,
+            )
+        )
+        self._first += self._count
+        self._count = 0
+        self._seconds = 0.0
+        self._work = 0
+
+    def finish(self) -> List[TraceWindow]:
+        """Flush the tail window and return all windows."""
+        self._flush()
+        return list(self._windows)
+
+    @property
+    def windows(self) -> List[TraceWindow]:
+        return list(self._windows)
+
+
+class StopwatchSeries:
+    """Tiny helper: cumulative timing of labelled phases (build, run...)."""
+
+    __slots__ = ("_laps", "_started", "_label")
+
+    def __init__(self) -> None:
+        self._laps: Dict[str, float] = {}
+        self._started: Optional[float] = None
+        self._label: Optional[str] = None
+
+    def start(self, label: str) -> None:
+        if self._label is not None:
+            self.stop()
+        self._label = label
+        self._started = time.perf_counter()
+
+    def stop(self) -> None:
+        if self._label is None:
+            return
+        elapsed = time.perf_counter() - self._started
+        self._laps[self._label] = self._laps.get(self._label, 0.0) + elapsed
+        self._label = None
+        self._started = None
+
+    @property
+    def laps(self) -> Dict[str, float]:
+        return dict(self._laps)

@@ -1,0 +1,161 @@
+"""Text rendering of figure results: tables plus ASCII charts.
+
+The paper's figures are log-scale line charts.  This module reproduces
+them in plain text so the whole evaluation is inspectable from a terminal
+(and diffable in EXPERIMENTS.md): each figure becomes a numeric series
+table and an ASCII chart with a logarithmic y-axis.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Sequence, Tuple
+
+from .figures import FigureResult
+
+#: Plot glyphs assigned to series in legend order.
+GLYPHS = "*o+x#@%&"
+
+
+def _format_si(value: float) -> str:
+    """Compact engineering formatting: 1.2e-05 -> '12.0us' etc."""
+    if value == 0:
+        return "0"
+    magnitude = abs(value)
+    for factor, suffix in ((1e9, "G"), (1e6, "M"), (1e3, "k")):
+        if magnitude >= factor:
+            return f"{value / factor:.3g}{suffix}"
+    for factor, suffix in ((1e-9, "n"), (1e-6, "u"), (1e-3, "m")):
+        if magnitude < factor * 1000:
+            return f"{value / factor:.3g}{suffix}"
+    return f"{value:.3g}"
+
+
+def ascii_chart(
+    series: Dict[str, List[Tuple[float, float]]],
+    width: int = 72,
+    height: int = 18,
+    log_y: bool = True,
+    x_label: str = "",
+    y_label: str = "",
+) -> str:
+    """Render labelled (x, y) series as an ASCII line chart.
+
+    The y-axis is logarithmic by default, matching the paper's figures.
+    Points are bucketed onto a ``width x height`` character grid; later
+    series overwrite earlier ones on collisions (glyphs in the legend
+    disambiguate the rest).
+    """
+    points = [
+        (x, y)
+        for pts in series.values()
+        for x, y in pts
+        if y > 0 or not log_y
+    ]
+    if not points:
+        return "(no data)"
+    xs = [p[0] for p in points]
+    ys = [p[1] for p in points]
+    x_min, x_max = min(xs), max(xs)
+    y_min, y_max = min(ys), max(ys)
+    if log_y:
+        y_min = math.log10(y_min)
+        y_max = math.log10(y_max)
+    x_span = (x_max - x_min) or 1.0
+    y_span = (y_max - y_min) or 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    legend_lines = []
+    for glyph, (label, pts) in zip(GLYPHS, series.items()):
+        for x, y in pts:
+            if log_y:
+                if y <= 0:
+                    continue
+                y = math.log10(y)
+            col = int((x - x_min) / x_span * (width - 1))
+            row = int((y - y_min) / y_span * (height - 1))
+            grid[height - 1 - row][col] = glyph
+        legend_lines.append(f"  {glyph} {label}")
+
+    top = _format_si(10 ** y_max if log_y else y_max)
+    bottom = _format_si(10 ** y_min if log_y else y_min)
+    gutter = max(len(top), len(bottom)) + 1
+    lines = []
+    for i, row in enumerate(grid):
+        if i == 0:
+            prefix = top.rjust(gutter)
+        elif i == height - 1:
+            prefix = bottom.rjust(gutter)
+        else:
+            prefix = " " * gutter
+        lines.append(f"{prefix}|{''.join(row)}")
+    lines.append(" " * gutter + "+" + "-" * width)
+    x_axis = f"{_format_si(x_min)}{_format_si(x_max).rjust(width - len(_format_si(x_min)))}"
+    lines.append(" " * (gutter + 1) + x_axis)
+    if x_label or y_label:
+        lines.append(
+            " " * (gutter + 1)
+            + f"x: {x_label}" + (f"   y: {y_label}{' (log scale)' if log_y else ''}" if y_label else "")
+        )
+    lines.extend(legend_lines)
+    return "\n".join(lines)
+
+
+def series_table(fig: FigureResult) -> str:
+    """Numeric table: one row per x value, one column per series."""
+    labels = list(fig.series)
+    xs = sorted({x for pts in fig.series.values() for x, _ in pts})
+    lookup = {
+        label: {x: y for x, y in pts} for label, pts in fig.series.items()
+    }
+    col_w = max(12, max(len(l) for l in labels) + 2)
+    head = f"{fig.x_label[:18]:>18} " + " ".join(f"{l:>{col_w}}" for l in labels)
+    rows = [head, "-" * len(head)]
+    for x in xs:
+        cells = []
+        for label in labels:
+            y = lookup[label].get(x)
+            cells.append(f"{_format_si(y) + 's' if y is not None else '-':>{col_w}}")
+        rows.append(f"{_format_si(x):>18} " + " ".join(cells))
+    return "\n".join(rows)
+
+
+def format_figure(fig: FigureResult, chart: bool = True, table: bool = True) -> str:
+    """Full text block for one figure: title, chart, table, expectation."""
+    parts = [f"== {fig.title} ==", ""]
+    if chart:
+        parts.append(
+            ascii_chart(
+                fig.series,
+                x_label=fig.x_label,
+                y_label=fig.y_label,
+            )
+        )
+        parts.append("")
+    if table and fig.kind == "sweep":
+        parts.append(series_table(fig))
+        parts.append("")
+    if fig.expectation:
+        parts.append(f"paper expectation: {fig.expectation}")
+    checks = sum(1 for c in fig.cells if c.correct)
+    if fig.cells:
+        parts.append(
+            f"oracle verification: {checks}/{len(fig.cells)} engine runs exact"
+        )
+    return "\n".join(parts)
+
+
+def summarize_speedups(fig: FigureResult, reference: str = "DT") -> str:
+    """One line per competitor: total-time ratio against the reference."""
+    if reference not in fig.series:
+        return f"(no series named {reference!r})"
+    ref_total = sum(y for _, y in fig.series[reference])
+    if ref_total <= 0:
+        return "(reference total is zero)"
+    lines = []
+    for label, pts in fig.series.items():
+        if label == reference:
+            continue
+        total = sum(y for _, y in pts)
+        lines.append(f"  {label}: {total / ref_total:.1f}x the cost of {reference}")
+    return "\n".join(lines) if lines else "(no competitors)"

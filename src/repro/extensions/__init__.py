@@ -1,0 +1,6 @@
+"""Extensions beyond the paper: problem variants with reference
+implementations (correctness targets for future fast algorithms)."""
+
+from .window import SlidingWindowMonitor
+
+__all__ = ["SlidingWindowMonitor"]

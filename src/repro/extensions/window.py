@@ -1,0 +1,225 @@
+"""Sliding-window range thresholding (extension beyond the paper).
+
+The paper's RTS trigger accumulates weight *forever*: ``W(q, t)`` is
+monotone, which is precisely what the distributed-tracking reduction
+exploits (counters only grow).  A natural variant asks for *recency*:
+
+    "alert me when the weight inside ``R_q`` over the **last L
+    timestamps** reaches ``tau_q``"
+
+— a hot-spot-*now* trigger.  Expired elements leave the window, so the
+tracked quantity is no longer monotone and the paper's machinery does not
+apply directly; making window-RTS subquadratic is open (the natural
+approaches go through approximate sketches such as exponential
+histograms).  This module provides the *exact reference implementation*
+of the variant — the correctness target any future fast algorithm must
+match — with per-query cost O(1) amortized per hit and memory bounded by
+the live hits inside the window.
+
+Key observation used here: the windowed weight only *increases* when the
+query is hit, so maturity can first hold only at a hit — eviction and
+threshold checks run lazily at hits, never on unrelated elements.
+
+Usage::
+
+    monitor = SlidingWindowMonitor(dims=1, window=1_000)
+    q = monitor.register([(100, 105)], threshold=50_000)
+    monitor.on_maturity(lambda ev: ...)
+    monitor.process(price, weight=shares)
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
+
+from ..core.events import EventDispatcher, MaturityCallback, MaturityEvent
+from ..core.query import Query, QueryStatus, RectLike, coerce_rect
+from ..streams.element import StreamElement
+
+
+class _WindowRecord:
+    """Per-query live state: the hits currently inside the window."""
+
+    __slots__ = ("query", "hits", "total")
+
+    def __init__(self, query: Query):
+        self.query = query
+        self.hits: deque = deque()  # (timestamp, weight), oldest first
+        self.total = 0
+
+    def evict(self, now: int, window: int) -> None:
+        """Drop hits older than the window ``(now - window, now]``."""
+        boundary = now - window
+        hits = self.hits
+        while hits and hits[0][0] <= boundary:
+            _, weight = hits.popleft()
+            self.total -= weight
+
+    def add(self, now: int, weight: int) -> None:
+        self.hits.append((now, weight))
+        self.total += weight
+
+
+class SlidingWindowMonitor:
+    """Exact sliding-window RTS over any constant dimensionality.
+
+    Parameters
+    ----------
+    dims:
+        Data-space dimensionality.
+    window:
+        Window length ``L`` in timestamps: the trigger looks at elements
+        with arrival index in ``(now - L, now]``.
+
+    The interface mirrors :class:`~repro.core.system.RTSSystem`
+    (register / terminate / process / on_maturity / progress), and with
+    ``window >= stream length`` the reported maturities coincide exactly
+    with standard RTS — a property the test suite pins down.
+    """
+
+    def __init__(self, dims: int = 1, window: int = 1000):
+        if not isinstance(dims, int) or dims < 1:
+            raise ValueError(f"dims must be a positive integer, got {dims!r}")
+        if not isinstance(window, int) or window < 1:
+            raise ValueError(f"window must be a positive integer, got {window!r}")
+        self.dims = dims
+        self.window = window
+        self._records: Dict[object, _WindowRecord] = {}
+        self._status: Dict[object, QueryStatus] = {}
+        self._maturity_times: Dict[object, int] = {}
+        self._dispatcher = EventDispatcher()
+        self._clock = 0
+
+    # -- registration --------------------------------------------------
+
+    def register(
+        self,
+        region: Union[Query, RectLike],
+        threshold: Optional[int] = None,
+        query_id: Optional[object] = None,
+    ) -> Query:
+        """Accept a query; it observes elements arriving from now on."""
+        if isinstance(region, Query):
+            if threshold is not None or query_id is not None:
+                raise ValueError(
+                    "pass either a Query object or (region, threshold), not both"
+                )
+            query = region
+        else:
+            if threshold is None:
+                raise ValueError("threshold is required when passing a region")
+            query = Query(coerce_rect(region, self.dims), threshold, query_id)
+        if query.dims != self.dims:
+            raise ValueError(
+                f"query is {query.dims}-dimensional; monitor handles {self.dims}"
+            )
+        if query.query_id in self._status:
+            raise ValueError(f"query id {query.query_id!r} already used")
+        self._records[query.query_id] = _WindowRecord(query)
+        self._status[query.query_id] = QueryStatus.ALIVE
+        return query
+
+    # -- stream processing ------------------------------------------------
+
+    def process(
+        self,
+        value: Union[float, Sequence[float], StreamElement],
+        weight: int = 1,
+    ) -> List[MaturityEvent]:
+        """Feed the next element; returns the maturities it causes.
+
+        A query matures at the first timestamp where its windowed weight
+        reaches the threshold; it is then removed (one-shot trigger, like
+        standard RTS).
+        """
+        element = value if isinstance(value, StreamElement) else StreamElement(
+            value, weight
+        )
+        if element.dims != self.dims:
+            raise ValueError(
+                f"element has {element.dims} coordinate(s); monitor handles "
+                f"{self.dims}"
+            )
+        self._clock += 1
+        now = self._clock
+        events: List[MaturityEvent] = []
+        matured: List[object] = []
+        for query_id, record in self._records.items():
+            if not record.query.rect.contains(element.value):
+                continue
+            # Windowed weight can first reach tau only at a hit, so
+            # eviction + the check run here and nowhere else.
+            record.evict(now, self.window)
+            record.add(now, element.weight)
+            if record.total >= record.query.threshold:
+                matured.append(query_id)
+                events.append(
+                    MaturityEvent(
+                        query=record.query,
+                        timestamp=now,
+                        weight_seen=record.total,
+                    )
+                )
+        for query_id in matured:
+            del self._records[query_id]
+            self._status[query_id] = QueryStatus.MATURED
+            self._maturity_times[query_id] = now
+        for event in events:
+            self._dispatcher.dispatch(event)
+        return events
+
+    def process_many(self, elements) -> List[MaturityEvent]:
+        out: List[MaturityEvent] = []
+        for element in elements:
+            out.extend(self.process(element))
+        return out
+
+    # -- termination ------------------------------------------------------
+
+    def terminate(self, query: Union[Query, object]) -> bool:
+        query_id = query.query_id if isinstance(query, Query) else query
+        if self._status.get(query_id) is not QueryStatus.ALIVE:
+            return False
+        del self._records[query_id]
+        self._status[query_id] = QueryStatus.TERMINATED
+        return True
+
+    # -- introspection ------------------------------------------------------
+
+    def on_maturity(self, callback: MaturityCallback) -> None:
+        self._dispatcher.subscribe(callback)
+
+    def progress(self, query: Union[Query, object]) -> Tuple[int, int]:
+        """Exact current windowed weight and threshold of an alive query."""
+        query_id = query.query_id if isinstance(query, Query) else query
+        record = self._records.get(query_id)
+        if record is None:
+            raise KeyError(f"query {query_id!r} is not alive")
+        record.evict(self._clock, self.window)
+        return record.total, record.query.threshold
+
+    def status(self, query: Union[Query, object]) -> QueryStatus:
+        query_id = query.query_id if isinstance(query, Query) else query
+        try:
+            return self._status[query_id]
+        except KeyError:
+            raise KeyError(f"unknown query {query_id!r}") from None
+
+    def maturity_time(self, query: Union[Query, object]) -> Optional[int]:
+        query_id = query.query_id if isinstance(query, Query) else query
+        return self._maturity_times.get(query_id)
+
+    @property
+    def now(self) -> int:
+        return self._clock
+
+    @property
+    def alive_count(self) -> int:
+        return len(self._records)
+
+    def __repr__(self) -> str:
+        return (
+            f"SlidingWindowMonitor(dims={self.dims}, window={self.window}, "
+            f"alive={self.alive_count}, now={self._clock})"
+        )

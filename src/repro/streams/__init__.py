@@ -1,0 +1,12 @@
+"""Stream model, synthetic workload generators, scenario drivers, and
+file-ingestion adapters."""
+
+from .element import StreamElement
+from .io import elements_from_csv, elements_from_jsonl, elements_from_records
+
+__all__ = [
+    "StreamElement",
+    "elements_from_csv",
+    "elements_from_jsonl",
+    "elements_from_records",
+]

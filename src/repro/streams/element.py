@@ -1,0 +1,73 @@
+"""Stream elements (paper Section 2).
+
+The stream is an unbounded sequence ``e_1, e_2, ...`` where element ``e_i``
+arrives at time ``i`` and carries a value point ``v(e) in R^d`` and a
+positive integer weight ``w(e)``.  The *counting* special case fixes
+``w(e) = 1`` for all elements.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence, Tuple, Union
+
+
+class StreamElement:
+    """One stream element: a value point plus a positive integer weight.
+
+    Elements are immutable.  The arrival index is *not* stored on the
+    element — it is assigned by the system when the element is processed —
+    so the same element object may be replayed into several engines.
+
+    Parameters
+    ----------
+    value:
+        The value point ``v(e)``: a number (1-D shorthand) or a sequence of
+        coordinates.
+    weight:
+        The weight ``w(e)``; a positive integer (default 1, the counting
+        case).
+    """
+
+    __slots__ = ("value", "weight")
+
+    def __init__(
+        self,
+        value: Union[float, Sequence[float]],
+        weight: int = 1,
+    ):
+        if isinstance(value, (int, float)):
+            point: Tuple[float, ...] = (float(value),)
+        else:
+            point = tuple(float(v) for v in value)
+            if not point:
+                raise ValueError("element value needs at least one coordinate")
+        if not all(math.isfinite(v) for v in point):
+            raise ValueError(
+                f"element coordinates must be finite numbers, got {point!r}"
+            )
+        if not isinstance(weight, int) or isinstance(weight, bool):
+            raise TypeError(f"weight must be an int, got {weight!r}")
+        if weight < 1:
+            raise ValueError(f"weight must be a positive integer, got {weight}")
+        object.__setattr__(self, "value", point)
+        object.__setattr__(self, "weight", weight)
+
+    @property
+    def dims(self) -> int:
+        """Dimensionality of the value point."""
+        return len(self.value)
+
+    def __setattr__(self, name: str, value: object) -> None:
+        raise AttributeError("StreamElement is immutable")
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, StreamElement):
+            return NotImplemented
+        return self.value == other.value and self.weight == other.weight
+
+    def __hash__(self) -> int:
+        return hash((self.value, self.weight))
+
+    def __repr__(self) -> str:
+        return f"StreamElement(value={self.value!r}, weight={self.weight})"

@@ -1,0 +1,155 @@
+"""Synthetic data generators matching the paper's setup (Section 8.1).
+
+Stream elements
+    Values are uniform over the integer domain ``[0, domain]^d``; weights
+    follow a Gaussian with mean 100 and standard deviation 15, re-sampled
+    while below 1 (weights are positive integers).
+
+Queries
+    Each query rectangle is a square (an interval for d = 1) covering 10%
+    of the data-space volume.  Its centre coordinates follow a Gaussian
+    with mean ``domain/2`` and standard deviation 15% of that mean; the
+    whole rectangle must fall inside the data space or it is re-generated.
+    This simulates elements being "everywhere" while queries focus on
+    areas of common interest — and the uniform values guarantee every
+    element stabs 10% of the alive queries in expectation.
+
+All functions take a ``numpy.random.Generator`` so workloads are exactly
+reproducible under a seed.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional, Tuple
+
+import numpy as np
+
+from ..core.geometry import Interval, Rect
+from ..core.query import Query
+from .distributions import get_distribution
+from .element import StreamElement
+from .scale import WorkloadParams
+
+
+def generate_values(
+    rng: np.random.Generator,
+    count: int,
+    dims: int,
+    domain: int,
+    distribution: str = "uniform",
+) -> np.ndarray:
+    """Integer value points: ``count x dims`` array in [0, domain].
+
+    ``distribution`` selects the element distribution ("uniform" is the
+    paper's; see :mod:`repro.streams.distributions` for the sensitivity
+    alternatives).
+    """
+    return get_distribution(distribution)(rng, count, dims, domain)
+
+
+def generate_weights(
+    rng: np.random.Generator,
+    count: int,
+    mean: float,
+    std: float,
+) -> np.ndarray:
+    """Positive integer weights: round(N(mean, std)) re-sampled while < 1."""
+    weights = np.rint(rng.normal(mean, std, size=count)).astype(np.int64)
+    bad = weights < 1
+    while bad.any():
+        weights[bad] = np.rint(rng.normal(mean, std, size=int(bad.sum()))).astype(
+            np.int64
+        )
+        bad = weights < 1
+    return weights
+
+
+def generate_element_arrays(
+    rng: np.random.Generator, count: int, params: WorkloadParams
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Raw ``(values, weights)`` arrays for ``count`` elements."""
+    values = generate_values(
+        rng, count, params.dims, params.domain, params.value_distribution
+    )
+    weights = generate_weights(rng, count, params.mean_weight, params.weight_std)
+    return values, weights
+
+
+def elements_from_arrays(
+    values: np.ndarray, weights: np.ndarray
+) -> List[StreamElement]:
+    """Materialise :class:`StreamElement` objects from raw arrays."""
+    return [
+        StreamElement(tuple(float(x) for x in row), int(w))
+        for row, w in zip(values, weights)
+    ]
+
+
+def generate_query_rect(
+    rng: np.random.Generator, params: WorkloadParams
+) -> Rect:
+    """One query rectangle per the Section 8.1 recipe (see module docs)."""
+    side = params.domain * params.volume_fraction ** (1.0 / params.dims)
+    mean = params.domain / 2.0
+    std = params.center_rel_std * mean
+    half = side / 2.0
+    while True:
+        center = rng.normal(mean, std, size=params.dims)
+        lo = center - half
+        hi = center + half
+        if (lo >= 0).all() and (hi <= params.domain).all():
+            return Rect(
+                [Interval.half_open(float(a), float(b)) for a, b in zip(lo, hi)]
+            )
+
+
+def generate_query_rects(
+    rng: np.random.Generator, count: int, params: WorkloadParams
+) -> List[Rect]:
+    """A batch of independently generated query rectangles."""
+    return [generate_query_rect(rng, params) for _ in range(count)]
+
+
+class QueryFactory:
+    """Produces queries with sequential ids ``q1, q2, ...`` for a workload.
+
+    Keeping id assignment in one place makes workload scripts replayable:
+    two engines fed the same script see identical query identities.
+    """
+
+    __slots__ = ("_rng", "_params", "_next", "_tau")
+
+    def __init__(
+        self,
+        rng: np.random.Generator,
+        params: WorkloadParams,
+        tau: Optional[int] = None,
+    ):
+        self._rng = rng
+        self._params = params
+        self._next = 1
+        self._tau = tau if tau is not None else params.tau
+
+    def make(self) -> Query:
+        """The next query: fresh rectangle, the workload's threshold."""
+        rect = generate_query_rect(self._rng, self._params)
+        query = Query(rect, self._tau, query_id=f"q{self._next}")
+        self._next += 1
+        return query
+
+    def make_batch(self, count: int) -> List[Query]:
+        return [self.make() for _ in range(count)]
+
+    @property
+    def issued(self) -> int:
+        """Number of queries created so far."""
+        return self._next - 1
+
+
+def stream_elements(
+    rng: np.random.Generator, params: WorkloadParams, chunk: int = 4096
+) -> Iterator[StreamElement]:
+    """An endless element stream (generated in chunks for numpy speed)."""
+    while True:
+        values, weights = generate_element_arrays(rng, chunk, params)
+        yield from elements_from_arrays(values, weights)

@@ -1,0 +1,113 @@
+"""Ingestion adapters: turn external data into stream elements.
+
+RTS consumes an unbounded sequence of ``(value point, weight)`` records.
+Real deployments read those from files, sockets or message buses; these
+helpers cover the common file formats so the examples and downstream
+users do not have to hand-roll parsing:
+
+* :func:`elements_from_csv` — column-mapped CSV (e.g. trade logs);
+* :func:`elements_from_jsonl` — one JSON object per line;
+* :func:`elements_from_records` — any iterable of mappings.
+
+All adapters are lazy generators: they never hold the stream in memory,
+matching the algorithm's "see each element once, then discard" model.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+import pathlib
+from typing import Iterable, Iterator, Mapping, Sequence, Union
+
+from .element import StreamElement
+
+PathLike = Union[str, pathlib.Path]
+
+
+def _element_from_mapping(
+    record: Mapping[str, object],
+    value_fields: Sequence[str],
+    weight_field: str | None,
+    where: str,
+) -> StreamElement:
+    try:
+        value = tuple(float(record[f]) for f in value_fields)
+    except KeyError as exc:
+        raise ValueError(f"{where}: missing value field {exc.args[0]!r}") from None
+    except (TypeError, ValueError) as exc:
+        raise ValueError(f"{where}: non-numeric value field: {exc}") from None
+    if weight_field is None:
+        weight = 1
+    else:
+        try:
+            raw = record[weight_field]
+        except KeyError:
+            raise ValueError(
+                f"{where}: missing weight field {weight_field!r}"
+            ) from None
+        weight = int(float(raw))
+        if weight < 1:
+            raise ValueError(
+                f"{where}: weight must be a positive integer, got {raw!r}"
+            )
+    return StreamElement(value, weight)
+
+
+def elements_from_records(
+    records: Iterable[Mapping[str, object]],
+    value_fields: Sequence[str],
+    weight_field: str | None = None,
+) -> Iterator[StreamElement]:
+    """Adapt an iterable of dict-like records.
+
+    ``value_fields`` name the coordinates in order (the dimensionality is
+    ``len(value_fields)``); ``weight_field`` names the weight column
+    (omit it for the counting case, weight 1).
+    """
+    if not value_fields:
+        raise ValueError("value_fields must name at least one coordinate")
+    for i, record in enumerate(records, start=1):
+        yield _element_from_mapping(record, value_fields, weight_field, f"record {i}")
+
+
+def elements_from_csv(
+    path: PathLike,
+    value_fields: Sequence[str],
+    weight_field: str | None = None,
+) -> Iterator[StreamElement]:
+    """Stream elements out of a CSV file with a header row.
+
+    Example — a trade log ``price,shares,venue`` becomes a weighted 1-D
+    stream with ``value_fields=["price"], weight_field="shares"``.
+    """
+    if not value_fields:
+        raise ValueError("value_fields must name at least one coordinate")
+    with open(path, newline="") as handle:
+        reader = csv.DictReader(handle)
+        for i, row in enumerate(reader, start=1):
+            yield _element_from_mapping(
+                row, value_fields, weight_field, f"{path}:{i}"
+            )
+
+
+def elements_from_jsonl(
+    path: PathLike,
+    value_fields: Sequence[str],
+    weight_field: str | None = None,
+) -> Iterator[StreamElement]:
+    """Stream elements out of a JSON-lines file (one object per line)."""
+    if not value_fields:
+        raise ValueError("value_fields must name at least one coordinate")
+    with open(path) as handle:
+        for i, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise ValueError(f"{path}:{i}: invalid JSON: {exc}") from None
+            yield _element_from_mapping(
+                record, value_fields, weight_field, f"{path}:{i}"
+            )

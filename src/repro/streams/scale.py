@@ -1,0 +1,123 @@
+"""Parameter scaling between the paper's testbed and pure Python.
+
+The paper's experiments (Section 8) ran C++ on a 3.7 GHz machine with
+
+* ``m``   = 1,000,000 queries,
+* ``tau`` = 20,000,000 (varied 5M..80M in Figure 5),
+* ``n``   = 3,000,000 elements (Scenario 2),
+* integer data domain ``[0, 10^5]`` per dimension.
+
+A pure-Python reproduction is roughly two orders of magnitude slower per
+operation, so running the *absolute* sizes is pointless: the paper's
+claims are relative (who wins, how curves grow).  This module maps the
+paper's parameters down by a single ``scale`` divisor while preserving
+every ratio the workload generators depend on:
+
+* ``tau / m`` stays 20 — thresholds scale with the query count;
+* the expected maturity horizon stays ``tau / 10`` timestamps (10% stab
+  probability x mean weight 100, Section 8.1);
+* the termination model (90% of queries die before their expected
+  maturity) is re-derived from the scaled ``tau``;
+* the domain, query volume fraction, hot-spot placement, and weight
+  distribution are *not* scaled — they are dimensionless in the paper's
+  analysis.
+
+``scale=1`` reproduces the paper's exact parameters (hours of CPU in
+Python); the default benchmark scale is 1000.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+#: The paper's machine-scale parameters (Section 8).
+PAPER_DOMAIN = 100_000
+PAPER_M = 1_000_000
+PAPER_TAU = 20_000_000
+PAPER_STREAM_LEN = 3_000_000  # Scenario 2 stream length
+#: Mean element weight (Gaussian mean, Section 8.1).
+MEAN_WEIGHT = 100
+WEIGHT_STD = 15
+#: Fraction of the data-space volume covered by each query rectangle.
+QUERY_VOLUME_FRACTION = 0.10
+#: Query centres: Gaussian with mean domain/2, std 15% of the mean.
+CENTER_REL_STD = 0.15
+#: Probability that a query survives to its expected maturity time.
+SURVIVAL_PROB = 0.10
+
+
+@dataclass(frozen=True, slots=True)
+class WorkloadParams:
+    """Concrete workload parameters for one experiment cell."""
+
+    dims: int
+    m: int
+    tau: int
+    stream_len: int
+    domain: int = PAPER_DOMAIN
+    mean_weight: int = MEAN_WEIGHT
+    weight_std: float = WEIGHT_STD
+    volume_fraction: float = QUERY_VOLUME_FRACTION
+    center_rel_std: float = CENTER_REL_STD
+    survival_prob: float = SURVIVAL_PROB
+    #: Element-value distribution name (see repro.streams.distributions).
+    #: "uniform" is the paper's setting; the alternatives feed the
+    #: extended sensitivity study.
+    value_distribution: str = "uniform"
+
+    def __post_init__(self) -> None:
+        if self.dims < 1:
+            raise ValueError("dims must be >= 1")
+        if self.m < 1 or self.tau < 1 or self.stream_len < 1:
+            raise ValueError("m, tau and stream_len must be positive")
+        if not 0 < self.volume_fraction <= 1:
+            raise ValueError("volume_fraction must be in (0, 1]")
+        if not 0 < self.survival_prob < 1:
+            raise ValueError("survival_prob must be in (0, 1)")
+        from .distributions import get_distribution
+
+        get_distribution(self.value_distribution)  # validate the name
+
+    @property
+    def expected_maturity_steps(self) -> int:
+        """Expected timestamps until maturity (Section 8.1 analysis).
+
+        Each timestamp stabs a query with probability ``volume_fraction``
+        and contributes ``mean_weight`` in expectation, so maturity is
+        expected after ``tau / (volume_fraction * mean_weight)`` steps —
+        ``tau / 10`` with the paper's numbers.
+        """
+        return max(1, round(self.tau / (self.volume_fraction * self.mean_weight)))
+
+    @property
+    def termination_prob(self) -> float:
+        """Per-timestamp termination probability ``p_del``.
+
+        Chosen so a query survives to its expected maturity time with
+        probability :attr:`survival_prob`:
+        ``(1 - p_del) ** expected_maturity_steps == survival_prob``.
+        """
+        return 1.0 - self.survival_prob ** (1.0 / self.expected_maturity_steps)
+
+    def with_(self, **changes) -> "WorkloadParams":
+        """A copy with some fields replaced."""
+        return replace(self, **changes)
+
+
+def paper_params(dims: int, scale: int = 1000, **overrides) -> WorkloadParams:
+    """The paper's parameters divided by ``scale`` (ratios preserved).
+
+    ``overrides`` replace individual fields after scaling — e.g.
+    ``paper_params(1, m=500)`` for the Figure 4 sweep points.
+    """
+    if scale < 1:
+        raise ValueError("scale must be >= 1")
+    params = WorkloadParams(
+        dims=dims,
+        m=max(1, PAPER_M // scale),
+        tau=max(1, PAPER_TAU // scale),
+        stream_len=max(1, PAPER_STREAM_LEN // scale),
+    )
+    if overrides:
+        params = params.with_(**overrides)
+    return params

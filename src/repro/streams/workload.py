@@ -1,0 +1,456 @@
+"""Scenario drivers: replayable workload scripts (paper Section 8).
+
+A *workload script* is a fully materialised, engine-independent sequence
+of operations — element arrivals, query registrations, terminations —
+plus the ground-truth maturity time of every query (computed here with a
+vectorised numpy oracle).  Scripts make the evaluation fair and the
+engines verifiable: every method replays exactly the same operations, and
+the harness asserts that the maturities an engine reports match the
+oracle exactly.
+
+Three scenario builders mirror the paper:
+
+:func:`build_static_workload`
+    Scenario 1 (Section 8.1): ``m`` queries registered before the first
+    element; per-timestamp termination with probability ``p_del``; the
+    stream evolves until every query has matured or been terminated.
+
+:func:`build_stochastic_workload`
+    Scenario 2, stochastic mode (Section 8.2): ``m`` initial queries, a
+    fixed-length stream, and — during the first two thirds of the stream —
+    one new query per timestamp with probability ``p_ins``.
+
+:func:`build_fixed_load_workload`
+    Scenario 2, fixed-load mode: a new query is registered the moment an
+    existing one matures or is terminated, keeping the alive count
+    constant for the whole stream.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple, Union
+
+import numpy as np
+
+from ..core.query import Query
+from ..core.serialize import (
+    element_from_obj,
+    element_to_obj,
+    query_from_obj,
+    query_to_obj,
+)
+from ..core.system import RTSSystem
+from .element import StreamElement
+from .generators import QueryFactory, generate_element_arrays
+from .scale import WorkloadParams
+
+#: Event kinds inside a script.
+ELEMENT = "element"
+REGISTER = "register"
+REGISTER_BATCH = "register_batch"  # payload: list of queries (t = 0 batch)
+TERMINATE = "terminate"
+
+
+@dataclass(slots=True)
+class WorkloadScript:
+    """One materialised workload, replayable against any engine."""
+
+    mode: str
+    params: WorkloadParams
+    seed: int
+    #: Ordered operations: (ELEMENT, StreamElement) | (REGISTER, Query) |
+    #: (REGISTER_BATCH, [Query, ...]) | (TERMINATE, query_id).  The initial
+    #: registrations (before the first element) form one REGISTER_BATCH,
+    #: matching the paper's setup where they happen before the stream
+    #: starts and engines may bulk-build.
+    events: List[Tuple[str, object]]
+    #: Ground truth: query_id -> (maturity timestamp, W(q) at maturity).
+    expected_maturities: Dict[object, Tuple[int, int]]
+    n_elements: int
+    n_queries: int
+
+    def replay(self, system: RTSSystem) -> Dict[object, Tuple[int, int]]:
+        """Run the script through a system; returns observed maturities."""
+        observed: Dict[object, Tuple[int, int]] = {}
+        system.on_maturity(
+            lambda ev: observed.__setitem__(
+                ev.query.query_id, (ev.timestamp, ev.weight_seen)
+            )
+        )
+        for kind, payload in self.events:
+            if kind == ELEMENT:
+                system.process(payload)
+            elif kind == REGISTER:
+                system.register(payload)
+            elif kind == REGISTER_BATCH:
+                system.register_batch(payload)
+            else:
+                system.terminate(payload)
+        return observed
+
+    def verify(self, system: RTSSystem) -> None:
+        """Replay and assert exact agreement with the oracle."""
+        observed = self.replay(system)
+        if observed != self.expected_maturities:
+            extra = {
+                k: v
+                for k, v in observed.items()
+                if self.expected_maturities.get(k) != v
+            }
+            missing = {
+                k: v
+                for k, v in self.expected_maturities.items()
+                if observed.get(k) != v
+            }
+            raise AssertionError(
+                f"engine {system.engine.name!r} disagrees with the oracle; "
+                f"wrong/extra={extra!r} missing/expected={missing!r}"
+            )
+
+    def operation_count(self) -> int:
+        """Total logical operations (the denominator of per-op cost).
+
+        A registration batch counts as one operation per query in it.
+        """
+        count = 0
+        for kind, payload in self.events:
+            count += len(payload) if kind == REGISTER_BATCH else 1
+        return count
+
+    # -- persistence -----------------------------------------------------
+
+    def save(self, path: Union[str, pathlib.Path]) -> None:
+        """Write the script (events + oracle) to a JSON file.
+
+        Saved scripts replay bit-identically anywhere: they capture every
+        element, registration (with exact boundary semantics) and
+        termination, plus the expected maturities.  Query ids inside the
+        script must be JSON-compatible (the generators use strings).
+        """
+        events = []
+        for kind, payload in self.events:
+            if kind == ELEMENT:
+                events.append([kind, element_to_obj(payload)])
+            elif kind == REGISTER:
+                events.append([kind, query_to_obj(payload)])
+            elif kind == REGISTER_BATCH:
+                events.append([kind, [query_to_obj(q) for q in payload]])
+            else:
+                events.append([kind, payload])
+        doc = {
+            "format": "rts-workload-v1",
+            "mode": self.mode,
+            "seed": self.seed,
+            "n_elements": self.n_elements,
+            "n_queries": self.n_queries,
+            "params": {
+                "dims": self.params.dims,
+                "m": self.params.m,
+                "tau": self.params.tau,
+                "stream_len": self.params.stream_len,
+                "domain": self.params.domain,
+                "mean_weight": self.params.mean_weight,
+                "weight_std": self.params.weight_std,
+                "volume_fraction": self.params.volume_fraction,
+                "center_rel_std": self.params.center_rel_std,
+                "survival_prob": self.params.survival_prob,
+                "value_distribution": self.params.value_distribution,
+            },
+            "expected_maturities": [
+                [qid, t, w] for qid, (t, w) in self.expected_maturities.items()
+            ],
+            "events": events,
+        }
+        pathlib.Path(path).write_text(json.dumps(doc))
+
+    @classmethod
+    def load(cls, path: Union[str, pathlib.Path]) -> "WorkloadScript":
+        """Read a script previously written by :meth:`save`."""
+        doc = json.loads(pathlib.Path(path).read_text())
+        if doc.get("format") != "rts-workload-v1":
+            raise ValueError(
+                f"{path}: not an rts-workload-v1 file "
+                f"(format={doc.get('format')!r})"
+            )
+        events: List[Tuple[str, object]] = []
+        for kind, payload in doc["events"]:
+            if kind == ELEMENT:
+                events.append((kind, element_from_obj(payload)))
+            elif kind == REGISTER:
+                events.append((kind, query_from_obj(payload)))
+            elif kind == REGISTER_BATCH:
+                events.append((kind, [query_from_obj(o) for o in payload]))
+            elif kind == TERMINATE:
+                events.append((kind, payload))
+            else:
+                raise ValueError(f"{path}: unknown event kind {kind!r}")
+        return cls(
+            mode=doc["mode"],
+            params=WorkloadParams(**doc["params"]),
+            seed=doc["seed"],
+            events=events,
+            expected_maturities={
+                qid: (t, w) for qid, t, w in doc["expected_maturities"]
+            },
+            n_elements=doc["n_elements"],
+            n_queries=doc["n_queries"],
+        )
+
+
+class _OracleStream:
+    """Growable element stream with vectorised maturity computation."""
+
+    def __init__(self, rng: np.random.Generator, params: WorkloadParams):
+        self._rng = rng
+        self._params = params
+        self.values = np.empty((0, params.dims), dtype=np.int64)
+        self.weights = np.empty(0, dtype=np.int64)
+
+    def __len__(self) -> int:
+        return len(self.weights)
+
+    def ensure(self, n: int) -> None:
+        """Grow the stream to at least ``n`` elements."""
+        missing = n - len(self.weights)
+        if missing <= 0:
+            return
+        values, weights = generate_element_arrays(self._rng, missing, self._params)
+        self.values = np.concatenate([self.values, values])
+        self.weights = np.concatenate([self.weights, weights])
+
+    def maturity_after(
+        self, query: Query, t0: int, tau: int
+    ) -> Optional[Tuple[int, int]]:
+        """First timestamp > t0 at which the query's weight reaches tau.
+
+        Returns ``(timestamp, W(q))`` or None if the current stream prefix
+        is too short.  Workload rectangles are half-open with numeric
+        bounds, so plain array comparisons are exact here.
+        """
+        mask = np.ones(len(self.weights), dtype=bool)
+        for d, iv in enumerate(query.rect.intervals):
+            col = self.values[:, d]
+            mask &= (col >= iv.lo[0]) & (col < iv.hi[0])
+        hits = np.where(mask, self.weights, 0)
+        csum = np.cumsum(hits)
+        base = int(csum[t0 - 1]) if t0 > 0 else 0
+        idx = int(np.searchsorted(csum, base + tau, side="left"))
+        if idx >= len(csum):
+            return None
+        return idx + 1, int(csum[idx]) - base
+
+    def element_at(self, t: int) -> StreamElement:
+        """The element arriving at timestamp ``t`` (1-based)."""
+        row = self.values[t - 1]
+        return StreamElement(
+            tuple(float(x) for x in row), int(self.weights[t - 1])
+        )
+
+
+@dataclass(slots=True)
+class _QueryFate:
+    """Resolution bookkeeping for one query during script building."""
+
+    query: Query
+    t0: int  # registration timestamp (elements seen strictly after t0)
+    maturity: Optional[Tuple[int, int]] = None  # (timestamp, weight)
+    terminate_at: Optional[int] = None  # explicit TERMINATE timestamp
+
+    @property
+    def resolution(self) -> Optional[int]:
+        """Timestamp the query stops being alive, or None (stays alive)."""
+        if self.maturity is not None:
+            return self.maturity[0]
+        return self.terminate_at
+
+
+def _resolve(
+    fate: _QueryFate,
+    stream: _OracleStream,
+    lifetime: int,
+    tau: int,
+    horizon: Optional[int],
+) -> None:
+    """Fill in a query's fate: maturity vs termination, maturity first.
+
+    ``lifetime`` is the geometric number of timestamps after registration
+    until the termination coin lands; maturity at the same timestamp wins
+    (the element is processed — and maturity fired — before the
+    termination draw of that timestamp).  ``horizon`` caps the stream
+    (None = the stream may be extended, caller loops).
+    """
+    limit = len(stream) if horizon is None else min(horizon, len(stream))
+    term_t = fate.t0 + lifetime
+    maturity = stream.maturity_after(fate.query, fate.t0, tau)
+    if maturity is not None and maturity[0] <= limit and maturity[0] <= term_t:
+        fate.maturity = maturity
+        fate.terminate_at = None
+        return
+    if term_t <= limit:
+        fate.terminate_at = term_t
+        fate.maturity = None
+        return
+    fate.maturity = None
+    fate.terminate_at = None  # unresolved within the limit
+
+
+def _assemble_script(
+    mode: str,
+    params: WorkloadParams,
+    seed: int,
+    stream: _OracleStream,
+    fates: List[_QueryFate],
+    n_elements: int,
+) -> WorkloadScript:
+    """Interleave registrations / elements / terminations into one script.
+
+    Per-timestamp ordering (matching the engines' semantics): the element
+    arrives first (maturities fire inside its processing), terminations
+    happen next, registrations last — so a query registered at ``t`` sees
+    only elements ``t+1, t+2, ...``, as in Section 2.
+    """
+    registers_at: Dict[int, List[Query]] = {}
+    terminates_at: Dict[int, List[object]] = {}
+    expected: Dict[object, Tuple[int, int]] = {}
+    for fate in fates:
+        registers_at.setdefault(fate.t0, []).append(fate.query)
+        if fate.maturity is not None:
+            expected[fate.query.query_id] = fate.maturity
+        elif fate.terminate_at is not None:
+            terminates_at.setdefault(fate.terminate_at, []).append(
+                fate.query.query_id
+            )
+
+    events: List[Tuple[str, object]] = []
+    initial = registers_at.get(0, ())
+    if len(initial) == 1:
+        events.append((REGISTER, initial[0]))
+    elif initial:
+        events.append((REGISTER_BATCH, list(initial)))
+    for t in range(1, n_elements + 1):
+        events.append((ELEMENT, stream.element_at(t)))
+        for query_id in terminates_at.get(t, ()):
+            events.append((TERMINATE, query_id))
+        for query in registers_at.get(t, ()):
+            events.append((REGISTER, query))
+    return WorkloadScript(
+        mode=mode,
+        params=params,
+        seed=seed,
+        events=events,
+        expected_maturities=expected,
+        n_elements=n_elements,
+        n_queries=len(fates),
+    )
+
+
+def build_static_workload(params: WorkloadParams, seed: int = 0) -> WorkloadScript:
+    """Scenario 1: all ``params.m`` queries registered up front.
+
+    The stream runs until every query has matured or been terminated
+    (capped at 40x the expected maturity horizon; by then the probability
+    of an unresolved query is astronomically small, but if one remains it
+    is terminated at the cap, keeping the script well-defined).
+    """
+    rng = np.random.default_rng(seed)
+    factory = QueryFactory(rng, params)
+    queries = factory.make_batch(params.m)
+    lifetimes = rng.geometric(params.termination_prob, size=params.m)
+    stream = _OracleStream(rng, params)
+
+    horizon = params.expected_maturity_steps
+    cap = 40 * horizon + 100
+    stream.ensure(min(cap, 2 * horizon + 100))
+    fates = [_QueryFate(query=q, t0=0) for q in queries]
+    while True:
+        unresolved = []
+        for fate, lifetime in zip(fates, lifetimes):
+            if fate.resolution is None:
+                _resolve(fate, stream, int(lifetime), params.tau, horizon=None)
+                if fate.resolution is None:
+                    unresolved.append(fate)
+        if not unresolved:
+            break
+        if len(stream) >= cap:
+            for fate in unresolved:  # force-terminate stragglers at the cap
+                fate.terminate_at = len(stream)
+            break
+        stream.ensure(min(cap, 2 * len(stream)))
+
+    n_elements = max(fate.resolution for fate in fates)
+    return _assemble_script("static", params, seed, stream, fates, n_elements)
+
+
+def build_stochastic_workload(
+    params: WorkloadParams, seed: int = 0, p_ins: float = 0.3
+) -> WorkloadScript:
+    """Scenario 2, stochastic mode: Poisson-like trickle of new queries.
+
+    ``params.m`` queries at t = 0; during timestamps ``1 .. 2n/3`` a new
+    query is registered with probability ``p_ins`` per timestamp; the
+    stream has exactly ``params.stream_len`` elements.  Queries unresolved
+    at the end simply stay alive (as in the paper's runs).
+    """
+    if not 0 <= p_ins <= 1:
+        raise ValueError(f"p_ins must be in [0, 1], got {p_ins}")
+    rng = np.random.default_rng(seed)
+    factory = QueryFactory(rng, params)
+    n = params.stream_len
+    stream = _OracleStream(rng, params)
+    stream.ensure(n)
+
+    reg_times = [0] * params.m
+    window = 2 * n // 3
+    draws = rng.random(window)
+    reg_times.extend(t for t in range(1, window + 1) if draws[t - 1] < p_ins)
+
+    fates = []
+    for t0 in reg_times:
+        query = factory.make()
+        lifetime = int(rng.geometric(params.termination_prob))
+        fate = _QueryFate(query=query, t0=t0)
+        _resolve(fate, stream, lifetime, params.tau, horizon=n)
+        fates.append(fate)
+    return _assemble_script("stochastic", params, seed, stream, fates, n)
+
+
+def build_fixed_load_workload(
+    params: WorkloadParams, seed: int = 0
+) -> WorkloadScript:
+    """Scenario 2, fixed-load mode: constant alive-query count.
+
+    Whenever a query matures or is terminated at timestamp ``t``, a fresh
+    replacement is registered at ``t`` (after the element), so exactly
+    ``params.m`` queries are alive at every timestamp of the
+    ``params.stream_len``-element stream.
+    """
+    rng = np.random.default_rng(seed)
+    factory = QueryFactory(rng, params)
+    n = params.stream_len
+    stream = _OracleStream(rng, params)
+    stream.ensure(n)
+
+    import heapq
+
+    fates: List[_QueryFate] = []
+    pending: List[Tuple[int, int]] = []  # (resolution_t, index into fates)
+
+    def admit(t0: int) -> None:
+        query = factory.make()
+        lifetime = int(rng.geometric(params.termination_prob))
+        fate = _QueryFate(query=query, t0=t0)
+        _resolve(fate, stream, lifetime, params.tau, horizon=n)
+        fates.append(fate)
+        if fate.resolution is not None:
+            heapq.heappush(pending, (fate.resolution, len(fates) - 1))
+
+    for _ in range(params.m):
+        admit(0)
+    while pending:
+        res_t, _idx = heapq.heappop(pending)
+        if res_t < n:  # a replacement registered at the very end sees nothing
+            admit(res_t)
+    return _assemble_script("fixed-load", params, seed, stream, fates, n)

@@ -1,0 +1,449 @@
+"""Dynamic R-tree (Guttman, SIGMOD 1984) for the 2-D stabbing baseline.
+
+The paper's **R-tree** method (Section 8) indexes the alive query
+rectangles in an R-tree and answers, for every incoming element, the point
+stabbing query "which stored rectangles contain ``v(e)``".  As the paper
+notes, the R-tree is a heuristic structure with no attractive worst-case
+guarantees — its update algorithms degrade badly when the indexed
+rectangles are large and heavily overlapping, which is exactly the RTS
+workload (queries clustered in hot areas).  Reproducing that *weakness* is
+part of reproducing Figure 8.
+
+Implementation notes
+--------------------
+* Node capacity ``max_entries`` (default 8) with ``min_entries`` at 40%.
+* Insertion: ChooseLeaf by least area enlargement (ties by smaller area),
+  quadratic split on overflow.
+* Deletion: remove from the item's leaf (tracked by a parent pointer, so
+  no search is needed), then CondenseTree — underfull nodes are dissolved
+  and their items reinserted (the common item-level simplification of
+  Guttman's algorithm).
+* Rectangle bounds are stored as *closed* numeric boxes (the open/closed
+  endpoint bits are dropped), which makes the filter conservative; users
+  of the tree re-check candidates exactly, as with any spatial index.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional, Sequence, Tuple
+
+from ..core.geometry import Rect
+
+#: Numeric MBR: ((lo, hi), ...) one pair per dimension, closed bounds.
+MBR = Tuple[Tuple[float, float], ...]
+
+
+def rect_to_mbr(rect: Rect) -> MBR:
+    """Conservative closed numeric box of a :class:`Rect`."""
+    return tuple((iv.lo[0], iv.hi[0]) for iv in rect.intervals)
+
+
+def mbr_union(a: MBR, b: MBR) -> MBR:
+    return tuple(
+        (min(alo, blo), max(ahi, bhi)) for (alo, ahi), (blo, bhi) in zip(a, b)
+    )
+
+
+def mbr_area(m: MBR) -> float:
+    area = 1.0
+    for lo, hi in m:
+        area *= hi - lo
+    return area
+
+
+def mbr_contains_point(m: MBR, point: Sequence[float]) -> bool:
+    for (lo, hi), v in zip(m, point):
+        if v < lo or v > hi:
+            return False
+    return True
+
+
+class RTreeItem:
+    """Handle to one stored rectangle (``payload`` opaque to the tree)."""
+
+    __slots__ = ("rect", "mbr", "payload", "alive", "_leaf")
+
+    def __init__(self, rect: Rect, payload):
+        self.rect = rect
+        self.mbr = rect_to_mbr(rect)
+        self.payload = payload
+        self.alive = True
+        self._leaf: Optional["_RNode"] = None
+
+    def __repr__(self) -> str:
+        state = "alive" if self.alive else "dead"
+        return f"RTreeItem({self.rect!r}, {self.payload!r}, {state})"
+
+
+class _RNode:
+    __slots__ = ("is_leaf", "entries", "parent", "mbr")
+
+    def __init__(self, is_leaf: bool):
+        self.is_leaf = is_leaf
+        self.entries: List = []  # RTreeItem (leaf) or _RNode (internal)
+        self.parent: Optional["_RNode"] = None
+        self.mbr: Optional[MBR] = None
+
+    def recompute_mbr(self) -> None:
+        entries = self.entries
+        if not entries:
+            self.mbr = None
+            return
+        m = entries[0].mbr
+        for entry in entries[1:]:
+            m = mbr_union(m, entry.mbr)
+        self.mbr = m
+
+
+class RTree:
+    """Dynamic R-tree over :class:`Rect` items with point stabbing.
+
+    Parameters
+    ----------
+    max_entries:
+        Node capacity M (minimum fill is 40% of it).
+    split:
+        Overflow-splitting strategy: ``"quadratic"`` (Guttman, SIGMOD'84 —
+        the paper's R-tree baseline) or ``"rstar"`` (Beckmann et al.,
+        SIGMOD'90: margin-driven axis choice + minimum-overlap
+        distribution, which the paper cites as the practical variant).
+    """
+
+    SPLIT_STRATEGIES = ("quadratic", "rstar")
+
+    __slots__ = ("_root", "_size", "max_entries", "min_entries", "split_strategy")
+
+    def __init__(self, max_entries: int = 8, split: str = "quadratic"):
+        if max_entries < 4:
+            raise ValueError("max_entries must be at least 4")
+        if split not in self.SPLIT_STRATEGIES:
+            raise ValueError(
+                f"split must be one of {self.SPLIT_STRATEGIES}, got {split!r}"
+            )
+        self.max_entries = max_entries
+        self.min_entries = max(2, int(max_entries * 0.4))
+        self.split_strategy = split
+        self._root = _RNode(is_leaf=True)
+        self._size = 0
+
+    # -- updates -----------------------------------------------------------
+
+    def insert(self, rect: Rect, payload) -> RTreeItem:
+        """Store a rectangle; returns the handle used for removal."""
+        item = RTreeItem(rect, payload)
+        if rect.is_empty():
+            return item  # stabbed by nothing; stays out of the tree
+        self._insert_item(item)
+        self._size += 1
+        return item
+
+    def remove(self, item: RTreeItem) -> None:
+        """Delete a stored rectangle via its handle (idempotent)."""
+        if not item.alive:
+            return
+        item.alive = False
+        if item._leaf is None:
+            return
+        leaf = item._leaf
+        leaf.entries.remove(item)
+        item._leaf = None
+        self._size -= 1
+        self._condense(leaf)
+
+    # -- queries --------------------------------------------------------------
+
+    def stab(self, point: Sequence[float]) -> Iterator[RTreeItem]:
+        """Yield every alive stored rectangle whose MBR contains ``point``.
+
+        MBRs are closed numeric boxes, so callers holding open/half-open
+        rectangles must re-check candidates exactly.
+        """
+        stack = [self._root]
+        while stack:
+            node = stack.pop()
+            if node.mbr is None or not mbr_contains_point(node.mbr, point):
+                continue
+            if node.is_leaf:
+                for item in node.entries:
+                    if item.alive and mbr_contains_point(item.mbr, point):
+                        yield item
+            else:
+                stack.extend(node.entries)
+
+    # -- internals: insertion ---------------------------------------------------
+
+    def _insert_item(self, item: RTreeItem) -> None:
+        leaf = self._choose_leaf(item.mbr)
+        leaf.entries.append(item)
+        item._leaf = leaf
+        self._adjust_upward(leaf)
+        if len(leaf.entries) > self.max_entries:
+            self._split(leaf)
+
+    def _choose_leaf(self, mbr: MBR) -> _RNode:
+        node = self._root
+        while not node.is_leaf:
+            best = None
+            best_key = None
+            for child in node.entries:
+                area = mbr_area(child.mbr)
+                enlargement = mbr_area(mbr_union(child.mbr, mbr)) - area
+                key = (enlargement, area)
+                if best_key is None or key < best_key:
+                    best_key = key
+                    best = child
+            node = best
+        return node
+
+    def _adjust_upward(self, node: Optional[_RNode]) -> None:
+        while node is not None:
+            node.recompute_mbr()
+            node = node.parent
+
+    def _split(self, node: _RNode) -> None:
+        """Split an overflowing node, propagating overflow upward."""
+        if self.split_strategy == "rstar":
+            group_a, group_b = self._rstar_partition(node.entries)
+            self._apply_split(node, group_a, group_b)
+            return
+        self._quadratic_split(node)
+
+    def _quadratic_split(self, node: _RNode) -> None:
+        """Guttman's quadratic split."""
+        entries = node.entries
+        seed_a, seed_b = self._pick_seeds(entries)
+        group_a = [entries[seed_a]]
+        group_b = [entries[seed_b]]
+        mbr_a = group_a[0].mbr
+        mbr_b = group_b[0].mbr
+        rest = [e for i, e in enumerate(entries) if i not in (seed_a, seed_b)]
+        total = len(entries)
+        while rest:
+            # If one group must take everything left to reach min size, do so.
+            if len(group_a) + len(rest) <= self.min_entries:
+                group_a.extend(rest)
+                for e in rest:
+                    mbr_a = mbr_union(mbr_a, e.mbr)
+                rest = []
+                break
+            if len(group_b) + len(rest) <= self.min_entries:
+                group_b.extend(rest)
+                for e in rest:
+                    mbr_b = mbr_union(mbr_b, e.mbr)
+                rest = []
+                break
+            # PickNext: entry with the strongest preference either way.
+            best_i = 0
+            best_diff = -1.0
+            best_growth = (0.0, 0.0)
+            for i, e in enumerate(rest):
+                da = mbr_area(mbr_union(mbr_a, e.mbr)) - mbr_area(mbr_a)
+                db = mbr_area(mbr_union(mbr_b, e.mbr)) - mbr_area(mbr_b)
+                diff = abs(da - db)
+                if diff > best_diff:
+                    best_diff = diff
+                    best_i = i
+                    best_growth = (da, db)
+            e = rest.pop(best_i)
+            da, db = best_growth
+            if da < db or (da == db and len(group_a) <= len(group_b)):
+                group_a.append(e)
+                mbr_a = mbr_union(mbr_a, e.mbr)
+            else:
+                group_b.append(e)
+                mbr_b = mbr_union(mbr_b, e.mbr)
+        assert len(group_a) + len(group_b) == total
+        self._apply_split(node, group_a, group_b)
+
+    def _apply_split(self, node: _RNode, group_a: List, group_b: List) -> None:
+        """Install the two groups and propagate overflow to the parent."""
+        sibling = _RNode(is_leaf=node.is_leaf)
+        node.entries = group_a
+        sibling.entries = group_b
+        self._rewire_children(node)
+        self._rewire_children(sibling)
+        node.recompute_mbr()
+        sibling.recompute_mbr()
+
+        parent = node.parent
+        if parent is None:
+            new_root = _RNode(is_leaf=False)
+            new_root.entries = [node, sibling]
+            node.parent = new_root
+            sibling.parent = new_root
+            new_root.recompute_mbr()
+            self._root = new_root
+            return
+        parent.entries.append(sibling)
+        sibling.parent = parent
+        self._adjust_upward(parent)
+        if len(parent.entries) > self.max_entries:
+            self._split(parent)
+
+    def _rstar_partition(self, entries: List) -> Tuple[List, List]:
+        """R*-tree split: margin-minimal axis, overlap-minimal distribution.
+
+        For each axis the entries are sorted by lower then by upper MBR
+        bound; every legal ``(first k | rest)`` distribution is scored.
+        The split axis is the one whose distributions have the smallest
+        total margin (perimeter) sum; along it, the distribution with the
+        least group overlap wins (ties: least total area).
+        """
+        dims = len(entries[0].mbr)
+        m = self.min_entries
+        n = len(entries)
+
+        def margin(box: MBR) -> float:
+            return sum(hi - lo for lo, hi in box)
+
+        def group_box(group: List) -> MBR:
+            box = group[0].mbr
+            for e in group[1:]:
+                box = mbr_union(box, e.mbr)
+            return box
+
+        def overlap(a: MBR, b: MBR) -> float:
+            area = 1.0
+            for (alo, ahi), (blo, bhi) in zip(a, b):
+                side = min(ahi, bhi) - max(alo, blo)
+                if side <= 0:
+                    return 0.0
+                area *= side
+            return area
+
+        best_axis = None
+        best_axis_margin = None
+        axis_orders = {}
+        for axis in range(dims):
+            orders = [
+                sorted(entries, key=lambda e: (e.mbr[axis][0], e.mbr[axis][1])),
+                sorted(entries, key=lambda e: (e.mbr[axis][1], e.mbr[axis][0])),
+            ]
+            margin_sum = 0.0
+            for order in orders:
+                for k in range(m, n - m + 1):
+                    margin_sum += margin(group_box(order[:k]))
+                    margin_sum += margin(group_box(order[k:]))
+            axis_orders[axis] = orders
+            if best_axis_margin is None or margin_sum < best_axis_margin:
+                best_axis_margin = margin_sum
+                best_axis = axis
+
+        best = None
+        best_key = None
+        for order in axis_orders[best_axis]:
+            for k in range(m, n - m + 1):
+                left, right = order[:k], order[k:]
+                box_l, box_r = group_box(left), group_box(right)
+                key = (overlap(box_l, box_r), mbr_area(box_l) + mbr_area(box_r))
+                if best_key is None or key < best_key:
+                    best_key = key
+                    best = (list(left), list(right))
+        return best
+
+    def _rewire_children(self, node: _RNode) -> None:
+        if node.is_leaf:
+            for item in node.entries:
+                item._leaf = node
+        else:
+            for child in node.entries:
+                child.parent = node
+
+    def _pick_seeds(self, entries: List) -> Tuple[int, int]:
+        """The pair wasting the most area when grouped together."""
+        best = (0, 1)
+        best_waste = float("-inf")
+        n = len(entries)
+        for i in range(n):
+            mi = entries[i].mbr
+            ai = mbr_area(mi)
+            for j in range(i + 1, n):
+                mj = entries[j].mbr
+                waste = mbr_area(mbr_union(mi, mj)) - ai - mbr_area(mj)
+                if waste > best_waste:
+                    best_waste = waste
+                    best = (i, j)
+        return best
+
+    # -- internals: deletion -------------------------------------------------------
+
+    def _condense(self, leaf: _RNode) -> None:
+        orphans: List[RTreeItem] = []
+        node = leaf
+        while node.parent is not None:
+            parent = node.parent
+            if len(node.entries) < self.min_entries:
+                parent.entries.remove(node)
+                node.parent = None
+                self._collect_items(node, orphans)
+            else:
+                node.recompute_mbr()
+            node = parent
+        node.recompute_mbr()  # root
+
+        root = self._root
+        if not root.is_leaf and len(root.entries) == 1:
+            child = root.entries[0]
+            child.parent = None
+            self._root = child
+        elif not root.is_leaf and not root.entries:
+            self._root = _RNode(is_leaf=True)
+
+        for item in orphans:
+            item._leaf = None
+            self._insert_item(item)
+
+    def _collect_items(self, node: _RNode, out: List[RTreeItem]) -> None:
+        if node.is_leaf:
+            out.extend(node.entries)
+            node.entries = []
+            return
+        for child in node.entries:
+            self._collect_items(child, out)
+        node.entries = []
+
+    # -- introspection -----------------------------------------------------------
+
+    def __len__(self) -> int:
+        return self._size
+
+    def height(self) -> int:
+        h = 1
+        node = self._root
+        while not node.is_leaf:
+            node = node.entries[0]
+            h += 1
+        return h
+
+    def check_invariants(self) -> None:
+        """Verify MBR containment, parent pointers, fill factors (tests)."""
+
+        def rec(node: _RNode, depth: int, leaf_depth_box: List[int]) -> None:
+            if node is not self._root and not (
+                self.min_entries <= len(node.entries) <= self.max_entries
+            ):
+                raise AssertionError(
+                    f"node fill {len(node.entries)} outside "
+                    f"[{self.min_entries}, {self.max_entries}]"
+                )
+            if node.entries:
+                expect = node.entries[0].mbr
+                for e in node.entries[1:]:
+                    expect = mbr_union(expect, e.mbr)
+                if node.mbr != expect:
+                    raise AssertionError("stale node MBR")
+            if node.is_leaf:
+                if leaf_depth_box[0] == -1:
+                    leaf_depth_box[0] = depth
+                elif leaf_depth_box[0] != depth:
+                    raise AssertionError("leaves at different depths")
+                for item in node.entries:
+                    if item._leaf is not node:
+                        raise AssertionError("item leaf pointer stale")
+            else:
+                for child in node.entries:
+                    if child.parent is not node:
+                        raise AssertionError("child parent pointer stale")
+                    rec(child, depth + 1, leaf_depth_box)
+
+        rec(self._root, 0, [-1])

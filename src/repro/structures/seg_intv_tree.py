@@ -1,0 +1,216 @@
+"""Two-dimensional stabbing via a segment tree layered with interval trees.
+
+This is the paper's **Seg-Intv tree** baseline (Section 8): "the stabbing
+approach ... for 2D space, whose stabbing structure combines the segment
+tree and the interval tree".  Following de Berg et al. Ch. 10.3, a
+rectangle ``[x1, x2) x [y1, y2)`` is stored by its x-projection at the
+``O(log n)`` canonical nodes of a segment tree over the x-endpoints; every
+such node holds a *centered interval tree* over the y-projections of the
+rectangles assigned to it.  A stab at ``(vx, vy)`` walks the x root-to-
+leaf path for ``vx`` and stabs each visited node's y-tree with ``vy`` —
+output-sensitive up to the snapping slack inherited from the dynamic
+segment-tree skeleton (candidates are re-checked exactly).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+from ..core.geometry import MINUS_INFINITY, PLUS_INFINITY, BoundaryKey, Rect
+from .bst import build_skeleton
+from .interval_tree import CenteredIntervalTree, IntervalItem
+
+
+class SegIntvItem:
+    """Handle to one stored rectangle (``payload`` opaque to the tree)."""
+
+    __slots__ = ("rect", "payload", "alive", "_placements")
+
+    def __init__(self, rect: Rect, payload):
+        self.rect = rect
+        self.payload = payload
+        self.alive = True
+        #: (x-node, y-tree handle) per canonical x-node
+        self._placements: List[Tuple["_SegIntvNode", IntervalItem]] = []
+
+    def __repr__(self) -> str:
+        state = "alive" if self.alive else "dead"
+        return f"SegIntvItem({self.rect!r}, {self.payload!r}, {state})"
+
+
+class _SegIntvNode:
+    __slots__ = ("lo", "hi", "left", "right", "ytree")
+
+    def __init__(self, lo: BoundaryKey, hi: BoundaryKey):
+        self.lo = lo
+        self.hi = hi
+        self.left: Optional["_SegIntvNode"] = None
+        self.right: Optional["_SegIntvNode"] = None
+        self.ytree: Optional[CenteredIntervalTree] = None
+
+    def ensure_ytree(self) -> CenteredIntervalTree:
+        if self.ytree is None:
+            self.ytree = CenteredIntervalTree()
+        return self.ytree
+
+
+class SegIntvTree:
+    """Dynamic 2-D stabbing structure over :class:`Rect` items."""
+
+    __slots__ = (
+        "_root",
+        "_keys",
+        "_alive",
+        "_churn",
+        "_built_size",
+        "_min_rebuild",
+        "rebuild_count",
+    )
+
+    def __init__(self, items: Sequence[Tuple[Rect, object]] = (), min_rebuild: int = 16):
+        self._min_rebuild = min_rebuild
+        self.rebuild_count = 0
+        handles = [SegIntvItem(rect, payload) for rect, payload in items]
+        self._bulk_load(handles)
+
+    # -- construction ----------------------------------------------------
+
+    def _bulk_load(self, handles: List[SegIntvItem]) -> None:
+        handles = [h for h in handles if h.alive and not h.rect.is_empty()]
+        keys = {MINUS_INFINITY}
+        for h in handles:
+            xiv = h.rect.intervals[0]
+            keys.add(xiv.lo)
+            if xiv.hi != PLUS_INFINITY:
+                keys.add(xiv.hi)
+        self._keys = sorted(keys)
+        self._root = build_skeleton(self._keys, _SegIntvNode)
+        self._alive = 0
+        self._churn = 0
+        self._built_size = len(handles)
+        self.rebuild_count += 1
+        for h in handles:
+            h._placements = []
+            self._place(h)
+            self._alive += 1
+
+    # -- updates -----------------------------------------------------------
+
+    def insert(self, rect: Rect, payload) -> SegIntvItem:
+        """Store a rectangle; returns the handle used for removal."""
+        if rect.dims != 2:
+            raise ValueError(f"SegIntvTree stores 2-D rectangles, got {rect.dims}-D")
+        item = SegIntvItem(rect, payload)
+        if rect.is_empty():
+            return item
+        self._place(item)
+        self._alive += 1
+        self._churn += 1
+        self._maybe_rebuild()
+        return item
+
+    def remove(self, item: SegIntvItem) -> None:
+        """Delete a stored rectangle via its handle (idempotent)."""
+        if not item.alive:
+            return
+        item.alive = False
+        if item.rect.is_empty():
+            return
+        for node, yhandle in item._placements:
+            node.ytree.remove(yhandle)
+        item._placements = []
+        self._alive -= 1
+        self._churn += 1
+        self._maybe_rebuild()
+
+    def _place(self, item: SegIntvItem) -> None:
+        xiv = item.rect.intervals[0]
+        lo = self._snap_down(xiv.lo)
+        hi = self._snap_up(xiv.hi)
+        self._assign(self._root, lo, hi, item)
+
+    def _snap_down(self, key: BoundaryKey) -> BoundaryKey:
+        keys = self._keys
+        lo, hi = 0, len(keys)
+        while lo + 1 < hi:
+            mid = (lo + hi) // 2
+            if keys[mid] <= key:
+                lo = mid
+            else:
+                hi = mid
+        return keys[lo]
+
+    def _snap_up(self, key: BoundaryKey) -> BoundaryKey:
+        keys = self._keys
+        lo, hi = 0, len(keys)
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if keys[mid] < key:
+                lo = mid + 1
+            else:
+                hi = mid
+        return keys[lo] if lo < len(keys) else PLUS_INFINITY
+
+    def _assign(
+        self, node: Optional[_SegIntvNode], lo: BoundaryKey, hi: BoundaryKey, item: SegIntvItem
+    ) -> None:
+        if node is None or node.lo >= hi or node.hi <= lo:
+            return
+        if lo <= node.lo and node.hi <= hi:
+            yhandle = node.ensure_ytree().insert(item.rect.intervals[1], item)
+            item._placements.append((node, yhandle))
+            return
+        if node.left is None:
+            raise AssertionError("snapped endpoints must align with leaves")
+        self._assign(node.left, lo, hi, item)
+        self._assign(node.right, lo, hi, item)
+
+    def _maybe_rebuild(self) -> None:
+        if self._churn > max(self._min_rebuild, self._built_size):
+            self._bulk_load(self._collect_alive())
+
+    def _collect_alive(self) -> List[SegIntvItem]:
+        seen: Dict[int, SegIntvItem] = {}
+        stack = [self._root] if self._root is not None else []
+        while stack:
+            node = stack.pop()
+            if node.ytree is not None:
+                for ynode_item in node.ytree._collect_alive():
+                    item = ynode_item.payload
+                    if item.alive:
+                        seen[id(item)] = item
+            if node.left is not None:
+                stack.append(node.left)
+                stack.append(node.right)
+        return list(seen.values())
+
+    # -- queries --------------------------------------------------------------
+
+    def stab(self, point: Sequence[float]) -> Iterator[SegIntvItem]:
+        """Yield every alive stored rectangle containing ``point``."""
+        vx, vy = point[0], point[1]
+        for item in self.stab_candidates(point):
+            if item.rect.contains((vx, vy)):
+                yield item
+
+    def stab_candidates(self, point: Sequence[float]) -> Iterator[SegIntvItem]:
+        """Yield candidates: y-exact matches under the snapped x-cover."""
+        key: BoundaryKey = (point[0], 0)
+        node = self._root
+        if node is None or key >= node.hi:
+            return
+        vy = point[1]
+        while node is not None:
+            if node.ytree is not None:
+                for yitem in node.ytree.stab(vy):
+                    item: SegIntvItem = yitem.payload
+                    if item.alive:
+                        yield item
+            if node.left is None:
+                return
+            node = node.left if key < node.left.hi else node.right
+
+    # -- introspection -----------------------------------------------------------
+
+    def __len__(self) -> int:
+        return self._alive

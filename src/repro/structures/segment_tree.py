@@ -1,0 +1,231 @@
+"""Segment tree for stabbing queries over a dynamic interval set.
+
+The segment tree (de Berg et al., Ch. 10.3) stores each interval at the
+``O(log n)`` canonical nodes of a balanced skeleton built over the
+elementary intervals of the endpoint set; a stab at ``v`` walks one
+root-to-leaf path and reports every interval stored on it.  It is the
+x-dimension layer of the paper's 2-D **Seg-Intv tree** baseline, and a
+self-contained 1-D stabbing structure in its own right.
+
+Dynamisation (the skeleton is static in the textbook):
+
+* the skeleton covers the whole line (the leftmost leaf's jurisdiction is
+  extended to ``-inf``), so every interval can be stored;
+* an interval whose endpoints are not skeleton keys is stored on the
+  canonical cover of its *skeleton-aligned superset* (endpoints snapped
+  outward to existing keys).  The stab therefore over-reports — callers
+  must re-check candidates exactly — but never misses: the superset
+  contains the true interval.
+* a rebuild policy reconstructs the skeleton from the alive intervals'
+  true endpoints when churn (inserts or deletions since the last build)
+  exceeds the built size, which keeps the slack bounded and the expected
+  over-reporting low.
+
+Per-node interval sets are dicts keyed by handle, so deletion is O(1) per
+canonical node.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+from ..core.geometry import MINUS_INFINITY, PLUS_INFINITY, BoundaryKey, Interval
+from .bst import build_skeleton
+
+
+class SegmentItem:
+    """Handle to one stored interval (``payload`` opaque to the tree)."""
+
+    __slots__ = ("interval", "payload", "alive", "_nodes")
+
+    def __init__(self, interval: Interval, payload):
+        self.interval = interval
+        self.payload = payload
+        self.alive = True
+        self._nodes: List["_SegNode"] = []
+
+    def __repr__(self) -> str:
+        state = "alive" if self.alive else "dead"
+        return f"SegmentItem({self.interval!r}, {self.payload!r}, {state})"
+
+
+class _SegNode:
+    __slots__ = ("lo", "hi", "left", "right", "items")
+
+    def __init__(self, lo: BoundaryKey, hi: BoundaryKey):
+        self.lo = lo
+        self.hi = hi
+        self.left: Optional["_SegNode"] = None
+        self.right: Optional["_SegNode"] = None
+        self.items: Dict[int, SegmentItem] = {}
+
+
+class SegmentTree:
+    """Dynamic stabbing segment tree over :class:`Interval` items."""
+
+    __slots__ = (
+        "_root",
+        "_keys",
+        "_alive",
+        "_churn",
+        "_built_size",
+        "_min_rebuild",
+        "rebuild_count",
+    )
+
+    def __init__(self, items: Sequence[Tuple[Interval, object]] = (), min_rebuild: int = 16):
+        self._min_rebuild = min_rebuild
+        self.rebuild_count = 0
+        handles = [SegmentItem(iv, payload) for iv, payload in items]
+        self._bulk_load(handles)
+
+    # -- construction ----------------------------------------------------
+
+    def _bulk_load(self, handles: List[SegmentItem]) -> None:
+        handles = [h for h in handles if h.alive and not h.interval.is_empty()]
+        keys = {MINUS_INFINITY}
+        for h in handles:
+            keys.add(h.interval.lo)
+            if h.interval.hi != PLUS_INFINITY:
+                keys.add(h.interval.hi)
+        self._keys = sorted(keys)
+        self._root = build_skeleton(self._keys, _SegNode)
+        self._alive = 0
+        self._churn = 0
+        self._built_size = len(handles)
+        self.rebuild_count += 1
+        for h in handles:
+            h._nodes = []
+            self._place(h)
+            self._alive += 1
+
+    # -- updates -----------------------------------------------------------
+
+    def insert(self, interval: Interval, payload) -> SegmentItem:
+        """Store an interval; returns the handle used for removal."""
+        item = SegmentItem(interval, payload)
+        if interval.is_empty():
+            return item
+        self._place(item)
+        self._alive += 1
+        self._churn += 1
+        self._maybe_rebuild()
+        return item
+
+    def remove(self, item: SegmentItem) -> None:
+        """Delete a stored interval via its handle (idempotent)."""
+        if not item.alive:
+            return
+        item.alive = False
+        if item.interval.is_empty():
+            return
+        for node in item._nodes:
+            node.items.pop(id(item), None)
+        item._nodes = []
+        self._alive -= 1
+        self._churn += 1
+        self._maybe_rebuild()
+
+    def _place(self, item: SegmentItem) -> None:
+        """Store ``item`` on the canonical cover of its snapped superset."""
+        lo = self._snap_down(item.interval.lo)
+        hi = self._snap_up(item.interval.hi)
+        self._assign(self._root, lo, hi, item)
+
+    def _snap_down(self, key: BoundaryKey) -> BoundaryKey:
+        """Largest skeleton key <= key (the skeleton holds -inf, so one
+        always exists)."""
+        keys = self._keys
+        lo, hi = 0, len(keys)
+        while lo + 1 < hi:
+            mid = (lo + hi) // 2
+            if keys[mid] <= key:
+                lo = mid
+            else:
+                hi = mid
+        return keys[lo]
+
+    def _snap_up(self, key: BoundaryKey) -> BoundaryKey:
+        """Smallest skeleton key >= key, or +inf when none exists."""
+        keys = self._keys
+        lo, hi = 0, len(keys)
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if keys[mid] < key:
+                lo = mid + 1
+            else:
+                hi = mid
+        return keys[lo] if lo < len(keys) else PLUS_INFINITY
+
+    def _assign(self, node: Optional[_SegNode], lo: BoundaryKey, hi: BoundaryKey, item: SegmentItem) -> None:
+        if node is None or node.lo >= hi or node.hi <= lo:
+            return
+        if lo <= node.lo and node.hi <= hi:
+            node.items[id(item)] = item
+            item._nodes.append(node)
+            return
+        if node.left is None:
+            raise AssertionError("snapped endpoints must align with leaves")
+        self._assign(node.left, lo, hi, item)
+        self._assign(node.right, lo, hi, item)
+
+    def _maybe_rebuild(self) -> None:
+        if self._churn > max(self._min_rebuild, self._built_size):
+            self._bulk_load(self._collect_alive())
+
+    def _collect_alive(self) -> List[SegmentItem]:
+        seen: Dict[int, SegmentItem] = {}
+        stack = [self._root] if self._root is not None else []
+        while stack:
+            node = stack.pop()
+            for item in node.items.values():
+                if item.alive:
+                    seen[id(item)] = item
+            if node.left is not None:
+                stack.append(node.left)
+                stack.append(node.right)
+        return list(seen.values())
+
+    # -- queries --------------------------------------------------------------
+
+    def stab_candidates(self, value: float) -> Iterator[SegmentItem]:
+        """Yield alive items whose *snapped superset* contains ``value``.
+
+        Because intervals are stored on snapped supersets, the caller must
+        re-check each candidate against the item's true interval (or use
+        :meth:`stab` which does it here).
+        """
+        key: BoundaryKey = (value, 0)
+        node = self._root
+        if node is None or key >= node.hi:
+            return
+        while node is not None:
+            yield from node.items.values()
+            if node.left is None:
+                return
+            node = node.left if key < node.left.hi else node.right
+
+    def stab(self, value: float) -> Iterator[SegmentItem]:
+        """Yield every alive stored interval truly containing ``value``."""
+        for item in self.stab_candidates(value):
+            if item.interval.contains(value):
+                yield item
+
+    # -- introspection -----------------------------------------------------------
+
+    def __len__(self) -> int:
+        return self._alive
+
+    def check_invariants(self) -> None:
+        """Verify structural invariants (tests only)."""
+        for item in self._collect_alive():
+            lo = self._snap_down(item.interval.lo)
+            hi = self._snap_up(item.interval.hi)
+            covered = sorted((n.lo, n.hi) for n in item._nodes)
+            # The canonical nodes must tile [lo, hi) exactly.
+            assert covered, f"item {item!r} stored nowhere"
+            assert covered[0][0] == lo and covered[-1][1] == hi, (
+                f"cover of {item!r} does not span its snapped interval"
+            )
+            for (a_lo, a_hi), (b_lo, b_hi) in zip(covered, covered[1:]):
+                assert a_hi == b_lo, f"cover of {item!r} has a gap or overlap"

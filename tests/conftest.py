@@ -1,0 +1,62 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import random
+
+import numpy as np
+import pytest
+
+from repro import Interval, Query, Rect, StreamElement
+from repro.streams.scale import paper_params
+
+
+@pytest.fixture
+def rng():
+    """A deterministic numpy generator for workload-style randomness."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def pyrandom():
+    """A deterministic stdlib Random for structural fuzzing."""
+    return random.Random(12345)
+
+
+@pytest.fixture
+def tiny_params_1d():
+    """Very small 1-D workload parameters for fast end-to-end tests."""
+    return paper_params(dims=1, scale=20000)  # m=50, tau=1000
+
+
+@pytest.fixture
+def tiny_params_2d():
+    """Very small 2-D workload parameters for fast end-to-end tests."""
+    return paper_params(dims=2, scale=20000)
+
+
+def random_interval(rnd: random.Random, lo=0, hi=20) -> Interval:
+    """A random interval with random open/closed endpoint semantics."""
+    a, b = rnd.randint(lo, hi), rnd.randint(lo, hi)
+    a, b = min(a, b), max(a, b)
+    kind = rnd.choice(["closed", "half_open", "open", "left_open"])
+    return getattr(Interval, kind)(a, b)
+
+
+def random_rect(rnd: random.Random, dims: int, lo=0, hi=20) -> Rect:
+    """A random rectangle of the given dimensionality."""
+    return Rect([random_interval(rnd, lo, hi) for _ in range(dims)])
+
+
+def random_element(rnd: random.Random, dims: int, lo=0, hi=20) -> StreamElement:
+    """A random element; values mix integers (endpoint hits) and floats."""
+    value = tuple(
+        rnd.choice([float(rnd.randint(lo, hi)), rnd.uniform(lo, hi)])
+        for _ in range(dims)
+    )
+    return StreamElement(value, rnd.randint(1, 7))
+
+
+def random_query(rnd: random.Random, dims: int, query_id=None, max_tau=60) -> Query:
+    """A random query over the shared small domain."""
+    return Query(random_rect(rnd, dims), rnd.randint(1, max_tau), query_id=query_id)

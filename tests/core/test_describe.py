@@ -1,0 +1,44 @@
+"""Tests for the describe() diagnostics API."""
+
+import json
+
+from repro import RTSSystem, available_engines
+
+
+class TestDescribe:
+    def test_json_compatible_for_every_engine(self):
+        for name in available_engines():
+            dims = 2 if name in ("seg-intv-tree",) else 1
+            system = RTSSystem(dims=dims, engine=name)
+            bounds = [(0, 10)] * dims
+            system.register(bounds, threshold=5, query_id="q")
+            system.process(tuple([3.0] * dims) if dims > 1 else 3.0, weight=1)
+            payload = system.describe()
+            json.dumps(payload)  # must not raise
+            assert payload["alive"] == 1
+            assert payload["now"] == 1
+            assert payload["registered_total"] == 1
+
+    def test_dt_slots_reflect_log_method(self):
+        system = RTSSystem(dims=1, engine="dt")
+        for i in range(10):
+            system.register([(i, i + 1)], threshold=5, query_id=i)
+        slots = system.describe()["slots"]
+        alive_total = sum(s["alive"] for s in slots if s is not None)
+        assert alive_total == 10
+        for idx, slot in enumerate(slots):
+            if slot is not None:
+                assert slot["alive"] <= 2**idx  # P3 visible in diagnostics
+
+    def test_static_engine_tree_stats(self):
+        system = RTSSystem(dims=1, engine="dt-static")
+        system.register([(0, 10)], threshold=100, query_id="a")
+        tree = system.describe()["tree"]
+        assert tree["alive"] == 1 and tree["heap_entries"] >= 1
+
+    def test_matured_counts(self):
+        system = RTSSystem(dims=1)
+        system.register([(0, 10)], threshold=1, query_id="a")
+        system.process(5)
+        payload = system.describe()
+        assert payload["matured_total"] == 1 and payload["alive"] == 0

@@ -1,0 +1,110 @@
+"""Contract tests every engine must satisfy (beyond maturity equality)."""
+
+import pytest
+
+from repro import Query, RTSSystem, StreamElement, available_engines, make_engine
+from repro.core.engine import EngineError
+
+
+def engines_for(dims):
+    out = []
+    for name in available_engines():
+        if name == "interval-tree" and dims != 1:
+            continue
+        if name == "seg-intv-tree" and dims != 2:
+            continue
+        out.append(name)
+    return out
+
+
+@pytest.mark.parametrize("name", engines_for(1))
+class TestContract1D:
+    def test_duplicate_registration_raises(self, name):
+        engine = make_engine(name, dims=1)
+        engine.register(Query([(0, 1)], 5, query_id="x"))
+        with pytest.raises(EngineError):
+            engine.register(Query([(2, 3)], 5, query_id="x"))
+
+    def test_terminate_is_idempotent_and_typed(self, name):
+        engine = make_engine(name, dims=1)
+        engine.register(Query([(0, 1)], 5, query_id="x"))
+        assert engine.terminate("x") is True
+        assert engine.terminate("x") is False
+        assert engine.terminate("never-existed") is False
+
+    def test_dims_validation(self, name):
+        engine = make_engine(name, dims=1)
+        with pytest.raises(ValueError):
+            engine.register(Query([(0, 1), (0, 1)], 5))
+        with pytest.raises(ValueError):
+            engine.process(StreamElement((1.0, 2.0), 1), 1)
+
+    def test_collected_weight_keyerror_for_unknown(self, name):
+        engine = make_engine(name, dims=1)
+        with pytest.raises(KeyError):
+            engine.collected_weight("ghost")
+
+    def test_collected_weight_keyerror_after_maturity(self, name):
+        engine = make_engine(name, dims=1)
+        engine.register(Query([(0, 10)], 2, query_id="x"))
+        engine.process(StreamElement(5.0, 2), 1)
+        with pytest.raises(KeyError):
+            engine.collected_weight("x")
+
+    def test_maturity_event_timestamp_is_the_passed_one(self, name):
+        engine = make_engine(name, dims=1)
+        engine.register(Query([(0, 10)], 1, query_id="x"))
+        events = engine.process(StreamElement(5.0, 1), timestamp=77)
+        assert events[0].timestamp == 77
+
+    def test_register_then_empty_stream_keeps_alive(self, name):
+        engine = make_engine(name, dims=1)
+        engine.register(Query([(0, 10)], 1, query_id="x"))
+        assert engine.alive_count == 1
+
+    def test_describe_is_dict(self, name):
+        engine = make_engine(name, dims=1)
+        payload = engine.describe()
+        assert payload["engine"] == engine.name
+        assert payload["alive"] == 0
+
+
+class TestEdgeWorkloads:
+    @pytest.mark.parametrize("name", engines_for(1))
+    def test_single_query_m_equals_one(self, name):
+        system = RTSSystem(dims=1, engine=name)
+        q = system.register([(5, 5)], threshold=3)  # point interval [5,5]
+        for t in range(1, 10):
+            system.process(5.0)
+            if system.maturity_time(q):
+                break
+        assert system.maturity_time(q) == 3
+
+    @pytest.mark.parametrize("name", engines_for(1))
+    def test_threshold_one_fires_on_first_hit(self, name):
+        system = RTSSystem(dims=1, engine=name)
+        q = system.register([(0, 10)], threshold=1)
+        system.process(20.0)  # miss
+        events = system.process(1.0)
+        assert len(events) == 1 and events[0].timestamp == 2
+
+    @pytest.mark.parametrize("name", engines_for(2))
+    def test_unbounded_2d_region(self, name):
+        from repro import Interval, Rect
+
+        system = RTSSystem(dims=2, engine=name)
+        q = system.register(
+            Rect([Interval.everything(), Interval.at_least(100)]), threshold=2
+        )
+        system.process((1e9, 100.0))
+        system.process((-1e9, 1e12))
+        assert system.maturity_time(q) == 2
+
+    def test_many_simultaneous_maturities_single_element(self):
+        for name in engines_for(1):
+            system = RTSSystem(dims=1, engine=name)
+            for i in range(30):
+                system.register([(0, 10)], threshold=5, query_id=i)
+            events = system.process(5.0, weight=5)
+            assert len(events) == 30, name
+            assert system.alive_count == 0

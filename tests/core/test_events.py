@@ -1,0 +1,65 @@
+"""Unit tests for maturity events and the dispatcher."""
+
+import pytest
+
+from repro import MaturityEvent, Query
+from repro.core.events import EventDispatcher
+
+
+def _query(tau=10):
+    return Query([(0, 1)], tau, query_id="q")
+
+
+class TestMaturityEvent:
+    def test_fields(self):
+        ev = MaturityEvent(query=_query(), timestamp=7, weight_seen=12)
+        assert ev.timestamp == 7 and ev.weight_seen == 12
+
+    def test_weight_can_overshoot_threshold(self):
+        MaturityEvent(query=_query(10), timestamp=1, weight_seen=150)
+
+    def test_weight_below_threshold_rejected(self):
+        with pytest.raises(ValueError):
+            MaturityEvent(query=_query(10), timestamp=1, weight_seen=9)
+
+    def test_frozen(self):
+        ev = MaturityEvent(query=_query(), timestamp=1, weight_seen=10)
+        with pytest.raises(AttributeError):
+            ev.timestamp = 2
+
+
+class TestEventDispatcher:
+    def test_dispatch_in_subscription_order(self):
+        d = EventDispatcher()
+        seen = []
+        d.subscribe(lambda ev: seen.append("a"))
+        d.subscribe(lambda ev: seen.append("b"))
+        d.dispatch(MaturityEvent(query=_query(), timestamp=1, weight_seen=10))
+        assert seen == ["a", "b"]
+
+    def test_unsubscribe(self):
+        d = EventDispatcher()
+        seen = []
+        cb = lambda ev: seen.append(1)  # noqa: E731
+        d.subscribe(cb)
+        d.unsubscribe(cb)
+        d.dispatch(MaturityEvent(query=_query(), timestamp=1, weight_seen=10))
+        assert seen == [] and len(d) == 0
+
+    def test_unsubscribe_unknown_raises(self):
+        with pytest.raises(ValueError):
+            EventDispatcher().unsubscribe(lambda ev: None)
+
+    def test_non_callable_rejected(self):
+        with pytest.raises(TypeError):
+            EventDispatcher().subscribe("nope")
+
+    def test_listener_exception_propagates(self):
+        d = EventDispatcher()
+
+        def boom(ev):
+            raise RuntimeError("listener failed")
+
+        d.subscribe(boom)
+        with pytest.raises(RuntimeError, match="listener failed"):
+            d.dispatch(MaturityEvent(query=_query(), timestamp=1, weight_seen=10))

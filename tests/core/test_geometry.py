@@ -1,0 +1,217 @@
+"""Unit tests for boundary keys, intervals, and rectangles."""
+
+import math
+
+import pytest
+
+from repro.core.geometry import (
+    MINUS_INFINITY,
+    PLUS_INFINITY,
+    Interval,
+    Rect,
+    lower_key,
+    upper_key,
+    value_key,
+)
+
+
+class TestBoundaryKeys:
+    def test_value_key_is_at_bit(self):
+        assert value_key(3.0) == (3.0, 0)
+
+    def test_lower_key_closed_vs_open(self):
+        assert lower_key(5.0, closed=True) == (5.0, 0)
+        assert lower_key(5.0, closed=False) == (5.0, 1)
+
+    def test_upper_key_closed_vs_open(self):
+        assert upper_key(5.0, closed=True) == (5.0, 1)
+        assert upper_key(5.0, closed=False) == (5.0, 0)
+
+    def test_epsilon_ordering(self):
+        # (v, 1) sits strictly between v and every larger value.
+        assert (5.0, 0) < (5.0, 1) < (5.0000001, 0)
+
+    def test_infinities_bound_everything(self):
+        assert MINUS_INFINITY < (-1e300, 0) and (1e300, 1) < PLUS_INFINITY
+
+
+class TestIntervalMembership:
+    def test_half_open_contains_left_not_right(self):
+        iv = Interval.half_open(3, 7)
+        assert 3 in iv and 6.999 in iv
+        assert 7 not in iv and 2.999 not in iv
+
+    def test_closed_contains_both_ends(self):
+        iv = Interval.closed(3, 7)
+        assert 3 in iv and 7 in iv
+        assert 7.0000001 not in iv
+
+    def test_open_contains_neither_end(self):
+        iv = Interval.open(3, 7)
+        assert 3 not in iv and 7 not in iv
+        assert 3.0001 in iv
+
+    def test_left_open_contains_right_only(self):
+        iv = Interval.left_open(3, 7)
+        assert 3 not in iv and 7 in iv
+
+    def test_point_interval_is_single_value(self):
+        iv = Interval.point(5)
+        assert 5 in iv
+        assert 4.999999 not in iv and 5.000001 not in iv
+        assert not iv.is_empty()
+
+    def test_at_most_and_at_least(self):
+        assert -1e9 in Interval.at_most(7) and 7 in Interval.at_most(7)
+        assert 8 not in Interval.at_most(7)
+        assert 3 in Interval.at_least(3) and 1e9 in Interval.at_least(3)
+        assert 2.999 not in Interval.at_least(3)
+
+    def test_less_than_excludes_bound(self):
+        assert 7 not in Interval.less_than(7) and 6.999 in Interval.less_than(7)
+
+    def test_everything_matches_everything(self):
+        iv = Interval.everything()
+        assert 0 in iv and -1e308 in iv and 1e308 in iv
+
+
+class TestIntervalPredicates:
+    def test_empty_when_degenerate(self):
+        assert Interval.half_open(5, 5).is_empty()
+        assert Interval.open(5, 5).is_empty()
+        assert not Interval.closed(5, 5).is_empty()
+
+    def test_empty_when_reversed(self):
+        assert Interval.half_open(7, 3).is_empty()
+
+    def test_intersects(self):
+        assert Interval.closed(1, 5).intersects(Interval.closed(5, 9))
+        assert not Interval.half_open(1, 5).intersects(Interval.half_open(5, 9))
+        assert not Interval.closed(1, 2).intersects(Interval.closed(3, 4))
+
+    def test_covers(self):
+        assert Interval.closed(1, 9).covers(Interval.open(1, 9))
+        assert not Interval.open(1, 9).covers(Interval.closed(1, 9))
+        # Every interval covers an empty one.
+        assert Interval.closed(1, 2).covers(Interval.half_open(5, 5))
+
+    def test_length(self):
+        assert Interval.half_open(3, 7).length() == 4
+        assert Interval.half_open(7, 3).length() == 0
+
+    def test_intersection(self):
+        out = Interval.closed(1, 5).intersection(Interval.half_open(3, 9))
+        assert 3 in out and 5 in out and 5.01 not in out
+        empty = Interval.closed(1, 2).intersection(Interval.closed(5, 6))
+        assert empty.is_empty()
+
+    def test_contains_key(self):
+        iv = Interval.closed(3, 7)
+        assert iv.contains_key((7, 0))
+        assert not iv.contains_key((7, 1))
+
+
+class TestIntervalPlumbing:
+    def test_equality_and_hash(self):
+        assert Interval.closed(3, 7) == Interval.closed(3, 7)
+        assert Interval.closed(3, 7) != Interval.half_open(3, 7)
+        assert hash(Interval.closed(3, 7)) == hash(Interval.closed(3, 7))
+
+    def test_empty_intervals_are_equal(self):
+        assert Interval.half_open(5, 5) == Interval.half_open(9, 9)
+        assert hash(Interval.half_open(5, 5)) == hash(Interval.open(2, 2))
+
+    def test_immutable(self):
+        iv = Interval.closed(1, 2)
+        with pytest.raises(AttributeError):
+            iv.lo = (0, 0)
+
+    def test_repr_shows_braces(self):
+        assert repr(Interval.closed(3, 7)) == "Interval[3, 7]"
+        assert repr(Interval.open(3, 7)) == "Interval(3, 7)"
+
+    def test_constructor_rejects_plain_numbers(self):
+        with pytest.raises(TypeError):
+            Interval(3, 7)
+
+    def test_constructor_rejects_bad_bits(self):
+        with pytest.raises(ValueError):
+            Interval((3.0, 2), (7.0, 0))
+
+
+class TestRect:
+    def test_closed_constructor_and_contains(self):
+        rect = Rect.closed([(0, 10), (-5, 5)])
+        assert rect.contains((10, 5)) and rect.contains((0, -5))
+        assert not rect.contains((10.0001, 0))
+        assert not rect.contains((5, 5.0001))
+
+    def test_half_open_constructor(self):
+        rect = Rect.half_open([(0, 10)])
+        assert rect.contains((0,)) and not rect.contains((10,))
+
+    def test_from_interval(self):
+        rect = Rect.from_interval(Interval.closed(1, 2))
+        assert rect.dims == 1 and (1.5,) in rect
+
+    def test_mixed_interval_kinds(self):
+        rect = Rect([Interval.closed(100, 105), Interval.at_most(4600)])
+        assert rect.contains((105, 4600))
+        assert not rect.contains((105, 4600.5))
+        assert rect.contains((100, -1e9))
+
+    def test_dims_and_projection(self):
+        rect = Rect.closed([(0, 1), (2, 3), (4, 5)])
+        assert rect.dims == 3
+        assert rect.interval(1) == Interval.closed(2, 3)
+
+    def test_contains_wrong_arity_raises(self):
+        with pytest.raises(ValueError):
+            Rect.closed([(0, 1)]).contains((0, 1))
+
+    def test_is_empty_any_dimension(self):
+        assert Rect([Interval.closed(0, 1), Interval.open(5, 5)]).is_empty()
+        assert not Rect.closed([(0, 1), (5, 5)]).is_empty()
+
+    def test_intersects_and_covers(self):
+        a = Rect.closed([(0, 10), (0, 10)])
+        b = Rect.closed([(5, 15), (5, 15)])
+        c = Rect.closed([(11, 15), (0, 10)])
+        assert a.intersects(b) and not a.intersects(c)
+        assert a.covers(Rect.closed([(1, 2), (3, 4)]))
+        assert not a.covers(b)
+
+    def test_dim_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            Rect.closed([(0, 1)]).intersects(Rect.closed([(0, 1), (0, 1)]))
+
+    def test_volume(self):
+        assert Rect.half_open([(0, 2), (0, 3)]).volume() == 6
+
+    def test_needs_at_least_one_dim(self):
+        with pytest.raises(ValueError):
+            Rect([])
+
+    def test_rejects_non_intervals(self):
+        with pytest.raises(TypeError):
+            Rect([(0, 1)])
+
+    def test_immutable_and_hashable(self):
+        rect = Rect.closed([(0, 1)])
+        with pytest.raises(AttributeError):
+            rect.intervals = ()
+        assert rect == Rect.closed([(0, 1)])
+        assert hash(rect) == hash(Rect.closed([(0, 1)]))
+
+    def test_in_operator(self):
+        assert (0.5,) in Rect.closed([(0, 1)])
+
+
+class TestNanRejection:
+    def test_interval_bounds_must_not_be_nan(self):
+        import math
+
+        with pytest.raises(ValueError, match="NaN"):
+            Interval((math.nan, 0), (1.0, 0))
+        with pytest.raises(ValueError, match="NaN"):
+            Interval.closed(0, math.nan)

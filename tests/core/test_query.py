@@ -1,0 +1,76 @@
+"""Unit tests for the query model and input coercion."""
+
+import pytest
+
+from repro import Interval, Query, Rect
+from repro.core.query import QueryStatus, coerce_rect
+
+
+class TestCoerceRect:
+    def test_rect_passthrough(self):
+        rect = Rect.closed([(0, 1)])
+        assert coerce_rect(rect) is rect
+
+    def test_interval_becomes_1d_rect(self):
+        rect = coerce_rect(Interval.closed(3, 7))
+        assert rect.dims == 1 and (5,) in rect
+
+    def test_pairs_become_closed_bounds(self):
+        rect = coerce_rect([(100, 105), (0, 4600)])
+        assert rect.dims == 2
+        assert rect.contains((105, 4600))  # closed ends included
+
+    def test_dims_check(self):
+        with pytest.raises(ValueError):
+            coerce_rect([(0, 1)], dims=2)
+
+    def test_garbage_raises_type_error(self):
+        with pytest.raises(TypeError):
+            coerce_rect("not a region")
+
+
+class TestQuery:
+    def test_basic_construction(self):
+        q = Query([(100, 105)], 1000)
+        assert q.threshold == 1000
+        assert q.dims == 1
+        assert q.matches((102,)) and not q.matches((106,))
+
+    def test_auto_ids_are_unique(self):
+        a, b = Query([(0, 1)], 1), Query([(0, 1)], 1)
+        assert a.query_id != b.query_id
+
+    def test_explicit_id(self):
+        q = Query([(0, 1)], 1, query_id="alert-7")
+        assert q.query_id == "alert-7"
+
+    def test_threshold_must_be_positive_int(self):
+        with pytest.raises(ValueError):
+            Query([(0, 1)], 0)
+        with pytest.raises(ValueError):
+            Query([(0, 1)], -3)
+        with pytest.raises(TypeError):
+            Query([(0, 1)], 1.5)
+        with pytest.raises(TypeError):
+            Query([(0, 1)], True)  # bools are not thresholds
+
+    def test_repr_mentions_id_and_threshold(self):
+        q = Query([(0, 1)], 42, query_id="x")
+        assert "x" in repr(q) and "42" in repr(q)
+
+    def test_paper_example_2d(self):
+        # "price in [100,105] and NASDAQ at 4600 or lower"
+        q = Query(
+            Rect([Interval.closed(100, 105), Interval.at_most(4600)]),
+            100_000,
+        )
+        assert q.matches((103, 4599.5))
+        assert not q.matches((103, 4600.1))
+        assert not q.matches((99, 4000))
+
+
+class TestQueryStatus:
+    def test_enum_values(self):
+        assert QueryStatus.ALIVE.value == "alive"
+        assert QueryStatus.MATURED.value == "matured"
+        assert QueryStatus.TERMINATED.value == "terminated"

@@ -1,0 +1,100 @@
+"""Unit tests for JSON serialization of the core model objects."""
+
+import json
+import math
+
+import pytest
+
+from repro import Interval, Query, Rect, StreamElement
+from repro.core.serialize import (
+    boundary_from_obj,
+    boundary_to_obj,
+    element_from_obj,
+    element_to_obj,
+    interval_from_obj,
+    interval_to_obj,
+    query_from_obj,
+    query_to_obj,
+    rect_from_obj,
+    rect_to_obj,
+)
+
+
+def roundtrip_json(obj):
+    """Force a real JSON round-trip (catches non-serialisable values)."""
+    return json.loads(json.dumps(obj))
+
+
+class TestBoundary:
+    def test_roundtrip(self):
+        for key in [(3.5, 0), (3.5, 1), (math.inf, 1), (-math.inf, 0)]:
+            assert boundary_from_obj(roundtrip_json(boundary_to_obj(key))) == key
+
+    def test_bad_bit(self):
+        with pytest.raises(ValueError):
+            boundary_from_obj([1.0, 2])
+
+
+class TestInterval:
+    @pytest.mark.parametrize(
+        "iv",
+        [
+            Interval.closed(1, 2),
+            Interval.open(1, 2),
+            Interval.half_open(-5, 5),
+            Interval.left_open(0, 0.5),
+            Interval.point(7),
+            Interval.at_most(3),
+            Interval.at_least(3),
+            Interval.everything(),
+        ],
+    )
+    def test_roundtrip_preserves_semantics(self, iv):
+        back = interval_from_obj(roundtrip_json(interval_to_obj(iv)))
+        assert back == iv
+
+
+class TestRectAndQuery:
+    def test_rect_roundtrip(self):
+        rect = Rect([Interval.closed(0, 1), Interval.at_most(100)])
+        assert rect_from_obj(roundtrip_json(rect_to_obj(rect))) == rect
+
+    def test_query_roundtrip(self):
+        q = Query([(100, 105), (0, 4600)], 100_000, query_id="alert-1")
+        back = query_from_obj(roundtrip_json(query_to_obj(q)))
+        assert back.query_id == q.query_id
+        assert back.threshold == q.threshold
+        assert back.rect == q.rect
+
+
+class TestElement:
+    def test_roundtrip(self):
+        e = StreamElement((1.5, 2.0), weight=7)
+        assert element_from_obj(roundtrip_json(element_to_obj(e))) == e
+
+
+class TestWorkloadScriptPersistence:
+    def test_save_load_replays_identically(self, tmp_path):
+        from repro import RTSSystem
+        from repro.streams.scale import paper_params
+        from repro.streams.workload import WorkloadScript, build_stochastic_workload
+
+        script = build_stochastic_workload(
+            paper_params(dims=2, scale=25000), seed=9, p_ins=0.4
+        )
+        path = tmp_path / "workload.json"
+        script.save(path)
+        loaded = WorkloadScript.load(path)
+        assert loaded.mode == script.mode
+        assert loaded.params == script.params
+        assert loaded.expected_maturities == script.expected_maturities
+        assert loaded.operation_count() == script.operation_count()
+        loaded.verify(RTSSystem(dims=2, engine="dt"))
+
+    def test_load_rejects_foreign_files(self, tmp_path):
+        from repro.streams.workload import WorkloadScript
+
+        path = tmp_path / "other.json"
+        path.write_text(json.dumps({"format": "something-else"}))
+        with pytest.raises(ValueError, match="rts-workload-v1"):
+            WorkloadScript.load(path)

@@ -1,0 +1,35 @@
+"""Unit tests for the DT message vocabulary."""
+
+from repro.dt.messages import COORDINATOR, Message, MessageType
+
+
+class TestMessage:
+    def test_fields_and_cost(self):
+        msg = Message(MessageType.SLACK, COORDINATOR, 2, payload=17)
+        assert msg.words == 1  # every message is one word (paper model)
+
+    def test_repr_names_sites(self):
+        msg = Message(MessageType.SIGNAL, 0, COORDINATOR)
+        assert repr(msg) == "s1->q:signal"
+        msg = Message(MessageType.SLACK, COORDINATOR, 2, payload=5)
+        assert repr(msg) == "q->s3:slack(5)"
+
+    def test_frozen(self):
+        msg = Message(MessageType.SIGNAL, 0, COORDINATOR)
+        try:
+            msg.payload = 5
+            raised = False
+        except AttributeError:
+            raised = True
+        assert raised
+
+    def test_all_types_enumerated(self):
+        names = {t.value for t in MessageType}
+        assert names == {
+            "slack",
+            "signal",
+            "collect",
+            "report",
+            "round_end",
+            "final_phase",
+        }

@@ -1,0 +1,53 @@
+"""Unit tests for the star-topology network simulator."""
+
+import pytest
+
+from repro.dt.messages import COORDINATOR, Message, MessageType
+from repro.dt.network import StarNetwork
+
+
+class TestStarNetwork:
+    def test_delivery_and_accounting(self):
+        net = StarNetwork()
+        got = []
+        net.attach(COORDINATOR, got.append)
+        net.attach(0, got.append)
+        net.send(Message(MessageType.SIGNAL, 0, COORDINATOR))
+        net.send(Message(MessageType.SLACK, COORDINATOR, 0, payload=3))
+        assert len(got) == 2
+        assert net.messages_sent == 2 and net.words_sent == 2
+        assert net.per_type[MessageType.SIGNAL] == 1
+
+    def test_participant_to_participant_forbidden(self):
+        net = StarNetwork()
+        net.attach(0, lambda m: None)
+        net.attach(1, lambda m: None)
+        with pytest.raises(ValueError, match="may not talk"):
+            net.send(Message(MessageType.SIGNAL, 0, 1))
+
+    def test_unattached_destination(self):
+        net = StarNetwork()
+        net.attach(0, lambda m: None)
+        with pytest.raises(KeyError):
+            net.send(Message(MessageType.SIGNAL, 0, COORDINATOR))
+
+    def test_double_attach_rejected(self):
+        net = StarNetwork()
+        net.attach(0, lambda m: None)
+        with pytest.raises(ValueError):
+            net.attach(0, lambda m: None)
+
+    def test_trace_log(self):
+        net = StarNetwork(trace=True)
+        net.attach(COORDINATOR, lambda m: None)
+        net.send(Message(MessageType.SIGNAL, 0, COORDINATOR))
+        assert len(net.log) == 1
+
+    def test_reset_stats_keeps_handlers(self):
+        net = StarNetwork(trace=True)
+        net.attach(COORDINATOR, lambda m: None)
+        net.send(Message(MessageType.SIGNAL, 0, COORDINATOR))
+        net.reset_stats()
+        assert net.messages_sent == 0 and net.log == []
+        net.send(Message(MessageType.SIGNAL, 0, COORDINATOR))  # still works
+        assert net.messages_sent == 1

@@ -1,0 +1,98 @@
+"""Unit tests for participant-side protocol behaviour."""
+
+import pytest
+
+from repro.dt.messages import COORDINATOR, Message, MessageType
+from repro.dt.network import StarNetwork
+from repro.dt.participant import Participant, ParticipantMode
+
+
+def wire(trace=True):
+    """A network whose coordinator records everything it receives."""
+    net = StarNetwork(trace=trace)
+    inbox = []
+    net.attach(COORDINATOR, inbox.append)
+    return net, inbox
+
+
+class TestSlackRule:
+    def test_idle_until_slack_announced(self):
+        net, inbox = wire()
+        p = Participant(0, net)
+        p.increase(5)
+        assert inbox == []  # no round yet: nothing to send
+        assert p.mode is ParticipantMode.IDLE
+
+    def test_signal_fires_exactly_at_slack(self):
+        net, inbox = wire()
+        p = Participant(0, net)
+        net.send(Message(MessageType.SLACK, COORDINATOR, 0, payload=3))
+        inbox.clear()
+        p.increase(1)
+        p.increase(1)
+        assert inbox == []
+        p.increase(1)  # growth reaches lambda = 3
+        assert [m.mtype for m in inbox] == [MessageType.SIGNAL]
+
+    def test_weighted_drain_emits_multiple_signals(self):
+        net, inbox = wire()
+        p = Participant(0, net)
+        net.send(Message(MessageType.SLACK, COORDINATOR, 0, payload=3))
+        inbox.clear()
+        p.increase(10)  # covers 3 slacks, residual 1
+        assert [m.mtype for m in inbox] == [MessageType.SIGNAL] * 3
+        assert p.c - p.cbar == 1
+
+    def test_growth_measured_from_slack_announcement(self):
+        net, inbox = wire()
+        p = Participant(0, net)
+        p.c = 100  # pre-existing counts must not trigger signals
+        net.send(Message(MessageType.SLACK, COORDINATOR, 0, payload=5))
+        inbox.clear()
+        p.increase(4)
+        assert inbox == []
+
+
+class TestCollectAndPhases:
+    def test_collect_reports_precise_counter(self):
+        net, inbox = wire()
+        p = Participant(0, net)
+        net.send(Message(MessageType.SLACK, COORDINATOR, 0, payload=100))
+        p.increase(7)
+        inbox.clear()
+        net.send(Message(MessageType.COLLECT, COORDINATOR, 0))
+        assert inbox[0].mtype is MessageType.REPORT and inbox[0].payload == 7
+
+    def test_round_end_stops_signalling(self):
+        net, inbox = wire()
+        p = Participant(0, net)
+        net.send(Message(MessageType.SLACK, COORDINATOR, 0, payload=2))
+        net.send(Message(MessageType.ROUND_END, COORDINATOR, 0))
+        inbox.clear()
+        p.increase(10)
+        assert inbox == []
+        assert p.mode is ParticipantMode.IDLE
+
+    def test_final_phase_forwards_every_increment(self):
+        net, inbox = wire()
+        p = Participant(0, net)
+        net.send(Message(MessageType.FINAL_PHASE, COORDINATOR, 0))
+        inbox.clear()
+        p.increase(4)
+        p.increase(9)
+        assert [(m.mtype, m.payload) for m in inbox] == [
+            (MessageType.SIGNAL, 4),
+            (MessageType.SIGNAL, 9),
+        ]
+
+    def test_unexpected_message_raises(self):
+        net, _ = wire()
+        p = Participant(0, net)
+        with pytest.raises(ValueError):
+            p.handle(Message(MessageType.REPORT, COORDINATOR, 0, payload=1))
+
+    def test_increase_must_be_positive(self):
+        net, _ = wire()
+        p = Participant(0, net)
+        with pytest.raises(ValueError):
+            p.increase(-1)

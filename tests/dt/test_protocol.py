@@ -1,0 +1,176 @@
+"""Protocol-level tests: exactness, message bounds, round structure.
+
+These validate the two theorems the RTS reduction relies on:
+
+* the coordinator declares maturity at exactly the first timestamp where
+  the counter sum reaches tau (never early, never late);
+* total communication is O(h log tau) messages.
+"""
+
+import math
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dt.coordinator import Coordinator
+from repro.dt.network import StarNetwork
+from repro.dt.participant import Participant
+from repro.dt.protocol import (
+    NaiveTracker,
+    run_naive,
+    run_tracking,
+    run_unweighted,
+)
+
+
+def first_crossing(increments, tau):
+    """Reference maturity: 1-based step where the prefix sum reaches tau."""
+    total = 0
+    for i, (_site, delta) in enumerate(increments, start=1):
+        total += delta
+        if total >= tau:
+            return i, total
+    return None, None
+
+
+class TestUnweighted:
+    @pytest.mark.parametrize("h,tau", [(1, 1), (1, 100), (3, 7), (3, 1000), (8, 5000)])
+    def test_maturity_exactly_at_tau_increments(self, h, tau):
+        rnd = random.Random(h * tau)
+        sites = [rnd.randrange(h) for _ in range(tau + 20)]
+        res = run_unweighted(h, tau, sites)
+        assert res.matured_at_step == tau
+        assert res.total_collected == tau
+
+    def test_no_maturity_below_tau(self):
+        res = run_unweighted(4, 100, [0, 1, 2, 3] * 20)  # 80 < 100
+        assert not res.matured
+        assert res.matured_at_step is None
+
+    def test_small_tau_uses_straightforward_phase(self):
+        # tau <= 6h: no rounds at all, every increment forwarded.
+        res = run_unweighted(4, 10, [0, 1, 2, 3, 0, 1, 2, 3, 0, 1])
+        assert res.matured_at_step == 10
+        assert res.rounds == 0
+
+    def test_message_bound_h_log_tau(self):
+        rnd = random.Random(5)
+        for h in (2, 4, 8, 16):
+            for tau in (100, 10_000, 1_000_000):
+                sites = (rnd.randrange(h) for _ in range(tau))
+                res = run_unweighted(h, tau, sites)
+                bound = 14 * h * (math.log2(tau) + 2)
+                assert res.messages <= bound, (h, tau, res.messages, bound)
+
+    def test_round_count_logarithmic(self):
+        res = run_unweighted(4, 2**16, (i % 4 for i in range(2**16)))
+        assert res.rounds <= 2 * 16  # tau shrinks by >= 1/3 per round
+
+    def test_protocol_beats_naive_by_orders_of_magnitude(self):
+        h, tau = 8, 100_000
+        incs = [(i % h, 1) for i in range(tau)]
+        protocol = run_tracking(h, tau, incs)
+        naive = run_naive(h, tau, incs)
+        assert naive.messages == tau
+        assert protocol.messages < tau / 50
+
+
+class TestWeighted:
+    def test_maturity_at_first_crossing(self):
+        rnd = random.Random(9)
+        for trial in range(50):
+            h = rnd.randint(1, 10)
+            tau = rnd.randint(1, 5000)
+            incs = []
+            total = 0
+            while total <= tau + 200:
+                d = rnd.randint(1, 80)
+                incs.append((rnd.randrange(h), d))
+                total += d
+            expect = first_crossing(incs, tau)
+            res = run_tracking(h, tau, incs)
+            assert (res.matured_at_step, res.total_collected) == expect
+
+    def test_single_giant_increment(self):
+        res = run_tracking(4, 1_000_000, [(2, 10_000_000)])
+        assert res.matured_at_step == 1
+        assert res.total_collected == 10_000_000
+
+    def test_weighted_message_bound(self):
+        rnd = random.Random(3)
+        h, tau = 8, 500_000
+        incs = []
+        total = 0
+        while total < tau:
+            d = rnd.randint(1, 1000)
+            incs.append((rnd.randrange(h), d))
+            total += d
+        res = run_tracking(h, tau, incs)
+        bound = 14 * h * (math.log2(tau) + 2)
+        assert res.messages <= bound
+
+    def test_weighted_cpu_proportional_to_n_not_tau(self):
+        # tau >> n: the weighted algorithm must not decompose increments
+        # into unit steps.  We check via the message count staying small.
+        res = run_tracking(2, 10**9, [(0, 10**8), (1, 10**8)] * 5)
+        assert res.matured
+        assert res.messages < 1000
+
+    def test_invalid_increment_rejected(self):
+        net = StarNetwork()
+        Coordinator(2, 10, net)
+        p = Participant(0, net)
+        Participant(1, net)
+        with pytest.raises(ValueError):
+            p.increase(0)
+
+    def test_site_out_of_range(self):
+        with pytest.raises(ValueError):
+            run_tracking(2, 10, [(5, 1)])
+
+
+class TestNaiveTracker:
+    def test_message_per_increment(self):
+        tracker = NaiveTracker(2, 10)
+        for i in range(10):
+            tracker.increase(i % 2)
+        assert tracker.matured and tracker.messages == 10
+
+    def test_ignores_after_maturity(self):
+        tracker = NaiveTracker(1, 2)
+        tracker.increase(0)
+        tracker.increase(0)
+        tracker.increase(0)
+        assert tracker.total == 2  # post-maturity increments dropped
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            NaiveTracker(0, 5)
+        with pytest.raises(ValueError):
+            NaiveTracker(2, 10).increase(7)
+
+
+class TestCoordinatorValidation:
+    def test_bad_parameters(self):
+        with pytest.raises(ValueError):
+            Coordinator(0, 10, StarNetwork())
+        with pytest.raises(ValueError):
+            Coordinator(2, 0, StarNetwork())
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    h=st.integers(1, 8),
+    tau=st.integers(1, 2000),
+    data=st.data(),
+)
+def test_property_weighted_exactness(h, tau, data):
+    deltas = data.draw(
+        st.lists(st.tuples(st.integers(0, h - 1), st.integers(1, 50)),
+                 min_size=0, max_size=300)
+    )
+    expect = first_crossing(deltas, tau)
+    res = run_tracking(h, tau, deltas)
+    assert (res.matured_at_step, res.total_collected) == expect

@@ -1,0 +1,98 @@
+"""Unit tests for growth-exponent fitting and crossover estimation."""
+
+import math
+
+import pytest
+
+from repro.experiments.analysis import (
+    estimate_crossover,
+    fit_power_law,
+    format_growth_report,
+    growth_report,
+)
+from repro.experiments.figures import FigureResult
+
+
+def series(exponent, coefficient=1.0, xs=(10, 20, 40, 80)):
+    return [(x, coefficient * x**exponent) for x in xs]
+
+
+class TestFitPowerLaw:
+    def test_exact_linear(self):
+        fit = fit_power_law(series(1.0, 0.5))
+        assert fit.exponent == pytest.approx(1.0)
+        assert fit.coefficient == pytest.approx(0.5)
+        assert fit.r_squared == pytest.approx(1.0)
+
+    def test_exact_quadratic(self):
+        fit = fit_power_law(series(2.0))
+        assert fit.exponent == pytest.approx(2.0)
+
+    def test_sublinear(self):
+        fit = fit_power_law(series(0.3))
+        assert fit.exponent == pytest.approx(0.3)
+
+    def test_predict(self):
+        fit = fit_power_law(series(1.0, 2.0))
+        assert fit.predict(100) == pytest.approx(200.0)
+
+    def test_noise_reduces_r2_not_slope_much(self):
+        pts = [(x, 1.1 * x**1.5 * (1 + 0.05 * ((x % 3) - 1))) for x in (10, 20, 40, 80, 160)]
+        fit = fit_power_law(pts)
+        assert abs(fit.exponent - 1.5) < 0.1
+        assert fit.r_squared > 0.95
+
+    def test_too_few_points(self):
+        with pytest.raises(ValueError):
+            fit_power_law([(1, 1)])
+        with pytest.raises(ValueError):
+            fit_power_law([(1, 0), (2, 0)])  # non-positive ys dropped
+
+    def test_str(self):
+        assert "R^2" in str(fit_power_law(series(1.0)))
+
+
+class TestCrossover:
+    def test_crossing_series(self):
+        # a = 0.1 x (slow growth, higher at small x after scaling);
+        # b = 0.001 x^2 — they meet at x = 100.
+        a = series(1.0, 0.1)
+        b = series(2.0, 0.001)
+        x = estimate_crossover(a, b)
+        assert x == pytest.approx(100.0, rel=1e-6)
+
+    def test_parallel_series(self):
+        assert estimate_crossover(series(1.0, 1.0), series(1.0, 2.0)) is None
+
+
+def sweep_figure():
+    return FigureResult(
+        figure_id="figX",
+        title="t",
+        kind="sweep",
+        x_label="m",
+        y_label="seconds",
+        series={"DT": series(0.4), "Baseline": series(1.6)},
+        work_series={"DT": series(0.5), "Baseline": series(1.8)},
+    )
+
+
+class TestGrowthReport:
+    def test_exponents_per_series(self):
+        fits = growth_report(sweep_figure())
+        assert fits["DT"].exponent == pytest.approx(0.4)
+        assert fits["Baseline"].exponent == pytest.approx(1.6)
+
+    def test_work_variant(self):
+        fits = growth_report(sweep_figure(), work=True)
+        assert fits["Baseline"].exponent == pytest.approx(1.8)
+
+    def test_requires_sweep(self):
+        fig = sweep_figure()
+        fig.kind = "trace"
+        with pytest.raises(ValueError):
+            growth_report(fig)
+
+    def test_format(self):
+        text = format_growth_report(sweep_figure())
+        assert "DT" in text and "time exponent" in text and "work exponent" in text

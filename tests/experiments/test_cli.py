@@ -1,0 +1,103 @@
+"""Tests for the rts-experiments command-line interface."""
+
+import pytest
+
+from repro.experiments.cli import main, run_figure
+
+
+class TestCli:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig3" in out and "ablation-design" in out
+
+    def test_unknown_target_errors(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["fig99"])
+
+    def test_tiny_run_prints_figures(self, capsys):
+        assert main(["fig4", "--scale", "25000", "--seed", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "Fig 4a" in out and "Fig 4b" in out
+        assert "paper expectation" in out
+        assert "speedups" in out
+
+    def test_out_dir_written(self, tmp_path, capsys):
+        assert (
+            main(
+                [
+                    "ablation-dt-messages",
+                    "--out",
+                    str(tmp_path),
+                    "--no-chart",
+                ]
+            )
+            == 0
+        )
+        files = list(tmp_path.glob("*.txt"))
+        assert len(files) == 1
+        assert "messages" in files[0].read_text()
+
+    def test_run_figure_helper(self):
+        figures = run_figure("ablation-dt-messages", scale=1000, seed=0)
+        assert figures[0].figure_id == "ablation-dt-messages"
+
+
+class TestWorkloadCommands:
+    def test_workload_save_and_verify(self, tmp_path, capsys):
+        path = tmp_path / "wl.json"
+        assert (
+            main(
+                [
+                    "workload",
+                    "--mode",
+                    "stochastic",
+                    "--dims",
+                    "1",
+                    "--scale",
+                    "25000",
+                    "--p-ins",
+                    "0.4",
+                    "--save",
+                    str(path),
+                ]
+            )
+            == 0
+        )
+        assert path.exists()
+        out = capsys.readouterr().out
+        assert "mode=stochastic" in out
+        assert main(["verify", str(path), "--engine", "dt"]) == 0
+        out = capsys.readouterr().out
+        assert "verified exact" in out
+
+    def test_workload_requires_save(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["workload"])
+
+    def test_verify_requires_path(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["verify"])
+
+    def test_sweep_output_includes_growth_exponents(self, capsys):
+        assert main(["fig4", "--scale", "25000", "--no-chart"]) == 0
+        out = capsys.readouterr().out
+        assert "growth exponents" in out
+
+    def test_export_flag_writes_csv_and_json(self, tmp_path, capsys):
+        assert (
+            main(
+                [
+                    "ablation-dt-messages",
+                    "--no-chart",
+                    "--export",
+                    str(tmp_path),
+                ]
+            )
+            == 0
+        )
+        names = sorted(p.name for p in tmp_path.iterdir())
+        assert names == [
+            "ablation-dt-messages.csv",
+            "ablation-dt-messages.json",
+        ]

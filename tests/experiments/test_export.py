@@ -1,0 +1,76 @@
+"""Unit tests for figure export."""
+
+import csv
+import json
+
+from repro.experiments.export import (
+    export_figures,
+    figure_to_rows,
+    write_figure_csv,
+    write_figure_json,
+)
+from repro.experiments.figures import FigureResult
+from repro.experiments.harness import RunResult
+
+
+def make_figure():
+    return FigureResult(
+        figure_id="figX",
+        title="Test",
+        kind="sweep",
+        x_label="m",
+        y_label="seconds",
+        series={"DT": [(1, 0.5), (2, 0.7)], "Baseline": [(1, 2.0)]},
+        work_series={"DT": [(1, 100.0), (2, 150.0)]},
+        expectation="exp",
+        cells=[
+            RunResult(
+                engine="dt",
+                mode="static",
+                dims=1,
+                op_count=10,
+                total_seconds=0.5,
+                correct=True,
+                n_matured=3,
+                counters={"messages": 7},
+            )
+        ],
+    )
+
+
+class TestRows:
+    def test_long_format_with_work(self):
+        rows = figure_to_rows(make_figure())
+        assert {"series": "DT", "x": 1, "y": 0.5, "work": 100.0} in rows
+        assert {"series": "Baseline", "x": 1, "y": 2.0, "work": None} in rows
+        assert len(rows) == 3
+
+
+class TestFiles:
+    def test_csv_roundtrip(self, tmp_path):
+        path = write_figure_csv(make_figure(), tmp_path / "fig.csv")
+        with open(path) as handle:
+            rows = list(csv.DictReader(handle))
+        assert rows[0]["series"] == "DT" and float(rows[0]["y"]) == 0.5
+
+    def test_json_contains_cells(self, tmp_path):
+        path = write_figure_json(make_figure(), tmp_path / "fig.json")
+        doc = json.loads(path.read_text())
+        assert doc["figure_id"] == "figX"
+        assert doc["cells"][0]["engine"] == "dt"
+        assert doc["series"]["DT"] == [[1, 0.5], [2, 0.7]]
+
+    def test_export_figures_writes_both(self, tmp_path):
+        paths = export_figures([make_figure()], tmp_path / "out")
+        names = sorted(p.name for p in paths)
+        assert names == ["figX.csv", "figX.json"]
+        assert all(p.exists() for p in paths)
+
+    def test_export_real_figure(self, tmp_path):
+        from repro.experiments.figures import ablation_dt_messages
+
+        fig = ablation_dt_messages(h=4, tau_values=(100, 1000))
+        (csv_path, json_path) = export_figures([fig], tmp_path)
+        assert json.loads(json_path.read_text())["figure_id"] == (
+            "ablation-dt-messages"
+        )

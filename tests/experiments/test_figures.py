@@ -1,0 +1,119 @@
+"""Smoke tests for every figure configuration (tiny scale)."""
+
+import pytest
+
+from repro.experiments.figures import (
+    FIGURES,
+    ablation_design,
+    ablation_dt_messages,
+    fig3,
+    fig4,
+    fig5,
+    fig6,
+    fig7,
+    fig8,
+)
+
+TINY = 25000  # m=40, tau=800: every figure runs in well under a second
+
+
+class TestTraceFigures:
+    @pytest.mark.parametrize("fn,fid", [(fig3, "fig3"), (fig6, "fig6"), (fig8, "fig8")])
+    def test_trace_figures_produce_both_subfigures(self, fn, fid):
+        results = fn(scale=TINY, seed=1)
+        assert [r.figure_id for r in results] == [f"{fid}a", f"{fid}b"]
+        for fig in results:
+            assert fig.kind == "trace"
+            assert "DT" in fig.series and "Baseline" in fig.series
+            for label, points in fig.series.items():
+                assert points, f"empty series {label}"
+                assert all(y >= 0 for _, y in points)
+            assert fig.work_series.keys() == fig.series.keys()
+            assert all(cell.correct for cell in fig.cells)
+
+    def test_fig3_1d_and_2d_method_lineups(self):
+        a, b = fig3(scale=TINY, seed=0)
+        assert set(a.series) == {"DT", "Baseline", "Interval tree"}
+        assert set(b.series) == {"DT", "Baseline", "Seg-Intv tree", "R-tree"}
+
+
+class TestSweepFigures:
+    def test_fig4_sweeps_m(self):
+        results = fig4(scale=TINY, seed=0, m_factors=(0.5, 1.0))
+        for fig in results:
+            assert fig.kind == "sweep"
+            for label, points in fig.series.items():
+                assert len(points) == 2
+                xs = [x for x, _ in points]
+                assert xs == sorted(xs)
+
+    def test_fig5_sweeps_tau(self):
+        results = fig5(scale=TINY, seed=0, tau_factors=(0.5, 1.0))
+        for fig in results:
+            xs = [x for x, _ in list(fig.series.values())[0]]
+            assert xs == sorted(xs) and len(xs) == 2
+
+    def test_fig7_sweeps_pins(self):
+        results = fig7(scale=TINY, seed=0, p_ins_values=(0.1, 0.3))
+        for fig in results:
+            xs = [x for x, _ in list(fig.series.values())[0]]
+            assert xs == [0.1, 0.3]
+
+
+class TestAblations:
+    def test_dt_messages_vs_naive(self):
+        fig = ablation_dt_messages(h=4, tau_values=(100, 1000, 10_000))
+        dt = dict(fig.series["DT protocol"])
+        naive = dict(fig.series["Naive (1 msg/increment)"])
+        for tau in (100, 1000, 10_000):
+            assert naive[tau] == tau
+        # The protocol's growth must be sub-linear: 100x tau, far less
+        # than 100x the messages.
+        assert dt[10_000] / dt[100] < 10
+
+    def test_ablation_design_runs_all_variants(self):
+        fig = ablation_design(scale=TINY, seed=0)
+        assert {"DT", "DT-scan (no heaps)", "DT-static (full rebuild)", "Baseline"} == set(
+            fig.series
+        )
+        assert all(cell.correct for cell in fig.cells)
+
+
+class TestSensitivity:
+    def test_distribution_sensitivity_figure(self):
+        from repro.experiments.figures import sensitivity_distributions
+
+        fig = sensitivity_distributions(
+            scale=TINY, distributions=("uniform", "clustered")
+        )
+        assert fig.kind == "sweep"
+        assert all(len(pts) == 2 for pts in fig.series.values())
+        assert all(cell.correct for cell in fig.cells)
+        assert fig.meta["distributions"] == {1: "uniform", 2: "clustered"}
+
+
+class TestExtension3D:
+    def test_3d_sweep_runs_and_verifies(self):
+        from repro.experiments.figures import extension_3d
+
+        fig = extension_3d(scale=TINY, m_factors=(1.0,))
+        assert fig.kind == "sweep"
+        assert "DT" in fig.series and "Baseline" in fig.series
+        assert all(cell.correct for cell in fig.cells)
+        assert all(cell.dims == 3 for cell in fig.cells)
+
+
+class TestRegistry:
+    def test_all_figures_registered(self):
+        assert set(FIGURES) == {
+            "fig3",
+            "fig4",
+            "fig5",
+            "fig6",
+            "fig7",
+            "fig8",
+            "ablation-dt-messages",
+            "ablation-design",
+            "sensitivity-distributions",
+            "extension-3d",
+        }

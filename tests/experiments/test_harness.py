@@ -1,0 +1,62 @@
+"""Unit tests for the experiment harness."""
+
+import pytest
+
+from repro.experiments.harness import compare_engines, engines_for_dims, run_cell
+from repro.streams.scale import paper_params
+from repro.streams.workload import build_static_workload
+
+
+@pytest.fixture(scope="module")
+def script():
+    return build_static_workload(paper_params(dims=1, scale=20000), seed=0)
+
+
+class TestRunCell:
+    def test_result_fields(self, script):
+        result = run_cell(script, "baseline")
+        assert result.engine == "baseline"
+        assert result.mode == "static"
+        assert result.correct
+        assert result.op_count == script.operation_count()
+        assert result.total_seconds > 0
+        assert result.n_matured == len(script.expected_maturities)
+        assert result.trace == []  # no trace window requested
+        assert result.total_work > 0
+        assert "ok" in result.summary()
+
+    def test_trace_windows_cover_all_ops(self, script):
+        result = run_cell(script, "dt", trace_window=25)
+        assert result.trace
+        assert sum(w.op_count for w in result.trace) == script.operation_count()
+
+    def test_avg_op_seconds(self, script):
+        result = run_cell(script, "baseline")
+        assert result.avg_op_seconds == pytest.approx(
+            result.total_seconds / result.op_count
+        )
+
+    def test_verify_false_downgrades(self, script):
+        # With a sabotaged oracle the run flags incorrectness instead of
+        # raising when verify=False.
+        import copy
+
+        bad = copy.copy(script)
+        bad.expected_maturities = dict(script.expected_maturities)
+        bad.expected_maturities["ghost"] = (1, 1)
+        result = run_cell(bad, "baseline", verify=False)
+        assert not result.correct
+        with pytest.raises(AssertionError):
+            run_cell(bad, "baseline", verify=True)
+
+    def test_compare_engines(self, script):
+        results = compare_engines(script, ["dt", "baseline"])
+        assert set(results) == {"dt", "baseline"}
+        assert all(r.correct for r in results.values())
+
+
+class TestEnginesForDims:
+    def test_paper_lineups(self):
+        assert engines_for_dims(1) == ["dt", "baseline", "interval-tree"]
+        assert engines_for_dims(2) == ["dt", "baseline", "seg-intv-tree", "rtree"]
+        assert "dt" in engines_for_dims(3)

@@ -1,0 +1,62 @@
+"""Unit tests for trace recording."""
+
+import pytest
+
+from repro.experiments.instrumentation import StopwatchSeries, TraceRecorder
+
+
+class TestTraceRecorder:
+    def test_windows_aggregate_ops(self):
+        rec = TraceRecorder(window=3)
+        for i in range(7):
+            rec.record(0.010, work=2)
+        windows = rec.finish()
+        assert [w.op_count for w in windows] == [3, 3, 1]
+        assert [w.first_op for w in windows] == [1, 4, 7]
+        assert windows[0].seconds == pytest.approx(0.030)
+        assert windows[0].avg_seconds == pytest.approx(0.010)
+        assert windows[0].avg_work == pytest.approx(2.0)
+        assert windows[0].mid_op == pytest.approx(2.0)
+
+    def test_record_many_spreads_cost(self):
+        rec = TraceRecorder(window=10)
+        rec.record_many(1.0, work=25, count=10)
+        (window,) = rec.finish()
+        assert window.op_count == 10
+        assert window.seconds == pytest.approx(1.0)
+        assert window.work == 25  # remainders distributed exactly
+
+    def test_record_many_validation(self):
+        with pytest.raises(ValueError):
+            TraceRecorder().record_many(1.0, 1, 0)
+
+    def test_window_validation(self):
+        with pytest.raises(ValueError):
+            TraceRecorder(window=0)
+
+    def test_empty_finish(self):
+        assert TraceRecorder().finish() == []
+
+    def test_zero_op_window_avg(self):
+        rec = TraceRecorder(window=5)
+        rec.record(0.0, 0)
+        (w,) = rec.finish()
+        assert w.avg_seconds == 0.0
+
+
+class TestStopwatchSeries:
+    def test_laps_accumulate(self):
+        watch = StopwatchSeries()
+        watch.start("build")
+        watch.stop()
+        watch.start("run")
+        watch.start("build")  # implicitly stops "run"
+        watch.stop()
+        laps = watch.laps
+        assert set(laps) == {"build", "run"}
+        assert all(v >= 0 for v in laps.values())
+
+    def test_stop_without_start_is_noop(self):
+        watch = StopwatchSeries()
+        watch.stop()
+        assert watch.laps == {}

@@ -1,0 +1,82 @@
+"""Unit tests for the text rendering of figures."""
+
+from repro.experiments.figures import FigureResult
+from repro.experiments.report import (
+    ascii_chart,
+    format_figure,
+    series_table,
+    summarize_speedups,
+)
+
+
+def sweep_fig():
+    return FigureResult(
+        figure_id="test",
+        title="Test sweep",
+        kind="sweep",
+        x_label="m",
+        y_label="seconds",
+        series={
+            "DT": [(100, 0.01), (200, 0.02)],
+            "Baseline": [(100, 0.10), (200, 0.40)],
+        },
+        expectation="DT wins",
+    )
+
+
+class TestAsciiChart:
+    def test_contains_glyphs_and_legend(self):
+        chart = ascii_chart(sweep_fig().series, x_label="m", y_label="s")
+        assert "*" in chart and "o" in chart
+        assert "DT" in chart and "Baseline" in chart
+        assert "log scale" in chart
+
+    def test_empty_series(self):
+        assert ascii_chart({}) == "(no data)"
+
+    def test_zero_values_skipped_in_log_mode(self):
+        chart = ascii_chart({"z": [(1, 0.0), (2, 1.0)]})
+        assert "z" in chart
+
+    def test_linear_mode(self):
+        chart = ascii_chart(sweep_fig().series, log_y=False, y_label="s")
+        assert "log scale" not in chart
+
+    def test_single_point(self):
+        chart = ascii_chart({"one": [(5, 3.0)]})
+        assert "one" in chart
+
+
+class TestSeriesTable:
+    def test_rows_and_columns(self):
+        table = series_table(sweep_fig())
+        assert "DT" in table and "Baseline" in table
+        assert "100" in table and "200" in table
+
+    def test_missing_points_dashed(self):
+        fig = sweep_fig()
+        fig.series["DT"] = [(100, 0.01)]  # no point at x=200
+        assert "-" in series_table(fig)
+
+
+class TestFormatFigure:
+    def test_full_block(self):
+        text = format_figure(sweep_fig())
+        assert "Test sweep" in text
+        assert "paper expectation: DT wins" in text
+
+    def test_chart_can_be_suppressed(self):
+        text = format_figure(sweep_fig(), chart=False)
+        assert "*" not in text.split("==")[2]  # no chart glyph rows
+
+
+class TestSpeedups:
+    def test_ratios_against_dt(self):
+        text = summarize_speedups(sweep_fig())
+        assert "Baseline" in text
+        assert "16.7x" in text  # (0.5 total) / (0.03 total)
+
+    def test_missing_reference(self):
+        fig = sweep_fig()
+        fig.series.pop("DT")
+        assert "no series" in summarize_speedups(fig)

@@ -1,0 +1,42 @@
+"""Unit tests for number formatting and chart edge cases."""
+
+import pytest
+
+from repro.experiments.report import _format_si, ascii_chart
+
+
+class TestFormatSi:
+    @pytest.mark.parametrize(
+        "value,expected",
+        [
+            (0, "0"),
+            (1_500, "1.5k"),
+            (2_000_000, "2M"),
+            (3_200_000_000, "3.2G"),
+            (0.004, "4m"),
+            (0.000012, "12u"),
+            (3.5e-9, "3.5n"),
+            (1.0, "1"),
+            (-1_500, "-1.5k"),
+        ],
+    )
+    def test_engineering_suffixes(self, value, expected):
+        assert _format_si(value) == expected
+
+
+class TestChartEdges:
+    def test_flat_series_does_not_divide_by_zero(self):
+        chart = ascii_chart({"flat": [(1, 5.0), (2, 5.0), (3, 5.0)]})
+        assert "flat" in chart
+
+    def test_many_series_glyph_assignment(self):
+        series = {f"s{i}": [(1, float(i + 1))] for i in range(6)}
+        chart = ascii_chart(series)
+        for i in range(6):
+            assert f"s{i}" in chart
+
+    def test_axis_labels_rendered(self):
+        chart = ascii_chart(
+            {"a": [(1, 1.0), (10, 2.0)]}, x_label="m", y_label="seconds"
+        )
+        assert "x: m" in chart and "y: seconds" in chart

@@ -1,0 +1,106 @@
+"""Machine-independent complexity regressions.
+
+The paper's headline claim is asymptotic: the DT algorithm does
+``~O(polylog)`` work per operation while the Baseline does ``O(m)``.
+Wall-clock is hardware- and interpreter-dependent, but the engines'
+abstract work counters are exact, so the claim is testable: doubling the
+query count must roughly double Baseline's work while leaving DT's
+per-operation work nearly unchanged.
+"""
+
+import pytest
+
+from repro.experiments.harness import run_cell
+from repro.streams.scale import paper_params
+from repro.streams.workload import build_fixed_load_workload, build_static_workload
+
+
+def work_per_op(engine, m, seed=0, dims=1):
+    params = paper_params(dims=dims, scale=1, m=m, tau=20 * m, stream_len=1)
+    script = build_static_workload(params, seed=seed)
+    result = run_cell(script, engine)
+    return result.total_work / result.op_count
+
+
+class TestQuadraticBarrier:
+    def test_baseline_work_grows_linearly_in_m(self):
+        small = work_per_op("baseline", m=200)
+        large = work_per_op("baseline", m=800)
+        assert large / small > 2.0  # ~4x expected for 4x queries
+
+    def test_dt_work_grows_polylogarithmically_in_m(self):
+        small = work_per_op("dt", m=200)
+        large = work_per_op("dt", m=800)
+        # 4x queries: log factor growth only.  Allow generous slack but
+        # stay far from the linear 4x.
+        assert large / small < 1.8
+
+    def test_dt_beats_baseline_on_total_work(self):
+        m = 800
+        params = paper_params(dims=1, scale=1, m=m, tau=20 * m, stream_len=1)
+        script = build_static_workload(params, seed=1)
+        dt = run_cell(script, "dt")
+        baseline = run_cell(script, "baseline")
+        assert dt.total_work * 3 < baseline.total_work
+
+    def test_heap_ablation_blows_up_work(self):
+        """Without the Section 4 heaps, slack inspection degenerates.
+
+        Adversarial shape from the paper's own argument: many queries
+        sharing one canonical node.  Each counter bump then scans all
+        |Q(u)| sigma entries instead of peeking one heap minimum.
+        """
+        import time
+
+        from repro import Query, RTSSystem, StreamElement
+
+        m, elements = 1500, 400
+
+        def run(engine):
+            system = RTSSystem(dims=1, engine=engine)
+            system.register_batch(
+                [Query([(0, 100)], 10**6, query_id=i) for i in range(m)]
+            )
+            start = time.perf_counter()
+            for t in range(elements):
+                system.process(StreamElement(50.0, 1))
+            return time.perf_counter() - start
+
+        with_heaps = run("dt")
+        without_heaps = run("dt-scan")
+        assert without_heaps > 3 * with_heaps
+
+
+class TestMessageAccounting:
+    def test_dt_messages_scale_with_m_log_tau(self):
+        """Total simulated messages stay near m log(m) log(tau)."""
+        import math
+
+        m = 400
+        params = paper_params(dims=1, scale=1, m=m, tau=20 * m, stream_len=1)
+        script = build_static_workload(params, seed=2)
+        result = run_cell(script, "dt")
+        messages = result.counters["messages"]
+        bound = 40 * m * math.log2(m) * math.log2(20 * m)
+        assert messages <= bound
+
+    def test_space_proxy_alive_queries(self):
+        """After the stream drains, the DT engine holds no live state."""
+        params = paper_params(dims=1, scale=1, m=100, tau=2000, stream_len=1)
+        script = build_static_workload(params, seed=3)
+        from repro import RTSSystem
+
+        system = RTSSystem(dims=1, engine="dt")
+        script.replay(system)
+        assert system.alive_count == 0
+        assert system.engine.tree_count == 0  # all slots rebuilt away
+
+
+class TestFixedLoadChurn:
+    def test_dt_stays_correct_and_subquadratic_under_max_churn(self):
+        params = paper_params(dims=1, scale=1, m=300, tau=6000, stream_len=1500)
+        script = build_fixed_load_workload(params, seed=4)
+        dt = run_cell(script, "dt")
+        baseline = run_cell(script, "baseline")
+        assert dt.correct and baseline.correct
+        assert dt.total_work < baseline.total_work

@@ -1,0 +1,157 @@
+"""Integration: every engine reports identical maturities on shared
+random workloads — the master correctness property of the system.
+
+The Baseline engine is the trusted oracle (a dozen lines of obviously
+correct code); every other method, in particular the DT engine with all
+its machinery (endpoint trees, distributed-tracking rounds, logarithmic
+method, global rebuilding), must agree with it *exactly*: the same
+queries maturing, at the same timestamps, with the same W(q).
+"""
+
+import random
+
+import pytest
+
+from repro import RTSSystem, StreamElement
+from tests.conftest import random_element, random_query
+
+
+def run_ops(engine, dims, ops):
+    system = RTSSystem(dims=dims, engine=engine)
+    result = {}
+    system.on_maturity(
+        lambda ev: result.__setitem__(
+            ev.query.query_id, (ev.timestamp, ev.weight_seen)
+        )
+    )
+    for kind, payload in ops:
+        if kind == "reg":
+            system.register(payload)
+        elif kind == "el":
+            system.process(payload)
+        else:
+            system.terminate(payload)
+    return result
+
+
+def generate_ops(rnd, dims, steps, register_prob=0.15, terminate_prob=0.05):
+    ops = []
+    alive = []
+    next_id = 0
+    for _ in range(steps):
+        roll = rnd.random()
+        if roll < register_prob:
+            next_id += 1
+            ops.append(("reg", random_query(rnd, dims, query_id=next_id)))
+            alive.append(next_id)
+        elif roll < register_prob + terminate_prob and alive:
+            victim = alive.pop(rnd.randrange(len(alive)))
+            ops.append(("term", victim))
+        else:
+            ops.append(("el", random_element(rnd, dims)))
+    return ops
+
+
+ENGINES_1D = ["dt", "dt-static", "dt-scan", "interval-tree"]
+ENGINES_2D = ["dt", "dt-static", "seg-intv-tree", "rtree"]
+
+
+@pytest.mark.parametrize("seed", range(12))
+def test_1d_engines_agree(seed):
+    rnd = random.Random(1000 + seed)
+    ops = generate_ops(rnd, 1, rnd.randint(50, 400))
+    reference = run_ops("baseline", 1, ops)
+    for engine in ENGINES_1D:
+        assert run_ops(engine, 1, ops) == reference, engine
+
+
+@pytest.mark.parametrize("seed", range(8))
+def test_2d_engines_agree(seed):
+    rnd = random.Random(2000 + seed)
+    ops = generate_ops(rnd, 2, rnd.randint(50, 300))
+    reference = run_ops("baseline", 2, ops)
+    for engine in ENGINES_2D:
+        assert run_ops(engine, 2, ops) == reference, engine
+
+
+@pytest.mark.parametrize("seed", range(4))
+def test_3d_engines_agree(seed):
+    """Theorem 1 covers any constant d; exercise d = 3."""
+    rnd = random.Random(3000 + seed)
+    ops = generate_ops(rnd, 3, rnd.randint(50, 200))
+    reference = run_ops("baseline", 3, ops)
+    for engine in ("dt", "rtree"):
+        assert run_ops(engine, 3, ops) == reference, engine
+
+
+def test_heavy_churn_registration_storm():
+    """Stress the logarithmic method: registration-dominated workload."""
+    rnd = random.Random(77)
+    ops = generate_ops(rnd, 1, 600, register_prob=0.5, terminate_prob=0.2)
+    reference = run_ops("baseline", 1, ops)
+    assert run_ops("dt", 1, ops) == reference
+
+
+def test_huge_weights_tiny_thresholds():
+    """Weighted edge: weights dwarf thresholds; everything matures fast."""
+    rnd = random.Random(78)
+    ops = []
+    for i in range(40):
+        ops.append(("reg", random_query(rnd, 1, query_id=i, max_tau=5)))
+    for _ in range(60):
+        ops.append(("el", StreamElement(float(rnd.randint(0, 20)), 10**6)))
+    reference = run_ops("baseline", 1, ops)
+    for engine in ENGINES_1D:
+        assert run_ops(engine, 1, ops) == reference, engine
+
+
+def test_identical_queries_mature_together():
+    """Many duplicates of the same query: all mature at the same element."""
+    from repro import Query
+
+    ops = [("reg", Query([(0, 10)], 7, query_id=i)) for i in range(25)]
+    ops += [("el", StreamElement(5.0, 1)) for _ in range(10)]
+    reference = run_ops("baseline", 1, ops)
+    assert len(reference) == 25
+    assert all(v == (7, 7) for v in reference.values())
+    for engine in ENGINES_1D:
+        assert run_ops(engine, 1, ops) == reference, engine
+
+
+def test_endpoint_boundary_hits():
+    """Elements landing exactly on interval endpoints of every kind."""
+    from repro import Interval, Query, Rect
+
+    ops = [
+        ("reg", Query(Rect([Interval.closed(5, 10)]), 3, query_id="closed")),
+        ("reg", Query(Rect([Interval.open(5, 10)]), 3, query_id="open")),
+        ("reg", Query(Rect([Interval.half_open(5, 10)]), 3, query_id="ho")),
+        ("reg", Query(Rect([Interval.left_open(5, 10)]), 3, query_id="lo")),
+        ("reg", Query(Rect([Interval.point(5)]), 2, query_id="pt")),
+    ]
+    for v in [5.0, 10.0, 5.0, 10.0, 5.0, 10.0]:
+        ops.append(("el", StreamElement(v, 1)))
+    reference = run_ops("baseline", 1, ops)
+    for engine in ENGINES_1D:
+        assert run_ops(engine, 1, ops) == reference, engine
+
+
+def test_replay_is_fully_deterministic():
+    """Same script, same engine: identical event order, counters, trace."""
+    from repro import RTSSystem
+    from repro.streams.scale import paper_params
+    from repro.streams.workload import build_fixed_load_workload
+
+    script = build_fixed_load_workload(paper_params(1, 20000), seed=11)
+
+    def run():
+        system = RTSSystem(dims=1, engine="dt")
+        order = []
+        system.on_maturity(lambda ev: order.append(ev.query.query_id))
+        script.replay(system)
+        return order, system.work_counters.snapshot()
+
+    first_order, first_counters = run()
+    second_order, second_counters = run()
+    assert first_order == second_order  # exact order, not just the set
+    assert first_counters == second_counters

@@ -1,0 +1,63 @@
+"""Smoke tests: the example scripts run and produce their key output.
+
+The heavyweight simulation loops are shrunk by monkeypatching the stream
+sizes where necessary, so the suite stays fast while still executing the
+real example code paths.
+"""
+
+import pathlib
+import runpy
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).resolve().parents[2] / "examples"
+
+
+def run_example(name, argv=None, capsys=None):
+    old_argv = sys.argv
+    sys.argv = [name] + (argv or [])
+    try:
+        runpy.run_path(str(EXAMPLES / name), run_name="__main__")
+    finally:
+        sys.argv = old_argv
+    return capsys.readouterr().out if capsys else ""
+
+
+class TestExamples:
+    def test_quickstart(self, capsys):
+        out = run_example("quickstart.py", capsys=capsys)
+        assert "ALERT" in out
+        assert "status: matured" in out
+        assert "terminated" in out
+
+    def test_engine_shootout_small(self, capsys):
+        out = run_example("engine_shootout.py", argv=["20000"], capsys=capsys)
+        assert "1D static scenario" in out
+        assert "2D static scenario" in out
+        assert "[ok]" in out and "WRONG" not in out
+        assert "against DT" in out
+
+    def test_distributed_tracking_demo(self, capsys, monkeypatch):
+        out = run_example("distributed_tracking_demo.py", capsys=capsys)
+        assert "fewer" in out  # the naive-vs-protocol ratio line
+        assert "matured at step" in out
+
+    @pytest.mark.slow
+    def test_stock_alerts(self, capsys):
+        out = run_example("stock_alerts.py", capsys=capsys)
+        assert "ALERT" in out and "DT engine work" in out
+
+    @pytest.mark.slow
+    def test_market_surveillance_2d(self, capsys):
+        out = run_example("market_surveillance_2d.py", capsys=capsys)
+        assert "paper query final status" in out
+
+    @pytest.mark.slow
+    def test_network_monitor(self, capsys):
+        out = run_example("network_monitor.py", capsys=capsys)
+        assert "TRIGGER" in out and "matured at flow" in out
+
+    def test_burst_detection(self, capsys):
+        out = run_example("burst_detection.py", capsys=capsys)
+        assert "BURST trigger fired" in out

@@ -1,0 +1,95 @@
+"""Integration: the exact-progress API agrees across all engines.
+
+``RTSSystem.progress(q)`` returns the exact collected weight ``W(q)``.
+The Baseline engine derives it trivially; the DT engine must reconstruct
+the same number from its canonical counters and re-basing offsets —
+through logarithmic-method merges and global rebuilds.
+"""
+
+import random
+
+import pytest
+
+from repro import RTSSystem
+from tests.conftest import random_element, random_query
+
+
+ENGINES_1D = ["dt", "dt-static", "baseline", "interval-tree"]
+
+
+def test_progress_matches_across_engines_under_churn():
+    rnd = random.Random(123)
+    systems = {name: RTSSystem(dims=1, engine=name) for name in ENGINES_1D}
+    alive = []
+    next_id = 0
+    for step in range(400):
+        roll = rnd.random()
+        if roll < 0.2:
+            next_id += 1
+            query = random_query(rnd, 1, query_id=next_id, max_tau=500)
+            for s in systems.values():
+                s.register(query)
+            alive.append(next_id)
+        elif roll < 0.25 and alive:
+            victim = alive.pop(rnd.randrange(len(alive)))
+            for s in systems.values():
+                s.terminate(victim)
+        else:
+            element = random_element(rnd, 1)
+            matured = set()
+            for s in systems.values():
+                for ev in s.process(element):
+                    matured.add(ev.query.query_id)
+            for qid in matured:
+                if qid in alive:
+                    alive.remove(qid)
+        if step % 20 == 0 and alive:
+            reference = systems["baseline"]
+            for qid in alive:
+                expect = reference.progress(qid)
+                for name, s in systems.items():
+                    assert s.progress(qid) == expect, (name, qid, step)
+
+
+def test_progress_basic_lifecycle():
+    system = RTSSystem(dims=1)
+    q = system.register([(0, 10)], threshold=100)
+    assert system.progress(q) == (0, 100)
+    system.process(5, weight=30)
+    assert system.progress(q) == (30, 100)
+    system.process(50, weight=10)  # outside the range
+    assert system.progress(q) == (30, 100)
+    system.process(5, weight=70)  # matures
+    with pytest.raises(KeyError):
+        system.progress(q)
+
+
+def test_progress_2d_survives_merges_and_rebuilds():
+    system = RTSSystem(dims=2, engine="dt")
+    q = system.register([(0, 10), (0, 10)], threshold=10_000, query_id="watched")
+    rnd = random.Random(5)
+    collected = 0
+    for i in range(200):
+        inside = rnd.random() < 0.5
+        if inside:
+            value = (rnd.uniform(0, 10), rnd.uniform(0, 10))
+        else:
+            value = (rnd.uniform(20, 30), rnd.uniform(20, 30))
+        w = rnd.randint(1, 9)
+        system.process(value, weight=w)
+        if inside:
+            collected += w
+        if rnd.random() < 0.1:  # churn forces merges/rebuilds
+            other = system.register(
+                [(rnd.uniform(0, 5), rnd.uniform(6, 12)), (0, 10)],
+                threshold=50,
+                query_id=f"churn-{i}",
+            )
+            if rnd.random() < 0.7:
+                system.terminate(other)
+        assert system.progress("watched")[0] == collected
+
+
+def test_progress_unknown_query():
+    with pytest.raises(KeyError):
+        RTSSystem(dims=1).progress("ghost")

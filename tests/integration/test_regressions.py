@@ -1,0 +1,108 @@
+"""Regression tests pinning bugs found (and fixed) during development.
+
+Each test reproduces the minimal scenario that once failed, so the exact
+failure mode stays covered forever.
+"""
+
+from repro import Interval, Query, Rect, RTSSystem, StreamElement
+from repro.structures.interval_tree import CenteredIntervalTree
+
+
+class TestWeightSeenAcrossRebuilds:
+    """weight_seen once reported epoch-relative W(q) after a rebuild.
+
+    A query that collects weight, survives a logarithmic-method merge
+    (threshold re-based), and then matures must report its *lifetime*
+    accumulated weight, not just the post-merge portion.
+    """
+
+    def test_lifetime_weight_after_merge(self):
+        for engine in ("dt", "dt-static", "baseline"):
+            system = RTSSystem(dims=1, engine=engine)
+            system.register([(0, 10)], threshold=10, query_id="a")
+            system.process(5.0, weight=4)  # collect 4
+            # Trigger a merge/rebuild by registering another query.
+            system.register([(20, 30)], threshold=5, query_id="b")
+            events = system.process(5.0, weight=7)  # 4 + 7 = 11 >= 10
+            assert len(events) == 1, engine
+            assert events[0].weight_seen == 11, engine
+
+    def test_lifetime_weight_after_global_rebuild(self):
+        system = RTSSystem(dims=1, engine="dt")
+        # Several queries so terminations can halve the tree.
+        for i in range(4):
+            system.register([(0, 10)], threshold=100, query_id=i)
+        system.process(5.0, weight=30)
+        # Terminate half: triggers global rebuilding with re-based taus.
+        system.terminate(0)
+        system.terminate(1)
+        events = system.process(5.0, weight=80)  # 30 + 80 = 110
+        assert sorted(ev.weight_seen for ev in events) == [110, 110]
+
+
+class TestIntervalTreeDuplicateEndpoints:
+    """The centered interval tree once recursed forever on duplicates.
+
+    Building over many identical intervals put every item on one side of
+    the (upper-median) center; the lower median fixes it.
+    """
+
+    def test_many_identical_intervals_build_and_stab(self):
+        items = [(Interval.half_open(5, 9), i) for i in range(200)]
+        tree = CenteredIntervalTree(items)
+        assert len(list(tree.stab(7))) == 200
+        assert len(list(tree.stab(9))) == 0
+
+    def test_heavily_tied_endpoints(self):
+        items = [(Interval.half_open(1, 5), i) for i in range(50)]
+        items += [(Interval.half_open(2, 5), i) for i in range(50, 100)]
+        tree = CenteredIntervalTree(items)
+        assert len(list(tree.stab(4.5))) == 100
+
+
+class TestScanHeapPopTies:
+    """first_due/pop with tied sigma values must make progress.
+
+    Many queries with the same slack share one node; tied keys once made
+    a development version of the drain loop spin on the same entry.
+    """
+
+    def test_tied_sigmas_drain_without_livelock(self):
+        system = RTSSystem(dims=1, engine="dt")
+        for i in range(50):  # identical queries -> identical sigmas
+            system.register([(0, 100)], threshold=40, query_id=i)
+        events = []
+        for _ in range(40):
+            events.extend(system.process(50.0, weight=1))
+        assert len(events) == 50
+        assert all(ev.timestamp == 40 for ev in events)
+
+
+class TestSegmentTreeSnapExactness:
+    """Snapped supersets must never produce false positives via stab()."""
+
+    def test_endpoints_between_skeleton_keys(self):
+        from repro.structures.segment_tree import SegmentTree
+
+        tree = SegmentTree([(Interval.half_open(0, 100), "wide")])
+        # Insert an interval whose endpoints are not skeleton keys.
+        tree.insert(Interval.half_open(10.5, 10.75), "narrow")
+        assert {i.payload for i in tree.stab(10.6)} == {"wide", "narrow"}
+        assert {i.payload for i in tree.stab(10.8)} == {"wide"}
+        assert {i.payload for i in tree.stab(10.4)} == {"wide"}
+
+
+class TestBatchRegistrationSemantics:
+    """REGISTER_BATCH replays once treated the batch as post-element.
+
+    Queries registered before the first element must see element 1.
+    """
+
+    def test_batch_sees_first_element(self):
+        for engine in ("dt", "dt-static", "baseline", "interval-tree"):
+            system = RTSSystem(dims=1, engine=engine)
+            system.register_batch(
+                [Query([(0, 10)], 1, query_id=f"{engine}-q")]
+            )
+            events = system.process(5.0)
+            assert len(events) == 1 and events[0].timestamp == 1, engine

@@ -1,0 +1,94 @@
+"""Soak tests: long mixed-operation runs with continuous cross-checks.
+
+These push the engines through thousands of operations with periodic
+invariant checks — catching state corruption that only accumulates over
+time (stale heap entries after many rebuilds, locator drift across
+merges, counter leakage).
+"""
+
+import random
+
+import pytest
+
+from repro import RTSSystem
+from tests.conftest import random_element, random_query
+
+
+@pytest.mark.slow
+def test_long_1d_run_all_engines_stay_in_lockstep():
+    rnd = random.Random(2024)
+    engines = ["dt", "dt-static", "baseline", "interval-tree"]
+    systems = {name: RTSSystem(dims=1, engine=name) for name in engines}
+    results = {name: {} for name in engines}
+    for name, system in systems.items():
+        system.on_maturity(
+            lambda ev, n=name: results[n].__setitem__(
+                ev.query.query_id, (ev.timestamp, ev.weight_seen)
+            )
+        )
+    alive = []
+    next_id = 0
+    for step in range(6000):
+        roll = rnd.random()
+        if roll < 0.18:
+            next_id += 1
+            query = random_query(rnd, 1, query_id=next_id, max_tau=300)
+            for system in systems.values():
+                system.register(query)
+            alive.append(next_id)
+        elif roll < 0.24 and alive:
+            victim = alive.pop(rnd.randrange(len(alive)))
+            for system in systems.values():
+                system.terminate(victim)
+        else:
+            element = random_element(rnd, 1)
+            matured = set()
+            for system in systems.values():
+                for ev in system.process(element):
+                    matured.add(ev.query.query_id)
+            alive = [qid for qid in alive if qid not in matured]
+        if step % 500 == 0:
+            counts = {n: s.alive_count for n, s in systems.items()}
+            assert len(set(counts.values())) == 1, counts
+            assert results["dt"] == results["baseline"]
+    reference = results["baseline"]
+    for name in engines:
+        assert results[name] == reference, name
+
+
+@pytest.mark.slow
+def test_long_2d_run_dt_space_stays_bounded():
+    """The Õ(m_alive) space promise, observed through diagnostics.
+
+    After heavy churn, the DT engine's total heap entries must stay
+    proportional to the alive count times a polylog factor — not to the
+    total number of queries ever registered.
+    """
+    rnd = random.Random(7)
+    system = RTSSystem(dims=2, engine="dt")
+    alive = []
+    next_id = 0
+    registered_total = 0
+    for step in range(4000):
+        roll = rnd.random()
+        if roll < 0.25:
+            next_id += 1
+            system.register(random_query(rnd, 2, query_id=next_id, max_tau=120))
+            alive.append(next_id)
+            registered_total += 1
+        elif roll < 0.40 and alive:
+            victim = alive.pop(rnd.randrange(len(alive)))
+            system.terminate(victim)
+        else:
+            for ev in system.process(random_element(rnd, 2)):
+                if ev.query.query_id in alive:
+                    alive.remove(ev.query.query_id)
+    assert registered_total > 500
+    payload = system.describe()
+    heap_entries = sum(
+        slot["heap_entries"] for slot in payload["slots"] if slot is not None
+    )
+    m_alive = max(1, system.alive_count)
+    # |U_q| = O(log^2 m): generous constant, but far below total-ever.
+    assert heap_entries <= 40 * m_alive * 10 * 10
+    assert system.alive_count == len(alive)

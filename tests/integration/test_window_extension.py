@@ -1,0 +1,147 @@
+"""Tests for the sliding-window RTS extension."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import QueryStatus, RTSSystem, StreamElement
+from repro.extensions import SlidingWindowMonitor
+from tests.conftest import random_element, random_query
+
+
+class TestBasics:
+    def test_expiry_prevents_maturity(self):
+        monitor = SlidingWindowMonitor(dims=1, window=3)
+        monitor.register([(0, 10)], threshold=3, query_id="q")
+        # One hit every 4 timestamps: never 3 hits within any window of 3.
+        for _ in range(6):
+            monitor.process(5.0)  # hit
+            monitor.process(99.0)
+            monitor.process(99.0)
+            monitor.process(99.0)
+        assert monitor.status("q") is QueryStatus.ALIVE
+        assert monitor.progress("q")[0] <= 1
+
+    def test_burst_fires(self):
+        monitor = SlidingWindowMonitor(dims=1, window=3)
+        monitor.register([(0, 10)], threshold=3, query_id="q")
+        monitor.process(5.0)
+        monitor.process(5.0)
+        events = monitor.process(5.0)
+        assert len(events) == 1 and events[0].timestamp == 3
+        assert monitor.status("q") is QueryStatus.MATURED
+
+    def test_progress_reflects_eviction(self):
+        monitor = SlidingWindowMonitor(dims=1, window=2)
+        monitor.register([(0, 10)], threshold=100, query_id="q")
+        monitor.process(5.0, weight=7)
+        assert monitor.progress("q") == (7, 100)
+        monitor.process(99.0)
+        monitor.process(99.0)  # the hit is now outside the window
+        assert monitor.progress("q") == (0, 100)
+
+    def test_terminate(self):
+        monitor = SlidingWindowMonitor(dims=1, window=5)
+        q = monitor.register([(0, 10)], threshold=2)
+        assert monitor.terminate(q) is True
+        assert monitor.terminate(q) is False
+        assert monitor.process(5.0) == []
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SlidingWindowMonitor(dims=0)
+        with pytest.raises(ValueError):
+            SlidingWindowMonitor(window=0)
+        monitor = SlidingWindowMonitor(dims=2, window=5)
+        with pytest.raises(ValueError):
+            monitor.register([(0, 1)], threshold=1)  # 1-D query
+        with pytest.raises(ValueError):
+            monitor.process(1.0)  # 1-D element
+        monitor.register([(0, 1), (0, 1)], threshold=1, query_id="x")
+        with pytest.raises(ValueError):
+            monitor.register([(0, 1), (0, 1)], threshold=1, query_id="x")
+
+    def test_unknown_progress_and_status(self):
+        monitor = SlidingWindowMonitor()
+        with pytest.raises(KeyError):
+            monitor.progress("ghost")
+        with pytest.raises(KeyError):
+            monitor.status("ghost")
+
+
+class TestEquivalenceWithStandardRTS:
+    def test_infinite_window_equals_standard_rts(self):
+        """window >= stream length makes the variant coincide with RTS."""
+        rnd = random.Random(99)
+        for trial in range(10):
+            steps = rnd.randint(30, 150)
+            monitor = SlidingWindowMonitor(dims=1, window=10_000)
+            system = RTSSystem(dims=1, engine="baseline")
+            got_w, got_s = {}, {}
+            monitor.on_maturity(
+                lambda ev: got_w.__setitem__(
+                    ev.query.query_id, (ev.timestamp, ev.weight_seen)
+                )
+            )
+            system.on_maturity(
+                lambda ev: got_s.__setitem__(
+                    ev.query.query_id, (ev.timestamp, ev.weight_seen)
+                )
+            )
+            next_id = 0
+            for _ in range(steps):
+                if rnd.random() < 0.2:
+                    next_id += 1
+                    q = random_query(rnd, 1, query_id=next_id, max_tau=40)
+                    monitor.register(q)
+                    system.register(q)
+                else:
+                    e = random_element(rnd, 1)
+                    monitor.process(e)
+                    system.process(e)
+            assert got_w == got_s
+
+    def test_small_window_matures_no_earlier_than_rts_and_never_spuriously(self):
+        """Windowed weight <= total weight, so maturity can only be later."""
+        rnd = random.Random(7)
+        monitor = SlidingWindowMonitor(dims=1, window=5)
+        system = RTSSystem(dims=1, engine="baseline")
+        q = random_query(rnd, 1, query_id="q", max_tau=60)
+        monitor.register(q)
+        system.register(q)
+        for _ in range(400):
+            e = random_element(rnd, 1)
+            monitor.process(e)
+            system.process(e)
+        rts_t = system.maturity_time("q")
+        win_t = monitor.maturity_time("q")
+        if win_t is not None:
+            assert rts_t is not None and rts_t <= win_t
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    window=st.integers(1, 12),
+    data=st.data(),
+)
+def test_property_windowed_weight_is_exact(window, data):
+    """The monitor's progress equals a from-scratch recomputation."""
+    from repro import Query
+
+    q = Query([(0, 10)], 10**9, query_id="q")
+    monitor = SlidingWindowMonitor(dims=1, window=window)
+    monitor.register(q)
+    history = []
+    steps = data.draw(st.lists(st.tuples(st.integers(0, 15), st.integers(1, 9)),
+                               max_size=60))
+    for t, (v, w) in enumerate(steps, start=1):
+        monitor.process(float(v), weight=w)
+        history.append((t, float(v), w))
+        expect = sum(
+            weight
+            for (ts, value, weight) in history
+            if ts > t - window and q.rect.contains((value,))
+        )
+        assert monitor.progress("q")[0] == expect

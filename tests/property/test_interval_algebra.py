@@ -1,0 +1,80 @@
+"""Hypothesis properties of the interval algebra.
+
+The boundary-key encoding must satisfy the set-algebra laws exactly —
+these are the foundations everything else (canonical decompositions,
+stabbing structures, the oracle) silently relies on.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import Interval
+
+interval_st = st.builds(
+    lambda a, b, kind: getattr(Interval, kind)(min(a, b), max(a, b)),
+    st.integers(0, 20),
+    st.integers(0, 20),
+    st.sampled_from(["closed", "half_open", "open", "left_open"]),
+)
+
+# Probe points: integers hit the endpoints, halves hit the interiors.
+value_st = st.integers(0, 40).map(lambda k: k / 2)
+
+
+@settings(max_examples=300, deadline=None)
+@given(a=interval_st, b=interval_st, v=value_st)
+def test_intersection_is_set_intersection(a, b, v):
+    both = a.intersection(b)
+    assert (v in both) == (v in a and v in b)
+
+
+@settings(max_examples=300, deadline=None)
+@given(a=interval_st, b=interval_st)
+def test_intersects_iff_nonempty_intersection(a, b):
+    assert a.intersects(b) == (not a.intersection(b).is_empty())
+    assert a.intersects(b) == b.intersects(a)  # symmetry
+
+
+@settings(max_examples=300, deadline=None)
+@given(a=interval_st, b=interval_st, v=value_st)
+def test_covers_means_membership_implication(a, b, v):
+    if a.covers(b) and v in b:
+        assert v in a
+
+
+@settings(max_examples=200, deadline=None)
+@given(a=interval_st, b=interval_st, c=interval_st)
+def test_covers_is_transitive(a, b, c):
+    if a.covers(b) and b.covers(c):
+        assert a.covers(c)
+
+
+@settings(max_examples=200, deadline=None)
+@given(a=interval_st)
+def test_covers_is_reflexive_and_empty_is_bottom(a):
+    assert a.covers(a)
+    empty = Interval.half_open(3, 3)
+    assert a.covers(empty)
+    if not a.is_empty():
+        assert not empty.covers(a)
+
+
+@settings(max_examples=300, deadline=None)
+@given(a=interval_st, b=interval_st)
+def test_intersection_is_covered_by_both(a, b):
+    both = a.intersection(b)
+    assert a.covers(both) and b.covers(both)
+
+
+@settings(max_examples=300, deadline=None)
+@given(a=interval_st, v=value_st)
+def test_empty_contains_nothing(a, v):
+    if a.is_empty():
+        assert v not in a
+
+
+@settings(max_examples=200, deadline=None)
+@given(a=interval_st, b=interval_st)
+def test_equality_consistent_with_hash(a, b):
+    if a == b:
+        assert hash(a) == hash(b)

@@ -1,0 +1,98 @@
+"""Hypothesis property tests: engines vs the brute-force RTS oracle.
+
+Hypothesis drives arbitrary interleavings of registrations, elements and
+terminations (including adversarial shapes like duplicate endpoints,
+point intervals, and weight spikes) and shrinks any disagreement to a
+minimal counterexample.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import Interval, Query, Rect, RTSSystem, StreamElement
+
+COORD = st.integers(0, 12)
+
+
+def interval_strategy():
+    return st.builds(
+        lambda a, b, kind: getattr(Interval, kind)(min(a, b), max(a, b)),
+        COORD,
+        COORD,
+        st.sampled_from(["closed", "half_open", "open", "left_open"]),
+    )
+
+
+def ops_strategy(dims):
+    register = st.builds(
+        lambda ivs, tau: ("reg", (tuple(ivs), tau)),
+        st.lists(interval_strategy(), min_size=dims, max_size=dims),
+        st.integers(1, 40),
+    )
+    element = st.builds(
+        lambda coords, w: ("el", StreamElement(tuple(float(c) for c in coords), w)),
+        st.lists(COORD, min_size=dims, max_size=dims),
+        st.integers(1, 30),
+    )
+    terminate = st.builds(lambda k: ("term", k), st.integers(0, 30))
+    return st.lists(
+        st.one_of(element, element, register, terminate), max_size=120
+    )
+
+
+def run(engine, dims, ops):
+    system = RTSSystem(dims=dims, engine=engine)
+    out = {}
+    system.on_maturity(
+        lambda ev: out.__setitem__(ev.query.query_id, (ev.timestamp, ev.weight_seen))
+    )
+    next_id = 0
+    issued = []
+    for kind, payload in ops:
+        if kind == "reg":
+            ivs, tau = payload
+            next_id += 1
+            system.register(Query(Rect(list(ivs)), tau, query_id=next_id))
+            issued.append(next_id)
+        elif kind == "el":
+            system.process(payload)
+        else:
+            if issued:
+                system.terminate(issued[payload % len(issued)])
+    return out
+
+
+@settings(max_examples=120, deadline=None)
+@given(ops=ops_strategy(1))
+def test_dt_matches_baseline_1d(ops):
+    assert run("dt", 1, ops) == run("baseline", 1, ops)
+
+
+@settings(max_examples=60, deadline=None)
+@given(ops=ops_strategy(1))
+def test_interval_tree_matches_baseline_1d(ops):
+    assert run("interval-tree", 1, ops) == run("baseline", 1, ops)
+
+
+@settings(max_examples=60, deadline=None)
+@given(ops=ops_strategy(2))
+def test_dt_matches_baseline_2d(ops):
+    assert run("dt", 2, ops) == run("baseline", 2, ops)
+
+
+@settings(max_examples=40, deadline=None)
+@given(ops=ops_strategy(2))
+def test_seg_intv_matches_baseline_2d(ops):
+    assert run("seg-intv-tree", 2, ops) == run("baseline", 2, ops)
+
+
+@settings(max_examples=40, deadline=None)
+@given(ops=ops_strategy(2))
+def test_rtree_matches_baseline_2d(ops):
+    assert run("rtree", 2, ops) == run("baseline", 2, ops)
+
+
+@settings(max_examples=40, deadline=None)
+@given(ops=ops_strategy(1))
+def test_static_dt_matches_baseline_1d(ops):
+    assert run("dt-static", 1, ops) == run("baseline", 1, ops)

@@ -1,0 +1,106 @@
+"""Hypothesis *stateful* testing of the DT engine against a model.
+
+A ``RuleBasedStateMachine`` drives an arbitrary interleaving of
+registrations, element arrivals, terminations and progress probes against
+both the DT engine and a trivially-correct in-test model.  Hypothesis
+explores operation orders that fixed fuzz loops never hit (e.g. terminate
+immediately after a merge, probe progress mid-churn) and shrinks any
+divergence to a minimal trace.
+"""
+
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import RuleBasedStateMachine, invariant, precondition, rule
+
+from repro import Query, Rect, RTSSystem, StreamElement
+from repro.core.geometry import Interval
+
+COORD = st.integers(0, 15)
+KINDS = st.sampled_from(["closed", "half_open", "open", "left_open"])
+
+
+class _Model:
+    """The obviously-correct reference implementation."""
+
+    def __init__(self):
+        self.alive = {}  # qid -> [query, collected]
+        self.matured = {}  # qid -> (timestamp, weight)
+        self.clock = 0
+
+    def register(self, query):
+        self.alive[query.query_id] = [query, 0]
+
+    def process(self, element):
+        self.clock += 1
+        fired = []
+        for qid, record in list(self.alive.items()):
+            query, collected = record
+            if query.rect.contains(element.value):
+                record[1] = collected + element.weight
+                if record[1] >= query.threshold:
+                    self.matured[qid] = (self.clock, record[1])
+                    del self.alive[qid]
+                    fired.append(qid)
+        return fired
+
+    def terminate(self, qid):
+        return self.alive.pop(qid, None) is not None
+
+
+class DTEngineMachine(RuleBasedStateMachine):
+    def __init__(self):
+        super().__init__()
+        self.system = RTSSystem(dims=1, engine="dt")
+        self.model = _Model()
+        self.observed = {}
+        self.system.on_maturity(
+            lambda ev: self.observed.__setitem__(
+                ev.query.query_id, (ev.timestamp, ev.weight_seen)
+            )
+        )
+        self.next_id = 0
+
+    @rule(a=COORD, b=COORD, kind=KINDS, tau=st.integers(1, 60))
+    def register(self, a, b, kind, tau):
+        self.next_id += 1
+        interval = getattr(Interval, kind)(min(a, b), max(a, b))
+        query = Query(Rect([interval]), tau, query_id=self.next_id)
+        self.system.register(query)
+        self.model.register(query)
+
+    @rule(v=COORD, frac=st.floats(0, 0.99), w=st.integers(1, 25))
+    def element(self, v, frac, w):
+        element = StreamElement(v + frac, w)
+        self.system.process(element)
+        self.model.process(element)
+
+    @precondition(lambda self: self.model.alive)
+    @rule(pick=st.integers(0, 10**6))
+    def terminate(self, pick):
+        qids = sorted(self.model.alive)
+        qid = qids[pick % len(qids)]
+        assert self.system.terminate(qid) is True
+        assert self.model.terminate(qid) is True
+
+    @precondition(lambda self: self.model.alive)
+    @rule(pick=st.integers(0, 10**6))
+    def probe_progress(self, pick):
+        qids = sorted(self.model.alive)
+        qid = qids[pick % len(qids)]
+        collected, tau = self.system.progress(qid)
+        assert collected == self.model.alive[qid][1]
+        assert tau == self.model.alive[qid][0].threshold
+
+    @invariant()
+    def same_maturities(self):
+        assert self.observed == self.model.matured
+
+    @invariant()
+    def same_alive_count(self):
+        assert self.system.alive_count == len(self.model.alive)
+
+
+TestDTEngineStateful = DTEngineMachine.TestCase
+TestDTEngineStateful.settings = settings(
+    max_examples=60, stateful_step_count=60, deadline=None
+)

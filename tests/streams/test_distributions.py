@@ -1,0 +1,89 @@
+"""Unit tests for the element-value distributions."""
+
+import numpy as np
+import pytest
+
+from repro.streams.distributions import (
+    DISTRIBUTIONS,
+    bimodal_values,
+    clustered_values,
+    get_distribution,
+    uniform_values,
+    zipf_values,
+)
+from repro.streams.scale import paper_params
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(5)
+
+
+DOMAIN = 100_000
+
+
+class TestShapes:
+    @pytest.mark.parametrize("name", sorted(DISTRIBUTIONS))
+    def test_bounds_dtype_shape(self, rng, name):
+        values = get_distribution(name)(rng, 5000, 2, DOMAIN)
+        assert values.shape == (5000, 2)
+        assert values.dtype == np.int64
+        assert values.min() >= 0 and values.max() <= DOMAIN
+
+    def test_unknown_name(self):
+        with pytest.raises(ValueError, match="unknown value distribution"):
+            get_distribution("cauchy")
+
+
+class TestCharacter:
+    def test_uniform_mean_centred(self, rng):
+        v = uniform_values(rng, 20000, 1, DOMAIN)
+        assert abs(v.mean() - DOMAIN / 2) < 0.02 * DOMAIN
+
+    def test_clustered_tight_around_centre(self, rng):
+        v = clustered_values(rng, 20000, 1, DOMAIN)
+        assert abs(v.mean() - DOMAIN / 2) < 0.02 * DOMAIN
+        assert v.std() < 0.15 * DOMAIN  # far tighter than uniform (~0.29)
+
+    def test_bimodal_avoids_centre(self, rng):
+        v = bimodal_values(rng, 20000, 1, DOMAIN)
+        central = ((v > 0.45 * DOMAIN) & (v < 0.55 * DOMAIN)).mean()
+        assert central < 0.05  # almost nothing lands mid-domain
+
+    def test_zipf_mass_near_zero(self, rng):
+        v = zipf_values(rng, 20000, 1, DOMAIN)
+        assert (v < 100).mean() > 0.8
+
+    def test_stab_rates_differ_as_designed(self, rng):
+        params = paper_params(dims=1, scale=1000)
+        from repro.streams.generators import QueryFactory
+
+        queries = QueryFactory(rng, params).make_batch(100)
+
+        def stab_rate(name):
+            values = get_distribution(name)(rng, 2000, 1, DOMAIN)
+            hits = sum(
+                q.matches((float(v),)) for v in values[:, 0] for q in queries
+            )
+            return hits / (2000 * 100)
+
+        uniform = stab_rate("uniform")
+        clustered = stab_rate("clustered")
+        bimodal = stab_rate("bimodal")
+        assert clustered > 2 * uniform
+        assert bimodal < uniform / 2
+
+
+class TestWorkloadIntegration:
+    def test_params_validate_distribution_name(self):
+        with pytest.raises(ValueError):
+            paper_params(1, 1000).with_(value_distribution="nope")
+
+    def test_skewed_workload_verifies_on_all_engines(self):
+        from repro import RTSSystem
+        from repro.streams.workload import build_static_workload
+
+        params = paper_params(1, 20000).with_(value_distribution="clustered")
+        script = build_static_workload(params, seed=3)
+        for engine in ("dt", "baseline", "interval-tree"):
+            script.verify(RTSSystem(dims=1, engine=engine))

@@ -1,0 +1,48 @@
+"""Unit tests for StreamElement."""
+
+import pytest
+
+from repro import StreamElement
+
+
+class TestStreamElement:
+    def test_scalar_value_becomes_1d_point(self):
+        e = StreamElement(5)
+        assert e.value == (5.0,) and e.dims == 1 and e.weight == 1
+
+    def test_sequence_value(self):
+        e = StreamElement((1, 2.5), weight=3)
+        assert e.value == (1.0, 2.5) and e.dims == 2 and e.weight == 3
+
+    def test_weight_validation(self):
+        with pytest.raises(ValueError):
+            StreamElement(1, weight=0)
+        with pytest.raises(TypeError):
+            StreamElement(1, weight=2.5)
+        with pytest.raises(TypeError):
+            StreamElement(1, weight=True)
+
+    def test_empty_value_rejected(self):
+        with pytest.raises(ValueError):
+            StreamElement(())
+
+    def test_immutable(self):
+        e = StreamElement(1)
+        with pytest.raises(AttributeError):
+            e.weight = 5
+
+    def test_equality_and_hash(self):
+        assert StreamElement((1, 2), 3) == StreamElement((1.0, 2.0), 3)
+        assert StreamElement(1) != StreamElement(1, weight=2)
+        assert hash(StreamElement(1)) == hash(StreamElement(1.0))
+
+    def test_repr(self):
+        assert "weight=4" in repr(StreamElement(1, weight=4))
+
+    def test_nan_and_inf_rejected(self):
+        import math
+
+        with pytest.raises(ValueError, match="finite"):
+            StreamElement(math.nan)
+        with pytest.raises(ValueError, match="finite"):
+            StreamElement((1.0, math.inf))

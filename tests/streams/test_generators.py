@@ -1,0 +1,120 @@
+"""Unit tests for the Section 8.1 workload generators."""
+
+import numpy as np
+import pytest
+
+from repro.streams.generators import (
+    QueryFactory,
+    elements_from_arrays,
+    generate_element_arrays,
+    generate_query_rect,
+    generate_query_rects,
+    generate_values,
+    generate_weights,
+    stream_elements,
+)
+from repro.streams.scale import paper_params
+
+
+@pytest.fixture
+def params():
+    return paper_params(dims=2, scale=1000)
+
+
+class TestValueGeneration:
+    def test_values_uniform_integers_in_domain(self, rng, params):
+        values = generate_values(rng, 5000, params.dims, params.domain)
+        assert values.shape == (5000, 2)
+        assert values.min() >= 0 and values.max() <= params.domain
+        assert values.dtype == np.int64
+        # Roughly uniform: mean near domain/2.
+        assert abs(values.mean() - params.domain / 2) < params.domain * 0.02
+
+    def test_weights_gaussian_positive(self, rng):
+        weights = generate_weights(rng, 20_000, mean=100, std=15)
+        assert weights.min() >= 1
+        assert abs(weights.mean() - 100) < 1.0
+        assert abs(weights.std() - 15) < 1.0
+
+    def test_weights_resampled_when_below_one(self, rng):
+        # Mean 1, huge std: many draws fall below 1 and must be retried.
+        weights = generate_weights(rng, 5000, mean=1, std=20)
+        assert weights.min() >= 1
+
+    def test_elements_from_arrays(self, rng, params):
+        values, weights = generate_element_arrays(rng, 10, params)
+        elements = elements_from_arrays(values, weights)
+        assert len(elements) == 10
+        assert elements[0].dims == 2
+        assert all(e.weight >= 1 for e in elements)
+
+    def test_stream_elements_is_endless_and_seeded(self, params):
+        rng1 = np.random.default_rng(7)
+        rng2 = np.random.default_rng(7)
+        s1 = stream_elements(rng1, params, chunk=16)
+        s2 = stream_elements(rng2, params, chunk=16)
+        for _ in range(50):
+            assert next(s1) == next(s2)
+
+
+class TestQueryGeneration:
+    def test_rect_volume_is_ten_percent(self, rng, params):
+        rect = generate_query_rect(rng, params)
+        frac = rect.volume() / params.domain**params.dims
+        assert abs(frac - params.volume_fraction) < 1e-9
+
+    def test_rect_inside_data_space(self, rng, params):
+        for rect in generate_query_rects(rng, 200, params):
+            for iv in rect.intervals:
+                assert iv.lo[0] >= 0 and iv.hi[0] <= params.domain
+
+    def test_centers_cluster_near_middle(self, rng, params):
+        rects = generate_query_rects(rng, 500, params)
+        centers = np.array(
+            [[(iv.lo[0] + iv.hi[0]) / 2 for iv in r.intervals] for r in rects]
+        )
+        mean = params.domain / 2
+        assert abs(centers.mean() - mean) < 0.05 * mean
+        # Hot-spot behaviour: much tighter than uniform placement.
+        assert centers.std() < 0.25 * mean
+
+    def test_1d_interval_length(self, rng):
+        params = paper_params(dims=1, scale=1000)
+        rect = generate_query_rect(rng, params)
+        assert abs(rect.intervals[0].length() - 0.1 * params.domain) < 1e-9
+
+
+class TestQueryFactory:
+    def test_sequential_ids_and_threshold(self, rng, params):
+        factory = QueryFactory(rng, params)
+        a, b = factory.make(), factory.make()
+        assert (a.query_id, b.query_id) == ("q1", "q2")
+        assert a.threshold == params.tau
+        assert factory.issued == 2
+
+    def test_custom_tau(self, rng, params):
+        factory = QueryFactory(rng, params, tau=7)
+        assert factory.make().threshold == 7
+
+    def test_batch(self, rng, params):
+        factory = QueryFactory(rng, params)
+        batch = factory.make_batch(5)
+        assert [q.query_id for q in batch] == [f"q{i}" for i in range(1, 6)]
+
+    def test_determinism_under_seed(self, params):
+        f1 = QueryFactory(np.random.default_rng(3), params)
+        f2 = QueryFactory(np.random.default_rng(3), params)
+        for _ in range(20):
+            assert f1.make().rect == f2.make().rect
+
+    def test_stab_probability_close_to_volume_fraction(self, params):
+        # The designed property: a uniform element stabs ~10% of queries.
+        rng = np.random.default_rng(11)
+        factory = QueryFactory(rng, params)
+        queries = factory.make_batch(300)
+        values = generate_values(rng, 2000, params.dims, params.domain)
+        hits = sum(
+            q.matches(tuple(map(float, v))) for v in values for q in queries
+        )
+        rate = hits / (2000 * 300)
+        assert abs(rate - params.volume_fraction) < 0.02

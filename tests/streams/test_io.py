@@ -1,0 +1,103 @@
+"""Unit tests for the stream ingestion adapters."""
+
+import json
+
+import pytest
+
+from repro import StreamElement
+from repro.streams.io import (
+    elements_from_csv,
+    elements_from_jsonl,
+    elements_from_records,
+)
+
+
+class TestRecords:
+    def test_value_and_weight_mapping(self):
+        records = [
+            {"price": "102.5", "shares": 300, "venue": "X"},
+            {"price": 99, "shares": "10", "venue": "Y"},
+        ]
+        out = list(
+            elements_from_records(records, ["price"], weight_field="shares")
+        )
+        assert out == [StreamElement(102.5, 300), StreamElement(99.0, 10)]
+
+    def test_multidimensional(self):
+        records = [{"x": 1, "y": 2}]
+        (e,) = elements_from_records(records, ["x", "y"])
+        assert e.value == (1.0, 2.0) and e.weight == 1
+
+    def test_missing_value_field(self):
+        with pytest.raises(ValueError, match="missing value field"):
+            list(elements_from_records([{"a": 1}], ["b"]))
+
+    def test_missing_weight_field(self):
+        with pytest.raises(ValueError, match="missing weight field"):
+            list(elements_from_records([{"a": 1}], ["a"], weight_field="w"))
+
+    def test_bad_weight(self):
+        with pytest.raises(ValueError, match="positive integer"):
+            list(
+                elements_from_records([{"a": 1, "w": 0}], ["a"], weight_field="w")
+            )
+
+    def test_non_numeric_value(self):
+        with pytest.raises(ValueError, match="non-numeric"):
+            list(elements_from_records([{"a": "spam"}], ["a"]))
+
+    def test_empty_value_fields(self):
+        with pytest.raises(ValueError):
+            list(elements_from_records([{"a": 1}], []))
+
+    def test_lazy(self):
+        def gen():
+            yield {"a": 1}
+            raise RuntimeError("must not be reached")
+
+        it = elements_from_records(gen(), ["a"])
+        assert next(it) == StreamElement(1.0, 1)
+
+
+class TestCsv:
+    def test_roundtrip(self, tmp_path):
+        path = tmp_path / "trades.csv"
+        path.write_text("price,shares,venue\n102.5,300,X\n99,10,Y\n")
+        out = list(elements_from_csv(path, ["price"], weight_field="shares"))
+        assert out == [StreamElement(102.5, 300), StreamElement(99.0, 10)]
+
+    def test_error_mentions_location(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("price\nnot-a-number\n")
+        with pytest.raises(ValueError, match="bad.csv:1"):
+            list(elements_from_csv(path, ["price"]))
+
+    def test_feeds_an_rts_system(self, tmp_path):
+        from repro import RTSSystem
+
+        path = tmp_path / "trades.csv"
+        rows = ["price,shares"] + [f"{100 + i % 5},{10}" for i in range(30)]
+        path.write_text("\n".join(rows) + "\n")
+        system = RTSSystem(dims=1)
+        q = system.register([(100, 102)], threshold=100)
+        system.process_many(elements_from_csv(path, ["price"], weight_field="shares"))
+        assert system.maturity_time(q) is not None
+
+
+class TestJsonl:
+    def test_roundtrip(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        lines = [
+            json.dumps({"x": 1.5, "y": 2.5, "n": 4}),
+            "",  # blank lines skipped
+            json.dumps({"x": 0, "y": 0, "n": 1}),
+        ]
+        path.write_text("\n".join(lines) + "\n")
+        out = list(elements_from_jsonl(path, ["x", "y"], weight_field="n"))
+        assert out == [StreamElement((1.5, 2.5), 4), StreamElement((0.0, 0.0), 1)]
+
+    def test_invalid_json(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text("{not json}\n")
+        with pytest.raises(ValueError, match="invalid JSON"):
+            list(elements_from_jsonl(path, ["x"]))

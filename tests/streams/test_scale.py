@@ -1,0 +1,59 @@
+"""Unit tests for the paper-scale parameter mapping."""
+
+import math
+
+import pytest
+
+from repro.streams.scale import (
+    PAPER_M,
+    PAPER_STREAM_LEN,
+    PAPER_TAU,
+    WorkloadParams,
+    paper_params,
+)
+
+
+class TestPaperParams:
+    def test_scale_one_reproduces_paper_sizes(self):
+        p = paper_params(dims=1, scale=1)
+        assert (p.m, p.tau, p.stream_len) == (PAPER_M, PAPER_TAU, PAPER_STREAM_LEN)
+
+    def test_default_scale_preserves_ratios(self):
+        p = paper_params(dims=2, scale=1000)
+        assert p.tau / p.m == PAPER_TAU / PAPER_M
+        assert p.dims == 2
+
+    def test_overrides(self):
+        p = paper_params(dims=1, scale=1000, m=123, tau=456)
+        assert p.m == 123 and p.tau == 456
+
+    def test_invalid_scale(self):
+        with pytest.raises(ValueError):
+            paper_params(dims=1, scale=0)
+
+
+class TestDerivedQuantities:
+    def test_expected_maturity_is_tau_over_ten(self):
+        # Section 8.1: maturity after tau / (10% * 100) = tau/10 steps.
+        p = paper_params(dims=1, scale=1000)
+        assert p.expected_maturity_steps == p.tau // 10
+
+    def test_termination_prob_gives_10pct_survival(self):
+        p = paper_params(dims=1, scale=1000)
+        survive = (1 - p.termination_prob) ** p.expected_maturity_steps
+        assert math.isclose(survive, 0.10, rel_tol=1e-9)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            WorkloadParams(dims=0, m=1, tau=1, stream_len=1)
+        with pytest.raises(ValueError):
+            WorkloadParams(dims=1, m=0, tau=1, stream_len=1)
+        with pytest.raises(ValueError):
+            WorkloadParams(dims=1, m=1, tau=1, stream_len=1, volume_fraction=0)
+        with pytest.raises(ValueError):
+            WorkloadParams(dims=1, m=1, tau=1, stream_len=1, survival_prob=1.0)
+
+    def test_with_replaces_fields(self):
+        p = paper_params(dims=1, scale=1000)
+        q = p.with_(m=7)
+        assert q.m == 7 and q.tau == p.tau and p.m != 7

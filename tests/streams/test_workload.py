@@ -1,0 +1,162 @@
+"""Unit tests for workload scripts and the numpy maturity oracle."""
+
+import numpy as np
+import pytest
+
+from repro import Query, RTSSystem
+from repro.streams.scale import paper_params
+from repro.streams.workload import (
+    ELEMENT,
+    REGISTER,
+    REGISTER_BATCH,
+    TERMINATE,
+    WorkloadScript,
+    _OracleStream,
+    build_fixed_load_workload,
+    build_static_workload,
+    build_stochastic_workload,
+)
+
+
+@pytest.fixture
+def params():
+    return paper_params(dims=1, scale=20000)  # m=50, tau=1000
+
+
+class TestOracleStream:
+    def test_maturity_matches_manual_cumsum(self, params):
+        rng = np.random.default_rng(0)
+        stream = _OracleStream(rng, params)
+        stream.ensure(500)
+        query = Query([(20_000, 60_000)], 900, query_id="q")
+        got = stream.maturity_after(query, t0=0, tau=900)
+        total = 0
+        expect = None
+        for t in range(1, 501):
+            e = stream.element_at(t)
+            if query.matches(e.value):
+                total += e.weight
+                if total >= 900:
+                    expect = (t, total)
+                    break
+        assert got == expect
+
+    def test_t0_offset_skips_earlier_elements(self, params):
+        rng = np.random.default_rng(1)
+        stream = _OracleStream(rng, params)
+        stream.ensure(400)
+        query = Query([(0, 100_000)], 500, query_id="q")
+        early = stream.maturity_after(query, t0=0, tau=500)
+        late = stream.maturity_after(query, t0=100, tau=500)
+        assert late[0] > early[0] >= 1
+        assert late[0] > 100
+
+    def test_none_when_stream_too_short(self, params):
+        rng = np.random.default_rng(2)
+        stream = _OracleStream(rng, params)
+        stream.ensure(10)
+        query = Query([(0, 100_000)], 10**9, query_id="q")
+        assert stream.maturity_after(query, t0=0, tau=10**9) is None
+
+    def test_ensure_grows_prefix_stably(self, params):
+        rng = np.random.default_rng(3)
+        stream = _OracleStream(rng, params)
+        stream.ensure(50)
+        first = stream.element_at(17)
+        stream.ensure(500)
+        assert stream.element_at(17) == first
+
+
+class TestScriptStructure:
+    def test_static_initial_batch_then_elements(self, params):
+        script = build_static_workload(params, seed=0)
+        kinds = [k for k, _ in script.events]
+        assert kinds[0] == REGISTER_BATCH
+        assert len(script.events[0][1]) == params.m
+        assert kinds.count(ELEMENT) == script.n_elements
+        assert REGISTER not in kinds[1:]  # static: no later registrations
+
+    def test_static_all_queries_resolve(self, params):
+        script = build_static_workload(params, seed=0)
+        matured = set(script.expected_maturities)
+        terminated = {p for k, p in script.events if k == TERMINATE}
+        assert len(matured) + len(terminated) == params.m
+        assert not (matured & terminated)
+
+    def test_stochastic_registrations_in_first_two_thirds(self, params):
+        script = build_stochastic_workload(params, seed=0, p_ins=0.5)
+        assert script.n_elements == params.stream_len
+        element_count = 0
+        last_register_at = 0
+        for kind, payload in script.events:
+            if kind == ELEMENT:
+                element_count += 1
+            elif kind == REGISTER:
+                last_register_at = element_count
+        assert last_register_at <= 2 * params.stream_len // 3
+        assert script.n_queries > params.m  # some arrived mid-stream
+
+    def test_stochastic_pins_zero_means_no_new_queries(self, params):
+        script = build_stochastic_workload(params, seed=0, p_ins=0.0)
+        assert script.n_queries == params.m
+
+    def test_pins_validation(self, params):
+        with pytest.raises(ValueError):
+            build_stochastic_workload(params, seed=0, p_ins=1.5)
+
+    def test_fixed_load_keeps_alive_count_constant(self, params):
+        # The invariant holds at timestamp *boundaries*: once a
+        # timestamp's maturities, terminations and replacement
+        # registrations have all happened, exactly m queries are alive
+        # (the final timestamp gets no replacements by construction).
+        script = build_fixed_load_workload(params, seed=0)
+        system = RTSSystem(dims=1, engine="baseline")
+        boundary_counts = []
+        for kind, payload in script.events:
+            if kind == ELEMENT:
+                boundary_counts.append(system.alive_count)
+                system.process(payload)
+            elif kind == REGISTER:
+                system.register(payload)
+            elif kind == REGISTER_BATCH:
+                system.register_batch(payload)
+            else:
+                system.terminate(payload)
+        assert boundary_counts and all(c == params.m for c in boundary_counts)
+
+    def test_operation_count_counts_batch_members(self, params):
+        script = build_static_workload(params, seed=0)
+        assert script.operation_count() == len(script.events) - 1 + params.m
+
+    def test_determinism(self, params):
+        s1 = build_static_workload(params, seed=42)
+        s2 = build_static_workload(params, seed=42)
+        assert s1.expected_maturities == s2.expected_maturities
+        assert s1.n_elements == s2.n_elements
+        s3 = build_static_workload(params, seed=43)
+        assert s3.expected_maturities != s1.expected_maturities
+
+
+class TestReplayAndVerify:
+    @pytest.mark.parametrize("builder,kwargs", [
+        (build_static_workload, {}),
+        (build_stochastic_workload, {"p_ins": 0.3}),
+        (build_fixed_load_workload, {}),
+    ])
+    def test_replay_matches_oracle_on_all_engines(self, params, builder, kwargs):
+        script = builder(params, seed=5, **kwargs)
+        for engine in ("dt", "dt-static", "baseline", "interval-tree"):
+            script.verify(RTSSystem(dims=1, engine=engine))
+
+    def test_2d_verify(self):
+        params = paper_params(dims=2, scale=20000)
+        script = build_static_workload(params, seed=5)
+        for engine in ("dt", "baseline", "seg-intv-tree", "rtree"):
+            script.verify(RTSSystem(dims=2, engine=engine))
+
+    def test_verify_raises_on_wrong_engine_output(self, params):
+        script = build_static_workload(params, seed=5)
+        # Sabotage the expectations to prove verify actually checks.
+        script.expected_maturities["ghost-query"] = (1, 1)
+        with pytest.raises(AssertionError, match="disagrees with the oracle"):
+            script.verify(RTSSystem(dims=1, engine="baseline"))

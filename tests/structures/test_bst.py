@@ -1,0 +1,79 @@
+"""Unit tests for the shared balanced-skeleton builder."""
+
+import random
+
+from repro.core.geometry import MINUS_INFINITY, PLUS_INFINITY
+from repro.structures.bst import build_skeleton, descend_path
+
+
+class _Node:
+    __slots__ = ("lo", "hi", "left", "right")
+
+    def __init__(self, lo, hi):
+        self.lo = lo
+        self.hi = hi
+        self.left = None
+        self.right = None
+
+
+def keys_of(*values):
+    return [(float(v), 0) for v in values]
+
+
+class TestBuildSkeleton:
+    def test_empty(self):
+        assert build_skeleton([], _Node) is None
+
+    def test_custom_rightmost_bound(self):
+        root = build_skeleton(keys_of(1, 2), _Node, rightmost_hi=(99.0, 0))
+        assert root.hi == (99.0, 0)
+
+    def test_default_rightmost_is_infinity(self):
+        root = build_skeleton(keys_of(1, 2), _Node)
+        assert root.hi == PLUS_INFINITY
+
+    def test_minus_infinity_leftmost(self):
+        root = build_skeleton([MINUS_INFINITY] + keys_of(5), _Node)
+        assert root.lo == MINUS_INFINITY
+
+    def test_heights_are_logarithmic(self):
+        for n in (1, 2, 3, 7, 8, 9, 100, 257):
+            root = build_skeleton(keys_of(*range(n)), _Node)
+
+            def depth(node, lo=0):
+                if node.left is None:
+                    return lo
+                return max(depth(node.left, lo + 1), depth(node.right, lo + 1))
+
+            import math
+
+            assert depth(root) <= math.ceil(math.log2(n)) + 1
+
+
+class TestDescendPath:
+    def test_path_covers_key_at_every_level(self):
+        rnd = random.Random(2)
+        keys = keys_of(*sorted(rnd.sample(range(1000), 50)))
+        root = build_skeleton(keys, _Node)
+        for _ in range(100):
+            v = (rnd.uniform(0, 1000), 0)
+            path = list(descend_path(root, v))
+            if v < keys[0]:
+                assert path == []
+                continue
+            assert path[0] is root
+            for node in path:
+                assert node.lo <= v < node.hi
+            assert path[-1].left is None  # ends at a leaf
+
+    def test_key_below_tree_yields_nothing(self):
+        root = build_skeleton(keys_of(10, 20), _Node)
+        assert list(descend_path(root, (5.0, 0))) == []
+
+    def test_empty_tree(self):
+        assert list(descend_path(None, (1.0, 0))) == []
+
+    def test_path_length_is_height_plus_one(self):
+        root = build_skeleton(keys_of(*range(64)), _Node)
+        path = list(descend_path(root, (31.5, 0)))
+        assert len(path) == 7  # log2(64) + 1

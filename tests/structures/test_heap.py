@@ -1,0 +1,165 @@
+"""Unit and property tests for the addressable min-heap and scan list."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.structures.heap import AddressableMinHeap, ScanMinList
+
+
+class TestBasicOperations:
+    def test_push_peek_pop_orders_keys(self):
+        heap = AddressableMinHeap()
+        for key in [5, 3, 8, 1, 9, 2]:
+            heap.push(key, None)
+        assert heap.peek().key == 1
+        assert [heap.pop().key for _ in range(len(heap))] == [1, 2, 3, 5, 8, 9]
+
+    def test_min_key_empty(self):
+        assert AddressableMinHeap().min_key is None
+
+    def test_first_due(self):
+        heap = AddressableMinHeap()
+        heap.push(5, "a")
+        heap.push(3, "b")
+        assert heap.first_due(2) is None
+        assert heap.first_due(3).payload == "b"
+        assert heap.first_due(100).payload == "b"
+
+    def test_remove_middle_entry(self):
+        heap = AddressableMinHeap()
+        entries = [heap.push(k, k) for k in [4, 2, 7, 1, 9]]
+        heap.remove(entries[0])  # key 4
+        heap.check_invariants()
+        assert sorted(e.key for e in heap.entries()) == [1, 2, 7, 9]
+        assert not entries[0].in_heap
+
+    def test_remove_detached_entry_raises(self):
+        heap = AddressableMinHeap()
+        e = heap.push(1, None)
+        heap.remove(e)
+        with pytest.raises(ValueError):
+            heap.remove(e)
+
+    def test_entry_from_other_heap_rejected(self):
+        a, b = AddressableMinHeap(), AddressableMinHeap()
+        e = a.push(1, None)
+        b.push(1, None)
+        with pytest.raises(ValueError):
+            b.remove(e)
+
+    def test_update_key_up_and_down(self):
+        heap = AddressableMinHeap()
+        entries = [heap.push(k, k) for k in [10, 20, 30]]
+        heap.update_key(entries[2], 1)
+        assert heap.peek() is entries[2]
+        heap.update_key(entries[2], 99)
+        assert heap.peek() is entries[0]
+        heap.check_invariants()
+
+    def test_pop_empty_raises(self):
+        with pytest.raises(IndexError):
+            AddressableMinHeap().pop()
+
+    def test_bool_and_len(self):
+        heap = AddressableMinHeap()
+        assert not heap and len(heap) == 0
+        heap.push(1, None)
+        assert heap and len(heap) == 1
+
+    def test_duplicate_keys_all_come_out(self):
+        heap = AddressableMinHeap()
+        for _ in range(5):
+            heap.push(7, None)
+        assert [heap.pop().key for _ in range(5)] == [7] * 5
+
+    def test_push_unordered_then_heapify(self):
+        heap = AddressableMinHeap()
+        keys = [9, 4, 7, 1, 8, 2, 6]
+        for k in keys:
+            heap.push_unordered(k, None)
+        heap.heapify()
+        heap.check_invariants()
+        assert [heap.pop().key for _ in range(len(keys))] == sorted(keys)
+
+
+class TestRandomizedInvariants:
+    def test_mixed_operations_keep_invariants(self):
+        rnd = random.Random(99)
+        heap = AddressableMinHeap()
+        live = []
+        shadow = []  # (key, entry) mirror
+        for step in range(3000):
+            op = rnd.random()
+            if op < 0.5 or not live:
+                key = rnd.randint(0, 1000)
+                entry = heap.push(key, None)
+                live.append(entry)
+            elif op < 0.7:
+                entry = live.pop(rnd.randrange(len(live)))
+                heap.remove(entry)
+            elif op < 0.9:
+                entry = rnd.choice(live)
+                heap.update_key(entry, rnd.randint(0, 1000))
+            else:
+                entry = heap.pop()
+                live.remove(entry)
+            if step % 100 == 0:
+                heap.check_invariants()
+        heap.check_invariants()
+        drained = [heap.pop().key for _ in range(len(heap))]
+        assert drained == sorted(drained)
+
+
+@settings(max_examples=200, deadline=None)
+@given(st.lists(st.integers(-1000, 1000), min_size=0, max_size=60))
+def test_heapsort_matches_sorted(keys):
+    heap = AddressableMinHeap()
+    for k in keys:
+        heap.push(k, None)
+    out = [heap.pop().key for _ in range(len(keys))]
+    assert out == sorted(keys)
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    st.lists(
+        st.tuples(st.sampled_from(["push", "pop", "remove", "update"]),
+                  st.integers(0, 100)),
+        max_size=80,
+    )
+)
+def test_scan_list_agrees_with_heap(ops):
+    """ScanMinList must be observably identical to AddressableMinHeap."""
+    heap, scan = AddressableMinHeap(), ScanMinList()
+    pairs = []  # (heap entry, scan entry)
+    for op, value in ops:
+        if op == "push" or not pairs:
+            pairs.append((heap.push(value, None), scan.push(value, None)))
+        elif op == "pop":
+            # Pop from the heap, then remove the *paired* scan entry (with
+            # tied keys the two containers may pick different minima, so
+            # matching by pair keeps them in lockstep).
+            assert scan.min_key == heap.min_key
+            he = heap.pop()
+            assert he.key == scan.min_key or he.key >= scan.min_key
+            se = next(s for h, s in pairs if h is he)
+            scan.remove(se)
+            pairs = [(h, s) for h, s in pairs if h is not he]
+        elif op == "remove":
+            h, s = pairs.pop(value % len(pairs))
+            heap.remove(h)
+            scan.remove(s)
+        else:
+            h, s = pairs[value % len(pairs)]
+            heap.update_key(h, value)
+            scan.update_key(s, value)
+        assert heap.min_key == scan.min_key
+        assert len(heap) == len(scan)
+        due_h = heap.first_due(50)
+        due_s = scan.first_due(50)
+        assert (due_h is None) == (due_s is None)
+        if due_h is not None:
+            assert due_h.key == due_s.key

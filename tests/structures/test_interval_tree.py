@@ -1,0 +1,111 @@
+"""Unit and property tests for the centered interval tree."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import Interval
+from repro.structures.interval_tree import CenteredIntervalTree
+
+
+def brute_stab(items, value):
+    return {id(h) for h in items if h.alive and h.interval.contains(value)}
+
+
+interval_strategy = st.builds(
+    lambda a, b, kind: getattr(Interval, kind)(min(a, b), max(a, b)),
+    st.integers(0, 30),
+    st.integers(0, 30),
+    st.sampled_from(["closed", "half_open", "open", "left_open"]),
+)
+
+
+class TestBasics:
+    def test_bulk_build_and_stab(self):
+        tree = CenteredIntervalTree(
+            [(Interval.half_open(0, 10), "a"), (Interval.half_open(5, 15), "b")]
+        )
+        assert {i.payload for i in tree.stab(7)} == {"a", "b"}
+        assert {i.payload for i in tree.stab(12)} == {"b"}
+        assert list(tree.stab(20)) == []
+
+    def test_insert_then_stab(self):
+        tree = CenteredIntervalTree()
+        tree.insert(Interval.closed(3, 7), "x")
+        assert [i.payload for i in tree.stab(7)] == ["x"]
+        assert list(tree.stab(7.1)) == []
+
+    def test_remove_hides_item(self):
+        tree = CenteredIntervalTree()
+        h = tree.insert(Interval.closed(0, 10), "x")
+        tree.remove(h)
+        assert list(tree.stab(5)) == []
+        assert len(tree) == 0
+        tree.remove(h)  # idempotent
+
+    def test_empty_interval_never_stabbed(self):
+        tree = CenteredIntervalTree()
+        h = tree.insert(Interval.half_open(5, 5), "empty")
+        assert list(tree.stab(5)) == []
+        tree.remove(h)  # safe
+
+    def test_duplicate_intervals(self):
+        tree = CenteredIntervalTree()
+        for i in range(20):
+            tree.insert(Interval.closed(5, 9), i)
+        assert len(list(tree.stab(7))) == 20
+        assert len(list(tree.stab(4.9))) == 0
+
+    def test_len_counts_alive(self):
+        tree = CenteredIntervalTree()
+        handles = [tree.insert(Interval.closed(0, i + 1), i) for i in range(5)]
+        tree.remove(handles[0])
+        assert len(tree) == 4
+
+    def test_rebuild_restores_balance_and_content(self):
+        tree = CenteredIntervalTree(min_rebuild=4)
+        handles = [tree.insert(Interval.closed(i, i + 2), i) for i in range(40)]
+        before = tree.rebuild_count
+        for h in handles[:30]:
+            tree.remove(h)
+        assert tree.rebuild_count > before
+        assert {i.payload for i in tree.stab(35)} == {33, 34, 35}
+        tree.check_invariants()
+
+
+class TestRandomized:
+    def test_mixed_ops_match_brute_force(self):
+        rnd = random.Random(17)
+        tree = CenteredIntervalTree(min_rebuild=8)
+        live = []
+        for step in range(1500):
+            op = rnd.random()
+            if op < 0.5 or not live:
+                a, b = sorted((rnd.randint(0, 50), rnd.randint(0, 50)))
+                kind = rnd.choice(["closed", "half_open", "open", "left_open"])
+                iv = getattr(Interval, kind)(a, b)
+                live.append(tree.insert(iv, step))
+            elif op < 0.7:
+                h = live.pop(rnd.randrange(len(live)))
+                tree.remove(h)
+            else:
+                v = rnd.choice([rnd.randint(0, 50), rnd.uniform(0, 50)])
+                got = {id(i) for i in tree.stab(v)}
+                assert got == brute_stab(live, v)
+            if step % 300 == 0:
+                tree.check_invariants()
+
+
+@settings(max_examples=150, deadline=None)
+@given(
+    st.lists(interval_strategy, max_size=25),
+    st.lists(st.floats(-1, 31, allow_nan=False), max_size=10),
+)
+def test_bulk_build_stab_matches_brute(intervals, probes):
+    tree = CenteredIntervalTree([(iv, i) for i, iv in enumerate(intervals)])
+    handles = tree._collect_alive()
+    for v in probes:
+        got = {id(i) for i in tree.stab(v)}
+        assert got == brute_stab(handles, v)

@@ -1,0 +1,112 @@
+"""Tests for the R*-tree split variant."""
+
+import random
+
+import pytest
+
+from repro import Rect, RTSSystem
+from repro.structures.rtree import RTree, mbr_area, mbr_contains_point
+
+
+def rect2(x1, x2, y1, y2):
+    return Rect.half_open([(x1, x2), (y1, y2)])
+
+
+def brute_stab(handles, point):
+    return {
+        id(h) for h in handles if h.alive and mbr_contains_point(h.mbr, point)
+    }
+
+
+class TestRStarSplit:
+    def test_strategy_validation(self):
+        with pytest.raises(ValueError, match="split"):
+            RTree(split="linear")
+
+    def test_correctness_under_churn(self):
+        rnd = random.Random(51)
+        tree = RTree(max_entries=6, split="rstar")
+        live = []
+        for step in range(900):
+            op = rnd.random()
+            if op < 0.5 or not live:
+                x1, x2 = sorted((rnd.uniform(0, 40), rnd.uniform(0, 40)))
+                y1, y2 = sorted((rnd.uniform(0, 40), rnd.uniform(0, 40)))
+                live.append(tree.insert(rect2(x1, x2, y1, y2), step))
+            elif op < 0.72:
+                h = live.pop(rnd.randrange(len(live)))
+                tree.remove(h)
+            else:
+                p = (rnd.uniform(-1, 41), rnd.uniform(-1, 41))
+                assert {id(i) for i in tree.stab(p)} == brute_stab(live, p)
+            if step % 150 == 0:
+                tree.check_invariants()
+        tree.check_invariants()
+
+    def test_split_groups_respect_min_fill(self):
+        tree = RTree(max_entries=4, split="rstar")
+        for i in range(60):
+            tree.insert(rect2(i, i + 2, 0, 1), i)
+        tree.check_invariants()  # asserts fill factors everywhere
+
+    def test_rstar_produces_lower_overlap_on_clustered_data(self):
+        """The point of R*: less node overlap on skewed rectangles."""
+
+        def total_internal_overlap(tree):
+            total = 0.0
+            stack = [tree._root]
+            while stack:
+                node = stack.pop()
+                if node.is_leaf:
+                    continue
+                children = node.entries
+                for i in range(len(children)):
+                    for j in range(i + 1, len(children)):
+                        a, b = children[i].mbr, children[j].mbr
+                        area = 1.0
+                        for (alo, ahi), (blo, bhi) in zip(a, b):
+                            side = min(ahi, bhi) - max(alo, blo)
+                            if side <= 0:
+                                area = 0.0
+                                break
+                            area *= side
+                        total += area
+                stack.extend(children)
+            return total
+
+        rnd = random.Random(8)
+        rects = []
+        for _ in range(400):
+            cx, cy = rnd.gauss(50, 10), rnd.gauss(50, 10)
+            w, h = rnd.uniform(1, 8), rnd.uniform(1, 8)
+            rects.append(rect2(cx, cx + w, cy, cy + h))
+        quad, rstar = RTree(split="quadratic"), RTree(split="rstar")
+        for i, r in enumerate(rects):
+            quad.insert(r, i)
+            rstar.insert(r, i)
+        assert total_internal_overlap(rstar) < total_internal_overlap(quad)
+
+    def test_rstar_engine_agrees_with_baseline(self):
+        from tests.conftest import random_element, random_query
+
+        rnd = random.Random(61)
+        systems = {
+            "baseline": RTSSystem(dims=2, engine="baseline"),
+            "rstar": RTSSystem(dims=2, engine="rtree", split="rstar"),
+        }
+        results = {name: {} for name in systems}
+        for name, system in systems.items():
+            system.on_maturity(
+                lambda ev, n=name: results[n].__setitem__(
+                    ev.query.query_id, (ev.timestamp, ev.weight_seen)
+                )
+            )
+        for i in range(60):
+            q = random_query(rnd, 2, query_id=i)
+            for s in systems.values():
+                s.register(q)
+        for _ in range(300):
+            e = random_element(rnd, 2)
+            for s in systems.values():
+                s.process(e)
+        assert results["rstar"] == results["baseline"]

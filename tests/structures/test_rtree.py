@@ -1,0 +1,125 @@
+"""Unit and randomized tests for the Guttman R-tree."""
+
+import random
+
+import pytest
+
+from repro import Interval, Rect
+from repro.structures.rtree import RTree, mbr_area, mbr_contains_point, mbr_union, rect_to_mbr
+
+
+def rect2(x1, x2, y1, y2):
+    return Rect.half_open([(x1, x2), (y1, y2)])
+
+
+def brute_stab(handles, point):
+    """MBR-level reference (closed boxes), matching RTree.stab semantics."""
+    return {
+        id(h)
+        for h in handles
+        if h.alive and mbr_contains_point(h.mbr, point)
+    }
+
+
+class TestMbrHelpers:
+    def test_rect_to_mbr_drops_epsilon_bits(self):
+        rect = Rect([Interval.closed(0, 10), Interval.open(5, 9)])
+        assert rect_to_mbr(rect) == ((0, 10), (5, 9))
+
+    def test_union_and_area(self):
+        a, b = ((0, 2), (0, 2)), ((1, 5), (-1, 1))
+        assert mbr_union(a, b) == ((0, 5), (-1, 2))
+        assert mbr_area(((0, 5), (-1, 2))) == 15
+
+    def test_contains_point_closed(self):
+        assert mbr_contains_point(((0, 10), (0, 10)), (10, 0))
+        assert not mbr_contains_point(((0, 10), (0, 10)), (10.01, 0))
+
+
+class TestBasics:
+    def test_insert_and_stab(self):
+        tree = RTree()
+        tree.insert(rect2(0, 10, 0, 10), "a")
+        tree.insert(rect2(5, 15, 5, 15), "b")
+        assert {i.payload for i in tree.stab((7, 7))} == {"a", "b"}
+        assert {i.payload for i in tree.stab((1, 1))} == {"a"}
+        assert list(tree.stab((100, 100))) == []
+
+    def test_remove(self):
+        tree = RTree()
+        h = tree.insert(rect2(0, 10, 0, 10), "x")
+        tree.remove(h)
+        assert list(tree.stab((5, 5))) == []
+        tree.remove(h)  # idempotent
+        assert len(tree) == 0
+
+    def test_split_beyond_capacity(self):
+        tree = RTree(max_entries=4)
+        for i in range(50):
+            tree.insert(rect2(i, i + 1, i, i + 1), i)
+        assert tree.height() >= 2
+        tree.check_invariants()
+        assert {i.payload for i in tree.stab((25.5, 25.5))} == {25}
+
+    def test_condense_after_mass_deletion(self):
+        tree = RTree(max_entries=4)
+        handles = [tree.insert(rect2(i, i + 1, 0, 1), i) for i in range(40)]
+        for h in handles[:35]:
+            tree.remove(h)
+        tree.check_invariants()
+        assert len(tree) == 5
+        assert {i.payload for i in tree.stab((37.5, 0.5))} == {37}
+
+    def test_min_capacity_validation(self):
+        with pytest.raises(ValueError):
+            RTree(max_entries=3)
+
+    def test_empty_rect_stays_out(self):
+        tree = RTree()
+        h = tree.insert(Rect.half_open([(5, 5), (0, 10)]), "empty")
+        assert len(tree) == 0
+        tree.remove(h)  # safe
+
+    def test_1d_and_3d_supported(self):
+        t1 = RTree()
+        t1.insert(Rect.half_open([(0, 10)]), "1d")
+        assert [i.payload for i in t1.stab((5,))] == ["1d"]
+        t3 = RTree()
+        t3.insert(Rect.half_open([(0, 1), (0, 1), (0, 1)]), "3d")
+        assert [i.payload for i in t3.stab((0.5, 0.5, 0.5))] == ["3d"]
+
+
+class TestRandomized:
+    def test_mixed_ops_match_brute_force(self):
+        rnd = random.Random(41)
+        tree = RTree(max_entries=6)
+        live = []
+        for step in range(900):
+            op = rnd.random()
+            if op < 0.5 or not live:
+                x1, x2 = sorted((rnd.uniform(0, 40), rnd.uniform(0, 40)))
+                y1, y2 = sorted((rnd.uniform(0, 40), rnd.uniform(0, 40)))
+                live.append(tree.insert(rect2(x1, x2, y1, y2), step))
+            elif op < 0.72:
+                h = live.pop(rnd.randrange(len(live)))
+                tree.remove(h)
+            else:
+                p = (rnd.uniform(-1, 41), rnd.uniform(-1, 41))
+                assert {id(i) for i in tree.stab(p)} == brute_stab(live, p)
+            if step % 150 == 0:
+                tree.check_invariants()
+        tree.check_invariants()
+
+    def test_heavy_overlap_hot_area(self):
+        """The RTS-like workload: large overlapping rectangles."""
+        rnd = random.Random(43)
+        tree = RTree(max_entries=8)
+        live = []
+        for step in range(400):
+            cx, cy = rnd.gauss(50, 7), rnd.gauss(50, 7)
+            live.append(tree.insert(rect2(cx - 15, cx + 15, cy - 15, cy + 15), step))
+            if len(live) > 60:
+                tree.remove(live.pop(rnd.randrange(len(live))))
+        tree.check_invariants()
+        p = (50.0, 50.0)
+        assert {id(i) for i in tree.stab(p)} == brute_stab(live, p)

@@ -1,0 +1,92 @@
+"""Unit and randomized tests for the 2-D Seg-Intv stabbing structure."""
+
+import random
+
+import pytest
+
+from repro import Interval, Rect
+from repro.structures.seg_intv_tree import SegIntvTree
+
+
+def brute_stab(handles, point):
+    return {id(h) for h in handles if h.alive and h.rect.contains(point)}
+
+
+def rect(x1, x2, y1, y2, kind="half_open"):
+    make = getattr(Interval, kind)
+    return Rect([make(x1, x2), make(y1, y2)])
+
+
+class TestBasics:
+    def test_bulk_build_and_stab(self):
+        tree = SegIntvTree(
+            [(rect(0, 10, 0, 10), "a"), (rect(5, 15, 5, 15), "b")]
+        )
+        assert {i.payload for i in tree.stab((7, 7))} == {"a", "b"}
+        assert {i.payload for i in tree.stab((2, 2))} == {"a"}
+        assert list(tree.stab((20, 20))) == []
+
+    def test_y_dimension_filtering(self):
+        tree = SegIntvTree()
+        tree.insert(rect(0, 10, 0, 5), "low")
+        tree.insert(rect(0, 10, 5, 10), "high")
+        assert [i.payload for i in tree.stab((5, 2))] == ["low"]
+        assert [i.payload for i in tree.stab((5, 7))] == ["high"]
+
+    def test_closed_vs_open_edges(self):
+        tree = SegIntvTree()
+        tree.insert(rect(0, 10, 0, 10, "closed"), "c")
+        tree.insert(rect(0, 10, 0, 10, "open"), "o")
+        assert {i.payload for i in tree.stab((10, 10))} == {"c"}
+        assert {i.payload for i in tree.stab((5, 5))} == {"c", "o"}
+
+    def test_remove(self):
+        tree = SegIntvTree()
+        h = tree.insert(rect(0, 10, 0, 10), "x")
+        tree.remove(h)
+        assert list(tree.stab((5, 5))) == []
+        tree.remove(h)  # idempotent
+        assert len(tree) == 0
+
+    def test_rejects_wrong_dimensionality(self):
+        tree = SegIntvTree()
+        with pytest.raises(ValueError):
+            tree.insert(Rect([Interval.closed(0, 1)]), "1d")
+
+    def test_rebuild_after_churn(self):
+        tree = SegIntvTree(min_rebuild=4)
+        handles = [
+            tree.insert(rect(i, i + 3, i, i + 3), i) for i in range(25)
+        ]
+        before = tree.rebuild_count
+        for h in handles[:24]:
+            tree.remove(h)
+        assert tree.rebuild_count > before
+        assert {i.payload for i in tree.stab((26, 26))} == {24}
+
+    def test_empty_rect_never_stabbed(self):
+        tree = SegIntvTree()
+        h = tree.insert(rect(5, 5, 0, 10), "empty-x")
+        assert list(tree.stab((5, 5))) == []
+        tree.remove(h)
+
+
+class TestRandomized:
+    def test_mixed_ops_match_brute_force(self):
+        rnd = random.Random(31)
+        tree = SegIntvTree(min_rebuild=8)
+        live = []
+        for step in range(800):
+            op = rnd.random()
+            if op < 0.45 or not live:
+                x1, x2 = sorted((rnd.uniform(0, 40), rnd.uniform(0, 40)))
+                y1, y2 = sorted((rnd.uniform(0, 40), rnd.uniform(0, 40)))
+                kind = rnd.choice(["closed", "half_open", "open"])
+                live.append(tree.insert(rect(x1, x2, y1, y2, kind), step))
+            elif op < 0.65:
+                h = live.pop(rnd.randrange(len(live)))
+                tree.remove(h)
+            else:
+                p = (rnd.uniform(-1, 41), rnd.uniform(-1, 41))
+                got = {id(i) for i in tree.stab(p)}
+                assert got == brute_stab(live, p)

@@ -1,0 +1,111 @@
+"""Unit and property tests for the dynamic stabbing segment tree."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import Interval
+from repro.structures.segment_tree import SegmentTree
+
+
+def brute_stab(handles, value):
+    return {id(h) for h in handles if h.alive and h.interval.contains(value)}
+
+
+class TestBasics:
+    def test_bulk_build_and_stab(self):
+        tree = SegmentTree(
+            [(Interval.half_open(0, 10), "a"), (Interval.closed(5, 15), "b")]
+        )
+        assert {i.payload for i in tree.stab(7)} == {"a", "b"}
+        assert {i.payload for i in tree.stab(15)} == {"b"}
+        assert list(tree.stab(16)) == []
+
+    def test_insert_endpoints_not_in_skeleton_still_exact(self):
+        # The skeleton is built empty; inserts snap to a superset but the
+        # stab interface re-checks exactly.
+        tree = SegmentTree()
+        tree.insert(Interval.half_open(3.5, 7.25), "x")
+        assert [i.payload for i in tree.stab(5)] == ["x"]
+        assert list(tree.stab(7.25)) == []
+        assert list(tree.stab(3.4)) == []
+
+    def test_candidates_are_superset_of_matches(self):
+        tree = SegmentTree()
+        tree.insert(Interval.half_open(3.5, 7.25), "x")
+        cands = {i.payload for i in tree.stab_candidates(3.4)}
+        hits = {i.payload for i in tree.stab(3.4)}
+        assert hits <= cands
+
+    def test_remove(self):
+        tree = SegmentTree()
+        h = tree.insert(Interval.closed(0, 10), "x")
+        tree.remove(h)
+        assert list(tree.stab(5)) == []
+        tree.remove(h)  # idempotent
+        assert len(tree) == 0
+
+    def test_unbounded_interval(self):
+        tree = SegmentTree()
+        tree.insert(Interval.at_least(10), "up")
+        tree.insert(Interval.at_most(5), "down")
+        assert [i.payload for i in tree.stab(1e12)] == ["up"]
+        assert [i.payload for i in tree.stab(-1e12)] == ["down"]
+        assert list(tree.stab(7)) == []
+
+    def test_rebuild_after_churn(self):
+        tree = SegmentTree(min_rebuild=4)
+        handles = [tree.insert(Interval.closed(i, i + 3), i) for i in range(30)]
+        before = tree.rebuild_count
+        for h in handles[:25]:
+            tree.remove(h)
+        assert tree.rebuild_count > before
+        assert {i.payload for i in tree.stab(27)} == {25, 26, 27}
+        tree.check_invariants()
+
+    def test_empty_interval_stored_nowhere(self):
+        tree = SegmentTree()
+        h = tree.insert(Interval.half_open(5, 5), "empty")
+        assert list(tree.stab(5)) == []
+        tree.remove(h)
+
+
+class TestRandomized:
+    def test_mixed_ops_match_brute_force(self):
+        rnd = random.Random(23)
+        tree = SegmentTree(min_rebuild=8)
+        live = []
+        for step in range(1200):
+            op = rnd.random()
+            if op < 0.45 or not live:
+                a, b = sorted((rnd.uniform(0, 50), rnd.uniform(0, 50)))
+                kind = rnd.choice(["closed", "half_open", "open", "left_open"])
+                iv = getattr(Interval, kind)(a, b)
+                live.append(tree.insert(iv, step))
+            elif op < 0.65:
+                h = live.pop(rnd.randrange(len(live)))
+                tree.remove(h)
+            else:
+                v = rnd.uniform(-1, 51)
+                got = {id(i) for i in tree.stab(v)}
+                assert got == brute_stab(live, v)
+            if step % 300 == 0:
+                tree.check_invariants()
+
+
+@settings(max_examples=120, deadline=None)
+@given(
+    st.lists(
+        st.tuples(st.integers(0, 30), st.integers(0, 30)).map(
+            lambda ab: Interval.half_open(min(ab), max(ab))
+        ),
+        max_size=20,
+    ),
+    st.lists(st.floats(-1, 31, allow_nan=False), max_size=8),
+)
+def test_bulk_build_matches_brute(intervals, probes):
+    tree = SegmentTree([(iv, i) for i, iv in enumerate(intervals)])
+    handles = tree._collect_alive()
+    for v in probes:
+        assert {id(i) for i in tree.stab(v)} == brute_stab(handles, v)
