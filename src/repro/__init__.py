@@ -30,6 +30,7 @@ from .core.events import MaturityEvent
 from .core.geometry import Interval, Rect
 from .core.query import Query, QueryStatus
 from .core.system import RTSSystem, available_engines, make_engine
+from .obs import MetricsRegistry, Observability
 from .streams.element import StreamElement
 
 __version__ = "1.0.0"
@@ -39,6 +40,8 @@ __all__ = [
     "EngineError",
     "Interval",
     "MaturityEvent",
+    "MetricsRegistry",
+    "Observability",
     "Query",
     "QueryStatus",
     "Rect",

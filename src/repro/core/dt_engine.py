@@ -20,6 +20,7 @@ from __future__ import annotations
 
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
+from ..obs.observer import NULL_OBS
 from ..streams.element import StreamElement
 from ..structures.heap import AddressableMinHeap
 from .endpoint_tree import EndpointTree
@@ -46,7 +47,7 @@ class TreeInstance:
         Shared work-counter sink.
     """
 
-    __slots__ = ("trackers", "tree", "built_count", "alive", "_counters")
+    __slots__ = ("trackers", "tree", "built_count", "alive", "_counters", "_obs")
 
     def __init__(
         self,
@@ -54,8 +55,10 @@ class TreeInstance:
         dims: int,
         counters: WorkCounters,
         heap_factory=AddressableMinHeap,
+        obs=NULL_OBS,
     ):
         self._counters = counters
+        self._obs = obs
         self.trackers: Dict[object, QueryTracker] = {}
         items = []
         for query, tau, consumed in entries:
@@ -67,13 +70,17 @@ class TreeInstance:
         self.tree = EndpointTree(items, 0, dims, counters)
         heapified = set()
         for tracker in self.trackers.values():
-            tracker.start(counters, heap_factory)
+            tracker.start(counters, heap_factory, obs)
             for node in tracker.nodes:
                 heapified.add(node)
         for node in heapified:
             node.heap.heapify()
         self.built_count = len(self.trackers)
         self.alive = self.built_count
+
+    def set_observability(self, obs) -> None:
+        """Re-point the telemetry sink (engines attach after construction)."""
+        self._obs = obs if obs is not None else NULL_OBS
 
     # -- hot path ---------------------------------------------------------
 
@@ -87,6 +94,7 @@ class TreeInstance:
         """
         matured: List[Tuple[Query, int]] = []
         counters = self._counters
+        obs = self._obs
         touched = self.tree.update(element.value, element.weight)
         counters.counter_bumps += len(touched)
         for node in touched:
@@ -99,7 +107,7 @@ class TreeInstance:
                 if entry is None:
                     break
                 tracker: QueryTracker = entry.payload
-                weight_seen = tracker.on_signal(node, entry, counters)
+                weight_seen = tracker.on_signal(node, entry, counters, obs)
                 if weight_seen is not None:
                     matured.append((tracker.query, weight_seen))
                     self.alive -= 1
@@ -198,8 +206,12 @@ class StaticDTEngine(Engine):
         entries = self._alive_entries()
         entries.append((query, query.threshold, 0))
         self._instance = TreeInstance(
-            entries, self.dims, self.counters, self._heap_factory
+            entries, self.dims, self.counters, self._heap_factory, self.obs
         )
+        if self.obs.enabled and len(entries) > 1:
+            # Mid-stream registration forces the full rebuild this engine
+            # exists to ablate; the initial build is not a rebuild.
+            self.obs.rebuild("static-register", len(entries))
 
     def register_batch(self, queries: Iterable[Query]) -> None:
         entries = self._alive_entries()
@@ -211,8 +223,13 @@ class StaticDTEngine(Engine):
             seen.add(query.query_id)
             entries.append((query, query.threshold, 0))
         self._instance = TreeInstance(
-            entries, self.dims, self.counters, self._heap_factory
+            entries, self.dims, self.counters, self._heap_factory, self.obs
         )
+
+    def attach_observability(self, obs) -> None:
+        super().attach_observability(obs)
+        if self._instance is not None:
+            self._instance.set_observability(self.obs)
 
     def _alive_entries(self) -> List[Tuple[Query, int, int]]:
         if self._instance is None:
@@ -246,9 +263,16 @@ class StaticDTEngine(Engine):
     def _maybe_rebuild(self) -> None:
         instance = self._instance
         if instance is not None and instance.needs_rebuild:
+            entries = instance.alive_entries()
             self._instance = TreeInstance(
-                instance.alive_entries(), self.dims, self.counters, self._heap_factory
+                entries, self.dims, self.counters, self._heap_factory, self.obs
             )
+            if self.obs.enabled:
+                self.obs.rebuild(
+                    "halved",
+                    len(entries),
+                    heap_entries=self._instance.stats()["heap_entries"],
+                )
 
     # -- introspection ------------------------------------------------------
 

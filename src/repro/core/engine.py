@@ -17,6 +17,7 @@ from __future__ import annotations
 import abc
 from typing import Dict, Iterable, List, Optional
 
+from ..obs.observer import NULL_OBS
 from ..streams.element import StreamElement
 from .events import MaturityEvent
 from .query import Query
@@ -78,6 +79,39 @@ class WorkCounters:
         """Sum of all counters — a single scalar proxy for total work."""
         return sum(getattr(self, name) for name in self.__slots__)
 
+    def checkpoint(self) -> "WorkCounters":
+        """An independent copy of the current values.
+
+        Pair with :meth:`diff` for per-window / per-phase deltas instead
+        of hand-rolled subtraction at every call site::
+
+            base = counters.checkpoint()
+            ...work...
+            delta = counters.diff(base)   # {"heap_ops": 12, ...}
+        """
+        clone = WorkCounters()
+        for name in self.__slots__:
+            setattr(clone, name, getattr(self, name))
+        return clone
+
+    def diff(self, other: "WorkCounters") -> Dict[str, int]:
+        """Per-counter delta ``self - other`` (``other`` is the baseline).
+
+        Raises ValueError if any delta is negative, which would mean the
+        supposed baseline was taken *after* this reading.
+        """
+        delta = {
+            name: getattr(self, name) - getattr(other, name)
+            for name in self.__slots__
+        }
+        negative = [name for name, value in delta.items() if value < 0]
+        if negative:
+            raise ValueError(
+                f"baseline is newer than this reading (negative deltas: "
+                f"{', '.join(negative)})"
+            )
+        return delta
+
     def __repr__(self) -> str:
         inner = ", ".join(f"{k}={v}" for k, v in self.snapshot().items())
         return f"WorkCounters({inner})"
@@ -111,6 +145,20 @@ class Engine(abc.ABC):
             raise ValueError(f"dims must be a positive integer, got {dims!r}")
         self.dims = dims
         self.counters = WorkCounters()
+        #: Telemetry sink (see :mod:`repro.obs`).  The default is the
+        #: shared no-op :data:`~repro.obs.NULL_OBS`; hot paths guard
+        #: every emission with ``if self.obs.enabled:`` so disabled
+        #: observability costs one attribute check.
+        self.obs = NULL_OBS
+
+    def attach_observability(self, obs) -> None:
+        """Point this engine's telemetry at ``obs`` (None restores no-op).
+
+        Engines that cache the sink inside owned sub-structures override
+        this to re-point them too.  Attaching mid-stream is allowed: from
+        then on new events flow into the new sink.
+        """
+        self.obs = obs if obs is not None else NULL_OBS
 
     # -- registration --------------------------------------------------
 
@@ -170,6 +218,7 @@ class Engine(abc.ABC):
             "dims": self.dims,
             "alive": self.alive_count,
             "counters": self.counters.snapshot(),
+            "observability": self.obs.describe(),
         }
 
     def validate_query(self, query: Query) -> None:

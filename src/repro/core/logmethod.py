@@ -135,11 +135,13 @@ class DTEngine(Engine):
         while len(trees) <= slot:
             trees.append(None)
         instance = TreeInstance(
-            entries, self.dims, self.counters, self._heap_factory
+            entries, self.dims, self.counters, self._heap_factory, self.obs
         )
         trees[slot] = instance
         for query, _tau, _consumed in entries:
             self._locator[query.query_id] = slot
+        if self.obs.enabled:
+            self.obs.logmethod_merge(slot, len(entries))
 
     # -- stream processing (Section 5) --------------------------------------
 
@@ -189,10 +191,22 @@ class DTEngine(Engine):
             self._trees[slot] = None
             return
         self._trees[slot] = TreeInstance(
-            entries, self.dims, self.counters, self._heap_factory
+            entries, self.dims, self.counters, self._heap_factory, self.obs
         )
+        if self.obs.enabled:
+            self.obs.rebuild(
+                "halved",
+                len(entries),
+                heap_entries=self._trees[slot].stats()["heap_entries"],
+            )
 
     # -- introspection ------------------------------------------------------
+
+    def attach_observability(self, obs) -> None:
+        super().attach_observability(obs)
+        for tree in self._trees:
+            if tree is not None:
+                tree.set_observability(self.obs)
 
     @property
     def alive_count(self) -> int:

@@ -18,6 +18,7 @@ from __future__ import annotations
 
 from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple, Type, Union
 
+from ..obs.observer import NULL_OBS
 from ..streams.element import StreamElement
 from .engine import Engine
 from .events import EventDispatcher, MaturityCallback, MaturityEvent
@@ -85,12 +86,18 @@ class RTSSystem:
         constructed :class:`~repro.core.engine.Engine` instance.
     engine_options:
         Extra keyword arguments for the engine constructor.
+    observability:
+        An :class:`~repro.obs.Observability` sink to emit telemetry into
+        (metrics, structured trace events, per-query lifecycle spans).
+        None — the default — attaches the shared no-op sink, which keeps
+        every hook zero-cost; see ``docs/OBSERVABILITY.md``.
     """
 
     def __init__(
         self,
         dims: int = 1,
         engine: Union[str, Engine] = "dt",
+        observability=None,
         **engine_options,
     ):
         if isinstance(engine, Engine):
@@ -103,6 +110,8 @@ class RTSSystem:
             self.engine = engine
         else:
             self.engine = make_engine(engine, dims, **engine_options)
+        self.obs = observability if observability is not None else NULL_OBS
+        self.engine.attach_observability(self.obs)
         self.dims = dims
         self._dispatcher = EventDispatcher()
         self._status: Dict[object, QueryStatus] = {}
@@ -137,6 +146,11 @@ class RTSSystem:
             query = Query(coerce_rect(region, self.dims), threshold, query_id)
         if query.query_id in self._queries:
             raise ValueError(f"query id {query.query_id!r} already used")
+        self.engine.validate_query(query)
+        if self.obs.enabled:
+            # Open the span first: the engine emits registration-time DT
+            # events (initial slack announcement) that belong inside it.
+            self.obs.query_registered(query.query_id, self._clock)
         self.engine.register(query)
         self._queries[query.query_id] = query
         self._status[query.query_id] = QueryStatus.ALIVE
@@ -150,6 +164,10 @@ class RTSSystem:
                 raise TypeError(f"register_batch takes Query objects, got {query!r}")
             if query.query_id in self._queries:
                 raise ValueError(f"query id {query.query_id!r} already used")
+            self.engine.validate_query(query)
+        if self.obs.enabled:
+            for query in batch:
+                self.obs.query_registered(query.query_id, self._clock)
         self.engine.register_batch(batch)
         for query in batch:
             self._queries[query.query_id] = query
@@ -175,10 +193,19 @@ class RTSSystem:
         else:
             element = StreamElement(value, weight)
         self._clock += 1
+        obs_on = self.obs.enabled
+        if obs_on:
+            # Stamp the logical clock *before* engine work so interior
+            # hooks (round ends, rebuilds) carry the right arrival index.
+            self.obs.element_processed(self._clock, element.weight)
         events = self.engine.process(element, self._clock)
         for event in events:
             self._status[event.query.query_id] = QueryStatus.MATURED
             self._maturity_times[event.query.query_id] = event.timestamp
+            if obs_on:
+                self.obs.query_matured(
+                    event.query.query_id, event.timestamp, event.weight_seen
+                )
             self._dispatcher.dispatch(event)
         return events
 
@@ -201,6 +228,8 @@ class RTSSystem:
         removed = self.engine.terminate(query_id)
         if removed:
             self._status[query_id] = QueryStatus.TERMINATED
+            if self.obs.enabled:
+                self.obs.query_terminated(query_id, self._clock)
         return removed
 
     # -- callbacks ----------------------------------------------------------
@@ -254,6 +283,26 @@ class RTSSystem:
     def work_counters(self):
         """The engine's machine-independent work counters."""
         return self.engine.counters
+
+    def observability_report(self) -> Dict[str, object]:
+        """Full telemetry dump (see ``docs/OBSERVABILITY.md``).
+
+        Mirrors the engine's work counters into ``rts_work_*`` gauges
+        first, then returns ``{"prometheus": <text exposition>,
+        "metrics": <JSON metrics>, "spans": <lifecycle spans>,
+        "trace": <ring-buffer events>}``.  Raises RuntimeError when the
+        system was built without an observability sink.
+        """
+        if not self.obs.enabled:
+            raise RuntimeError(
+                "observability is disabled; construct the system with "
+                "RTSSystem(..., observability=Observability())"
+            )
+        self.obs.sync_work_counters(self.engine.counters)
+        self.obs.metrics.gauge(
+            "rts_alive_queries", "Currently alive queries (m_alive)"
+        ).set(self.engine.alive_count)
+        return self.obs.report()
 
     def describe(self) -> Dict[str, object]:
         """Engine diagnostics plus system-level lifecycle counts."""

@@ -37,6 +37,7 @@ from __future__ import annotations
 import enum
 from typing import List, Optional, Tuple
 
+from ..obs.observer import NULL_OBS
 from ..structures.heap import AddressableMinHeap, HeapEntry
 from .endpoint_tree import ETNode
 from .engine import WorkCounters
@@ -114,7 +115,9 @@ class QueryTracker:
 
     # -- setup -------------------------------------------------------------
 
-    def start(self, counters: WorkCounters, heap_factory=AddressableMinHeap) -> None:
+    def start(
+        self, counters: WorkCounters, heap_factory=AddressableMinHeap, obs=NULL_OBS
+    ) -> None:
         """Begin tracking on a freshly built tree (all counters zero).
 
         Must be called exactly once, after tree construction has filled
@@ -135,6 +138,8 @@ class QueryTracker:
             self.state = TrackerState.FINAL
             self.lam = 0
             self.w_run = 0
+            if obs.enabled:
+                obs.dt_final_phase(self.query.query_id, self.tau)
             for node in self.nodes:
                 entry = node.ensure_heap(heap_factory).push_unordered(
                     node.counter + 1, self
@@ -147,6 +152,9 @@ class QueryTracker:
             self.signals = 0
             # Announcing the slack costs one message per participant.
             counters.messages += h
+            if obs.enabled:
+                obs.dt_messages("slack", h)
+                obs.dt_slack(self.query.query_id, self.lam, h)
             for node in self.nodes:
                 entry = node.ensure_heap(heap_factory).push_unordered(
                     node.counter + self.lam, self
@@ -157,7 +165,7 @@ class QueryTracker:
     # -- signal handling ----------------------------------------------------
 
     def on_signal(
-        self, node: ETNode, entry: HeapEntry, counters: WorkCounters
+        self, node: ETNode, entry: HeapEntry, counters: WorkCounters, obs=NULL_OBS
     ) -> Optional[int]:
         """Handle one due signal (``c(u) >= sigma_q(u)``) at ``node``.
 
@@ -166,6 +174,8 @@ class QueryTracker:
         its heap entries and transitions to DONE.
         """
         counters.messages += 1  # the participant's one-bit signal
+        if obs.enabled:
+            obs.dt_messages("signal")
         if self.state is TrackerState.FINAL:
             # Weighted delta forwarding: sigma was cbar + 1.
             delta = node.counter - (entry.key - 1)
@@ -185,9 +195,9 @@ class QueryTracker:
         counters.heap_ops += 1
         if self.signals < len(self.nodes):
             return None
-        return self._end_round(counters)
+        return self._end_round(counters, obs)
 
-    def _end_round(self, counters: WorkCounters) -> Optional[int]:
+    def _end_round(self, counters: WorkCounters, obs=NULL_OBS) -> Optional[int]:
         """Round boundary: collect counters, check maturity, re-slack."""
         h = len(self.nodes)
         # Collecting precise counters: one request + one reply per site.
@@ -197,6 +207,15 @@ class QueryTracker:
         w_now = 0
         for node in self.nodes:
             w_now += node.counter
+        if obs.enabled:
+            obs.dt_messages("collect", h)
+            obs.dt_messages("report", h)
+            obs.dt_round_end(
+                self.query.query_id,
+                self.rounds_run,
+                collected=w_now,
+                remaining=max(self.tau - w_now, 0),
+            )
         if w_now >= self.tau:
             self._mature(counters)
             return self.consumed + w_now
@@ -205,6 +224,8 @@ class QueryTracker:
             self.state = TrackerState.FINAL
             self.lam = 0
             self.w_run = w_now
+            if obs.enabled:
+                obs.dt_final_phase(self.query.query_id, tau_prime)
             for node, entry in zip(self.nodes, self.entries):
                 node.heap.update_key(entry, node.counter + 1)
                 counters.heap_ops += 1
@@ -212,6 +233,9 @@ class QueryTracker:
             self.lam = tau_prime // (2 * h)
             self.signals = 0
             counters.messages += h  # announce the new slack
+            if obs.enabled:
+                obs.dt_messages("slack", h)
+                obs.dt_slack(self.query.query_id, self.lam, h)
             for node, entry in zip(self.nodes, self.entries):
                 node.heap.update_key(entry, node.counter + self.lam)
                 counters.heap_ops += 1

@@ -19,6 +19,7 @@ from __future__ import annotations
 
 from typing import Optional
 
+from ..obs.observer import NULL_OBS
 from .messages import COORDINATOR, Message, MessageType
 from .network import StarNetwork
 
@@ -37,6 +38,9 @@ class Coordinator:
         The maturity threshold (positive integer).
     network:
         The :class:`~repro.dt.network.StarNetwork` all sites share.
+    obs:
+        Optional :class:`~repro.obs.Observability` sink for round
+        transitions and slack announcements (no-op by default).
 
     Attributes
     ----------
@@ -57,9 +61,10 @@ class Coordinator:
         "_running_total",
         "_collect_sum",
         "_collect_pending",
+        "obs",
     )
 
-    def __init__(self, h: int, tau: int, network: StarNetwork):
+    def __init__(self, h: int, tau: int, network: StarNetwork, obs=NULL_OBS):
         if h < 1:
             raise ValueError(f"need at least one participant, got {h}")
         if tau < 1:
@@ -67,6 +72,7 @@ class Coordinator:
         self.h = h
         self.tau = tau
         self.network = network
+        self.obs = obs if obs is not None else NULL_OBS
         self.matured_at: Optional[int] = None
         self.rounds = 0
         self._signals = 0
@@ -86,10 +92,14 @@ class Coordinator:
         if tau_remaining <= FINAL_PHASE_FACTOR * self.h:
             self._final = True
             self._running_total = already_collected
+            if self.obs.enabled:
+                self.obs.dt_final_phase("coordinator", tau_remaining)
             self._broadcast(MessageType.FINAL_PHASE)
         else:
             lam = tau_remaining // (2 * self.h)
             self._signals = 0
+            if self.obs.enabled:
+                self.obs.dt_slack("coordinator", lam, self.h)
             self._broadcast(MessageType.SLACK, payload=lam)
 
     def handle(self, message: Message) -> None:
@@ -121,6 +131,13 @@ class Coordinator:
         self._broadcast(MessageType.COLLECT)
         assert self._collect_pending == 0, "synchronous delivery expected"
         total = self._collect_sum
+        if self.obs.enabled:
+            self.obs.dt_round_end(
+                "coordinator",
+                self.rounds,
+                collected=total,
+                remaining=max(self.tau - total, 0),
+            )
         if total >= self.tau:
             self.matured_at = total
             return

@@ -25,16 +25,28 @@ class StarNetwork:
         When True, every delivered message is kept in :attr:`log`
         (memory-proportional to the message bound, so fine for tests;
         off by default for benchmarks).
+    obs:
+        Optional :class:`~repro.obs.Observability` sink; every delivery
+        then also bumps the ``rts_dt_messages_total{type=...}`` counter.
     """
 
-    __slots__ = ("_handlers", "messages_sent", "words_sent", "log", "_trace", "per_type")
+    __slots__ = (
+        "_handlers",
+        "messages_sent",
+        "words_sent",
+        "log",
+        "_trace",
+        "per_type",
+        "_obs",
+    )
 
-    def __init__(self, trace: bool = False):
+    def __init__(self, trace: bool = False, obs=None):
         self._handlers: Dict[int, Handler] = {}
         self.messages_sent = 0
         self.words_sent = 0
         self.per_type: Dict[MessageType, int] = {t: 0 for t in MessageType}
         self._trace = trace
+        self._obs = obs if obs is not None and obs.enabled else None
         self.log: List[Message] = []
 
     def attach(self, address: int, handler: Handler) -> None:
@@ -52,6 +64,8 @@ class StarNetwork:
         self.messages_sent += 1
         self.words_sent += message.words
         self.per_type[message.mtype] += 1
+        if self._obs is not None:
+            self._obs.dt_messages(message.mtype.value)
         if self._trace:
             self.log.append(message)
         handler = self._handlers.get(message.dst)

@@ -13,6 +13,7 @@ from __future__ import annotations
 
 import enum
 
+from ..obs.observer import NULL_OBS
 from .messages import COORDINATOR, Message, MessageType
 from .network import StarNetwork
 
@@ -26,9 +27,9 @@ class ParticipantMode(enum.Enum):
 class Participant:
     """One tracking site ``s_i`` with counter ``c_i``."""
 
-    __slots__ = ("index", "network", "c", "cbar", "lam", "mode", "_round_id")
+    __slots__ = ("index", "network", "c", "cbar", "lam", "mode", "_round_id", "obs")
 
-    def __init__(self, index: int, network: StarNetwork):
+    def __init__(self, index: int, network: StarNetwork, obs=NULL_OBS):
         self.index = index
         self.network = network
         self.c = 0  # cumulative counter (never reset)
@@ -36,6 +37,7 @@ class Participant:
         self.lam = 0
         self.mode = ParticipantMode.IDLE
         self._round_id = 0
+        self.obs = obs if obs is not None else NULL_OBS
         network.attach(index, self.handle)
 
     # -- local event ------------------------------------------------------
@@ -68,6 +70,9 @@ class Participant:
 
     def handle(self, message: Message) -> None:
         """React to a coordinator message."""
+        if self.obs.enabled and message.mtype is not MessageType.COLLECT:
+            # Every branch below (except COLLECT) changes the mode.
+            self.obs.dt_participant_mode(self.index, message.mtype.value)
         if message.mtype is MessageType.SLACK:
             # New round: slack announced; growth is measured from here.
             self.lam = message.payload

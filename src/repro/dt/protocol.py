@@ -60,6 +60,7 @@ def run_tracking(
     tau: int,
     increments: Iterable[Tuple[int, int]],
     trace: bool = False,
+    obs=None,
 ) -> TrackingResult:
     """Run the (weighted) DT protocol over an increment sequence.
 
@@ -75,12 +76,16 @@ def run_tracking(
         ``delta=1`` everywhere for the unweighted problem of Section 3.2.
     trace:
         Keep the full message log on the returned network (tests).
+    obs:
+        Optional :class:`~repro.obs.Observability` sink: per-message-type
+        counts, slack announcements, round transitions, and participant
+        mode changes are emitted into it.
 
     The driver stops at maturity; later increments are not consumed.
     """
-    network = StarNetwork(trace=trace)
-    coordinator = Coordinator(h=h, tau=tau, network=network)
-    participants = [Participant(i, network) for i in range(h)]
+    network = StarNetwork(trace=trace, obs=obs)
+    coordinator = Coordinator(h=h, tau=tau, network=network, obs=obs)
+    participants = [Participant(i, network, obs=obs) for i in range(h)]
     coordinator.start()
     matured_step = None
     for step, (site, delta) in enumerate(increments, start=1):
@@ -101,10 +106,10 @@ def run_tracking(
 
 
 def run_unweighted(
-    h: int, tau: int, sites: Iterable[int], trace: bool = False
+    h: int, tau: int, sites: Iterable[int], trace: bool = False, obs=None
 ) -> TrackingResult:
     """Convenience wrapper for the unweighted problem (all deltas 1)."""
-    return run_tracking(h, tau, ((site, 1) for site in sites), trace=trace)
+    return run_tracking(h, tau, ((site, 1) for site in sites), trace=trace, obs=obs)
 
 
 class NaiveTracker:

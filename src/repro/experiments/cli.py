@@ -12,6 +12,11 @@ repro.experiments.cli``)::
         --save wl.json
     rts-experiments verify wl.json --engine dt
 
+    # observability: replay a workload with telemetry on and dump a
+    # metrics report (Prometheus text and/or JSON + lifecycle spans)
+    rts-experiments obs --mode stochastic --scale 20000 --engine dt
+    rts-experiments obs wl.json --format json --out results/obs/
+
 ``--scale`` divides the paper's workload sizes (1 = the paper's exact
 parameters — hours of CPU in pure Python; 1000 = the default laptop
 scale).  Output is the text rendering of each figure (chart + table +
@@ -54,13 +59,14 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument(
         "target",
         help="figure id (fig3..fig8, ablation-dt-messages, "
-        "ablation-design), 'all', 'list', 'workload', or 'verify'",
+        "ablation-design), 'all', 'list', 'workload', 'verify', or 'obs'",
     )
     parser.add_argument(
         "script_path",
         nargs="?",
         default=None,
-        help="saved workload file (verify target only)",
+        help="saved workload file (verify and obs targets; obs generates "
+        "a workload from --mode/--dims/--scale when omitted)",
     )
     parser.add_argument(
         "--mode",
@@ -78,7 +84,14 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument(
         "--engine",
         default="dt",
-        help="engine name for the 'verify' target (default: dt)",
+        help="engine name for the 'verify' and 'obs' targets (default: dt)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=["prom", "json", "all"],
+        default="prom",
+        dest="obs_format",
+        help="'obs' target output: Prometheus text, JSON report, or both",
     )
     parser.add_argument(
         "--scale",
@@ -118,6 +131,9 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.target == "verify":
         return _verify_workload(args, parser)
 
+    if args.target == "obs":
+        return _run_obs(args, parser)
+
     names = list(FIGURES) if args.target == "all" else [args.target]
     unknown = [n for n in names if n not in FIGURES]
     if unknown:
@@ -156,28 +172,80 @@ def main(argv: Optional[List[str]] = None) -> int:
 
 
 def _generate_workload(args, parser) -> int:
-    from ..streams.scale import paper_params
-    from ..streams.workload import (
-        build_fixed_load_workload,
-        build_static_workload,
-        build_stochastic_workload,
-    )
-
     if args.save is None:
         parser.error("the 'workload' target requires --save PATH")
-    params = paper_params(args.dims, args.scale)
-    if args.mode == "static":
-        script = build_static_workload(params, seed=args.seed)
-    elif args.mode == "stochastic":
-        script = build_stochastic_workload(params, seed=args.seed, p_ins=args.p_ins)
-    else:
-        script = build_fixed_load_workload(params, seed=args.seed)
+    args.script_path = None  # this target always generates afresh
+    script = _build_or_load_workload(args, parser)
+    params = script.params
     script.save(args.save)
     print(
         f"wrote {args.save}: mode={script.mode} dims={params.dims} "
         f"m={params.m} tau={params.tau} ops={script.operation_count()} "
         f"expected maturities={len(script.expected_maturities)}"
     )
+    return 0
+
+
+def _build_or_load_workload(args, parser):
+    from ..streams.scale import paper_params
+    from ..streams.workload import (
+        WorkloadScript,
+        build_fixed_load_workload,
+        build_static_workload,
+        build_stochastic_workload,
+    )
+
+    if args.script_path is not None:
+        return WorkloadScript.load(args.script_path)
+    params = paper_params(args.dims, args.scale)
+    if args.mode == "static":
+        return build_static_workload(params, seed=args.seed)
+    if args.mode == "stochastic":
+        return build_stochastic_workload(params, seed=args.seed, p_ins=args.p_ins)
+    return build_fixed_load_workload(params, seed=args.seed)
+
+
+def _run_obs(args, parser) -> int:
+    """Replay a workload with observability enabled; dump the report."""
+    import json
+
+    from ..obs import Observability
+    from .harness import run_cell
+
+    script = _build_or_load_workload(args, parser)
+    obs = Observability()
+    started = time.perf_counter()
+    result = run_cell(script, args.engine, observability=obs)
+    elapsed = time.perf_counter() - started
+
+    spans = obs.spans
+    print(
+        f"# {args.engine} on {script.mode!r} workload "
+        f"(dims={script.params.dims}, ops={result.op_count}): "
+        f"{result.n_matured} maturities in {elapsed:.2f}s"
+    )
+    print(
+        f"# spans: {spans.active_count} active, "
+        f"{spans.finished_count} finished retained "
+        f"(matured={len(spans.finished('matured'))}, "
+        f"terminated={len(spans.finished('terminated'))}); "
+        f"trace: {len(obs.trace)} events retained, {obs.trace.dropped} dropped"
+    )
+    if args.obs_format in ("prom", "all"):
+        print(obs.metrics.to_prometheus(), end="")
+    if args.obs_format in ("json", "all"):
+        report = obs.report()
+        del report["prometheus"]  # the text exposition is not JSON
+        print(json.dumps(report, indent=2, default=str))
+    if args.out is not None:
+        args.out.mkdir(parents=True, exist_ok=True)
+        report = obs.report()
+        (args.out / "metrics.prom").write_text(report["prometheus"])
+        for name in ("metrics", "spans", "trace"):
+            (args.out / f"{name}.json").write_text(
+                json.dumps(report[name], indent=2, default=str) + "\n"
+            )
+        print(f"# wrote metrics.prom, metrics.json, spans.json, trace.json to {args.out}")
     return 0
 
 

@@ -31,6 +31,9 @@ class RunResult:
     n_matured: int
     counters: Dict[str, int]
     trace: List[TraceWindow] = field(default_factory=list)
+    #: JSON metrics dump when the cell ran with an observability sink
+    #: (``run_cell(observability=...)``); None otherwise.
+    metrics: Optional[Dict[str, object]] = None
 
     @property
     def avg_op_seconds(self) -> float:
@@ -57,6 +60,7 @@ def run_cell(
     engine: str,
     trace_window: Optional[int] = None,
     verify: bool = True,
+    observability=None,
 ) -> RunResult:
     """Replay ``script`` on a fresh ``engine``; measure and verify.
 
@@ -73,15 +77,27 @@ def run_cell(
         Assert the observed maturities equal the script's oracle.  Always
         computed; ``verify=False`` merely downgrades a mismatch from an
         exception to ``correct=False`` in the result.
+    observability:
+        Optional :class:`~repro.obs.Observability` sink attached to the
+        system for the replay.  The result then carries the JSON metrics
+        dump, and — when tracing — each window additionally samples the
+        registry's scalar metrics so figures can plot metric series.
     """
-    system = RTSSystem(dims=script.params.dims, engine=engine)
+    system = RTSSystem(
+        dims=script.params.dims, engine=engine, observability=observability
+    )
     observed: Dict[object, Tuple[int, int]] = {}
     system.on_maturity(
         lambda ev: observed.__setitem__(
             ev.query.query_id, (ev.timestamp, ev.weight_seen)
         )
     )
-    recorder = TraceRecorder(trace_window) if trace_window else None
+    metric_source = observability.metrics.sample if observability else None
+    recorder = (
+        TraceRecorder(trace_window, metric_source=metric_source)
+        if trace_window
+        else None
+    )
     counters = system.work_counters
 
     total_start = time.perf_counter()
@@ -97,7 +113,7 @@ def run_cell(
             else:
                 system.terminate(payload)
     else:
-        last_work = 0
+        base = counters.checkpoint()
         for kind, payload in script.events:
             op_start = time.perf_counter()
             if kind == ELEMENT:
@@ -109,15 +125,15 @@ def run_cell(
             else:
                 system.terminate(payload)
             op_seconds = time.perf_counter() - op_start
-            work = counters.total()
+            work = sum(counters.diff(base).values())
             if kind == REGISTER_BATCH:
                 # Amortise the batch over its queries, as the paper does
                 # when tracing per-operation cost from the stream start.
                 k = len(payload)
-                recorder.record_many(op_seconds, work - last_work, k)
+                recorder.record_many(op_seconds, work, k)
             else:
-                recorder.record(op_seconds, work - last_work)
-            last_work = work
+                recorder.record(op_seconds, work)
+            base = counters.checkpoint()
     total_seconds = time.perf_counter() - total_start
 
     correct = observed == script.expected_maturities
@@ -126,6 +142,8 @@ def run_cell(
             f"engine {engine!r} disagreed with the oracle on "
             f"{script.mode!r} workload (seed {script.seed})"
         )
+    if observability is not None:
+        observability.sync_work_counters(counters)
     return RunResult(
         engine=engine,
         mode=script.mode,
@@ -136,6 +154,7 @@ def run_cell(
         n_matured=len(observed),
         counters=counters.snapshot(),
         trace=recorder.finish() if recorder else [],
+        metrics=observability.metrics.to_json() if observability else None,
     )
 
 

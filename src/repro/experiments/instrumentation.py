@@ -15,7 +15,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
 
 @dataclass(slots=True)
@@ -26,6 +26,11 @@ class TraceWindow:
     op_count: int
     seconds: float  # total wall time spent in the window
     work: int  # work-counter delta over the window
+    #: Scalar metric snapshot taken when the window closed (empty unless
+    #: the recorder was given a ``metric_source`` — see
+    #: :class:`TraceRecorder`).  Cumulative values: plot deltas between
+    #: consecutive windows for rates.
+    metrics: Dict[str, float] = field(default_factory=dict)
 
     @property
     def avg_seconds(self) -> float:
@@ -52,11 +57,29 @@ class TraceRecorder:
         Operations per window.  The figures in the paper use enough
         windows to show the curve shape; ~50-200 windows over a run reads
         well.
+    metric_source:
+        Optional zero-argument callable returning ``{name: value}``; it
+        is sampled once per window close and stored on the window, so
+        trace figures can plot metric series (rounds, rebuilds,
+        maturities...) against the operation axis.  Pair it with
+        ``Observability(...).metrics.sample`` from :mod:`repro.obs`.
     """
 
-    __slots__ = ("window", "_windows", "_count", "_seconds", "_work", "_first")
+    __slots__ = (
+        "window",
+        "_windows",
+        "_count",
+        "_seconds",
+        "_work",
+        "_first",
+        "_metric_source",
+    )
 
-    def __init__(self, window: int = 100):
+    def __init__(
+        self,
+        window: int = 100,
+        metric_source: Optional[Callable[[], Dict[str, float]]] = None,
+    ):
         if window < 1:
             raise ValueError("window must be >= 1")
         self.window = window
@@ -65,6 +88,7 @@ class TraceRecorder:
         self._seconds = 0.0
         self._work = 0
         self._first = 1
+        self._metric_source = metric_source
 
     def record(self, seconds: float, work: int = 0) -> None:
         """Add one operation's cost."""
@@ -97,6 +121,7 @@ class TraceRecorder:
                 op_count=self._count,
                 seconds=self._seconds,
                 work=self._work,
+                metrics=dict(self._metric_source()) if self._metric_source else {},
             )
         )
         self._first += self._count
@@ -115,7 +140,19 @@ class TraceRecorder:
 
 
 class StopwatchSeries:
-    """Tiny helper: cumulative timing of labelled phases (build, run...)."""
+    """Tiny helper: cumulative timing of labelled phases (build, run...).
+
+    Lap semantics
+    -------------
+    ``start(label)`` while another lap is in flight first *closes* that
+    lap — its elapsed time is folded into its label's total, never
+    discarded.  This holds for a colliding label too: ``start("x")``
+    twice in a row accumulates the first segment into ``laps["x"]`` and
+    opens a fresh one, so every second of wall time lands in exactly one
+    lap total.  ``stop()`` returns the elapsed seconds of the lap it
+    closed (and None when no lap was running), so callers can use the
+    individual segment as well as the accumulated total.
+    """
 
     __slots__ = ("_laps", "_started", "_label")
 
@@ -125,18 +162,26 @@ class StopwatchSeries:
         self._label: Optional[str] = None
 
     def start(self, label: str) -> None:
+        """Open a lap; an in-flight lap (same label or not) is closed first."""
         if self._label is not None:
             self.stop()
         self._label = label
         self._started = time.perf_counter()
 
-    def stop(self) -> None:
+    def stop(self) -> Optional[float]:
+        """Close the in-flight lap; returns its elapsed seconds (None if idle)."""
         if self._label is None:
-            return
+            return None
         elapsed = time.perf_counter() - self._started
         self._laps[self._label] = self._laps.get(self._label, 0.0) + elapsed
         self._label = None
         self._started = None
+        return elapsed
+
+    @property
+    def running(self) -> Optional[str]:
+        """Label of the in-flight lap, or None."""
+        return self._label
 
     @property
     def laps(self) -> Dict[str, float]:

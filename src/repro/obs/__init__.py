@@ -1,0 +1,47 @@
+"""repro.obs — unified observability: metrics, traces, lifecycle spans.
+
+A dependency-free telemetry layer every engine, the DT simulation, and
+the experiment harness emit into:
+
+* :class:`MetricsRegistry` — named counters, gauges and fixed-bucket
+  histograms with Prometheus-style text exposition and JSON export;
+* :class:`TraceLog` / :class:`TraceEvent` — structured events in a
+  bounded ring buffer;
+* :class:`SpanStore` / :class:`QuerySpan` — per-query lifecycle spans
+  (register → DT rounds → final phase → maturity/terminate);
+* :class:`Observability` — the facade bundling all three behind
+  domain-specific hooks, and :data:`NULL_OBS`, the shared no-op sink that
+  keeps every hook zero-cost when observability is off (the default).
+
+Enable it per system::
+
+    from repro import RTSSystem
+    from repro.obs import Observability
+
+    obs = Observability()
+    system = RTSSystem(dims=1, observability=obs)
+    ...
+    print(obs.metrics.to_prometheus())
+
+See ``docs/OBSERVABILITY.md`` for the metric catalogue and trace schema.
+"""
+
+from .metrics import Counter, Gauge, Histogram, MetricsRegistry, POW2_BUCKETS
+from .observer import LATENCY_BUCKETS, NULL_OBS, NullObservability, Observability
+from .trace import QuerySpan, SpanStore, TraceEvent, TraceLog
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "LATENCY_BUCKETS",
+    "MetricsRegistry",
+    "NULL_OBS",
+    "NullObservability",
+    "Observability",
+    "POW2_BUCKETS",
+    "QuerySpan",
+    "SpanStore",
+    "TraceEvent",
+    "TraceLog",
+]

@@ -1,0 +1,284 @@
+"""Dependency-free metrics primitives: counters, gauges, histograms.
+
+A :class:`MetricsRegistry` owns named instrument *families*; each family
+holds one instrument per distinct label set (Prometheus's data model,
+reduced to what this repo needs).  Instruments are plain attribute-bumping
+objects so the hot paths pay one method call per update; exposition —
+Prometheus text format or JSON — walks the registry only when a report is
+requested.
+
+Histograms use *fixed* buckets chosen at creation time (the paper's
+quantities of interest are known up front: maturity-detection latency in
+arrival-index units, DT round weights, rebuild sizes), so ``observe`` is
+one bisect plus two adds and memory is O(#buckets) forever.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+#: Default histogram buckets: powers of two cover the arrival-index /
+#: weight ranges the workloads produce at any scale.
+POW2_BUCKETS: Tuple[float, ...] = tuple(float(1 << i) for i in range(1, 21))
+
+LabelKey = Tuple[Tuple[str, str], ...]
+
+
+def _label_key(labels: Mapping[str, str]) -> LabelKey:
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+def _render_labels(key: LabelKey, extra: Sequence[Tuple[str, str]] = ()) -> str:
+    pairs = list(key) + list(extra)
+    if not pairs:
+        return ""
+    inner = ",".join(f'{k}="{v}"' for k, v in pairs)
+    return "{" + inner + "}"
+
+
+class Counter:
+    """Monotone counter (one label set within a family)."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        if amount < 0:
+            raise ValueError(f"counters only go up, got {amount}")
+        self.value += amount
+
+
+class Gauge:
+    """Instantaneous value that may go up and down."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0
+
+    def set(self, value) -> None:
+        self.value = value
+
+    def inc(self, amount: int = 1) -> None:
+        self.value += amount
+
+    def dec(self, amount: int = 1) -> None:
+        self.value -= amount
+
+
+class Histogram:
+    """Fixed-bucket histogram (upper-bound buckets, +Inf implicit).
+
+    ``counts[i]`` is the number of observations in
+    ``(bucket[i-1], bucket[i]]``; the last slot counts the +Inf overflow.
+    Cumulative counts are produced only at exposition time.
+    """
+
+    __slots__ = ("buckets", "counts", "sum", "count")
+
+    def __init__(self, buckets: Sequence[float]):
+        if not buckets:
+            raise ValueError("histogram needs at least one bucket bound")
+        bounds = [float(b) for b in buckets]
+        if bounds != sorted(bounds) or len(set(bounds)) != len(bounds):
+            raise ValueError(f"bucket bounds must be strictly increasing: {buckets}")
+        self.buckets: Tuple[float, ...] = tuple(bounds)
+        self.counts: List[int] = [0] * (len(bounds) + 1)
+        self.sum = 0
+        self.count = 0
+
+    def observe(self, value) -> None:
+        self.counts[bisect_left(self.buckets, value)] += 1
+        self.sum += value
+        self.count += 1
+
+    def cumulative(self) -> List[Tuple[str, int]]:
+        """``(le, cumulative_count)`` pairs, ending with ``+Inf``."""
+        out: List[Tuple[str, int]] = []
+        running = 0
+        for bound, n in zip(self.buckets, self.counts):
+            running += n
+            le = f"{int(bound)}" if float(bound).is_integer() else f"{bound}"
+            out.append((le, running))
+        out.append(("+Inf", running + self.counts[-1]))
+        return out
+
+
+class _Family:
+    """All instruments sharing one metric name."""
+
+    __slots__ = ("name", "kind", "help", "buckets", "instruments")
+
+    def __init__(self, name: str, kind: str, help: str, buckets=None):
+        self.name = name
+        self.kind = kind
+        self.help = help
+        self.buckets = buckets
+        self.instruments: Dict[LabelKey, object] = {}
+
+
+class MetricsRegistry:
+    """Named families of counters, gauges and histograms.
+
+    ``counter`` / ``gauge`` / ``histogram`` are get-or-create: asking for
+    the same ``(name, labels)`` twice returns the same instrument, while a
+    *kind* mismatch on an existing name is an error (one name, one type —
+    as in Prometheus).
+    """
+
+    #: Real registry: instrumented code may check this before building
+    #: event payloads.  The :class:`~repro.obs.observer.NullObservability`
+    #: counterpart reports False.
+    enabled = True
+
+    def __init__(self) -> None:
+        self._families: Dict[str, _Family] = {}
+
+    # -- instrument creation ----------------------------------------------
+
+    def _family(self, name: str, kind: str, help: str, buckets=None) -> _Family:
+        family = self._families.get(name)
+        if family is None:
+            family = _Family(name, kind, help, buckets)
+            self._families[name] = family
+            return family
+        if family.kind != kind:
+            raise ValueError(
+                f"metric {name!r} already registered as a {family.kind}, "
+                f"not a {kind}"
+            )
+        if kind == "histogram" and family.buckets != buckets:
+            if family.buckets is None:  # declared without buckets: adopt
+                family.buckets = buckets
+            else:
+                raise ValueError(
+                    f"metric {name!r} re-registered with different buckets"
+                )
+        if help and not family.help:
+            family.help = help
+        return family
+
+    def declare(self, name: str, kind: str, help: str = "", buckets=None) -> None:
+        """Pre-register a family (name, type, help) without an instrument.
+
+        Used for labelled families so the HELP/TYPE metadata exists even
+        before the first labelled sample — without emitting a stale
+        unlabelled zero sample.
+        """
+        if kind not in ("counter", "gauge", "histogram"):
+            raise ValueError(f"unknown metric kind {kind!r}")
+        if kind == "histogram" and buckets is not None:
+            buckets = tuple(float(b) for b in buckets)
+        self._family(name, kind, help, buckets)
+
+    def counter(self, name: str, help: str = "", **labels: str) -> Counter:
+        family = self._family(name, "counter", help)
+        key = _label_key(labels)
+        instrument = family.instruments.get(key)
+        if instrument is None:
+            instrument = family.instruments[key] = Counter()
+        return instrument  # type: ignore[return-value]
+
+    def gauge(self, name: str, help: str = "", **labels: str) -> Gauge:
+        family = self._family(name, "gauge", help)
+        key = _label_key(labels)
+        instrument = family.instruments.get(key)
+        if instrument is None:
+            instrument = family.instruments[key] = Gauge()
+        return instrument  # type: ignore[return-value]
+
+    def histogram(
+        self,
+        name: str,
+        buckets: Sequence[float] = POW2_BUCKETS,
+        help: str = "",
+        **labels: str,
+    ) -> Histogram:
+        family = self._family(name, "histogram", help, tuple(float(b) for b in buckets))
+        key = _label_key(labels)
+        instrument = family.instruments.get(key)
+        if instrument is None:
+            instrument = family.instruments[key] = Histogram(family.buckets)
+        return instrument  # type: ignore[return-value]
+
+    # -- reading ----------------------------------------------------------
+
+    def value(self, name: str, **labels: str):
+        """Current value of one counter/gauge (KeyError when absent)."""
+        family = self._families[name]
+        instrument = family.instruments[_label_key(labels)]
+        if isinstance(instrument, Histogram):
+            raise ValueError(f"{name!r} is a histogram; read .counts via to_json()")
+        return instrument.value  # type: ignore[union-attr]
+
+    def family_total(self, name: str):
+        """Sum of a counter/gauge family across all label sets (0 if absent)."""
+        family = self._families.get(name)
+        if family is None or family.kind == "histogram":
+            return 0
+        return sum(inst.value for inst in family.instruments.values())  # type: ignore[union-attr]
+
+    def sample(self, names: Optional[Iterable[str]] = None) -> Dict[str, float]:
+        """Scalar snapshot ``{family_name: total}`` of counters and gauges.
+
+        Used by the trace recorder to attach per-window metric series to
+        figures; histograms are skipped (they are not scalar).
+        """
+        if names is None:
+            names = [f.name for f in self._families.values() if f.kind != "histogram"]
+        return {name: self.family_total(name) for name in names}
+
+    # -- exposition --------------------------------------------------------
+
+    def to_prometheus(self) -> str:
+        """Prometheus text exposition format (version 0.0.4)."""
+        lines: List[str] = []
+        for name in sorted(self._families):
+            family = self._families[name]
+            if family.help:
+                lines.append(f"# HELP {name} {family.help}")
+            lines.append(f"# TYPE {name} {family.kind}")
+            for key in sorted(family.instruments):
+                instrument = family.instruments[key]
+                if isinstance(instrument, Histogram):
+                    for le, cum in instrument.cumulative():
+                        labels = _render_labels(key, [("le", le)])
+                        lines.append(f"{name}_bucket{labels} {cum}")
+                    labels = _render_labels(key)
+                    lines.append(f"{name}_sum{labels} {instrument.sum}")
+                    lines.append(f"{name}_count{labels} {instrument.count}")
+                else:
+                    lines.append(f"{name}{_render_labels(key)} {instrument.value}")
+        return "\n".join(lines) + ("\n" if lines else "")
+
+    def to_json(self) -> Dict[str, object]:
+        """JSON-compatible dump mirroring the Prometheus exposition."""
+        out: Dict[str, object] = {}
+        for name in sorted(self._families):
+            family = self._families[name]
+            samples: List[Dict[str, object]] = []
+            for key in sorted(family.instruments):
+                instrument = family.instruments[key]
+                sample: Dict[str, object] = {"labels": dict(key)}
+                if isinstance(instrument, Histogram):
+                    sample["buckets"] = {le: cum for le, cum in instrument.cumulative()}
+                    sample["sum"] = instrument.sum
+                    sample["count"] = instrument.count
+                else:
+                    sample["value"] = instrument.value
+                samples.append(sample)
+            out[name] = {
+                "type": family.kind,
+                "help": family.help,
+                "samples": samples,
+            }
+        return out
+
+    def __len__(self) -> int:
+        return sum(len(f.instruments) for f in self._families.values())
+
+    def __repr__(self) -> str:
+        return f"MetricsRegistry(families={len(self._families)}, instruments={len(self)})"

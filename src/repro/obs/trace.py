@@ -1,0 +1,201 @@
+"""Structured event tracing with bounded-memory retention.
+
+Two granularities:
+
+* :class:`TraceLog` — a flat ring buffer of :class:`TraceEvent` records
+  (operation-level: round transitions, slack announcements, rebuilds,
+  merges).  Old events are dropped, never the process.
+* :class:`SpanStore` / :class:`QuerySpan` — one span per query lifecycle
+  (register → DT rounds → final phase → maturity / terminate).  Active
+  spans are bounded by the number of alive queries; finished spans are
+  retained in a ring buffer.
+
+Timestamps are *arrival indices* (the paper's logical clock), not wall
+time: the reproduction's claims are machine-independent, and so is its
+telemetry.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, Dict, List, Mapping, Optional
+
+
+@dataclass(frozen=True, slots=True)
+class TraceEvent:
+    """One structured event.
+
+    ``seq`` is a global monotone sequence number (survives ring-buffer
+    eviction, so consumers can detect gaps); ``ts`` is the arrival index
+    at which the event happened.
+    """
+
+    seq: int
+    ts: int
+    kind: str
+    fields: Mapping[str, object]
+
+    def to_json(self) -> Dict[str, object]:
+        return {"seq": self.seq, "ts": self.ts, "kind": self.kind, **self.fields}
+
+
+class TraceLog:
+    """Ring buffer of :class:`TraceEvent` records."""
+
+    __slots__ = ("_events", "_seq", "capacity")
+
+    def __init__(self, capacity: int = 4096):
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.capacity = capacity
+        self._events: Deque[TraceEvent] = deque(maxlen=capacity)
+        self._seq = 0
+
+    def append(self, kind: str, ts: int = 0, **fields: object) -> TraceEvent:
+        self._seq += 1
+        event = TraceEvent(seq=self._seq, ts=ts, kind=kind, fields=fields)
+        self._events.append(event)
+        return event
+
+    @property
+    def total_appended(self) -> int:
+        """Events ever appended (``total_appended - len(self)`` dropped)."""
+        return self._seq
+
+    @property
+    def dropped(self) -> int:
+        return self._seq - len(self._events)
+
+    def events(self, kind: Optional[str] = None) -> List[TraceEvent]:
+        if kind is None:
+            return list(self._events)
+        return [e for e in self._events if e.kind == kind]
+
+    def to_json(self) -> List[Dict[str, object]]:
+        return [e.to_json() for e in self._events]
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __repr__(self) -> str:
+        return f"TraceLog(events={len(self)}, dropped={self.dropped})"
+
+
+#: Per-span event cap: a pathological query (millions of rounds) must not
+#: grow its span unboundedly; excess events are counted, not stored.
+SPAN_EVENT_CAP = 64
+
+
+@dataclass(slots=True)
+class QuerySpan:
+    """Lifecycle record of one query: register to maturity/terminate."""
+
+    query_id: object
+    registered_at: int
+    ended_at: Optional[int] = None
+    #: "alive", "matured", or "terminated".
+    outcome: str = "alive"
+    #: Weight W(q) reported at maturity (None otherwise).
+    weight_seen: Optional[int] = None
+    #: DT rounds completed while this span was open.
+    rounds: int = 0
+    #: Arrival index of the switch to the DT final phase, if it happened.
+    final_phase_at: Optional[int] = None
+    #: Arrival index of the last completed DT round (round-length metric).
+    last_round_at: Optional[int] = None
+    events: List[TraceEvent] = field(default_factory=list)
+    events_dropped: int = 0
+
+    def add_event(self, event: TraceEvent) -> None:
+        if len(self.events) < SPAN_EVENT_CAP:
+            self.events.append(event)
+        else:
+            self.events_dropped += 1
+
+    @property
+    def latency(self) -> Optional[int]:
+        """Maturity-detection latency in arrival-index units."""
+        if self.ended_at is None:
+            return None
+        return self.ended_at - self.registered_at
+
+    def to_json(self) -> Dict[str, object]:
+        return {
+            "query_id": self.query_id,
+            "registered_at": self.registered_at,
+            "ended_at": self.ended_at,
+            "outcome": self.outcome,
+            "latency": self.latency,
+            "weight_seen": self.weight_seen,
+            "rounds": self.rounds,
+            "final_phase_at": self.final_phase_at,
+            "events": [e.to_json() for e in self.events],
+            "events_dropped": self.events_dropped,
+        }
+
+
+class SpanStore:
+    """Open/close spans by query id; finished spans live in a ring buffer."""
+
+    __slots__ = ("_active", "_finished", "capacity")
+
+    def __init__(self, capacity: int = 1024):
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.capacity = capacity
+        self._active: Dict[object, QuerySpan] = {}
+        self._finished: Deque[QuerySpan] = deque(maxlen=capacity)
+
+    def open(self, query_id: object, ts: int) -> QuerySpan:
+        span = QuerySpan(query_id=query_id, registered_at=ts)
+        # Re-registration of a recycled id simply starts a new span; the
+        # old one (if still open) is closed as terminated first.
+        old = self._active.pop(query_id, None)
+        if old is not None:
+            old.ended_at = ts
+            old.outcome = "terminated"
+            self._finished.append(old)
+        self._active[query_id] = span
+        return span
+
+    def get(self, query_id: object) -> Optional[QuerySpan]:
+        return self._active.get(query_id)
+
+    def close(
+        self,
+        query_id: object,
+        ts: int,
+        outcome: str,
+        weight_seen: Optional[int] = None,
+    ) -> Optional[QuerySpan]:
+        span = self._active.pop(query_id, None)
+        if span is None:
+            return None
+        span.ended_at = ts
+        span.outcome = outcome
+        span.weight_seen = weight_seen
+        self._finished.append(span)
+        return span
+
+    @property
+    def active_count(self) -> int:
+        return len(self._active)
+
+    @property
+    def finished_count(self) -> int:
+        return len(self._finished)
+
+    def finished(self, outcome: Optional[str] = None) -> List[QuerySpan]:
+        if outcome is None:
+            return list(self._finished)
+        return [s for s in self._finished if s.outcome == outcome]
+
+    def to_json(self) -> Dict[str, object]:
+        return {
+            "active": [s.to_json() for s in self._active.values()],
+            "finished": [s.to_json() for s in self._finished],
+        }
+
+    def __repr__(self) -> str:
+        return f"SpanStore(active={self.active_count}, finished={self.finished_count})"

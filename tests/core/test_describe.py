@@ -2,7 +2,19 @@
 
 import json
 
-from repro import RTSSystem, available_engines
+import pytest
+
+from repro import Observability, RTSSystem, available_engines
+
+
+def _make(name, observability=None):
+    dims = 2 if name in ("seg-intv-tree",) else 1
+    system = RTSSystem(dims=dims, engine=name, observability=observability)
+    return system, dims
+
+
+def _point(dims):
+    return tuple([3.0] * dims) if dims > 1 else 3.0
 
 
 class TestDescribe:
@@ -36,6 +48,74 @@ class TestDescribe:
         tree = system.describe()["tree"]
         assert tree["alive"] == 1 and tree["heap_entries"] >= 1
 
+class TestDescribeObservability:
+    """Every engine's describe() reports its observability sink's state."""
+
+    @pytest.mark.parametrize("name", sorted(available_engines()))
+    def test_disabled_by_default(self, name):
+        system, _ = _make(name)
+        payload = system.describe()
+        json.dumps(payload)
+        assert payload["observability"] == {"enabled": False}
+
+    @pytest.mark.parametrize("name", sorted(available_engines()))
+    def test_enabled_fields_reflect_activity(self, name):
+        system, dims = _make(name, observability=Observability())
+        bounds = [(0, 10)] * dims
+        system.register(bounds, threshold=5, query_id="q")
+        system.process(_point(dims), weight=1)
+        payload = system.describe()
+        json.dumps(payload)
+        obs_desc = payload["observability"]
+        assert obs_desc["enabled"] is True
+        assert obs_desc["spans_active"] == 1
+        assert obs_desc["spans_finished"] == 0
+        assert obs_desc["metric_instruments"] > 0
+        for field in ("trace_events", "trace_dropped"):
+            assert obs_desc[field] >= 0
+
+    @pytest.mark.parametrize("name", sorted(available_engines()))
+    def test_progress_and_span_close_on_maturity(self, name):
+        obs = Observability()
+        system, dims = _make(name, observability=obs)
+        bounds = [(0, 10)] * dims
+        system.register(bounds, threshold=3, query_id="q")
+        assert system.progress("q") == (0, 3)
+        system.process(_point(dims), weight=2)
+        assert system.progress("q") == (2, 3)
+        system.process(_point(dims), weight=2)  # matures
+        with pytest.raises(KeyError):
+            system.progress("q")
+        desc = system.describe()["observability"]
+        assert desc["spans_active"] == 0 and desc["spans_finished"] == 1
+        (span,) = obs.spans.finished("matured")
+        assert span.query_id == "q"
+        assert span.registered_at == 0 and span.ended_at == 2
+        assert span.weight_seen == 4
+
+    @pytest.mark.parametrize("name", sorted(available_engines()))
+    def test_termination_closes_the_span(self, name):
+        obs = Observability()
+        system, dims = _make(name, observability=obs)
+        system.register([(0, 10)] * dims, threshold=100, query_id="q")
+        system.terminate("q")
+        assert obs.metrics.value("rts_queries_terminated_total") == 1
+        assert system.describe()["observability"]["spans_finished"] == 1
+
+    @pytest.mark.parametrize("name", sorted(available_engines()))
+    def test_failed_registration_opens_no_span(self, name):
+        obs = Observability()
+        system, dims = _make(name, observability=obs)
+        with pytest.raises(Exception):
+            system.register([(0, 10)] * dims, threshold=0)  # invalid threshold
+        system.register([(0, 10)] * dims, threshold=5, query_id="q")
+        with pytest.raises(ValueError):  # duplicate id: rejected pre-span
+            system.register([(0, 10)] * dims, threshold=5, query_id="q")
+        assert obs.spans.active_count == 1
+        assert obs.metrics.value("rts_queries_registered_total") == 1
+
+
+class TestDescribeMore:
     def test_matured_counts(self):
         system = RTSSystem(dims=1)
         system.register([(0, 10)], threshold=1, query_id="a")

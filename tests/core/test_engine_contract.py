@@ -3,7 +3,37 @@
 import pytest
 
 from repro import Query, RTSSystem, StreamElement, available_engines, make_engine
-from repro.core.engine import EngineError
+from repro.core.engine import EngineError, WorkCounters
+
+
+class TestWorkCounters:
+    def test_checkpoint_is_an_independent_copy(self):
+        counters = WorkCounters()
+        counters.heap_ops = 5
+        base = counters.checkpoint()
+        counters.heap_ops = 9
+        assert base.heap_ops == 5
+        assert counters.heap_ops == 9
+
+    def test_diff_returns_per_counter_deltas(self):
+        counters = WorkCounters()
+        counters.messages = 3
+        base = counters.checkpoint()
+        counters.messages += 4
+        counters.rounds += 1
+        delta = counters.diff(base)
+        assert delta["messages"] == 4
+        assert delta["rounds"] == 1
+        assert delta["heap_ops"] == 0
+        assert set(delta) == set(WorkCounters.__slots__)
+
+    def test_diff_rejects_stale_baseline(self):
+        counters = WorkCounters()
+        counters.rebuilds = 7
+        newer = counters.checkpoint()
+        newer.rebuilds = 8
+        with pytest.raises(ValueError, match="negative deltas"):
+            counters.diff(newer)
 
 
 def engines_for(dims):

@@ -43,6 +43,58 @@ class TestStarNetwork:
         net.send(Message(MessageType.SIGNAL, 0, COORDINATOR))
         assert len(net.log) == 1
 
+    def test_per_type_covers_every_message_type(self):
+        net = StarNetwork()
+        net.attach(COORDINATOR, lambda m: None)
+        net.attach(0, lambda m: None)
+        assert set(net.per_type) == set(MessageType)  # all keys pre-seeded
+        net.send(Message(MessageType.SIGNAL, 0, COORDINATOR))
+        net.send(Message(MessageType.SLACK, COORDINATOR, 0, payload=3))
+        net.send(Message(MessageType.COLLECT, COORDINATOR, 0))
+        net.send(Message(MessageType.REPORT, 0, COORDINATOR, payload=7))
+        net.send(Message(MessageType.ROUND_END, COORDINATOR, 0))
+        net.send(Message(MessageType.FINAL_PHASE, COORDINATOR, 0))
+        assert all(net.per_type[t] == 1 for t in MessageType)
+        assert sum(net.per_type.values()) == net.messages_sent == 6
+
+    def test_trace_log_preserves_order_and_content(self):
+        net = StarNetwork(trace=True)
+        net.attach(COORDINATOR, lambda m: None)
+        net.attach(0, lambda m: None)
+        sent = [
+            Message(MessageType.SLACK, COORDINATOR, 0, payload=4),
+            Message(MessageType.SIGNAL, 0, COORDINATOR),
+        ]
+        for m in sent:
+            net.send(m)
+        assert net.log == sent
+        assert [m.mtype for m in net.log] == [MessageType.SLACK, MessageType.SIGNAL]
+
+    def test_trace_off_keeps_log_empty(self):
+        net = StarNetwork()
+        net.attach(COORDINATOR, lambda m: None)
+        net.send(Message(MessageType.SIGNAL, 0, COORDINATOR))
+        assert net.log == []
+
+    def test_observability_sink_counts_per_type(self):
+        from repro.obs import Observability
+
+        obs = Observability()
+        net = StarNetwork(obs=obs)
+        net.attach(COORDINATOR, lambda m: None)
+        net.attach(0, lambda m: None)
+        net.send(Message(MessageType.SIGNAL, 0, COORDINATOR))
+        net.send(Message(MessageType.SIGNAL, 0, COORDINATOR))
+        net.send(Message(MessageType.SLACK, COORDINATOR, 0, payload=3))
+        assert obs.metrics.value("rts_dt_messages_total", type="signal") == 2
+        assert obs.metrics.value("rts_dt_messages_total", type="slack") == 1
+
+    def test_disabled_observability_sink_is_dropped(self):
+        from repro.obs import NULL_OBS
+
+        net = StarNetwork(obs=NULL_OBS)
+        assert net._obs is None  # no per-send overhead when disabled
+
     def test_reset_stats_keeps_handlers(self):
         net = StarNetwork(trace=True)
         net.attach(COORDINATOR, lambda m: None)

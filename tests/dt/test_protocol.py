@@ -131,6 +131,75 @@ class TestWeighted:
             run_tracking(2, 10, [(5, 1)])
 
 
+class TestAccounting:
+    """per_type bookkeeping, trace retention, and per-type message bounds."""
+
+    def test_per_type_sums_to_total(self):
+        rnd = random.Random(11)
+        res = run_unweighted(4, 2000, (rnd.randrange(4) for _ in range(2000)))
+        assert sum(res.per_type.values()) == res.messages
+
+    def test_per_type_round_structure(self):
+        from repro.dt.messages import MessageType
+
+        res = run_unweighted(4, 2000, (i % 4 for i in range(2000)))
+        h = 4
+        # each round opening broadcasts h slack announcements...
+        assert res.per_type[MessageType.SLACK] >= h
+        assert res.per_type[MessageType.SLACK] % h == 0
+        # ...and each round end pays exactly h collects and h reports.
+        assert res.per_type[MessageType.COLLECT] == res.rounds * h
+        assert res.per_type[MessageType.REPORT] == res.rounds * h
+
+    def test_per_type_obeys_h_log_tau(self):
+        from repro.dt.messages import MessageType
+
+        rnd = random.Random(13)
+        h, tau = 8, 100_000
+        res = run_unweighted(h, tau, (rnd.randrange(h) for _ in range(tau)))
+        per_round_cost = math.log2(tau) + 2  # rounds are O(log tau)
+        for mtype in (
+            MessageType.SLACK,
+            MessageType.COLLECT,
+            MessageType.REPORT,
+            MessageType.ROUND_END,
+            MessageType.FINAL_PHASE,
+        ):
+            assert res.per_type[mtype] <= 2 * h * per_round_cost, mtype
+        # signals: <= 6h per round (Lemma 1), O(h log tau) overall.
+        assert res.per_type[MessageType.SIGNAL] <= 6 * h * per_round_cost
+
+    def test_trace_retains_every_message(self):
+        # run via the drivers with trace on: the log length must equal the
+        # message count, in send order.
+        from repro.dt.coordinator import Coordinator
+        from repro.dt.network import StarNetwork
+        from repro.dt.participant import Participant
+
+        net = StarNetwork(trace=True)
+        coordinator = Coordinator(h=2, tau=50, network=net)
+        parts = [Participant(i, net) for i in range(2)]
+        coordinator.start()
+        for i in range(60):
+            parts[i % 2].increase(1)
+        assert len(net.log) == net.messages_sent > 0
+
+    def test_observability_matches_network_accounting(self):
+        from repro.obs import Observability
+
+        obs = Observability()
+        res = run_unweighted(4, 1000, (i % 4 for i in range(1000)), obs=obs)
+        for mtype, count in res.per_type.items():
+            if count:
+                assert (
+                    obs.metrics.value("rts_dt_messages_total", type=mtype.value)
+                    == count
+                )
+        assert obs.metrics.family_total("rts_dt_messages_total") == res.messages
+        # the coordinator also reports round transitions into the sink
+        assert obs.metrics.value("rts_dt_rounds_total") == res.rounds
+
+
 class TestNaiveTracker:
     def test_message_per_increment(self):
         tracker = NaiveTracker(2, 10)

@@ -43,6 +43,23 @@ class TestTraceRecorder:
         (w,) = rec.finish()
         assert w.avg_seconds == 0.0
 
+    def test_metric_source_sampled_per_window(self):
+        state = {"rts_elements_total": 0}
+        rec = TraceRecorder(window=2, metric_source=lambda: state)
+        for i in range(4):
+            state["rts_elements_total"] = i + 1
+            rec.record(0.001)
+        first, second = rec.finish()
+        # snapshots are copies taken at window close, not live references
+        assert first.metrics == {"rts_elements_total": 2}
+        assert second.metrics == {"rts_elements_total": 4}
+
+    def test_no_metric_source_leaves_windows_plain(self):
+        rec = TraceRecorder(window=1)
+        rec.record(0.001)
+        (w,) = rec.finish()
+        assert w.metrics == {}
+
 
 class TestStopwatchSeries:
     def test_laps_accumulate(self):
@@ -58,5 +75,42 @@ class TestStopwatchSeries:
 
     def test_stop_without_start_is_noop(self):
         watch = StopwatchSeries()
-        watch.stop()
+        assert watch.stop() is None
         assert watch.laps == {}
+
+    def test_stop_returns_the_lap_elapsed(self):
+        watch = StopwatchSeries()
+        watch.start("build")
+        elapsed = watch.stop()
+        assert elapsed is not None and elapsed >= 0.0
+        assert watch.laps["build"] == pytest.approx(elapsed)
+
+    def test_restarting_the_same_label_accumulates(self):
+        # Regression: start("x") with "x" already running must fold the
+        # first segment into the lap total, not discard it.
+        watch = StopwatchSeries()
+        watch.start("x")
+        first = watch._laps  # not yet closed
+        assert first == {}
+        watch.start("x")  # closes the first segment
+        assert watch.laps["x"] >= 0.0
+        mid = watch.laps["x"]
+        second = watch.stop()
+        assert watch.laps["x"] == pytest.approx(mid + second)
+        # every second of wall time landed in exactly one lap
+        assert set(watch.laps) == {"x"}
+
+    def test_running_property(self):
+        watch = StopwatchSeries()
+        assert watch.running is None
+        watch.start("phase")
+        assert watch.running == "phase"
+        watch.stop()
+        assert watch.running is None
+
+    def test_laps_returns_a_copy(self):
+        watch = StopwatchSeries()
+        watch.start("a")
+        watch.stop()
+        watch.laps["a"] = -1.0
+        assert watch.laps["a"] >= 0.0

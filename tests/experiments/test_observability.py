@@ -1,0 +1,171 @@
+"""Integration tests: a replayed workload with observability enabled.
+
+These pin the issue's acceptance criteria: enabling the sink on a real
+replay yields Prometheus-text and JSON dumps containing per-message-type
+DT counts, round transitions, rebuilds, a maturity-latency histogram, and
+per-query span records — and the harness carries the metrics into
+``RunResult`` and the trace windows.
+"""
+
+import json
+
+import pytest
+
+from repro.experiments.cli import main as cli_main
+from repro.experiments.harness import run_cell
+from repro.obs import Observability
+from repro.streams.scale import paper_params
+from repro.streams.workload import build_stochastic_workload
+
+
+@pytest.fixture(scope="module")
+def script():
+    # Stochastic: interleaves registrations, terminations and maturities,
+    # so every lifecycle path is exercised.
+    return build_stochastic_workload(paper_params(dims=1, scale=20000), seed=3)
+
+
+@pytest.fixture(scope="module")
+def replay(script):
+    obs = Observability()
+    result = run_cell(script, "dt", trace_window=25, observability=obs)
+    return obs, result
+
+
+class TestReplayMetrics:
+    def test_run_is_still_correct(self, replay):
+        _, result = replay
+        assert result.correct
+
+    def test_prometheus_dump_covers_the_acceptance_list(self, replay):
+        obs, _ = replay
+        text = obs.metrics.to_prometheus()
+        # per-message-type DT counts
+        for mtype in ("signal", "slack", "collect", "report"):
+            assert f'rts_dt_messages_total{{type="{mtype}"}}' in text
+        # round transitions
+        assert "rts_dt_rounds_total" in text
+        # rebuilds (labelled by kind)
+        assert 'rts_rebuilds_total{kind="halved"}' in text
+        # maturity-latency histogram with observations
+        assert 'rts_maturity_latency_elements_bucket{le="+Inf"}' in text
+        assert "rts_maturity_latency_elements_count" in text
+
+    def test_counts_are_consistent(self, script, replay):
+        obs, result = replay
+        m = obs.metrics
+        n_elements = sum(1 for kind, _ in script.events if kind == "element")
+        assert m.value("rts_elements_total") == n_elements
+        assert m.value("rts_queries_matured_total") == result.n_matured
+        assert m.value("rts_queries_matured_total") == len(
+            obs.spans.finished("matured")
+        )
+        hist = m.to_json()["rts_maturity_latency_elements"]["samples"][0]
+        assert hist["count"] == result.n_matured
+        assert m.family_total("rts_dt_messages_total") > 0
+        assert m.value("rts_dt_rounds_total") > 0
+
+    def test_per_query_span_records(self, replay):
+        obs, result = replay
+        matured = obs.spans.finished("matured")
+        assert len(matured) == result.n_matured
+        for span in matured:
+            assert span.outcome == "matured"
+            assert span.weight_seen is not None
+            assert span.latency is not None and span.latency >= 0
+        # at least one span went through DT rounds, and its events carry
+        # the lifecycle (slack announcement at registration at minimum)
+        assert any(s.rounds > 0 for s in matured)
+        assert any(e.kind == "dt.slack" for s in matured for e in s.events)
+
+    def test_span_json_matches_schema(self, replay):
+        obs, _ = replay
+        dump = obs.spans.to_json()
+        json.dumps(dump)
+        span = dump["finished"][0]
+        for field in (
+            "query_id",
+            "registered_at",
+            "ended_at",
+            "outcome",
+            "latency",
+            "rounds",
+            "events",
+        ):
+            assert field in span
+
+    def test_work_counter_gauges_synced(self, replay):
+        obs, result = replay
+        for name, value in result.counters.items():
+            assert obs.metrics.value(f"rts_work_{name}") == value
+
+    def test_run_result_carries_the_metrics_dump(self, replay):
+        obs, result = replay
+        assert result.metrics is not None
+        json.dumps(result.metrics)
+        assert result.metrics == obs.metrics.to_json()
+
+    def test_trace_windows_sample_metric_series(self, replay):
+        _, result = replay
+        assert result.trace
+        for window in result.trace:
+            assert "rts_elements_total" in window.metrics
+        # cumulative counters: the sampled series is monotone
+        series = [w.metrics["rts_elements_total"] for w in result.trace]
+        assert series == sorted(series)
+        assert series[-1] > 0
+
+    def test_without_observability_nothing_is_attached(self, script):
+        result = run_cell(script, "dt")
+        assert result.metrics is None
+
+    def test_system_observability_report(self, script):
+        from repro.core.system import RTSSystem
+
+        obs = Observability()
+        system = RTSSystem(dims=1, engine="dt", observability=obs)
+        q = system.register([(0, 100)], threshold=5)
+        report = system.observability_report()
+        assert "rts_queries_registered_total 1" in report["prometheus"]
+        assert system.progress(q) == (0, 5)
+
+        plain = RTSSystem(dims=1)
+        with pytest.raises(RuntimeError):
+            plain.observability_report()
+
+
+class TestObsCli:
+    def test_obs_target_prometheus(self, capsys):
+        assert (
+            cli_main(
+                ["obs", "--mode", "stochastic", "--scale", "50000", "--seed", "1"]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "rts_dt_messages_total{type=" in out
+        assert "rts_maturity_latency_elements_count" in out
+
+    def test_obs_target_json_and_out_dir(self, tmp_path, capsys):
+        assert (
+            cli_main(
+                [
+                    "obs",
+                    "--mode",
+                    "static",
+                    "--scale",
+                    "50000",
+                    "--format",
+                    "json",
+                    "--out",
+                    str(tmp_path),
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert '"rts_elements_total"' in out
+        for name in ("metrics.prom", "metrics.json", "spans.json", "trace.json"):
+            assert (tmp_path / name).exists()
+        spans = json.loads((tmp_path / "spans.json").read_text())
+        assert spans["finished"]  # the workload ends by draining queries

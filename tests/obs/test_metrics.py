@@ -1,0 +1,160 @@
+"""Unit tests for the dependency-free metrics registry."""
+
+import json
+
+import pytest
+
+from repro.obs.metrics import (
+    POW2_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+
+
+class TestInstruments:
+    def test_counter_monotone(self):
+        c = Counter()
+        c.inc()
+        c.inc(5)
+        assert c.value == 6
+        with pytest.raises(ValueError):
+            c.inc(-1)
+
+    def test_gauge_up_and_down(self):
+        g = Gauge()
+        g.set(10)
+        g.inc(3)
+        g.dec()
+        assert g.value == 12
+
+    def test_histogram_observe_and_cumulative(self):
+        h = Histogram([1, 10, 100])
+        for v in (0, 1, 2, 50, 1000):
+            h.observe(v)
+        assert h.count == 5
+        assert h.sum == 1053
+        # counts: (-inf,1]=2, (1,10]=1, (10,100]=1, overflow=1
+        assert h.counts == [2, 1, 1, 1]
+        assert h.cumulative() == [("1", 2), ("10", 3), ("100", 4), ("+Inf", 5)]
+
+    def test_histogram_validation(self):
+        with pytest.raises(ValueError):
+            Histogram([])
+        with pytest.raises(ValueError):
+            Histogram([10, 1])
+        with pytest.raises(ValueError):
+            Histogram([1, 1, 2])
+
+
+class TestRegistry:
+    def test_get_or_create_returns_same_instrument(self):
+        reg = MetricsRegistry()
+        a = reg.counter("x_total")
+        b = reg.counter("x_total")
+        assert a is b
+        a.inc()
+        assert reg.value("x_total") == 1
+
+    def test_labels_separate_instruments(self):
+        reg = MetricsRegistry()
+        reg.counter("msgs", type="signal").inc(2)
+        reg.counter("msgs", type="slack").inc(3)
+        assert reg.value("msgs", type="signal") == 2
+        assert reg.value("msgs", type="slack") == 3
+        assert reg.family_total("msgs") == 5
+
+    def test_label_order_irrelevant(self):
+        reg = MetricsRegistry()
+        a = reg.counter("m", a="1", b="2")
+        b = reg.counter("m", b="2", a="1")
+        assert a is b
+
+    def test_kind_mismatch_rejected(self):
+        reg = MetricsRegistry()
+        reg.counter("x")
+        with pytest.raises(ValueError, match="already registered"):
+            reg.gauge("x")
+
+    def test_histogram_bucket_mismatch_rejected(self):
+        reg = MetricsRegistry()
+        reg.histogram("h", buckets=[1, 2])
+        with pytest.raises(ValueError, match="different buckets"):
+            reg.histogram("h", buckets=[1, 2, 3])
+
+    def test_declare_labelled_family_has_no_stale_sample(self):
+        reg = MetricsRegistry()
+        reg.declare("rebuilds_total", "counter", "Rebuilds, by kind")
+        text = reg.to_prometheus()
+        assert "# TYPE rebuilds_total counter" in text
+        assert "rebuilds_total 0" not in text  # no unlabelled zero sample
+        reg.counter("rebuilds_total", kind="halved").inc()
+        assert 'rebuilds_total{kind="halved"} 1' in reg.to_prometheus()
+
+    def test_declare_validates_kind(self):
+        with pytest.raises(ValueError, match="unknown metric kind"):
+            MetricsRegistry().declare("x", "summary")
+
+    def test_declared_histogram_adopts_first_buckets(self):
+        reg = MetricsRegistry()
+        reg.declare("lat", "histogram", "Latency")
+        h = reg.histogram("lat", buckets=[1, 2, 4])
+        assert h.buckets == (1.0, 2.0, 4.0)
+
+    def test_sample_skips_histograms(self):
+        reg = MetricsRegistry()
+        reg.counter("a_total").inc(7)
+        reg.gauge("g").set(3)
+        reg.histogram("h", buckets=[1]).observe(5)
+        assert reg.sample() == {"a_total": 7, "g": 3}
+
+    def test_value_on_histogram_rejected(self):
+        reg = MetricsRegistry()
+        reg.histogram("h", buckets=[1])
+        with pytest.raises(ValueError):
+            reg.value("h")
+
+
+class TestExposition:
+    def _populated(self):
+        reg = MetricsRegistry()
+        reg.counter("events_total", "Events seen").inc(3)
+        reg.gauge("alive", "Alive now").set(2)
+        reg.counter("msgs_total", "By type", type="signal").inc(4)
+        hist = reg.histogram("lat", buckets=[1, 10], help="Latency")
+        hist.observe(0)
+        hist.observe(5)
+        hist.observe(99)
+        return reg
+
+    def test_prometheus_text_format(self):
+        text = self._populated().to_prometheus()
+        assert "# HELP events_total Events seen" in text
+        assert "# TYPE events_total counter" in text
+        assert "events_total 3" in text
+        assert "# TYPE alive gauge" in text
+        assert 'msgs_total{type="signal"} 4' in text
+        assert 'lat_bucket{le="1"} 1' in text
+        assert 'lat_bucket{le="10"} 2' in text
+        assert 'lat_bucket{le="+Inf"} 3' in text
+        assert "lat_sum 104" in text
+        assert "lat_count 3" in text
+        assert text.endswith("\n")
+
+    def test_json_round_trips(self):
+        dump = self._populated().to_json()
+        json.dumps(dump)  # must not raise
+        assert dump["events_total"]["samples"][0]["value"] == 3
+        assert dump["msgs_total"]["samples"][0]["labels"] == {"type": "signal"}
+        assert dump["lat"]["samples"][0]["buckets"]["+Inf"] == 3
+
+    def test_empty_registry(self):
+        reg = MetricsRegistry()
+        assert reg.to_prometheus() == ""
+        assert reg.to_json() == {}
+        assert len(reg) == 0
+
+    def test_default_buckets_are_powers_of_two(self):
+        assert POW2_BUCKETS[0] == 2.0
+        assert all(b == 2 * a for a, b in zip(POW2_BUCKETS, POW2_BUCKETS[1:]))

@@ -1,0 +1,112 @@
+"""Unit tests for the trace ring buffer and query lifecycle spans."""
+
+import json
+
+import pytest
+
+from repro.obs.trace import SPAN_EVENT_CAP, QuerySpan, SpanStore, TraceLog
+
+
+class TestTraceLog:
+    def test_append_and_read(self):
+        log = TraceLog(capacity=10)
+        log.append("a", ts=1, x=1)
+        log.append("b", ts=2)
+        log.append("a", ts=3, x=2)
+        assert len(log) == 3
+        assert [e.kind for e in log.events()] == ["a", "b", "a"]
+        assert [e.fields["x"] for e in log.events("a")] == [1, 2]
+
+    def test_ring_buffer_drops_oldest(self):
+        log = TraceLog(capacity=3)
+        for i in range(5):
+            log.append("e", ts=i)
+        assert len(log) == 3
+        assert log.total_appended == 5
+        assert log.dropped == 2
+        # seq survives eviction so consumers can detect the gap
+        assert [e.seq for e in log.events()] == [3, 4, 5]
+
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError):
+            TraceLog(capacity=0)
+
+    def test_to_json(self):
+        log = TraceLog()
+        log.append("dt.slack", ts=7, lam=3)
+        (event,) = log.to_json()
+        json.dumps(event)
+        assert event == {"seq": 1, "ts": 7, "kind": "dt.slack", "lam": 3}
+
+
+class TestQuerySpan:
+    def test_latency(self):
+        span = QuerySpan(query_id="q", registered_at=10)
+        assert span.latency is None
+        span.ended_at = 25
+        assert span.latency == 15
+
+    def test_event_cap(self):
+        span = QuerySpan(query_id="q", registered_at=0)
+        log = TraceLog()
+        for i in range(SPAN_EVENT_CAP + 5):
+            span.add_event(log.append("e", ts=i))
+        assert len(span.events) == SPAN_EVENT_CAP
+        assert span.events_dropped == 5
+
+    def test_to_json(self):
+        span = QuerySpan(query_id="q", registered_at=1)
+        span.ended_at, span.outcome, span.weight_seen = 4, "matured", 100
+        dump = span.to_json()
+        json.dumps(dump)
+        assert dump["latency"] == 3
+        assert dump["outcome"] == "matured"
+        assert dump["weight_seen"] == 100
+
+
+class TestSpanStore:
+    def test_open_close_lifecycle(self):
+        store = SpanStore()
+        store.open("q", ts=5)
+        assert store.active_count == 1
+        assert store.get("q").registered_at == 5
+        span = store.close("q", ts=9, outcome="matured", weight_seen=42)
+        assert span.latency == 4
+        assert store.active_count == 0
+        assert store.finished_count == 1
+        assert store.finished("matured") == [span]
+        assert store.finished("terminated") == []
+
+    def test_close_unknown_returns_none(self):
+        assert SpanStore().close("nope", ts=0, outcome="matured") is None
+
+    def test_reopen_recycled_id_terminates_old_span(self):
+        store = SpanStore()
+        store.open("q", ts=1)
+        store.open("q", ts=8)  # same id registered again
+        assert store.active_count == 1
+        (old,) = store.finished()
+        assert old.outcome == "terminated" and old.ended_at == 8
+        assert store.get("q").registered_at == 8
+
+    def test_finished_ring_buffer(self):
+        store = SpanStore(capacity=2)
+        for i in range(4):
+            store.open(i, ts=i)
+            store.close(i, ts=i, outcome="terminated")
+        assert store.finished_count == 2
+        assert [s.query_id for s in store.finished()] == [2, 3]
+
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError):
+            SpanStore(capacity=0)
+
+    def test_to_json(self):
+        store = SpanStore()
+        store.open("a", ts=0)
+        store.open("b", ts=1)
+        store.close("b", ts=3, outcome="matured", weight_seen=9)
+        dump = store.to_json()
+        json.dumps(dump)
+        assert [s["query_id"] for s in dump["active"]] == ["a"]
+        assert [s["query_id"] for s in dump["finished"]] == ["b"]
