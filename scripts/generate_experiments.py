@@ -16,6 +16,7 @@ from __future__ import annotations
 import argparse
 import json
 import pathlib
+import sys
 import time
 
 from repro.experiments.cli import run_figure
@@ -26,7 +27,7 @@ from repro.streams.scale import paper_params
 from repro.streams.workload import build_static_workload
 
 
-def main() -> None:
+def main() -> int:
     parser = argparse.ArgumentParser()
     parser.add_argument("--scale", type=int, default=250)
     parser.add_argument("--hero-scale", type=int, default=100)
@@ -36,10 +37,18 @@ def main() -> None:
     args.out.mkdir(parents=True, exist_ok=True)
 
     summary = {"scale": args.scale, "figures": {}}
+    failed = []
     for name in FIGURES:
         started = time.perf_counter()
         print(f"=== {name} (scale {args.scale}) ===", flush=True)
-        figures = run_figure(name, scale=args.scale, seed=args.seed)
+        try:
+            figures = run_figure(name, scale=args.scale, seed=args.seed)
+        except AssertionError as exc:
+            # Replay disagreed with the oracle: finish the other figures
+            # for diagnosis, but exit non-zero so CI fails the build.
+            print(f"  ERROR: {exc}", file=sys.stderr, flush=True)
+            failed.append(name)
+            continue
         elapsed = time.perf_counter() - started
         for fig in figures:
             text = format_figure(fig)
@@ -68,7 +77,12 @@ def main() -> None:
     script = build_static_workload(params, seed=args.seed)
     hero = {}
     for engine in ("dt", "baseline", "interval-tree"):
-        result = run_cell(script, engine)
+        try:
+            result = run_cell(script, engine)
+        except AssertionError as exc:
+            print(f"  ERROR: {engine}: {exc}", file=sys.stderr, flush=True)
+            failed.append(f"hero:{engine}")
+            continue
         hero[engine] = {
             "total_seconds": round(result.total_seconds, 3),
             "us_per_op": round(result.avg_op_seconds * 1e6, 2),
@@ -79,8 +93,12 @@ def main() -> None:
     summary["hero_1d"] = {"m": params.m, "tau": params.tau, "results": hero}
 
     (args.out / "summary.json").write_text(json.dumps(summary, indent=2))
+    if failed:
+        print(f"FAILED: {', '.join(failed)}", file=sys.stderr, flush=True)
+        return 1
     print("done", flush=True)
+    return 0
 
 
 if __name__ == "__main__":
-    main()
+    sys.exit(main())

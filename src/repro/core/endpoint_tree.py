@@ -95,8 +95,10 @@ class ETNode:
 def build_skeleton(keys: Sequence[BoundaryKey]) -> Optional[ETNode]:
     """Balanced skeleton of :class:`ETNode` over sorted distinct keys.
 
-    Leaf ``i`` owns jurisdiction ``[keys[i], keys[i+1])``; the last leaf
-    extends to ``+inf``.  Returns None for an empty key set.
+    The Section 4 endpoint-tree shape: leaf ``i`` owns jurisdiction
+    ``[keys[i], keys[i+1])``, the last leaf extends to ``+inf``, and every
+    internal node's jurisdiction is tiled exactly by its two children.
+    Returns None for an empty key set.
     """
     return _build_skeleton(keys, ETNode)
 

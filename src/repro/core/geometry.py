@@ -45,17 +45,33 @@ MINUS_INFINITY: BoundaryKey = (-math.inf, 0)
 
 
 def value_key(v: float) -> BoundaryKey:
-    """Map a stream-element coordinate to its boundary key ``(v, 0)``."""
+    """Map a stream-element coordinate to its boundary key ``(v, 0)``.
+
+    The ``(value, bit)`` encoding totally orders element coordinates and
+    query endpoints together, which is what lets the endpoint tree of
+    Section 4 compare open/closed range boundaries exactly — no float
+    equality tests anywhere downstream.
+    """
     return (v, 0)
 
 
 def lower_key(x: float, closed: bool = True) -> BoundaryKey:
-    """Boundary key of a left endpoint (``closed=True`` for ``[x``)."""
+    """Boundary key of a left endpoint (``closed=True`` for ``[x``).
+
+    An open left endpoint sorts *after* the value itself (bit 1), so a
+    range ``(x, ...`` excludes elements at exactly ``x`` under the
+    Section 4 endpoint-tree ordering.
+    """
     return (x, 0) if closed else (x, 1)
 
 
 def upper_key(y: float, closed: bool = False) -> BoundaryKey:
-    """Boundary key of a right endpoint (``closed=True`` for ``y]``)."""
+    """Boundary key of a right endpoint (``closed=True`` for ``y]``).
+
+    A closed right endpoint sorts *after* the value itself (bit 1), so a
+    range ``..., y]`` includes elements at exactly ``y`` under the
+    Section 4 endpoint-tree ordering.
+    """
     return (y, 1) if closed else (y, 0)
 
 

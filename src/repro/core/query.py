@@ -52,7 +52,7 @@ def coerce_rect(region: RectLike, dims: Optional[int] = None) -> Rect:
     * a :class:`Rect` — used as is;
     * an :class:`Interval` — wrapped into a one-dimensional rectangle;
     * a sequence of ``(lo, hi)`` pairs — interpreted as *closed* bounds
-      per dimension (matching the paper's example queries such as
+      per dimension (matching the example queries of Section 1 such as
       ``[100, 105] x (-inf, 4600]``, which users write with closed ends).
 
     When ``dims`` is given, the resulting rectangle must have exactly that

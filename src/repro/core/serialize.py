@@ -36,11 +36,16 @@ def _value_from_obj(obj: Any) -> float:
 
 
 def boundary_to_obj(key: BoundaryKey) -> List[Any]:
-    """``(value, bit)`` as a JSON pair."""
+    """``(value, bit)`` as a JSON pair.
+
+    The bit preserves the exact open/closed endpoint semantics that the
+    Section 4 endpoint-tree ordering depends on.
+    """
     return [_value_to_obj(key[0]), key[1]]
 
 
 def boundary_from_obj(obj: Sequence[Any]) -> BoundaryKey:
+    """Inverse of :func:`boundary_to_obj` (Section 4 boundary keys)."""
     value, bit = obj
     if bit not in (0, 1):
         raise ValueError(f"boundary bit must be 0 or 1, got {bit!r}")
@@ -48,23 +53,30 @@ def boundary_from_obj(obj: Sequence[Any]) -> BoundaryKey:
 
 
 def interval_to_obj(interval: Interval) -> Dict[str, Any]:
+    """One side of a Section 2 query rectangle as a JSON object."""
     return {"lo": boundary_to_obj(interval.lo), "hi": boundary_to_obj(interval.hi)}
 
 
 def interval_from_obj(obj: Dict[str, Any]) -> Interval:
+    """Inverse of :func:`interval_to_obj` (Section 2 ranges)."""
     return Interval(boundary_from_obj(obj["lo"]), boundary_from_obj(obj["hi"]))
 
 
 def rect_to_obj(rect: Rect) -> List[Dict[str, Any]]:
+    """A Section 2 query rectangle ``R_q`` as a JSON array of intervals."""
     return [interval_to_obj(iv) for iv in rect.intervals]
 
 
 def rect_from_obj(obj: Sequence[Dict[str, Any]]) -> Rect:
+    """Inverse of :func:`rect_to_obj` (Section 2 rectangles)."""
     return Rect([interval_from_obj(o) for o in obj])
 
 
 def query_to_obj(query: Query) -> Dict[str, Any]:
-    """Query ids must themselves be JSON-compatible to round-trip."""
+    """A Section 2 RTS query ``(R_q, tau_q)`` as a JSON object.
+
+    Query ids must themselves be JSON-compatible to round-trip.
+    """
     return {
         "id": query.query_id,
         "rect": rect_to_obj(query.rect),
@@ -73,6 +85,7 @@ def query_to_obj(query: Query) -> Dict[str, Any]:
 
 
 def query_from_obj(obj: Dict[str, Any]) -> Query:
+    """Inverse of :func:`query_to_obj` (Section 2 queries)."""
     return Query(
         rect_from_obj(obj["rect"]),
         int(obj["threshold"]),
@@ -81,8 +94,10 @@ def query_from_obj(obj: Dict[str, Any]) -> Query:
 
 
 def element_to_obj(element: StreamElement) -> Dict[str, Any]:
+    """A Section 2 weighted stream element as a JSON object."""
     return {"v": list(element.value), "w": element.weight}
 
 
 def element_from_obj(obj: Dict[str, Any]) -> StreamElement:
+    """Inverse of :func:`element_to_obj` (Section 2 elements)."""
     return StreamElement(tuple(obj["v"]), int(obj["w"]))

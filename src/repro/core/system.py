@@ -59,12 +59,16 @@ def _engine_registry() -> Dict[str, Type[Engine]]:
 
 
 def available_engines() -> List[str]:
-    """Names accepted by ``RTSSystem(engine=...)`` and by the harness."""
+    """Names accepted by ``RTSSystem(engine=...)`` and by the harness.
+
+    Covers the paper's DT solution (Section 4 with the Section 5
+    logarithmic method) and every baseline of the Section 8 experiments.
+    """
     return sorted(_engine_registry())
 
 
 def make_engine(name: str, dims: int, **options) -> Engine:
-    """Instantiate an engine by registry name."""
+    """Instantiate an engine by registry name (see the Section 8 lineup)."""
     registry = _engine_registry()
     try:
         cls = registry[name]
@@ -91,6 +95,15 @@ class RTSSystem:
         (metrics, structured trace events, per-query lifecycle spans).
         None — the default — attaches the shared no-op sink, which keeps
         every hook zero-cost; see ``docs/OBSERVABILITY.md``.
+    sanitize:
+        Runtime invariant checking (see ``docs/CORRECTNESS.md``).  None —
+        the default — defers to the ``RTS_SANITIZE`` environment flag;
+        ``False`` forces checks off, ``True`` enables the ``"full"``
+        level, and a string (``"basic"``/``"full"``) names the level.
+        When enabled, every register/process/terminate call re-validates
+        the whole engine state and raises
+        :class:`~repro.sanitize.SanitizeError` on the first violation.
+        When off (the default), no check code runs at all.
     """
 
     def __init__(
@@ -98,6 +111,7 @@ class RTSSystem:
         dims: int = 1,
         engine: Union[str, Engine] = "dt",
         observability=None,
+        sanitize=None,
         **engine_options,
     ):
         if isinstance(engine, Engine):
@@ -118,6 +132,23 @@ class RTSSystem:
         self._queries: Dict[object, Query] = {}
         self._maturity_times: Dict[object, int] = {}
         self._clock = 0  # arrival index of the last processed element
+        # Lazy import: repro.sanitize.validators imports engine modules,
+        # so importing it at module scope here would be circular.
+        from ..sanitize import resolve_level
+
+        #: Active check level (None when sanitizing is off).  Kept on a
+        #: single attribute so the hot-path guard is one truthiness test.
+        self._sanitize: Optional[str] = resolve_level(sanitize)
+
+    def _sanitize_check(self) -> None:
+        """Validate the full system state at the active check level.
+
+        Only ever called behind an ``if self._sanitize:`` guard, so the
+        disabled path costs one attribute test.
+        """
+        from ..sanitize import check
+
+        check(self, level=self._sanitize)
 
     # -- registration --------------------------------------------------
 
@@ -154,6 +185,8 @@ class RTSSystem:
         self.engine.register(query)
         self._queries[query.query_id] = query
         self._status[query.query_id] = QueryStatus.ALIVE
+        if self._sanitize:
+            self._sanitize_check()
         return query
 
     def register_batch(self, queries: Iterable[Query]) -> List[Query]:
@@ -172,6 +205,8 @@ class RTSSystem:
         for query in batch:
             self._queries[query.query_id] = query
             self._status[query.query_id] = QueryStatus.ALIVE
+        if self._sanitize:
+            self._sanitize_check()
         return batch
 
     # -- stream processing ------------------------------------------------
@@ -207,6 +242,8 @@ class RTSSystem:
                     event.query.query_id, event.timestamp, event.weight_seen
                 )
             self._dispatcher.dispatch(event)
+        if self._sanitize:
+            self._sanitize_check()
         return events
 
     def process_many(
@@ -230,6 +267,8 @@ class RTSSystem:
             self._status[query_id] = QueryStatus.TERMINATED
             if self.obs.enabled:
                 self.obs.query_terminated(query_id, self._clock)
+        if self._sanitize:
+            self._sanitize_check()
         return removed
 
     # -- callbacks ----------------------------------------------------------

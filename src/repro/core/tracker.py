@@ -80,6 +80,10 @@ class QueryTracker:
     w_run:
         Final phase only: the coordinator's running total of
         ``sum c(u)``.
+    msgs:
+        Simulated DT messages attributable to this query alone (the
+        per-instance view of ``WorkCounters.messages``), letting the
+        sanitizer check the O(h log tau) bound of Section 3.2 per query.
     """
 
     __slots__ = (
@@ -93,6 +97,7 @@ class QueryTracker:
         "signals",
         "w_run",
         "rounds_run",
+        "msgs",
     )
 
     def __init__(self, query: Query, tau: int, consumed: int = 0):
@@ -112,6 +117,7 @@ class QueryTracker:
         self.signals = 0
         self.w_run = 0
         self.rounds_run = 0
+        self.msgs = 0
 
     # -- setup -------------------------------------------------------------
 
@@ -152,6 +158,7 @@ class QueryTracker:
             self.signals = 0
             # Announcing the slack costs one message per participant.
             counters.messages += h
+            self.msgs += h
             if obs.enabled:
                 obs.dt_messages("slack", h)
                 obs.dt_slack(self.query.query_id, self.lam, h)
@@ -174,6 +181,7 @@ class QueryTracker:
         its heap entries and transitions to DONE.
         """
         counters.messages += 1  # the participant's one-bit signal
+        self.msgs += 1
         if obs.enabled:
             obs.dt_messages("signal")
         if self.state is TrackerState.FINAL:
@@ -202,6 +210,7 @@ class QueryTracker:
         h = len(self.nodes)
         # Collecting precise counters: one request + one reply per site.
         counters.messages += 2 * h
+        self.msgs += 2 * h
         counters.rounds += 1
         self.rounds_run += 1
         w_now = 0
@@ -233,6 +242,7 @@ class QueryTracker:
             self.lam = tau_prime // (2 * h)
             self.signals = 0
             counters.messages += h  # announce the new slack
+            self.msgs += h
             if obs.enabled:
                 obs.dt_messages("slack", h)
                 obs.dt_slack(self.query.query_id, self.lam, h)

@@ -17,6 +17,11 @@ repro.experiments.cli``)::
     rts-experiments obs --mode stochastic --scale 20000 --engine dt
     rts-experiments obs wl.json --format json --out results/obs/
 
+    # correctness: replay a workload with runtime invariant checking on
+    # (see docs/CORRECTNESS.md); exits non-zero on any violation
+    rts-experiments sanitize --mode stochastic --scale 20000 --engine all
+    rts-experiments sanitize wl.json --engine dt --format json
+
 ``--scale`` divides the paper's workload sizes (1 = the paper's exact
 parameters — hours of CPU in pure Python; 1000 = the default laptop
 scale).  Output is the text rendering of each figure (chart + table +
@@ -59,14 +64,16 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument(
         "target",
         help="figure id (fig3..fig8, ablation-dt-messages, "
-        "ablation-design), 'all', 'list', 'workload', 'verify', or 'obs'",
+        "ablation-design), 'all', 'list', 'workload', 'verify', 'obs', "
+        "or 'sanitize'",
     )
     parser.add_argument(
         "script_path",
         nargs="?",
         default=None,
-        help="saved workload file (verify and obs targets; obs generates "
-        "a workload from --mode/--dims/--scale when omitted)",
+        help="saved workload file (verify, obs and sanitize targets; obs "
+        "and sanitize generate a workload from --mode/--dims/--scale "
+        "when omitted)",
     )
     parser.add_argument(
         "--mode",
@@ -84,7 +91,14 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument(
         "--engine",
         default="dt",
-        help="engine name for the 'verify' and 'obs' targets (default: dt)",
+        help="engine name for the 'verify', 'obs' and 'sanitize' targets "
+        "(default: dt; 'sanitize' also accepts 'all')",
+    )
+    parser.add_argument(
+        "--level",
+        choices=["basic", "full"],
+        default="full",
+        help="'sanitize' target: invariant check level (default: full)",
     )
     parser.add_argument(
         "--format",
@@ -134,6 +148,9 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.target == "obs":
         return _run_obs(args, parser)
 
+    if args.target == "sanitize":
+        return _run_sanitize(args, parser)
+
     names = list(FIGURES) if args.target == "all" else [args.target]
     unknown = [n for n in names if n not in FIGURES]
     if unknown:
@@ -144,9 +161,18 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.out is not None:
         args.out.mkdir(parents=True, exist_ok=True)
 
+    failed: List[str] = []
     for name in names:
         started = time.perf_counter()
-        figures = run_figure(name, scale=args.scale, seed=args.seed)
+        try:
+            figures = run_figure(name, scale=args.scale, seed=args.seed)
+        except AssertionError as exc:
+            # Workload replay disagreed with the oracle (or an invariant
+            # broke).  Keep generating the other figures, but make sure
+            # the process exits non-zero so CI cannot miss it.
+            print(f"ERROR: {name}: {exc}", file=sys.stderr)
+            failed.append(name)
+            continue
         elapsed = time.perf_counter() - started
         for fig in figures:
             text = format_figure(fig, chart=not args.no_chart)
@@ -157,8 +183,10 @@ def main(argv: Optional[List[str]] = None) -> int:
 
                 try:
                     text += "\n" + format_growth_report(fig)
-                except ValueError:
-                    pass  # degenerate series (zeros): skip the fit
+                except ValueError as exc:
+                    # Degenerate series (all zeros): the fit is undefined
+                    # but the figure itself is fine.  Note it and move on.
+                    print(f"note: {name}: growth fit skipped: {exc}", file=sys.stderr)
             text += f"\n(generated in {elapsed:.1f}s at scale {args.scale})\n"
             print(text)
             print()
@@ -168,6 +196,9 @@ def main(argv: Optional[List[str]] = None) -> int:
                 from .export import export_figures
 
                 export_figures([fig], args.export)
+    if failed:
+        print(f"FAILED figures: {', '.join(failed)}", file=sys.stderr)
+        return 1
     return 0
 
 
@@ -215,7 +246,11 @@ def _run_obs(args, parser) -> int:
     script = _build_or_load_workload(args, parser)
     obs = Observability()
     started = time.perf_counter()
-    result = run_cell(script, args.engine, observability=obs)
+    try:
+        result = run_cell(script, args.engine, observability=obs)
+    except AssertionError as exc:
+        print(f"ERROR: {args.engine}: replay failed: {exc}", file=sys.stderr)
+        return 1
     elapsed = time.perf_counter() - started
 
     spans = obs.spans
@@ -258,7 +293,11 @@ def _verify_workload(args, parser) -> int:
     script = WorkloadScript.load(args.script_path)
     system = RTSSystem(dims=script.params.dims, engine=args.engine)
     started = time.perf_counter()
-    script.verify(system)
+    try:
+        script.verify(system)
+    except AssertionError as exc:
+        print(f"ERROR: {args.engine}: {exc}", file=sys.stderr)
+        return 1
     elapsed = time.perf_counter() - started
     print(
         f"{args.engine}: verified exact on {script.mode!r} workload "
@@ -266,6 +305,99 @@ def _verify_workload(args, parser) -> int:
         f"{len(script.expected_maturities)} maturities) in {elapsed:.2f}s"
     )
     return 0
+
+
+def _run_sanitize(args, parser) -> int:
+    """Replay a workload with invariant checks on; report violations.
+
+    Exits 0 only when every requested engine replays the whole workload
+    without a single invariant violation *and* agrees with the oracle.
+    """
+    import json
+
+    from ..core.system import RTSSystem, available_engines
+    from ..sanitize import SanitizeError
+
+    script = _build_or_load_workload(args, parser)
+    dims = script.params.dims
+    engines = available_engines() if args.engine == "all" else [args.engine]
+    report: dict = {}
+    ok = True
+    for engine in engines:
+        started = time.perf_counter()
+        try:
+            system = RTSSystem(dims=dims, engine=engine, sanitize=args.level)
+        except ValueError as exc:
+            # Engine/dimensionality mismatch (e.g. seg-intv-tree is 2-D
+            # only): skipped, not failed.
+            report[engine] = {"status": "skipped", "reason": str(exc)}
+            continue
+        try:
+            observed = script.replay(system)
+        except SanitizeError as exc:
+            elapsed = time.perf_counter() - started
+            report[engine] = {
+                "status": "violations",
+                "elapsed_s": round(elapsed, 2),
+                "violations": [v.to_json() for v in exc.violations],
+            }
+            ok = False
+            continue
+        elapsed = time.perf_counter() - started
+        if observed != script.expected_maturities:
+            report[engine] = {
+                "status": "wrong-results",
+                "elapsed_s": round(elapsed, 2),
+                "observed": len(observed),
+                "expected": len(script.expected_maturities),
+            }
+            ok = False
+        else:
+            report[engine] = {
+                "status": "clean",
+                "elapsed_s": round(elapsed, 2),
+                "ops": script.operation_count(),
+                "maturities": len(observed),
+            }
+    if args.obs_format == "json":
+        print(
+            json.dumps(
+                {"level": args.level, "mode": script.mode, "engines": report},
+                indent=2,
+            )
+        )
+    else:
+        print(
+            f"# sanitize level={args.level} on {script.mode!r} workload "
+            f"(dims={dims}, ops={script.operation_count()})"
+        )
+        for engine, info in report.items():
+            status = info["status"]
+            if status == "clean":
+                print(
+                    f"{engine}: clean ({info['maturities']} maturities, "
+                    f"{info['elapsed_s']}s)"
+                )
+            elif status == "skipped":
+                print(f"{engine}: skipped ({info['reason']})")
+            elif status == "wrong-results":
+                print(
+                    f"{engine}: WRONG RESULTS ({info['observed']} observed "
+                    f"vs {info['expected']} expected maturities)"
+                )
+            else:
+                print(f"{engine}: {len(info['violations'])} violation(s)")
+                for v in info["violations"]:
+                    ctx = (
+                        " {" + ", ".join(f"{k}={val!r}" for k, val in v["context"].items()) + "}"
+                        if v["context"]
+                        else ""
+                    )
+                    print(
+                        f"  - [{v['invariant']}] ({v['section']}) "
+                        f"{v['message']} on {v['subject']}{ctx}"
+                    )
+    return 0 if ok else 1
 
 
 if __name__ == "__main__":

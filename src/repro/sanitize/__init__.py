@@ -1,0 +1,48 @@
+"""Runtime invariant sanitizer (see ``docs/CORRECTNESS.md``).
+
+Usage::
+
+    from repro import sanitize
+    sanitize.check(system)            # raises SanitizeError on violation
+    bad = sanitize.collect(heap)      # list of Violation, never raises
+
+Enable continuous checking on a live system with ``RTS_SANITIZE=1``
+(or ``=basic`` for the cheap subset), or explicitly via
+``RTSSystem(..., sanitize=True)``.  When off, nothing here touches any
+hot path — the same zero-cost pattern as the observability hooks.
+"""
+
+from .checker import (
+    ENV_FLAG,
+    LEVELS,
+    SanitizeError,
+    Violation,
+    check,
+    collect,
+    level_covers,
+    level_from_env,
+    register_checker,
+    resolve_level,
+    validators_for,
+)
+
+# Importing the catalogue registers every validator as a side effect.
+from . import validators  # noqa: E402  (must follow checker imports)
+from .validators import max_dt_messages, max_dt_rounds
+
+__all__ = [
+    "ENV_FLAG",
+    "LEVELS",
+    "SanitizeError",
+    "Violation",
+    "check",
+    "collect",
+    "level_covers",
+    "level_from_env",
+    "max_dt_messages",
+    "max_dt_rounds",
+    "register_checker",
+    "resolve_level",
+    "validators",
+    "validators_for",
+]

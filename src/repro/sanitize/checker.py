@@ -1,0 +1,206 @@
+"""The invariant-checker framework behind :func:`repro.sanitize.check`.
+
+The paper's Õ(n + m) guarantee (Theorem 1) rests on structural invariants
+that are easy to break silently: endpoint-tree jurisdiction tiling and
+canonical-set consistency (Sections 4 and 6), the DT round/slack
+accounting ``lambda = floor(tau'/(2h))`` with the ``tau' <= 6h``
+final-phase switch (Sections 3.2 and 7), and addressable-heap integrity
+(Section 4, Eq. 5).  An off-by-one in slack bookkeeping changes the
+asymptotics without failing a single output check, so these invariants
+are machine-checked rather than reviewer-checked.
+
+This module is the *framework*: a violation record type, a per-type
+validator registry, and the ``check``/``collect`` entry points.  The
+actual invariant catalogue lives in :mod:`repro.sanitize.validators`
+(documented in ``docs/CORRECTNESS.md``).
+
+Design notes
+------------
+* Validators are generator functions ``(obj, level) -> Iterator[Violation]``
+  registered per type; :func:`collect` dispatches on the object's MRO, so
+  a validator registered for a base class covers subclasses.
+* :class:`SanitizeError` subclasses :class:`AssertionError`, keeping the
+  pre-existing ``check_invariants`` call sites (which raised plain
+  AssertionErrors) drop-in compatible.
+* Checking is opt-in and zero-cost when off: nothing in this module is on
+  any hot path unless the ``RTS_SANITIZE`` flag (or the
+  ``RTSSystem(sanitize=...)`` argument) enables it — the same pattern as
+  the observability hooks.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, Iterator, List, Optional, Type
+
+#: Check levels, cheapest first.  ``basic`` covers O(live-state) counting
+#: and protocol-state bounds; ``full`` adds the complete structural
+#: traversals (heap order, jurisdiction tiling, canonical recomputation).
+LEVELS = ("basic", "full")
+
+_LEVEL_RANK = {name: rank for rank, name in enumerate(LEVELS)}
+
+
+@dataclass(frozen=True, slots=True)
+class Violation:
+    """One broken invariant, with enough context to debug it.
+
+    Attributes
+    ----------
+    invariant:
+        Stable kebab-case identifier (e.g. ``heap-order``,
+        ``tracker-slack``); ``docs/CORRECTNESS.md`` catalogues them.
+    message:
+        Human-readable description of what is wrong.
+    section:
+        The paper section whose guarantee the invariant protects
+        (e.g. ``"S4"`` for Section 4).
+    subject:
+        ``repr``-style identification of the offending object.
+    context:
+        Structured extra detail (offending keys, counters, indices).
+    """
+
+    invariant: str
+    message: str
+    section: str = ""
+    subject: str = ""
+    context: Dict[str, object] = field(default_factory=dict)
+
+    def render(self) -> str:
+        """One-line human-readable rendering."""
+        parts = [f"[{self.invariant}]"]
+        if self.section:
+            parts.append(f"({self.section})")
+        parts.append(self.message)
+        if self.subject:
+            parts.append(f"on {self.subject}")
+        if self.context:
+            inner = ", ".join(f"{k}={v!r}" for k, v in self.context.items())
+            parts.append(f"{{{inner}}}")
+        return " ".join(parts)
+
+    def to_json(self) -> Dict[str, object]:
+        """JSON-compatible dict (CLI / CI annotation output)."""
+        return {
+            "invariant": self.invariant,
+            "message": self.message,
+            "section": self.section,
+            "subject": self.subject,
+            "context": dict(self.context),
+        }
+
+
+class SanitizeError(AssertionError):
+    """Raised by :func:`check` when an object violates its invariants.
+
+    Subclasses :class:`AssertionError` so callers that historically
+    caught assertion failures from the scattered ``check_invariants``
+    helpers keep working unchanged.
+    """
+
+    def __init__(self, violations: List[Violation]):
+        self.violations = violations
+        lines = [f"{len(violations)} invariant violation(s):"]
+        lines.extend(f"  - {v.render()}" for v in violations)
+        super().__init__("\n".join(lines))
+
+
+#: A validator inspects one object and yields its violations.
+ValidatorFn = Callable[[object, str], Iterator[Violation]]
+
+_REGISTRY: Dict[Type, List[ValidatorFn]] = {}
+
+
+def register_checker(*types: Type) -> Callable[[ValidatorFn], ValidatorFn]:
+    """Class decorator-factory registering a validator for ``types``.
+
+    The validator runs for instances of each listed type *and its
+    subclasses* (MRO dispatch in :func:`collect`).
+    """
+
+    def deco(fn: ValidatorFn) -> ValidatorFn:
+        for tp in types:
+            _REGISTRY.setdefault(tp, []).append(fn)
+        return fn
+
+    return deco
+
+
+def validators_for(obj: object) -> List[ValidatorFn]:
+    """All registered validators applicable to ``obj`` (MRO order)."""
+    out: List[ValidatorFn] = []
+    for tp in type(obj).__mro__:
+        out.extend(_REGISTRY.get(tp, ()))
+    return out
+
+
+def level_covers(level: str, required: str) -> bool:
+    """True when checks tagged ``required`` run at ``level``."""
+    return _LEVEL_RANK[level] >= _LEVEL_RANK[required]
+
+
+def _coerce_level(level: str) -> str:
+    if level not in _LEVEL_RANK:
+        known = ", ".join(LEVELS)
+        raise ValueError(f"unknown sanitize level {level!r}; choose one of: {known}")
+    return level
+
+
+def collect(obj: object, level: str = "full") -> List[Violation]:
+    """Run every applicable validator; return violations (never raises).
+
+    Objects with no registered validator yield no violations — the
+    sanitizer is an opt-in safety net, not a type gate.
+    """
+    level = _coerce_level(level)
+    out: List[Violation] = []
+    for fn in validators_for(obj):
+        out.extend(fn(obj, level))
+    return out
+
+
+def check(obj: object, level: str = "full") -> None:
+    """Validate ``obj``; raise :class:`SanitizeError` on any violation.
+
+    This is the single entry point consolidating the per-structure
+    ``validate``/``check`` helpers that previously lived in
+    ``structures/`` and ``baselines/``.
+    """
+    violations = collect(obj, level)
+    if violations:
+        raise SanitizeError(violations)
+
+
+#: Environment flag: ``RTS_SANITIZE=1`` (or ``full``) enables full checks
+#: on every :class:`~repro.core.system.RTSSystem` operation;
+#: ``RTS_SANITIZE=basic`` enables the cheap subset.
+ENV_FLAG = "RTS_SANITIZE"
+
+_FALSY = ("", "0", "false", "no", "off", "none")
+
+
+def level_from_env(environ=os.environ) -> Optional[str]:
+    """The check level requested by ``RTS_SANITIZE``, or None when off."""
+    raw = environ.get(ENV_FLAG, "").strip().lower()
+    if raw in _FALSY:
+        return None
+    if raw in _LEVEL_RANK:
+        return raw
+    return "full"  # any other truthy value: the safe maximum
+
+
+def resolve_level(sanitize) -> Optional[str]:
+    """Normalise an ``RTSSystem(sanitize=...)`` argument to a level.
+
+    ``None`` defers to the environment flag; ``False`` forces off;
+    ``True`` means ``full``; a string names the level explicitly.
+    """
+    if sanitize is None:
+        return level_from_env()
+    if sanitize is False:
+        return None
+    if sanitize is True:
+        return "full"
+    return _coerce_level(sanitize)

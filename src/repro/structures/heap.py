@@ -155,19 +155,14 @@ class AddressableMinHeap(Generic[P]):
         return tuple(self._arr)
 
     def check_invariants(self) -> None:
-        """Verify heap order and position bookkeeping (used by tests)."""
-        arr = self._arr
-        for i, entry in enumerate(arr):
-            if entry._pos != i:
-                raise AssertionError(
-                    f"entry at slot {i} records position {entry._pos}"
-                )
-            parent = (i - 1) >> 1
-            if i > 0 and arr[parent].key > entry.key:
-                raise AssertionError(
-                    f"heap order violated at slot {i}: parent key "
-                    f"{arr[parent].key!r} > child key {entry.key!r}"
-                )
+        """Verify heap order and position bookkeeping.
+
+        Delegates to the :mod:`repro.sanitize` validator (which raises
+        :class:`~repro.sanitize.SanitizeError`, an AssertionError).
+        """
+        from ..sanitize import check
+
+        check(self)
 
     # -- internals --------------------------------------------------------
 
@@ -317,3 +312,13 @@ class ScanMinList(Generic[P]):
 
     def entries(self) -> Tuple[HeapEntry[P], ...]:
         return tuple(self._arr)
+
+    def check_invariants(self) -> None:
+        """Verify position bookkeeping (no order to check in a scan list).
+
+        Delegates to the :mod:`repro.sanitize` validator (which raises
+        :class:`~repro.sanitize.SanitizeError`, an AssertionError).
+        """
+        from ..sanitize import check
+
+        check(self)

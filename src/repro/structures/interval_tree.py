@@ -236,24 +236,11 @@ class CenteredIntervalTree:
         return self._alive
 
     def check_invariants(self) -> None:
-        """Verify structural invariants (tests only)."""
+        """Verify structural invariants.
 
-        def rec(node: Optional[_ITNode], lo_bound, hi_bound) -> None:
-            if node is None:
-                return
-            assert (lo_bound is None or node.center > lo_bound) and (
-                hi_bound is None or node.center <= hi_bound
-            ), "center out of BST order"
-            los = [t[0] for t in node.by_lo]
-            assert los == sorted(los), "by_lo not sorted"
-            his = [t[0] for t in node.by_hi]
-            assert his == sorted(his), "by_hi not sorted"
-            for _lo, _tie, item in node.by_lo:
-                iv = item.interval
-                assert iv.lo <= node.center < iv.hi, (
-                    f"item {item!r} does not contain center {node.center!r}"
-                )
-            rec(node.left, lo_bound, node.center)
-            rec(node.right, node.center, hi_bound)
+        Delegates to the :mod:`repro.sanitize` validator (which raises
+        :class:`~repro.sanitize.SanitizeError`, an AssertionError).
+        """
+        from ..sanitize import check
 
-        rec(self._root, None, None)
+        check(self)

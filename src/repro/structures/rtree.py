@@ -416,34 +416,11 @@ class RTree:
         return h
 
     def check_invariants(self) -> None:
-        """Verify MBR containment, parent pointers, fill factors (tests)."""
+        """Verify MBR containment, parent pointers, fill factors.
 
-        def rec(node: _RNode, depth: int, leaf_depth_box: List[int]) -> None:
-            if node is not self._root and not (
-                self.min_entries <= len(node.entries) <= self.max_entries
-            ):
-                raise AssertionError(
-                    f"node fill {len(node.entries)} outside "
-                    f"[{self.min_entries}, {self.max_entries}]"
-                )
-            if node.entries:
-                expect = node.entries[0].mbr
-                for e in node.entries[1:]:
-                    expect = mbr_union(expect, e.mbr)
-                if node.mbr != expect:
-                    raise AssertionError("stale node MBR")
-            if node.is_leaf:
-                if leaf_depth_box[0] == -1:
-                    leaf_depth_box[0] = depth
-                elif leaf_depth_box[0] != depth:
-                    raise AssertionError("leaves at different depths")
-                for item in node.entries:
-                    if item._leaf is not node:
-                        raise AssertionError("item leaf pointer stale")
-            else:
-                for child in node.entries:
-                    if child.parent is not node:
-                        raise AssertionError("child parent pointer stale")
-                    rec(child, depth + 1, leaf_depth_box)
+        Delegates to the :mod:`repro.sanitize` validator (which raises
+        :class:`~repro.sanitize.SanitizeError`, an AssertionError).
+        """
+        from ..sanitize import check
 
-        rec(self._root, 0, [-1])
+        check(self)

@@ -214,3 +214,13 @@ class SegIntvTree:
 
     def __len__(self) -> int:
         return self._alive
+
+    def check_invariants(self) -> None:
+        """Verify x-cover tiling and y-tree handle consistency.
+
+        Delegates to the :mod:`repro.sanitize` validator (which raises
+        :class:`~repro.sanitize.SanitizeError`, an AssertionError).
+        """
+        from ..sanitize import check
+
+        check(self)

@@ -217,15 +217,11 @@ class SegmentTree:
         return self._alive
 
     def check_invariants(self) -> None:
-        """Verify structural invariants (tests only)."""
-        for item in self._collect_alive():
-            lo = self._snap_down(item.interval.lo)
-            hi = self._snap_up(item.interval.hi)
-            covered = sorted((n.lo, n.hi) for n in item._nodes)
-            # The canonical nodes must tile [lo, hi) exactly.
-            assert covered, f"item {item!r} stored nowhere"
-            assert covered[0][0] == lo and covered[-1][1] == hi, (
-                f"cover of {item!r} does not span its snapped interval"
-            )
-            for (a_lo, a_hi), (b_lo, b_hi) in zip(covered, covered[1:]):
-                assert a_hi == b_lo, f"cover of {item!r} has a gap or overlap"
+        """Verify structural invariants.
+
+        Delegates to the :mod:`repro.sanitize` validator (which raises
+        :class:`~repro.sanitize.SanitizeError`, an AssertionError).
+        """
+        from ..sanitize import check
+
+        check(self)

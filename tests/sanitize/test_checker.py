@@ -1,0 +1,127 @@
+"""Unit tests for the sanitize framework (registry, levels, env flag)."""
+
+import pytest
+
+from repro.sanitize import (
+    ENV_FLAG,
+    SanitizeError,
+    Violation,
+    check,
+    collect,
+    level_covers,
+    level_from_env,
+    register_checker,
+    resolve_level,
+    validators_for,
+)
+
+
+class _Base:
+    ok = True
+
+
+class _Sub(_Base):
+    pass
+
+
+@register_checker(_Base)
+def _validate_base(obj, level):
+    if not obj.ok:
+        yield Violation("test-broken", "ok flag is False", section="S0", subject="x")
+
+
+class TestDispatch:
+    def test_collect_clean(self):
+        assert collect(_Base()) == []
+
+    def test_collect_violation(self):
+        obj = _Base()
+        obj.ok = False
+        violations = collect(obj)
+        assert len(violations) == 1
+        assert violations[0].invariant == "test-broken"
+
+    def test_mro_dispatch_covers_subclass(self):
+        obj = _Sub()
+        obj.ok = False
+        assert len(collect(obj)) == 1
+        assert _validate_base in validators_for(obj)
+
+    def test_unregistered_type_is_clean(self):
+        assert collect(object()) == []
+        check(object())  # no-op, no raise
+
+    def test_check_raises_sanitize_error(self):
+        obj = _Base()
+        obj.ok = False
+        with pytest.raises(SanitizeError) as exc_info:
+            check(obj)
+        assert exc_info.value.violations[0].invariant == "test-broken"
+        assert "test-broken" in str(exc_info.value)
+
+    def test_sanitize_error_is_assertion_error(self):
+        # Drop-in compatibility with the old check_invariants helpers.
+        obj = _Base()
+        obj.ok = False
+        with pytest.raises(AssertionError):
+            check(obj)
+
+    def test_unknown_level_rejected(self):
+        with pytest.raises(ValueError, match="unknown sanitize level"):
+            collect(_Base(), level="paranoid")
+
+
+class TestViolation:
+    def test_render_includes_all_parts(self):
+        v = Violation("heap-order", "bad", section="S4", subject="H", context={"k": 1})
+        text = v.render()
+        assert "[heap-order]" in text
+        assert "(S4)" in text
+        assert "bad" in text
+        assert "on H" in text
+        assert "k=1" in text
+
+    def test_to_json_round_trips_fields(self):
+        v = Violation("x", "msg", section="S1", subject="s", context={"a": 2})
+        assert v.to_json() == {
+            "invariant": "x",
+            "message": "msg",
+            "section": "S1",
+            "subject": "s",
+            "context": {"a": 2},
+        }
+
+
+class TestLevels:
+    def test_level_covers(self):
+        assert level_covers("full", "basic")
+        assert level_covers("full", "full")
+        assert level_covers("basic", "basic")
+        assert not level_covers("basic", "full")
+
+    @pytest.mark.parametrize("raw", ["", "0", "false", "no", "off", "none", "OFF"])
+    def test_env_falsy(self, raw):
+        assert level_from_env({ENV_FLAG: raw}) is None
+
+    @pytest.mark.parametrize(
+        ("raw", "expect"),
+        [("1", "full"), ("true", "full"), ("full", "full"), ("basic", "basic")],
+    )
+    def test_env_truthy(self, raw, expect):
+        assert level_from_env({ENV_FLAG: raw}) == expect
+
+    def test_env_unset(self):
+        assert level_from_env({}) is None
+
+    def test_resolve_level(self):
+        assert resolve_level(False) is None
+        assert resolve_level(True) == "full"
+        assert resolve_level("basic") == "basic"
+        with pytest.raises(ValueError):
+            resolve_level("bogus")
+
+    def test_resolve_none_defers_to_env(self, monkeypatch):
+        monkeypatch.delenv(ENV_FLAG, raising=False)
+        assert resolve_level(None) is None
+        monkeypatch.setenv(ENV_FLAG, "basic")
+        assert resolve_level(None) == "basic"

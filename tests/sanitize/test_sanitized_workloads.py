@@ -1,0 +1,82 @@
+"""Full sanitized workload replays: every engine, zero violations.
+
+With ``RTS_SANITIZE=1`` the system re-validates the entire engine state
+after every register/process/terminate, so a single replay exercises the
+validators thousands of times against healthy state.  Any false positive
+(or real regression) raises SanitizeError and fails the replay.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro import RTSSystem
+from repro.sanitize import ENV_FLAG, collect
+from repro.streams.scale import paper_params
+from repro.streams.workload import build_static_workload, build_stochastic_workload
+
+ENGINES_1D = ["dt", "dt-static", "dt-scan", "baseline", "interval-tree", "rtree"]
+ENGINES_2D = ["dt", "dt-static", "dt-scan", "baseline", "seg-intv-tree", "rtree"]
+
+
+def _replay_sanitized(engine: str, dims: int, builder, monkeypatch) -> None:
+    monkeypatch.setenv(ENV_FLAG, "1")
+    script = builder(paper_params(dims, 40000), seed=11)
+    system = RTSSystem(dims=dims, engine=engine)
+    assert system._sanitize == "full"  # the env flag took effect
+    script.verify(system)  # replays + asserts oracle agreement
+    assert collect(system) == []
+
+
+@pytest.mark.parametrize("engine", ENGINES_1D)
+def test_stochastic_1d_replay_clean(engine, monkeypatch):
+    _replay_sanitized(engine, 1, build_stochastic_workload, monkeypatch)
+
+
+@pytest.mark.parametrize("engine", ENGINES_2D)
+def test_stochastic_2d_replay_clean(engine, monkeypatch):
+    _replay_sanitized(engine, 2, build_stochastic_workload, monkeypatch)
+
+
+@pytest.mark.parametrize("engine", ENGINES_1D)
+def test_static_1d_replay_clean(engine, monkeypatch):
+    _replay_sanitized(engine, 1, build_static_workload, monkeypatch)
+
+
+@given(
+    seed=st.integers(0, 2**16),
+    engine=st.sampled_from(ENGINES_1D),
+    data=st.data(),
+)
+@settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+def test_random_op_interleavings_stay_clean(seed, engine, data):
+    """Property: arbitrary register/arrive/terminate interleavings never
+    trip the sanitizer on any engine."""
+    import random
+
+    rng = random.Random(seed)
+    system = RTSSystem(dims=1, engine=engine, sanitize="full")
+    alive = []
+    n_ops = data.draw(st.integers(10, 60))
+    for i in range(n_ops):
+        action = rng.random()
+        if action < 0.3 or not alive:
+            lo = rng.uniform(0, 50)
+            system.register(
+                [(lo, lo + rng.uniform(0.5, 25))],
+                threshold=rng.randint(1, 40),
+                query_id=(seed, i),
+            )
+            alive.append((seed, i))
+        elif action < 0.9:
+            events = system.process(rng.uniform(0, 60), weight=rng.randint(1, 5))
+            for event in events:
+                alive.remove(event.query.query_id)
+        else:
+            qid = alive.pop(rng.randrange(len(alive)))
+            assert system.terminate(qid)
+    assert collect(system) == []

@@ -1,0 +1,222 @@
+"""Tests for the rtslint AST checker: each rule, pragmas, JSON, repo-clean."""
+
+import json
+import pathlib
+import subprocess
+import sys
+import textwrap
+
+import pytest
+
+ROOT = pathlib.Path(__file__).resolve().parents[2]
+if str(ROOT) not in sys.path:
+    sys.path.insert(0, str(ROOT))
+
+from tools.rtslint import RULES, lint_paths, lint_source  # noqa: E402
+
+
+def _lint(code: str, path: str = "src/repro/core/example.py", select=()):
+    return lint_source(textwrap.dedent(code), path, select=select)
+
+
+def _rules_hit(code: str, **kwargs):
+    return {v.rule for v in _lint(code, **kwargs)}
+
+
+class TestFloatEq:
+    def test_flags_float_literal_equality(self):
+        assert "float-eq" in _rules_hit("def f(x):\n    return x == 1.5\n")
+
+    def test_flags_not_equal(self):
+        assert "float-eq" in _rules_hit("def f(x):\n    return 0.25 != x\n")
+
+    def test_allows_int_equality_and_float_inequality(self):
+        code = "def f(x):\n    return x == 1 or x < 1.5\n"
+        assert "float-eq" not in _rules_hit(code)
+
+
+class TestMutableDefault:
+    @pytest.mark.parametrize("default", ["[]", "{}", "list()", "dict()", "set()"])
+    def test_flags_mutable_defaults(self, default):
+        assert "mutable-default" in _rules_hit(f"def f(a, b={default}):\n    pass\n")
+
+    def test_flags_keyword_only_defaults(self):
+        assert "mutable-default" in _rules_hit("def f(*, b=[]):\n    pass\n")
+
+    def test_allows_none_and_tuples(self):
+        code = "def f(a=None, b=(), c=1):\n    pass\n"
+        assert "mutable-default" not in _rules_hit(code)
+
+
+class TestHeapInternals:
+    def test_flags_arr_and_pos_access(self):
+        code = "def f(heap, entry):\n    heap._arr[0] = entry\n    entry._pos = 3\n"
+        violations = [v for v in _lint(code) if v.rule == "heap-internals"]
+        assert len(violations) == 2
+
+    def test_allows_inside_heap_module(self):
+        code = "def f(heap):\n    return heap._arr\n"
+        assert (
+            _lint(code, path="src/repro/structures/heap.py") == []
+        )
+
+    def test_allows_public_api(self):
+        code = "def f(heap, e):\n    heap.update_key(e, 5)\n    heap.remove(e)\n"
+        assert "heap-internals" not in _rules_hit(code)
+
+
+class TestUnguardedObs:
+    def test_flags_bare_emit(self):
+        code = """
+        class E:
+            def f(self):
+                self.obs.query_matured(1, 2, 3)
+        """
+        assert "unguarded-obs" in _rules_hit(code)
+
+    def test_allows_enabled_guard(self):
+        code = """
+        class E:
+            def f(self):
+                if self.obs.enabled:
+                    self.obs.query_matured(1, 2, 3)
+        """
+        assert "unguarded-obs" not in _rules_hit(code)
+
+    def test_allows_alias_guard(self):
+        code = """
+        class E:
+            def f(self):
+                obs_on = self.obs.enabled
+                if obs_on:
+                    self.obs.query_matured(1, 2, 3)
+        """
+        assert "unguarded-obs" not in _rules_hit(code)
+
+    def test_allows_none_guard(self):
+        code = """
+        class E:
+            def f(self):
+                if self._obs is not None:
+                    self._obs.dt_messages("signal")
+        """
+        assert "unguarded-obs" not in _rules_hit(code)
+
+    def test_ignores_non_obs_receivers(self):
+        code = """
+        class E:
+            def f(self):
+                self._tree.rebuild("all", 3)
+        """
+        assert "unguarded-obs" not in _rules_hit(code)
+
+    def test_skips_obs_package_itself(self):
+        code = "def f(obs):\n    obs.dt_messages('x')\n"
+        assert _lint(code, path="src/repro/obs/observer.py") == []
+
+
+class TestBareExcept:
+    def test_flags_bare_except(self):
+        code = "def f():\n    try:\n        pass\n    except:\n        pass\n"
+        assert "bare-except" in _rules_hit(code)
+
+    def test_allows_typed_except(self):
+        code = "def f():\n    try:\n        pass\n    except ValueError:\n        pass\n"
+        assert "bare-except" not in _rules_hit(code)
+
+
+class TestPaperRefDocstring:
+    def test_flags_missing_docstring(self):
+        assert "paper-ref-docstring" in _rules_hit("def f():\n    pass\n")
+
+    def test_flags_docstring_without_citation(self):
+        code = 'def f():\n    """Does things."""\n'
+        assert "paper-ref-docstring" in _rules_hit(code)
+
+    @pytest.mark.parametrize(
+        "cite", ["Section 4", "Eq. (5)", "Theorem 1", "Lemma 2", "§4"]
+    )
+    def test_allows_paper_citations(self, cite):
+        code = f'def f():\n    """Implements {cite} of the paper."""\n'
+        assert "paper-ref-docstring" not in _rules_hit(code)
+
+    def test_skips_private_functions_and_non_core_files(self):
+        code = "def _helper():\n    pass\n"
+        assert "paper-ref-docstring" not in _rules_hit(code)
+        assert (
+            _lint("def f():\n    pass\n", path="src/repro/streams/workload.py") == []
+        )
+
+
+class TestPragmas:
+    def test_line_pragma_suppresses_named_rule(self):
+        code = "def f(heap):\n    return heap._arr  # rtslint: disable=heap-internals\n"
+        assert _lint(code, select=["heap-internals"]) == []
+
+    def test_line_pragma_does_not_suppress_other_rules(self):
+        code = "def f(a=[]):  # rtslint: disable=heap-internals\n    pass\n"
+        assert "mutable-default" in _rules_hit(code)
+
+    def test_file_pragma(self):
+        code = (
+            "# rtslint: disable-file=paper-ref-docstring\n"
+            "def f():\n    pass\n"
+        )
+        assert "paper-ref-docstring" not in _rules_hit(code)
+
+    def test_disable_all(self):
+        code = "def f(heap):\n    return heap._arr  # rtslint: disable=all\n"
+        assert _lint(code, select=["heap-internals"]) == []
+
+
+class TestDriver:
+    def test_unknown_rule_rejected(self):
+        with pytest.raises(ValueError, match="unknown rule"):
+            lint_source("x = 1\n", "f.py", select=["bogus"])
+
+    def test_select_restricts_rules(self):
+        code = "def f(a=[]):\n    return a == 1.5\n"
+        violations = _lint(code, select=["float-eq"])
+        assert {v.rule for v in violations} == {"float-eq"}
+
+    def test_violation_carries_location(self):
+        v = _lint("def f(x):\n    return x == 1.5\n", select=["float-eq"])[0]
+        assert v.line == 2
+        assert v.path.endswith("example.py")
+
+    def test_all_rules_documented(self):
+        for name, (description, _fn) in RULES.items():
+            assert description, f"rule {name} lacks a description"
+
+
+class TestCli:
+    def _run(self, *args):
+        return subprocess.run(
+            [sys.executable, "-m", "tools.rtslint", *args],
+            cwd=ROOT,
+            capture_output=True,
+            text=True,
+        )
+
+    def test_repo_src_is_clean(self):
+        proc = self._run("src/")
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+
+    def test_json_output_and_nonzero_exit(self, tmp_path):
+        bad = tmp_path / "bad.py"
+        bad.write_text("def f(a=[]):\n    pass\n")
+        proc = self._run("--json", str(bad))
+        assert proc.returncode == 1
+        payload = json.loads(proc.stdout)
+        assert payload[0]["rule"] == "mutable-default"
+        assert payload[0]["line"] == 1
+
+    def test_list_rules(self):
+        proc = self._run("--list-rules")
+        assert proc.returncode == 0
+        for name in RULES:
+            assert name in proc.stdout
+
+
+def test_lint_paths_on_repo_src_is_clean():
+    assert lint_paths([str(ROOT / "src")]) == []

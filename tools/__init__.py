@@ -1,0 +1,1 @@
+"""Repository-local developer tooling (not shipped with the package)."""

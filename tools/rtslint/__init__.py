@@ -1,0 +1,101 @@
+"""rtslint: project-specific AST lint for the RTS codebase.
+
+Run as ``python -m tools.rtslint src/`` (see ``docs/CORRECTNESS.md`` for
+the rule catalogue).  Suppress a finding in place with a line pragma::
+
+    arr = heap._arr  # rtslint: disable=heap-internals
+
+or disable a rule for a whole file with a pragma in the first ten lines::
+
+    # rtslint: disable-file=paper-ref-docstring
+"""
+
+from __future__ import annotations
+
+import ast
+import pathlib
+import re
+from typing import Dict, Iterable, List, Set
+
+from .rules import RULES, LintViolation
+
+_LINE_PRAGMA = re.compile(r"#\s*rtslint:\s*disable=([\w,\-]+)")
+_FILE_PRAGMA = re.compile(r"#\s*rtslint:\s*disable-file=([\w,\-]+)")
+
+#: How many leading lines may carry a ``disable-file`` pragma.
+_FILE_PRAGMA_WINDOW = 10
+
+
+def _parse_pragmas(source: str) -> (Dict[int, Set[str]], Set[str]):
+    """Extract per-line and per-file rule suppressions from ``source``."""
+    line_disables: Dict[int, Set[str]] = {}
+    file_disables: Set[str] = set()
+    for lineno, line in enumerate(source.splitlines(), start=1):
+        m = _LINE_PRAGMA.search(line)
+        if m:
+            line_disables[lineno] = set(m.group(1).split(","))
+        if lineno <= _FILE_PRAGMA_WINDOW:
+            m = _FILE_PRAGMA.search(line)
+            if m:
+                file_disables.update(m.group(1).split(","))
+    return line_disables, file_disables
+
+
+def lint_source(
+    source: str, path: str, select: Iterable[str] = ()
+) -> List[LintViolation]:
+    """Lint one file's text; returns violations surviving the pragmas.
+
+    ``select`` restricts checking to the named rules (default: all).
+    Raises SyntaxError if the source does not parse.
+    """
+    names = list(select) or list(RULES)
+    unknown = [n for n in names if n not in RULES]
+    if unknown:
+        known = ", ".join(sorted(RULES))
+        raise ValueError(f"unknown rule(s) {unknown}; choose from: {known}")
+    module = ast.parse(source, filename=path)
+    line_disables, file_disables = _parse_pragmas(source)
+    out: List[LintViolation] = []
+    for name in names:
+        if name in file_disables or "all" in file_disables:
+            continue
+        _desc, fn = RULES[name]
+        for violation in fn(module, path, source):
+            disabled = line_disables.get(violation.line, ())
+            if name in disabled or "all" in disabled:
+                continue
+            out.append(violation)
+    out.sort(key=lambda v: (v.path, v.line, v.col, v.rule))
+    return out
+
+
+def iter_python_files(paths: Iterable[str]) -> List[pathlib.Path]:
+    """Expand files/directories into a sorted list of ``.py`` files."""
+    out: List[pathlib.Path] = []
+    for raw in paths:
+        p = pathlib.Path(raw)
+        if p.is_dir():
+            out.extend(sorted(p.rglob("*.py")))
+        else:
+            out.append(p)
+    return out
+
+
+def lint_paths(
+    paths: Iterable[str], select: Iterable[str] = ()
+) -> List[LintViolation]:
+    """Lint every ``.py`` file under ``paths``; see :func:`lint_source`."""
+    out: List[LintViolation] = []
+    for file in iter_python_files(paths):
+        out.extend(lint_source(file.read_text(), str(file), select=select))
+    return out
+
+
+__all__ = [
+    "RULES",
+    "LintViolation",
+    "iter_python_files",
+    "lint_paths",
+    "lint_source",
+]

@@ -1,0 +1,57 @@
+"""CLI: ``python -m tools.rtslint src/ [--json] [--select rule,...]``."""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional
+
+from . import RULES, lint_paths
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="rtslint",
+        description="Project-specific AST lint for the RTS codebase "
+        "(rule catalogue in docs/CORRECTNESS.md).",
+    )
+    parser.add_argument("paths", nargs="*", help="files or directories to lint")
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="emit violations as a JSON array (CI annotation format)",
+    )
+    parser.add_argument(
+        "--select",
+        default="",
+        help="comma-separated rule names to run (default: all)",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule catalogue and exit",
+    )
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for name, (description, _fn) in sorted(RULES.items()):
+            print(f"{name}: {description}")
+        return 0
+    if not args.paths:
+        parser.error("no paths given (try: python -m tools.rtslint src/)")
+
+    select = [s for s in args.select.split(",") if s]
+    violations = lint_paths(args.paths, select=select)
+    if args.json:
+        print(json.dumps([v.to_json() for v in violations], indent=2))
+    else:
+        for v in violations:
+            print(v.render())
+        if violations:
+            print(f"\n{len(violations)} violation(s)", file=sys.stderr)
+    return 1 if violations else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

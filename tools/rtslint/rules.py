@@ -1,0 +1,344 @@
+"""The project-specific lint rules (see ``docs/CORRECTNESS.md``).
+
+Each rule is a function ``(module, path, source) -> Iterator[LintViolation]``
+registered in :data:`RULES`.  Rules are pure AST walks — no imports of the
+linted code — so the linter runs on any tree that parses, before the code
+is importable.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterator, List, Set, Tuple
+
+
+@dataclass(frozen=True)
+class LintViolation:
+    """One rule hit, pointing at a source location."""
+
+    path: str
+    line: int
+    col: int
+    rule: str
+    message: str
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: [{self.rule}] {self.message}"
+
+    def to_json(self) -> Dict[str, object]:
+        return {
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "rule": self.rule,
+            "message": self.message,
+        }
+
+
+RuleFn = Callable[[ast.Module, str, str], Iterator[LintViolation]]
+
+#: name -> (one-line description, rule function); filled by :func:`_rule`.
+RULES: Dict[str, Tuple[str, RuleFn]] = {}
+
+
+def _rule(name: str, description: str) -> Callable[[RuleFn], RuleFn]:
+    def deco(fn: RuleFn) -> RuleFn:
+        RULES[name] = (description, fn)
+        return fn
+
+    return deco
+
+
+def _walk_with_parents(
+    tree: ast.AST,
+) -> Iterator[Tuple[ast.AST, List[ast.AST]]]:
+    """Yield ``(node, ancestors)`` for every node, outermost ancestor first."""
+    stack: List[Tuple[ast.AST, List[ast.AST]]] = [(tree, [])]
+    while stack:
+        node, ancestors = stack.pop()
+        yield node, ancestors
+        child_ancestors = ancestors + [node]
+        for child in ast.iter_child_nodes(node):
+            stack.append((child, child_ancestors))
+
+
+# ---------------------------------------------------------------------------
+# float-eq
+# ---------------------------------------------------------------------------
+
+
+@_rule(
+    "float-eq",
+    "no == / != against float literals; boundary keys compare exactly "
+    "through the geometry BoundaryKey encoding",
+)
+def check_float_eq(
+    module: ast.Module, path: str, source: str
+) -> Iterator[LintViolation]:
+    for node in ast.walk(module):
+        if not isinstance(node, ast.Compare):
+            continue
+        if not any(isinstance(op, (ast.Eq, ast.NotEq)) for op in node.ops):
+            continue
+        for side in [node.left, *node.comparators]:
+            if isinstance(side, ast.Constant) and isinstance(side.value, float):
+                yield LintViolation(
+                    path,
+                    node.lineno,
+                    node.col_offset,
+                    "float-eq",
+                    f"equality comparison against float literal "
+                    f"{side.value!r}; use BoundaryKey comparisons from "
+                    "repro.core.geometry (exact open/closed endpoint "
+                    "semantics) or an epsilon test",
+                )
+                break
+
+
+# ---------------------------------------------------------------------------
+# mutable-default
+# ---------------------------------------------------------------------------
+
+
+@_rule(
+    "mutable-default",
+    "no mutable default arguments (list/dict/set literals or constructors)",
+)
+def check_mutable_default(
+    module: ast.Module, path: str, source: str
+) -> Iterator[LintViolation]:
+    ctor_names = {"list", "dict", "set"}
+    for node in ast.walk(module):
+        if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+            continue
+        args = node.args
+        defaults = list(args.defaults) + [d for d in args.kw_defaults if d is not None]
+        for default in defaults:
+            bad = isinstance(default, (ast.List, ast.Dict, ast.Set)) or (
+                isinstance(default, ast.Call)
+                and isinstance(default.func, ast.Name)
+                and default.func.id in ctor_names
+            )
+            if bad:
+                name = getattr(node, "name", "<lambda>")
+                yield LintViolation(
+                    path,
+                    default.lineno,
+                    default.col_offset,
+                    "mutable-default",
+                    f"mutable default argument in {name!r}; default to "
+                    "None and construct inside the function",
+                )
+
+
+# ---------------------------------------------------------------------------
+# heap-internals
+# ---------------------------------------------------------------------------
+
+#: Attributes private to the addressable-heap implementation.  Touching
+#: them outside structures/heap.py bypasses the position bookkeeping that
+#: the O(1) DELETE/UPDATEKEY of Section 4 (Eq. 5) depends on.
+_HEAP_PRIVATE = {"_arr", "_pos", "_sift_up", "_sift_down", "_detach", "_position_of"}
+
+
+@_rule(
+    "heap-internals",
+    "no access to addressable-heap internals (_arr/_pos/_sift_*) outside "
+    "structures/heap.py; use the addressable API",
+)
+def check_heap_internals(
+    module: ast.Module, path: str, source: str
+) -> Iterator[LintViolation]:
+    norm = path.replace("\\", "/")
+    if norm.endswith("structures/heap.py"):
+        return
+    for node in ast.walk(module):
+        if isinstance(node, ast.Attribute) and node.attr in _HEAP_PRIVATE:
+            yield LintViolation(
+                path,
+                node.lineno,
+                node.col_offset,
+                "heap-internals",
+                f"direct access to heap internal {node.attr!r}; go through "
+                "the addressable API (push/remove/update_key/entries)",
+            )
+
+
+# ---------------------------------------------------------------------------
+# unguarded-obs
+# ---------------------------------------------------------------------------
+
+#: Observability hooks that emit per-event work.  Each call site must sit
+#: behind an enabled-guard so the disabled path stays zero-cost (the PR-1
+#: pattern).  Pull-style APIs (report, sync_work_counters, describe) are
+#: excluded: they only run on explicit user request.
+_EMIT_HOOKS = {
+    "element_processed",
+    "query_registered",
+    "query_matured",
+    "query_terminated",
+    "dt_messages",
+    "dt_slack",
+    "dt_round_end",
+    "dt_final_phase",
+    "dt_participant_mode",
+    "rebuild",
+    "logmethod_merge",
+}
+
+
+def _mentions_obs(node: ast.AST) -> bool:
+    """True when the expression names an obs-ish receiver."""
+    for sub in ast.walk(node):
+        if isinstance(sub, ast.Name) and "obs" in sub.id.lower():
+            return True
+        if isinstance(sub, ast.Attribute) and "obs" in sub.attr.lower():
+            return True
+    return False
+
+
+def _is_obs_guard(test: ast.AST, aliases: Set[str]) -> bool:
+    """True when an ``if`` test gates on observability being enabled.
+
+    Accepts ``*.enabled`` attribute tests, local aliases assigned from
+    one (``obs_on = self.obs.enabled``), and existence tests on the obs
+    object itself (``if obs:``, ``if self._obs is not None:``).
+    """
+    for sub in ast.walk(test):
+        if isinstance(sub, ast.Attribute) and sub.attr == "enabled":
+            return True
+        if isinstance(sub, ast.Name) and sub.id in aliases:
+            return True
+    return _mentions_obs(test)
+
+
+def _enabled_aliases(func: ast.AST) -> Set[str]:
+    """Names assigned (anywhere in ``func``) from an ``*.enabled`` read."""
+    aliases: Set[str] = set()
+    for node in ast.walk(func):
+        if not isinstance(node, ast.Assign):
+            continue
+        reads_enabled = any(
+            isinstance(sub, ast.Attribute) and sub.attr == "enabled"
+            for sub in ast.walk(node.value)
+        )
+        if reads_enabled:
+            for target in node.targets:
+                if isinstance(target, ast.Name):
+                    aliases.add(target.id)
+    return aliases
+
+
+@_rule(
+    "unguarded-obs",
+    "observability emit hooks must sit behind an enabled-guard "
+    "(zero overhead when telemetry is off)",
+)
+def check_unguarded_obs(
+    module: ast.Module, path: str, source: str
+) -> Iterator[LintViolation]:
+    norm = path.replace("\\", "/")
+    if "/obs/" in norm or norm.startswith("obs/"):
+        return  # the sink implementation itself
+    func_aliases: Dict[int, Set[str]] = {}
+    for node, ancestors in _walk_with_parents(module):
+        if not isinstance(node, ast.Call):
+            continue
+        func = node.func
+        if not (isinstance(func, ast.Attribute) and func.attr in _EMIT_HOOKS):
+            continue
+        if not _mentions_obs(func.value):
+            continue  # e.g. an unrelated .rebuild() on a tree
+        enclosing = [
+            a
+            for a in ancestors
+            if isinstance(a, (ast.FunctionDef, ast.AsyncFunctionDef))
+        ]
+        scope = enclosing[-1] if enclosing else module
+        aliases = func_aliases.get(id(scope))
+        if aliases is None:
+            aliases = _enabled_aliases(scope)
+            func_aliases[id(scope)] = aliases
+        guarded = any(
+            isinstance(a, ast.If) and _is_obs_guard(a.test, aliases)
+            for a in ancestors
+        )
+        if not guarded:
+            yield LintViolation(
+                path,
+                node.lineno,
+                node.col_offset,
+                "unguarded-obs",
+                f"obs hook {func.attr!r} called without an enabled-guard; "
+                "wrap in `if <obs>.enabled:` so the disabled path is free",
+            )
+
+
+# ---------------------------------------------------------------------------
+# bare-except
+# ---------------------------------------------------------------------------
+
+
+@_rule("bare-except", "no bare `except:`; name the exception types")
+def check_bare_except(
+    module: ast.Module, path: str, source: str
+) -> Iterator[LintViolation]:
+    for node in ast.walk(module):
+        if isinstance(node, ast.ExceptHandler) and node.type is None:
+            yield LintViolation(
+                path,
+                node.lineno,
+                node.col_offset,
+                "bare-except",
+                "bare `except:` swallows SystemExit/KeyboardInterrupt; "
+                "name the exception types",
+            )
+
+
+# ---------------------------------------------------------------------------
+# paper-ref-docstring
+# ---------------------------------------------------------------------------
+
+_PAPER_REF = re.compile(
+    r"Section\s+\d|§\s*\d|\bEq\.\s*\(?\d|Theorem\s+\d|Lemma\s+\d|SIGMOD"
+)
+
+
+@_rule(
+    "paper-ref-docstring",
+    "public module-level functions in core/ need a docstring citing the "
+    "paper section they implement",
+)
+def check_paper_ref_docstring(
+    module: ast.Module, path: str, source: str
+) -> Iterator[LintViolation]:
+    norm = path.replace("\\", "/")
+    if "/core/" not in norm and not norm.startswith("core/"):
+        return
+    for node in module.body:
+        if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        if node.name.startswith("_"):
+            continue
+        doc = ast.get_docstring(node) or ""
+        if not doc:
+            yield LintViolation(
+                path,
+                node.lineno,
+                node.col_offset,
+                "paper-ref-docstring",
+                f"public core function {node.name!r} has no docstring; "
+                "document it with the paper section it implements",
+            )
+        elif not _PAPER_REF.search(doc):
+            yield LintViolation(
+                path,
+                node.lineno,
+                node.col_offset,
+                "paper-ref-docstring",
+                f"docstring of core function {node.name!r} cites no paper "
+                "section (expected e.g. 'Section 4', 'Eq. (5)', "
+                "'Theorem 1')",
+            )
