@@ -29,6 +29,7 @@ from .core.engine import Engine, EngineError, WorkCounters
 from .core.events import MaturityEvent
 from .core.geometry import Interval, Rect
 from .core.query import Query, QueryStatus
+from .core.recovery import DurableSystem, WriteAheadLog
 from .core.system import RTSSystem, available_engines, make_engine
 from .obs import MetricsRegistry, Observability
 from .streams.element import StreamElement
@@ -36,6 +37,7 @@ from .streams.element import StreamElement
 __version__ = "1.0.0"
 
 __all__ = [
+    "DurableSystem",
     "Engine",
     "EngineError",
     "Interval",
@@ -48,6 +50,7 @@ __all__ = [
     "RTSSystem",
     "StreamElement",
     "WorkCounters",
+    "WriteAheadLog",
     "available_engines",
     "make_engine",
     "__version__",

@@ -37,6 +37,17 @@ class NaiveEngine(Engine):
         bounds = tuple((iv.lo, iv.hi) for iv in query.rect.intervals)
         self._alive[query.query_id] = [query, query.threshold, bounds]
 
+    def credit_weight(self, query_id: object, consumed: int) -> None:
+        record = self._alive.get(query_id)
+        if record is None:
+            raise KeyError(f"query {query_id!r} is not alive")
+        if not 0 <= consumed < record[1]:
+            raise EngineError(
+                f"consumed weight {consumed} out of range for query "
+                f"{query_id!r} (remaining {record[1]})"
+            )
+        record[1] -= consumed
+
     # -- stream processing ------------------------------------------------
 
     def process(self, element: StreamElement, timestamp: int) -> List[MaturityEvent]:

@@ -52,6 +52,17 @@ class SegIntvEngine(Engine):
         record.handle = self._tree.insert(query.rect, record)
         self._records[query.query_id] = record
 
+    def credit_weight(self, query_id: object, consumed: int) -> None:
+        record = self._records.get(query_id)
+        if record is None:
+            raise KeyError(f"query {query_id!r} is not alive")
+        if not 0 <= consumed < record.remaining:
+            raise EngineError(
+                f"consumed weight {consumed} out of range for query "
+                f"{query_id!r} (remaining {record.remaining})"
+            )
+        record.remaining -= consumed
+
     # -- stream processing ------------------------------------------------
 
     def process(self, element: StreamElement, timestamp: int) -> List[MaturityEvent]:

@@ -9,9 +9,11 @@ from .engine import Engine, EngineError, WorkCounters
 from .events import MaturityEvent
 from .geometry import Interval, Rect
 from .query import Query, QueryStatus
+from .recovery import DurableSystem, WriteAheadLog
 from .system import RTSSystem, available_engines, make_engine
 
 __all__ = [
+    "DurableSystem",
     "Engine",
     "EngineError",
     "Interval",
@@ -21,6 +23,7 @@ __all__ = [
     "Rect",
     "RTSSystem",
     "WorkCounters",
+    "WriteAheadLog",
     "available_engines",
     "make_engine",
 ]

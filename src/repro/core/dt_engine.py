@@ -226,6 +226,30 @@ class StaticDTEngine(Engine):
             entries, self.dims, self.counters, self._heap_factory, self.obs
         )
 
+    def restore_entries(self, entries: Iterable) -> None:
+        """Checkpoint restore: one tree over re-based thresholds.
+
+        ``(query, consumed)`` pairs become the ``(query, tau_q - consumed,
+        consumed)`` triples a rebuild would produce — exactly Section 4's
+        threshold adjustment, so all future maturity events are identical
+        to the pre-checkpoint run's.
+        """
+        if self._instance is not None and self._instance.alive:
+            raise EngineError("restore_entries requires a fresh engine")
+        rebased: List[Tuple[Query, int, int]] = []
+        for query, consumed in entries:
+            self.validate_query(query)
+            remaining = query.threshold - consumed
+            if remaining < 1:
+                raise EngineError(
+                    f"query {query.query_id!r} already matured at checkpoint "
+                    f"time (consumed {consumed} of {query.threshold})"
+                )
+            rebased.append((query, remaining, consumed))
+        self._instance = TreeInstance(
+            rebased, self.dims, self.counters, self._heap_factory, self.obs
+        )
+
     def attach_observability(self, obs) -> None:
         super().attach_observability(obs)
         if self._instance is not None:

@@ -176,6 +176,42 @@ class Engine(abc.ABC):
         for query in queries:
             self.register(query)
 
+    # -- checkpoint / restore ----------------------------------------------
+
+    def credit_weight(self, query_id: object, consumed: int) -> None:
+        """Credit an alive query with weight collected before a restore.
+
+        Used by :meth:`restore_entries`: after re-registering a query from
+        a checkpoint, the weight it had already collected (``consumed``)
+        is applied so that future maturity events report the lifetime
+        total and trigger at exactly the original crossing element.
+        Engines that override :meth:`restore_entries` wholesale need not
+        implement this.
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} does not support credit_weight; "
+            "override restore_entries instead"
+        )
+
+    def restore_entries(self, entries: Iterable) -> None:
+        """Re-admit checkpointed queries: ``(query, consumed)`` pairs.
+
+        ``consumed`` is the exact weight ``W(q)`` the query had collected
+        when the checkpoint was taken.  The default path registers the
+        queries afresh and credits the consumed weight, which restores the
+        *logical* state exactly — remaining thresholds and therefore all
+        future maturity events are identical — without claiming to rebuild
+        the pre-crash internal structure bit-for-bit (engines rebuild
+        structures on their own schedule anyway; see
+        ``docs/ROBUSTNESS.md``).  Must be called on a fresh engine, before
+        any elements.
+        """
+        entries = list(entries)
+        self.register_batch([query for query, _consumed in entries])
+        for query, consumed in entries:
+            if consumed:
+                self.credit_weight(query.query_id, consumed)
+
     # -- stream processing ------------------------------------------------
 
     @abc.abstractmethod

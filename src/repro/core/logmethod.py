@@ -86,6 +86,34 @@ class DTEngine(Engine):
         if new_entries:
             self._merge_into_slot(new_entries, merge_all=True)
 
+    def restore_entries(self, entries: Iterable) -> None:
+        """Checkpoint restore: one merge over re-based thresholds.
+
+        Equivalent to the Section 5 merge a batch registration performs,
+        except each ``(query, consumed)`` pair enters with the threshold
+        re-based by its checkpointed collected weight — Section 4's
+        rebuild adjustment — so all future maturity events are identical
+        to the pre-checkpoint run's.
+        """
+        if self._locator:
+            raise EngineError("restore_entries requires a fresh engine")
+        rebased: List[Tuple[Query, int, int]] = []
+        seen = set()
+        for query, consumed in entries:
+            self.validate_query(query)
+            if query.query_id in seen:
+                raise EngineError(f"duplicate query id {query.query_id!r}")
+            seen.add(query.query_id)
+            remaining = query.threshold - consumed
+            if remaining < 1:
+                raise EngineError(
+                    f"query {query.query_id!r} already matured at checkpoint "
+                    f"time (consumed {consumed} of {query.threshold})"
+                )
+            rebased.append((query, remaining, consumed))
+        if rebased:
+            self._merge_into_slot(rebased, merge_all=True)
+
     def _merge_into_slot(
         self,
         new_entries: List[Tuple[Query, int, int]],

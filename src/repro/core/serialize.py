@@ -15,11 +15,21 @@ from typing import Any, Dict, List, Sequence
 
 from ..streams.element import StreamElement
 from .geometry import BoundaryKey, Interval, Rect
-from .query import Query
+from .query import Query, QueryStatus
+
+#: Format tag of :func:`system_to_obj` payloads.
+SNAPSHOT_FORMAT = "rts-snapshot-v1"
 
 
 def _value_to_obj(v: float) -> Any:
-    """JSON has no infinities; encode them as strings."""
+    """JSON has no infinities; encode them as strings.
+
+    NaN is rejected outright: it is not a point in the data space, it
+    breaks the endpoint-tree total order, and ``json`` would otherwise
+    emit a non-standard literal that silently poisons round-trips.
+    """
+    if v != v:
+        raise ValueError("NaN is not serializable (and not a valid coordinate)")
     if v == math.inf:
         return "inf"
     if v == -math.inf:
@@ -32,7 +42,10 @@ def _value_from_obj(obj: Any) -> float:
         return math.inf
     if obj == "-inf":
         return -math.inf
-    return float(obj)
+    value = float(obj)
+    if value != value:
+        raise ValueError(f"NaN is not a valid coordinate (got {obj!r})")
+    return value
 
 
 def boundary_to_obj(key: BoundaryKey) -> List[Any]:
@@ -95,9 +108,110 @@ def query_from_obj(obj: Dict[str, Any]) -> Query:
 
 def element_to_obj(element: StreamElement) -> Dict[str, Any]:
     """A Section 2 weighted stream element as a JSON object."""
-    return {"v": list(element.value), "w": element.weight}
+    return {"v": [_value_to_obj(v) for v in element.value], "w": element.weight}
 
 
 def element_from_obj(obj: Dict[str, Any]) -> StreamElement:
     """Inverse of :func:`element_to_obj` (Section 2 elements)."""
-    return StreamElement(tuple(obj["v"]), int(obj["w"]))
+    return StreamElement(
+        tuple(_value_from_obj(v) for v in obj["v"]), int(obj["w"])
+    )
+
+
+# -- system checkpoints (``rts-snapshot-v1``) -------------------------------
+
+
+def system_to_obj(system) -> Dict[str, Any]:
+    """An :class:`~repro.core.system.RTSSystem` checkpoint as JSON.
+
+    The snapshot is *logical*: for each alive query it records the exact
+    collected weight ``W(q)`` — which every engine answers exactly — plus
+    the lifecycle bookkeeping of finished queries and the stream clock.
+    Restoring it (:func:`system_from_obj`) re-bases thresholds by the
+    consumed weight — the Section 4 rebuilding step — which reproduces
+    every future maturity event bit-identically without freezing any
+    engine-internal structure (see ``docs/ROBUSTNESS.md`` for why that
+    is exact).
+
+    Requires the engine to have been named via the registry (the default);
+    a hand-constructed engine instance has no serializable spec.
+    """
+    spec = getattr(system, "engine_spec", None)
+    if spec is None:
+        raise ValueError(
+            "cannot snapshot a system built from an engine instance; "
+            "construct it with RTSSystem(engine='<name>') to checkpoint"
+        )
+    name, options = spec
+    alive: List[Dict[str, Any]] = []
+    done: List[Dict[str, Any]] = []
+    for query_id, status in system._status.items():
+        query = system._queries[query_id]
+        if status is QueryStatus.ALIVE:
+            alive.append(
+                {
+                    "query": query_to_obj(query),
+                    "consumed": system.engine.collected_weight(query_id),
+                }
+            )
+        else:
+            done.append(
+                {
+                    "query": query_to_obj(query),
+                    "status": status.value,
+                    "matured_at": system._maturity_times.get(query_id),
+                }
+            )
+    return {
+        "format": SNAPSHOT_FORMAT,
+        "dims": system.dims,
+        "engine": name,
+        "engine_options": dict(options),
+        "clock": system.now,
+        "alive": alive,
+        "done": done,
+    }
+
+
+def system_from_obj(obj: Dict[str, Any], observability=None, sanitize=None):
+    """Rebuild a running :class:`~repro.core.system.RTSSystem` from a
+    :func:`system_to_obj` checkpoint (inverse operation).
+
+    The returned system continues exactly where the checkpointed one
+    stood: same clock, same alive queries with their collected weight
+    credited against re-based thresholds (the Section 4 rebuilding
+    step), same lifecycle history for finished queries.
+    """
+    from .system import RTSSystem  # circular at module scope
+
+    if obj.get("format") != SNAPSHOT_FORMAT:
+        raise ValueError(
+            f"not an {SNAPSHOT_FORMAT} payload: format={obj.get('format')!r}"
+        )
+    system = RTSSystem(
+        dims=int(obj["dims"]),
+        engine=obj["engine"],
+        observability=observability,
+        sanitize=sanitize,
+        **obj.get("engine_options", {}),
+    )
+    system._clock = int(obj["clock"])
+    entries = []
+    for item in obj["alive"]:
+        query = query_from_obj(item["query"])
+        entries.append((query, int(item["consumed"])))
+    system.engine.restore_entries(entries)
+    for query, _consumed in entries:
+        system._queries[query.query_id] = query
+        system._status[query.query_id] = QueryStatus.ALIVE
+        if system.obs.enabled:
+            system.obs.query_registered(query.query_id, system._clock)
+    for item in obj["done"]:
+        query = query_from_obj(item["query"])
+        system._queries[query.query_id] = query
+        system._status[query.query_id] = QueryStatus(item["status"])
+        if item.get("matured_at") is not None:
+            system._maturity_times[query.query_id] = int(item["matured_at"])
+    if system._sanitize:
+        system._sanitize_check()
+    return system

@@ -122,8 +122,13 @@ class RTSSystem:
             if engine_options:
                 raise ValueError("engine_options only apply when engine is a name")
             self.engine = engine
+            #: ``(name, options)`` when the engine came from the registry;
+            #: None for hand-built instances (then :meth:`snapshot` is
+            #: unavailable — there is nothing serializable to name).
+            self.engine_spec: Optional[Tuple[str, Dict[str, object]]] = None
         else:
             self.engine = make_engine(engine, dims, **engine_options)
+            self.engine_spec = (engine, dict(engine_options))
         self.obs = observability if observability is not None else NULL_OBS
         self.engine.attach_observability(self.obs)
         self.dims = dims
@@ -270,6 +275,33 @@ class RTSSystem:
         if self._sanitize:
             self._sanitize_check()
         return removed
+
+    # -- checkpointing ------------------------------------------------------
+
+    def snapshot(self) -> Dict[str, object]:
+        """A JSON-compatible checkpoint of the full system state.
+
+        Logical, exact, and engine-agnostic: alive queries are stored with
+        their exact collected weight ``W(q)``, so :meth:`restore` (plus a
+        write-ahead log of later operations — see
+        :class:`~repro.core.recovery.DurableSystem`) reproduces every
+        future maturity event bit-identically.  Format:
+        ``rts-snapshot-v1`` (``docs/ROBUSTNESS.md``).
+        """
+        from .serialize import system_to_obj
+
+        return system_to_obj(self)
+
+    @classmethod
+    def restore(
+        cls, snapshot: Dict[str, object], observability=None, sanitize=None
+    ) -> "RTSSystem":
+        """Rebuild a running system from a :meth:`snapshot` payload."""
+        from .serialize import system_from_obj
+
+        return system_from_obj(
+            snapshot, observability=observability, sanitize=sanitize
+        )
 
     # -- callbacks ----------------------------------------------------------
 

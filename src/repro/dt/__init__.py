@@ -1,29 +1,57 @@
 """Standalone distributed tracking (Cormode–Muthukrishnan–Yi; paper
-Sections 3.2 and 7) — the substrate the RTS algorithm reduces to."""
+Sections 3.2 and 7) — the substrate the RTS algorithm reduces to.
+
+Transport stack (bottom up): :class:`Transport` is the pluggable wire
+interface; :class:`StarNetwork` is the ideal synchronous channel the
+paper assumes; :class:`FaultyNetwork` is the seeded lossy adversary; and
+:class:`ReliableChannel` restores exactly-once in-order delivery on top
+of it (see ``docs/ROBUSTNESS.md``).
+"""
 
 from .coordinator import Coordinator
+from .faults import FaultSpec, FaultStats, FaultyNetwork
 from .messages import COORDINATOR, Message, MessageType
 from .network import StarNetwork
 from .participant import Participant, ParticipantMode
 from .protocol import (
+    FaultyTrackingResult,
     NaiveTracker,
     TrackingResult,
     run_naive,
     run_tracking,
+    run_tracking_faulty,
     run_unweighted,
 )
+from .reliable import (
+    TRANSPORT_OVERHEAD_FACTOR,
+    ChannelStats,
+    ReliableChannel,
+)
+from .transport import Packet, Transport, TransportError, WireKind
 
 __all__ = [
     "COORDINATOR",
+    "ChannelStats",
     "Coordinator",
+    "FaultSpec",
+    "FaultStats",
+    "FaultyNetwork",
+    "FaultyTrackingResult",
     "Message",
     "MessageType",
     "NaiveTracker",
+    "Packet",
     "Participant",
     "ParticipantMode",
+    "ReliableChannel",
     "StarNetwork",
+    "TRANSPORT_OVERHEAD_FACTOR",
     "TrackingResult",
+    "Transport",
+    "TransportError",
+    "WireKind",
     "run_naive",
     "run_tracking",
+    "run_tracking_faulty",
     "run_unweighted",
 ]

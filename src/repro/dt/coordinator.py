@@ -13,6 +13,18 @@ The coordinator drives the round structure:
 Each round shrinks ``tau'`` by at least a third (the paper shows
 ``tau' <= 2 tau / 3`` from ``tau > 6h``), giving ``O(log tau)`` rounds and
 ``O(h log tau)`` messages overall.
+
+Channel assumptions
+-------------------
+The Section 3.2 analysis presumes a perfect channel.  This coordinator is
+written *event-driven* so it also runs over asynchronous transports
+(:mod:`repro.dt.faults` + :mod:`repro.dt.reliable`): counter collection
+completes when the ``h``-th REPORT arrives rather than assuming replies
+return within the COLLECT broadcast, and every phase carries an *epoch*
+so signals and reports belonging to an already-closed round are discarded
+idempotently instead of polluting the next round's tally.  Over the
+synchronous :class:`~repro.dt.network.StarNetwork` the observable
+behaviour (decisions, message counts) is unchanged.
 """
 
 from __future__ import annotations
@@ -21,7 +33,7 @@ from typing import Optional
 
 from ..obs.observer import NULL_OBS
 from .messages import COORDINATOR, Message, MessageType
-from .network import StarNetwork
+from .transport import Transport
 
 #: ``tau <= FINAL_PHASE_FACTOR * h`` triggers the straightforward phase.
 FINAL_PHASE_FACTOR = 6
@@ -37,7 +49,9 @@ class Coordinator:
     tau:
         The maturity threshold (positive integer).
     network:
-        The :class:`~repro.dt.network.StarNetwork` all sites share.
+        The :class:`~repro.dt.transport.Transport` all sites share
+        (synchronous :class:`~repro.dt.network.StarNetwork` or a reliable
+        channel over a faulty transport).
     obs:
         Optional :class:`~repro.obs.Observability` sink for round
         transitions and slack announcements (no-op by default).
@@ -48,6 +62,9 @@ class Coordinator:
         Set to the collected total when maturity is declared; None before.
     rounds:
         Number of completed normal rounds.
+    epoch:
+        Current phase identifier, bumped on every slack / final-phase
+        announcement; stale-epoch signals and reports are ignored.
     """
 
     __slots__ = (
@@ -56,15 +73,18 @@ class Coordinator:
         "network",
         "matured_at",
         "rounds",
+        "epoch",
         "_signals",
         "_final",
+        "_collecting",
         "_running_total",
         "_collect_sum",
         "_collect_pending",
+        "_collected_so_far",
         "obs",
     )
 
-    def __init__(self, h: int, tau: int, network: StarNetwork, obs=NULL_OBS):
+    def __init__(self, h: int, tau: int, network: Transport, obs=NULL_OBS):
         if h < 1:
             raise ValueError(f"need at least one participant, got {h}")
         if tau < 1:
@@ -75,11 +95,14 @@ class Coordinator:
         self.obs = obs if obs is not None else NULL_OBS
         self.matured_at: Optional[int] = None
         self.rounds = 0
+        self.epoch = 0
         self._signals = 0
         self._final = False
+        self._collecting = False
         self._running_total = 0  # final phase: sum of forwarded deltas
         self._collect_sum = 0
         self._collect_pending = 0
+        self._collected_so_far = 0  # weight confirmed by completed rounds
         network.attach(COORDINATOR, self.handle)
 
     # -- protocol driving ------------------------------------------------
@@ -88,7 +111,14 @@ class Coordinator:
         """Open the first round (call once, before any increments)."""
         self._open_phase(self.tau, already_collected=0)
 
+    def close(self) -> None:
+        """Detach from the network (teardown; inverse of construction)."""
+        self.network.detach(COORDINATOR)
+
     def _open_phase(self, tau_remaining: int, already_collected: int) -> None:
+        self.epoch += 1
+        self._collecting = False
+        self._collected_so_far = already_collected
         if tau_remaining <= FINAL_PHASE_FACTOR * self.h:
             self._final = True
             self._running_total = already_collected
@@ -102,11 +132,24 @@ class Coordinator:
                 self.obs.dt_slack("coordinator", lam, self.h)
             self._broadcast(MessageType.SLACK, payload=lam)
 
+    def _epoch_ok(self, message: Message) -> bool:
+        """Accept current-epoch traffic; ``None`` (hand-built messages on
+        the synchronous channel) matches any epoch."""
+        return message.epoch is None or message.epoch == self.epoch
+
     def handle(self, message: Message) -> None:
-        """React to a participant message."""
+        """React to a participant message.
+
+        Idempotent under stale delivery: anything from a closed epoch —
+        or a signal arriving while the round's counters are already being
+        collected — is discarded, which is what makes the protocol safe
+        over at-least-once channels.
+        """
         if self.matured_at is not None:
             return  # tracking is over; late messages are ignored
         if message.mtype is MessageType.SIGNAL:
+            if self._collecting or not self._epoch_ok(message):
+                return  # stale signal from an already-closed round
             if self._final:
                 self._running_total += message.payload
                 if self._running_total >= self.tau:
@@ -114,23 +157,37 @@ class Coordinator:
                 return
             self._signals += 1
             if self._signals >= self.h:
-                self._end_round()
+                self._begin_collect()
         elif message.mtype is MessageType.REPORT:
+            if not self._collecting or not self._epoch_ok(message):
+                return  # duplicate / stale report
             self._collect_sum += message.payload
             self._collect_pending -= 1
+            if self._collect_pending == 0:
+                self._finish_collect()
         else:
             raise ValueError(f"coordinator got unexpected message {message!r}")
 
-    def _end_round(self) -> None:
+    def _begin_collect(self) -> None:
+        """The h-th signal arrived: end the round, request counters.
+
+        Over the synchronous network the REPORTs arrive re-entrantly
+        during the COLLECT broadcast and :meth:`_finish_collect` runs
+        before this method returns; over an asynchronous transport they
+        trickle in on later pumps.
+        """
         self.rounds += 1
+        self._collecting = True
         # Tell everyone the round is over (stops further signalling), then
         # collect the precise counters.
         self._broadcast(MessageType.ROUND_END)
         self._collect_sum = 0
         self._collect_pending = self.h
         self._broadcast(MessageType.COLLECT)
-        assert self._collect_pending == 0, "synchronous delivery expected"
+
+    def _finish_collect(self) -> None:
         total = self._collect_sum
+        self._collecting = False
         if self.obs.enabled:
             self.obs.dt_round_end(
                 "coordinator",
@@ -146,7 +203,13 @@ class Coordinator:
     def _broadcast(self, mtype: MessageType, payload=None) -> None:
         for i in range(self.h):
             self.network.send(
-                Message(mtype=mtype, src=COORDINATOR, dst=i, payload=payload)
+                Message(
+                    mtype=mtype,
+                    src=COORDINATOR,
+                    dst=i,
+                    payload=payload,
+                    epoch=self.epoch,
+                )
             )
 
     # -- introspection ------------------------------------------------------
@@ -156,6 +219,11 @@ class Coordinator:
         return self.matured_at is not None
 
     def __repr__(self) -> str:
-        phase = "final" if self._final else f"round {self.rounds + 1}"
+        if self._collecting:
+            phase = f"collecting round {self.rounds}"
+        elif self._final:
+            phase = "final"
+        else:
+            phase = f"round {self.rounds + 1}"
         state = f"matured at {self.matured_at}" if self.matured else phase
         return f"Coordinator(h={self.h}, tau={self.tau}, {state})"

@@ -1,0 +1,219 @@
+"""Seeded lossy transport: drop, duplicate, reorder, crash (chaos layer).
+
+The Section 3.2 message bounds are proven over a perfect channel.  This
+module provides the adversary: a :class:`FaultyNetwork` that — driven by
+one seeded RNG, so every fault schedule is exactly replayable — drops,
+duplicates and defers traffic, and lets the harness crash and restart
+individual endpoints.  Pair it with
+:class:`~repro.dt.reliable.ReliableChannel` to restore exactly-once
+in-order delivery, or use it bare to demonstrate how the raw protocol
+diverges without one (``tests/chaos/``).
+
+Time is discrete: :meth:`FaultyNetwork.pump` advances one tick and
+delivers everything due.  A deferred packet is assigned a future due
+tick, which is what produces reordering relative to later traffic.
+"""
+
+from __future__ import annotations
+
+import heapq
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Set, Tuple
+
+from .transport import Handler, Transport
+
+
+@dataclass(frozen=True, slots=True)
+class FaultSpec:
+    """Fault rates of one chaos schedule (all probabilities per packet).
+
+    Attributes
+    ----------
+    drop_rate:
+        Probability a packet vanishes at send time.
+    dup_rate:
+        Probability a packet is enqueued twice.
+    reorder_rate:
+        Probability a packet is deferred by an extra ``1..max_defer``
+        ticks instead of the next-tick default, overtaking later traffic.
+    max_defer:
+        Largest extra deferral in ticks (>= 1 when reordering is on).
+    """
+
+    drop_rate: float = 0.0
+    dup_rate: float = 0.0
+    reorder_rate: float = 0.0
+    max_defer: int = 4
+
+    def __post_init__(self) -> None:
+        for name in ("drop_rate", "dup_rate", "reorder_rate"):
+            p = getattr(self, name)
+            if not 0.0 <= p <= 1.0:
+                raise ValueError(f"{name} must be a probability, got {p!r}")
+        if self.drop_rate >= 1.0:
+            raise ValueError("drop_rate must be < 1 or nothing ever arrives")
+        if self.max_defer < 1:
+            raise ValueError(f"max_defer must be >= 1, got {self.max_defer}")
+
+    @property
+    def faulty(self) -> bool:
+        """True when any fault can actually occur."""
+        return (self.drop_rate > 0 or self.dup_rate > 0 or self.reorder_rate > 0)
+
+
+@dataclass(slots=True)
+class FaultStats:
+    """Packet accounting of one :class:`FaultyNetwork`.
+
+    Conservation invariant (sanitizer-checked): every enqueued copy is
+    eventually delivered, lost to a crashed endpoint, or still queued —
+    ``sent - dropped + duplicated == delivered + lost_to_crash + queued``.
+    """
+
+    sent: int = 0  # send() calls
+    dropped: int = 0  # vanished at send time
+    duplicated: int = 0  # extra enqueued copies
+    deferred: int = 0  # copies assigned an extra delay
+    delivered: int = 0  # handler invocations
+    lost_to_crash: int = 0  # due with no handler attached
+    crashes: int = 0
+    restarts: int = 0
+
+    def enqueued(self) -> int:
+        return self.sent - self.dropped + self.duplicated
+
+
+class FaultyNetwork(Transport):
+    """A star-topology channel that misbehaves on a reproducible schedule.
+
+    Parameters
+    ----------
+    spec:
+        The :class:`FaultSpec` fault rates.
+    seed:
+        Seed of the private fault RNG; identical (spec, seed, traffic)
+        triples replay identical fault schedules.
+    obs:
+        Optional :class:`~repro.obs.Observability` sink; faults bump the
+        ``rts_transport_events_total{event=...}`` counter family.
+    """
+
+    __slots__ = ("spec", "stats", "_rng", "_handlers", "_queue", "_order", "_tick", "_crashed", "_obs")
+
+    def __init__(self, spec: FaultSpec, seed: int = 0, obs=None):
+        self.spec = spec
+        self.stats = FaultStats()
+        self._rng = random.Random(seed)
+        self._handlers: Dict[int, Handler] = {}
+        #: Min-heap of (due_tick, enqueue_order, packet); the order field
+        #: keeps same-tick delivery FIFO, so a fault-free spec degrades to
+        #: an ordered (but asynchronous) channel.
+        self._queue: List[Tuple[int, int, object]] = []
+        self._order = 0
+        self._tick = 0
+        self._crashed: Set[int] = set()
+        self._obs = obs if obs is not None and obs.enabled else None
+
+    # -- Transport interface ----------------------------------------------
+
+    def attach(self, address: int, handler: Handler) -> None:
+        if address in self._handlers:
+            raise ValueError(f"address {address} already attached")
+        self._handlers[address] = handler
+        self._crashed.discard(address)
+
+    def detach(self, address: int) -> None:
+        if address not in self._handlers:
+            raise KeyError(f"address {address} is not attached")
+        del self._handlers[address]
+
+    def send(self, packet) -> None:
+        """Accept one packet, applying the fault schedule.
+
+        Nothing is delivered here — delivery happens on :meth:`pump` —
+        so a send can never re-enter the sender's own handler.
+        """
+        self.stats.sent += 1
+        rng = self._rng
+        spec = self.spec
+        if spec.drop_rate > 0 and rng.random() < spec.drop_rate:
+            self.stats.dropped += 1
+            if self._obs is not None:
+                self._obs.transport_event("drop")
+            return
+        copies = 1
+        if spec.dup_rate > 0 and rng.random() < spec.dup_rate:
+            copies = 2
+            self.stats.duplicated += 1
+            if self._obs is not None:
+                self._obs.transport_event("duplicate")
+        for _ in range(copies):
+            delay = 1
+            if spec.reorder_rate > 0 and rng.random() < spec.reorder_rate:
+                delay += rng.randint(1, spec.max_defer)
+                self.stats.deferred += 1
+                if self._obs is not None:
+                    self._obs.transport_event("defer")
+            heapq.heappush(self._queue, (self._tick + delay, self._order, packet))
+            self._order += 1
+
+    def pump(self) -> int:
+        """Advance one tick; deliver every packet now due, in heap order."""
+        self._tick += 1
+        delivered = 0
+        while self._queue and self._queue[0][0] <= self._tick:
+            _due, _order, packet = heapq.heappop(self._queue)
+            handler = self._handlers.get(packet.dst)
+            if handler is None:
+                # The destination is crashed (or was never attached): the
+                # packet is lost exactly as if the wire had eaten it.
+                self.stats.lost_to_crash += 1
+                if self._obs is not None:
+                    self._obs.transport_event("lost_to_crash")
+                continue
+            self.stats.delivered += 1
+            delivered += 1
+            handler(packet)
+        return delivered
+
+    @property
+    def pending(self) -> int:
+        return len(self._queue)
+
+    @property
+    def tick(self) -> int:
+        return self._tick
+
+    # -- crash / restart ---------------------------------------------------
+
+    def crash(self, address: int) -> None:
+        """Kill an endpoint: its handler is removed and every packet
+        delivered to it while down is lost (counted separately)."""
+        if address not in self._handlers:
+            raise KeyError(f"address {address} is not attached")
+        del self._handlers[address]
+        self._crashed.add(address)
+        self.stats.crashes += 1
+        if self._obs is not None:
+            self._obs.transport_event("crash")
+
+    def restart(self, address: int, handler: Handler) -> None:
+        """Bring a crashed endpoint back with a (fresh) handler."""
+        if address in self._handlers:
+            raise ValueError(f"address {address} is still attached")
+        self._handlers[address] = handler
+        self._crashed.discard(address)
+        self.stats.restarts += 1
+        if self._obs is not None:
+            self._obs.transport_event("restart")
+
+    def is_crashed(self, address: int) -> bool:
+        return address in self._crashed
+
+    def __repr__(self) -> str:
+        s = self.stats
+        return (
+            f"FaultyNetwork(tick={self._tick}, sent={s.sent}, "
+            f"dropped={s.dropped}, dup={s.duplicated}, queued={len(self._queue)})"
+        )

@@ -5,6 +5,12 @@ needs: coordinator <-> participant.  Delivery is synchronous (a send
 invokes the receiver's handler before returning), which models the paper's
 setting where message latency is irrelevant and only the *count* matters.
 An optional trace retains messages for inspection in tests and examples.
+
+This is the *ideal* channel of the Section 3.2 analysis — every message
+arrives exactly once, in order, instantly.  It is one implementation of
+the pluggable :class:`~repro.dt.transport.Transport` interface; the lossy
+counterpart lives in :mod:`repro.dt.faults` and the recovery layer in
+:mod:`repro.dt.reliable` (see ``docs/ROBUSTNESS.md``).
 """
 
 from __future__ import annotations
@@ -12,11 +18,12 @@ from __future__ import annotations
 from typing import Callable, Dict, List, Optional
 
 from .messages import COORDINATOR, Message, MessageType
+from .transport import Transport
 
 Handler = Callable[[Message], None]
 
 
-class StarNetwork:
+class StarNetwork(Transport):
     """Routes messages between one coordinator and ``h`` participants.
 
     Parameters
@@ -54,6 +61,17 @@ class StarNetwork:
         if address in self._handlers:
             raise ValueError(f"address {address} already attached")
         self._handlers[address] = handler
+
+    def detach(self, address: int) -> None:
+        """Unregister an address so the handler table cannot leak entries
+        across protocol instances sharing one network."""
+        if address not in self._handlers:
+            raise KeyError(f"address {address} is not attached")
+        del self._handlers[address]
+
+    def attached(self, address: int) -> bool:
+        """True when a handler is registered at the address."""
+        return address in self._handlers
 
     def send(self, message: Message) -> None:
         """Deliver one message synchronously, charging its cost."""

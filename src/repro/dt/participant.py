@@ -7,15 +7,28 @@ variant (Section 7) a single increment may cover several slacks, so the
 participant keeps signalling — "repeat Line 1" — until either the residual
 drops below the slack or the coordinator has declared the round over.  In
 the final phase it simply forwards every increment as a weighted delta.
+
+Outgoing signals are stamped with the *epoch* of the coordinator
+announcement that opened the current phase, so an asynchronous channel
+can deliver them late without corrupting the next round's tally (the
+coordinator drops stale epochs; see ``docs/ROBUSTNESS.md``).  The full
+protocol state fits in :meth:`Participant.snapshot`, enabling
+crash/restart experiments in the chaos harness.
 """
 
 from __future__ import annotations
 
 import enum
+from typing import Dict, Optional
 
 from ..obs.observer import NULL_OBS
 from .messages import COORDINATOR, Message, MessageType
-from .network import StarNetwork
+from .transport import Transport
+
+
+#: Sentinel distinguishing "stamp with my current epoch" from an explicit
+#: epoch (including None) passed by the COLLECT/REPORT echo path.
+_OWN_EPOCH = object()
 
 
 class ParticipantMode(enum.Enum):
@@ -27,15 +40,26 @@ class ParticipantMode(enum.Enum):
 class Participant:
     """One tracking site ``s_i`` with counter ``c_i``."""
 
-    __slots__ = ("index", "network", "c", "cbar", "lam", "mode", "_round_id", "obs")
+    __slots__ = (
+        "index",
+        "network",
+        "c",
+        "cbar",
+        "lam",
+        "mode",
+        "epoch",
+        "_round_id",
+        "obs",
+    )
 
-    def __init__(self, index: int, network: StarNetwork, obs=NULL_OBS):
+    def __init__(self, index: int, network: Transport, obs=NULL_OBS):
         self.index = index
         self.network = network
         self.c = 0  # cumulative counter (never reset)
         self.cbar = 0  # counter value at the last signal / round start
         self.lam = 0
         self.mode = ParticipantMode.IDLE
+        self.epoch: Optional[int] = None  # last coordinator announcement
         self._round_id = 0
         self.obs = obs if obs is not None else NULL_OBS
         network.attach(index, self.handle)
@@ -78,24 +102,73 @@ class Participant:
             self.lam = message.payload
             self.cbar = self.c
             self.mode = ParticipantMode.ROUND
+            self.epoch = message.epoch
             self._round_id += 1
         elif message.mtype is MessageType.COLLECT:
-            self._send(MessageType.REPORT, payload=self.c)
+            # The reply echoes the COLLECT's epoch, so the coordinator can
+            # tell which round's counters it is summing.
+            self._send(MessageType.REPORT, payload=self.c, epoch=message.epoch)
         elif message.mtype is MessageType.ROUND_END:
             # Stop signalling until the next SLACK (or FINAL_PHASE).
             self.mode = ParticipantMode.IDLE
+            self.epoch = message.epoch
             self._round_id += 1
         elif message.mtype is MessageType.FINAL_PHASE:
             self.mode = ParticipantMode.FINAL
             self.cbar = self.c
+            self.epoch = message.epoch
             self._round_id += 1
         else:
             raise ValueError(f"participant got unexpected message {message!r}")
 
-    def _send(self, mtype: MessageType, payload=None) -> None:
+    def _send(self, mtype: MessageType, payload=None, epoch=_OWN_EPOCH) -> None:
+        if epoch is _OWN_EPOCH:
+            epoch = self.epoch
         self.network.send(
-            Message(mtype=mtype, src=self.index, dst=COORDINATOR, payload=payload)
+            Message(
+                mtype=mtype,
+                src=self.index,
+                dst=COORDINATOR,
+                payload=payload,
+                epoch=epoch,
+            )
         )
+
+    # -- crash / recovery --------------------------------------------------
+
+    def snapshot(self) -> Dict[str, object]:
+        """The full protocol state, JSON-compatible (chaos checkpoints)."""
+        return {
+            "index": self.index,
+            "c": self.c,
+            "cbar": self.cbar,
+            "lam": self.lam,
+            "mode": self.mode.value,
+            "epoch": self.epoch,
+            "round_id": self._round_id,
+        }
+
+    @classmethod
+    def restore(
+        cls, snap: Dict[str, object], network: Transport, obs=NULL_OBS
+    ) -> "Participant":
+        """Rebuild a participant from a :meth:`snapshot` (crash recovery).
+
+        The restored instance attaches to ``network`` at its old address;
+        the caller must have detached (or crashed) the old one first.
+        """
+        p = cls(int(snap["index"]), network, obs=obs)
+        p.c = int(snap["c"])
+        p.cbar = int(snap["cbar"])
+        p.lam = int(snap["lam"])
+        p.mode = ParticipantMode(snap["mode"])
+        p.epoch = snap["epoch"]
+        p._round_id = int(snap["round_id"])
+        return p
+
+    def close(self) -> None:
+        """Detach from the network (teardown; inverse of construction)."""
+        self.network.detach(self.index)
 
     def __repr__(self) -> str:
         return (

@@ -1,0 +1,426 @@
+"""Exactly-once, in-order delivery over a lossy transport.
+
+The DT protocol's correctness argument (Sections 3.2 and 7) needs every
+message delivered exactly once and per-link in order.  Over a
+:class:`~repro.dt.faults.FaultyNetwork` this layer restores those
+guarantees with the classic mechanisms:
+
+* **Sequence numbers** per directed link ``(src, dst)``;
+* **Acks** — the receiver acknowledges every DATA frame (including
+  duplicates, so a lost ack cannot wedge the sender);
+* **Bounded retries with capped exponential backoff** — an unacked frame
+  is retransmitted after ``base_timeout`` ticks, doubling up to
+  ``max_backoff``, at most ``max_retries`` times before the channel
+  raises :class:`~repro.dt.transport.TransportError` (a dead letter);
+* **Receiver-side dedup and reassembly** — frames at or below the
+  contiguous delivery watermark (or already buffered) are discarded;
+  out-of-order frames are held until the gap fills, then delivered in
+  sequence order.
+
+Endpoint handlers therefore observe exactly the ideal-channel semantics
+of :class:`~repro.dt.network.StarNetwork`, which — together with the
+epoch stamps on protocol messages — is what makes coordinator decisions
+bit-identical to the fault-free run (property-tested in
+``tests/chaos/``).
+
+Message-cost accounting: the wire overhead (retransmissions + acks) is
+bounded by a constant factor of the fault-free message count — see
+:data:`TRANSPORT_OVERHEAD_FACTOR`, enforced by the sanitizer.
+
+Crash recovery: the per-endpooint link state (send sequence numbers,
+unacked buffer, receive watermarks) is part of an endpoint's durable
+state — :meth:`ReliableChannel.endpoint_snapshot` /
+:meth:`ReliableChannel.restore_endpoint` checkpoint it together with the
+participant, so a recovered endpoint re-sends with its original sequence
+numbers and the far side's dedup discards whatever it already processed.
+"""
+
+from __future__ import annotations
+
+import copy
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from .messages import Message
+from .transport import Handler, Packet, Transport, TransportError, WireKind
+
+#: Documented wire-amplification bound (checked by the sanitizer and the
+#: chaos harness): total wire frames (DATA transmissions + ACKs) stay
+#: within this constant factor of the unique protocol messages delivered.
+#: Fault-free, the factor is exactly 2 (one DATA + one ACK per message);
+#: at the chaos suite's maximum rates (20% drop/dup/reorder) the expected
+#: per-message cost is 2 / (1 - 0.2) * (1 + 0.2) = 3, so 8 leaves wide
+#: head-room while still catching retry storms (e.g. a timeout far below
+#: the transport's defer horizon) that would break the paper's
+#: O(h log tau) communication bound by more than a constant.
+TRANSPORT_OVERHEAD_FACTOR = 8
+
+#: Additive slack for the overhead check: short runs pay fixed per-link
+#: costs (final unacked frames, handshake-free startup) that the
+#: multiplicative factor cannot amortise.
+TRANSPORT_OVERHEAD_SLACK = 64
+
+
+@dataclass(slots=True)
+class ChannelStats:
+    """Wire accounting of one :class:`ReliableChannel`."""
+
+    data_sent: int = 0  # unique protocol messages submitted
+    wire_data: int = 0  # DATA transmissions incl. retries
+    wire_acks: int = 0  # ACK transmissions
+    retries: int = 0  # retransmissions of unacked DATA
+    delivered: int = 0  # unique messages handed to handlers
+    redelivered: int = 0  # duplicate DATA discarded by dedup
+    reordered: int = 0  # frames buffered out-of-order, delivered later
+    dead_letters: int = 0  # frames that exhausted the retry budget
+
+    @property
+    def wire_total(self) -> int:
+        return self.wire_data + self.wire_acks
+
+
+@dataclass(slots=True)
+class _Pending:
+    """One unacked DATA frame with its retry clock."""
+
+    packet: Packet
+    due: int  # next retransmission tick
+    retries: int = 0
+
+
+@dataclass(slots=True)
+class _LinkSender:
+    """Sender half of one directed link."""
+
+    next_seq: int = 0
+    pending: Dict[int, _Pending] = field(default_factory=dict)
+
+
+@dataclass(slots=True)
+class _LinkReceiver:
+    """Receiver half of one directed link.
+
+    ``watermark`` is the highest sequence number delivered contiguously;
+    ``held`` buffers out-of-order frames (seq -> message) until the gap
+    below them fills.
+    """
+
+    watermark: int = -1
+    held: Dict[int, Message] = field(default_factory=dict)
+
+
+class ReliableChannel(Transport):
+    """At-most-once in, exactly-once out: the recovery layer.
+
+    Endpoints attach protocol-message handlers exactly as they would on a
+    :class:`~repro.dt.network.StarNetwork`; the channel speaks
+    :class:`~repro.dt.transport.Packet` frames to the underlying (lossy)
+    transport on their behalf.
+
+    Parameters
+    ----------
+    transport:
+        The wire, typically a :class:`~repro.dt.faults.FaultyNetwork`.
+        Must be a deferred-delivery transport (delivery on ``pump``).
+    max_retries:
+        Retransmissions allowed per frame before it is declared a dead
+        letter.  With drop rate ``p`` the residual loss probability is
+        ``p^(max_retries+1)`` — at the chaos maximum p = 0.2 and the
+        default budget, about 4e-15.
+    base_timeout:
+        Ticks to wait for the first ack.  Keep it above the transport's
+        ``max_defer`` or deferred (not lost) frames trigger spurious
+        retransmissions — harmless for correctness, costly on the wire.
+    max_backoff:
+        Cap on the doubled retransmission timeout.
+    obs:
+        Optional :class:`~repro.obs.Observability` sink
+        (``rts_transport_events_total`` counters).
+    """
+
+    __slots__ = (
+        "transport",
+        "stats",
+        "max_retries",
+        "base_timeout",
+        "max_backoff",
+        "_handlers",
+        "_senders",
+        "_receivers",
+        "_now",
+        "_obs",
+    )
+
+    def __init__(
+        self,
+        transport: Transport,
+        max_retries: int = 20,
+        base_timeout: int = 8,
+        max_backoff: int = 64,
+        obs=None,
+    ):
+        if max_retries < 0:
+            raise ValueError(f"max_retries must be >= 0, got {max_retries}")
+        if base_timeout < 1:
+            raise ValueError(f"base_timeout must be >= 1, got {base_timeout}")
+        self.transport = transport
+        self.stats = ChannelStats()
+        self.max_retries = max_retries
+        self.base_timeout = base_timeout
+        self.max_backoff = max_backoff
+        self._handlers: Dict[int, Handler] = {}
+        self._senders: Dict[Tuple[int, int], _LinkSender] = {}
+        self._receivers: Dict[Tuple[int, int], _LinkReceiver] = {}
+        self._now = 0
+        self._obs = obs if obs is not None and obs.enabled else None
+
+    # -- Transport interface (endpoint side) -------------------------------
+
+    def attach(self, address: int, handler: Handler) -> None:
+        if address in self._handlers:
+            raise ValueError(f"address {address} already attached")
+        self._handlers[address] = handler
+        self.transport.attach(address, self._make_wire_handler(address))
+
+    def detach(self, address: int) -> None:
+        if address not in self._handlers:
+            raise KeyError(f"address {address} is not attached")
+        del self._handlers[address]
+        # The wire adapter may already be gone if the endpoint crashed.
+        try:
+            self.transport.detach(address)
+        except KeyError:
+            pass
+
+    def send(self, message: Message) -> None:
+        """Submit one protocol message for exactly-once delivery."""
+        link = (message.src, message.dst)
+        sender = self._senders.get(link)
+        if sender is None:
+            sender = self._senders[link] = _LinkSender()
+        seq = sender.next_seq
+        sender.next_seq += 1
+        packet = Packet(WireKind.DATA, message.src, message.dst, seq, message)
+        sender.pending[seq] = _Pending(packet, due=self._now + self.base_timeout)
+        self.stats.data_sent += 1
+        self._transmit(packet)
+
+    # -- wire side ---------------------------------------------------------
+
+    def _make_wire_handler(self, address: int):
+        def on_wire(packet: Packet, _addr=address) -> None:
+            self._on_wire(_addr, packet)
+
+        return on_wire
+
+    def _transmit(self, packet: Packet) -> None:
+        if packet.kind is WireKind.DATA:
+            self.stats.wire_data += 1
+        else:
+            self.stats.wire_acks += 1
+        self.transport.send(packet)
+
+    def _on_wire(self, address: int, packet: Packet) -> None:
+        if packet.kind is WireKind.ACK:
+            # The ack travels the reverse link: data went (dst -> src).
+            sender = self._senders.get((packet.dst, packet.src))
+            if sender is not None:
+                sender.pending.pop(packet.seq, None)  # late/dup acks: no-op
+            return
+        # DATA frame: ack unconditionally (a lost ack means the sender
+        # will retransmit; the dedup below keeps that harmless), then
+        # deliver in sequence order, exactly once.
+        self._transmit(
+            Packet(WireKind.ACK, src=address, dst=packet.src, seq=packet.seq)
+        )
+        link = (packet.src, address)
+        receiver = self._receivers.get(link)
+        if receiver is None:
+            receiver = self._receivers[link] = _LinkReceiver()
+        if packet.seq <= receiver.watermark or packet.seq in receiver.held:
+            self.stats.redelivered += 1
+            if self._obs is not None:
+                self._obs.transport_event("redelivery")
+            return
+        receiver.held[packet.seq] = packet.inner
+        if packet.seq != receiver.watermark + 1:
+            self.stats.reordered += 1
+        handler = self._handlers.get(address)
+        while receiver.watermark + 1 in receiver.held:
+            receiver.watermark += 1
+            message = receiver.held.pop(receiver.watermark)
+            self.stats.delivered += 1
+            if handler is not None:
+                handler(message)
+
+    # -- clocking ----------------------------------------------------------
+
+    def pump(self) -> int:
+        """One tick: pump the wire, then retransmit overdue frames."""
+        delivered = self.transport.pump()
+        self._now += 1
+        dead: List[Packet] = []
+        for sender in self._senders.values():
+            for pend in sender.pending.values():
+                if pend.due > self._now:
+                    continue
+                if pend.retries >= self.max_retries:
+                    dead.append(pend.packet)
+                    continue
+                pend.retries += 1
+                backoff = min(
+                    self.base_timeout << pend.retries, self.max_backoff
+                )
+                pend.due = self._now + backoff
+                self.stats.retries += 1
+                if self._obs is not None:
+                    self._obs.transport_event("retry")
+                self._transmit(
+                    Packet(
+                        WireKind.DATA,
+                        pend.packet.src,
+                        pend.packet.dst,
+                        pend.packet.seq,
+                        pend.packet.inner,
+                        attempt=pend.retries,
+                    )
+                )
+        if dead:
+            self.stats.dead_letters += len(dead)
+            if self._obs is not None:
+                self._obs.transport_event("dead_letter", len(dead))
+            raise TransportError(
+                f"{len(dead)} frame(s) exhausted the retry budget "
+                f"({self.max_retries}): {dead[:3]!r}"
+            )
+        return delivered
+
+    @property
+    def pending(self) -> int:
+        """Unacked frames plus whatever the wire still holds."""
+        unacked = sum(len(s.pending) for s in self._senders.values())
+        return unacked + self.transport.pending
+
+    def run_until_quiescent(self, limit: int = 100_000) -> int:
+        """Pump until nothing is in flight; returns ticks consumed.
+
+        ``limit`` bounds the tick count so a livelocked schedule fails
+        loudly (TransportError) instead of spinning forever.
+        """
+        ticks = 0
+        while self.pending:
+            self.pump()
+            ticks += 1
+            if ticks > limit:
+                raise TransportError(
+                    f"channel not quiescent after {limit} ticks "
+                    f"({self.pending} frames still in flight)"
+                )
+        return ticks
+
+    # -- crash / recovery --------------------------------------------------
+
+    def crash(self, address: int) -> None:
+        """Crash an endpoint at the wire level (handler stays registered
+        so :meth:`restart` can resume; in-flight frames to it are lost)."""
+        self.transport.crash(address)
+
+    def restart(self, address: int, handler: Optional[Handler] = None) -> None:
+        """Reconnect a crashed endpoint, optionally with a new handler
+        (the recovered object's bound method)."""
+        if handler is not None:
+            if address not in self._handlers:
+                raise KeyError(f"address {address} was never attached")
+            self._handlers[address] = handler
+        self.transport.restart(address, self._make_wire_handler(address))
+
+    def rebind(self, address: int, handler: Handler) -> None:
+        """Swap the endpoint handler in place (the chaos harness uses this
+        to interpose WAL logging without re-attaching at the wire)."""
+        if address not in self._handlers:
+            raise KeyError(f"address {address} is not attached")
+        self._handlers[address] = handler
+
+    def replay_deliver(self, address: int, message: Message) -> None:
+        """Crash-recovery replay of one durably-logged delivery.
+
+        The message was delivered (in watermark order) and acked before
+        the crash, so its sender will never retransmit it; replay advances
+        the ``(message.src -> address)`` watermark past its frame and
+        hands the message to the current handler so the endpoint
+        re-derives its post-delivery state.  Not counted as a wire
+        delivery — it already was, before the crash.
+        """
+        link = (message.src, address)
+        receiver = self._receivers.get(link)
+        if receiver is None:
+            receiver = self._receivers[link] = _LinkReceiver()
+        receiver.watermark += 1
+        # A retransmitted duplicate may have raced into the held buffer
+        # between the endpoint restore and this replay; discard it.
+        receiver.held.pop(receiver.watermark, None)
+        handler = self._handlers.get(address)
+        if handler is not None:
+            handler(message)
+
+    def endpoint_snapshot(self, address: int) -> Dict[str, object]:
+        """Deep-copy the link state owned by one endpoint.
+
+        Covers the send side of every ``(address, *)`` link and the
+        receive side of every ``(*, address)`` link.  Checkpointing this
+        together with the endpoint's application state is what makes
+        recovery exact: replayed sends reuse their original sequence
+        numbers, so the far side's dedup absorbs them.
+        """
+        senders = {
+            dst: copy.deepcopy(sender)
+            for (src, dst), sender in self._senders.items()
+            if src == address
+        }
+        receivers = {
+            src: copy.deepcopy(receiver)
+            for (src, dst), receiver in self._receivers.items()
+            if dst == address
+        }
+        return {"address": address, "senders": senders, "receivers": receivers}
+
+    def restore_endpoint(self, snap: Dict[str, object]) -> None:
+        """Roll one endpoint's link state back to a snapshot (crash
+        recovery; discards whatever the endpoint did since)."""
+        address = snap["address"]
+        for link in [l for l in self._senders if l[0] == address]:
+            del self._senders[link]
+        for link in [l for l in self._receivers if l[1] == address]:
+            del self._receivers[link]
+        for dst, sender in snap["senders"].items():
+            self._senders[(address, dst)] = copy.deepcopy(sender)
+        for src, receiver in snap["receivers"].items():
+            self._receivers[(src, address)] = copy.deepcopy(receiver)
+
+    # -- introspection -----------------------------------------------------
+
+    def link_state(self) -> Dict[str, object]:
+        """Structural summary for diagnostics and the sanitizer."""
+        return {
+            "links_out": {
+                f"{src}->{dst}": {
+                    "next_seq": s.next_seq,
+                    "unacked": sorted(s.pending),
+                }
+                for (src, dst), s in self._senders.items()
+            },
+            "links_in": {
+                f"{src}->{dst}": {
+                    "watermark": r.watermark,
+                    "held": sorted(r.held),
+                }
+                for (src, dst), r in self._receivers.items()
+            },
+        }
+
+    def __repr__(self) -> str:
+        s = self.stats
+        return (
+            f"ReliableChannel(delivered={s.delivered}, retries={s.retries}, "
+            f"redelivered={s.redelivered}, pending={self.pending})"
+        )

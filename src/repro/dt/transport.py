@@ -1,0 +1,116 @@
+"""Pluggable transport interface for the star-topology simulation.
+
+The distributed-tracking analysis (paper Sections 3.2 and 7) counts
+messages over an implicitly *perfect* channel: every message arrives,
+exactly once, in order, and instantly.  :class:`~repro.dt.network.StarNetwork`
+realises that ideal channel.  Production deployments do not get one, so
+this module abstracts the channel into a :class:`Transport` that other
+implementations can plug into:
+
+* :class:`~repro.dt.network.StarNetwork` — the ideal synchronous channel
+  (delivery happens inside :meth:`Transport.send`);
+* :class:`~repro.dt.faults.FaultyNetwork` — a seeded lossy channel with
+  message drop, duplication, reordering via deferred delivery, and
+  participant crash/restart;
+* :class:`~repro.dt.reliable.ReliableChannel` — an exactly-once, in-order
+  delivery layer (sequence numbers, acks, bounded retries) that restores
+  the ideal-channel semantics over a faulty transport.
+
+Deferred transports deliver queued traffic on :meth:`Transport.pump`;
+synchronous transports have nothing pending and return 0.
+"""
+
+from __future__ import annotations
+
+import abc
+import enum
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from .messages import Message
+
+
+class TransportError(RuntimeError):
+    """Raised when a transport cannot honour its delivery contract
+    (e.g. a reliable channel exhausts its retry budget)."""
+
+
+class WireKind(enum.Enum):
+    """Frame types carried by packet-oriented transports."""
+
+    #: A protocol message wrapped with a per-link sequence number.
+    DATA = "data"
+    #: Receiver acknowledgement of one DATA sequence number.
+    ACK = "ack"
+
+
+@dataclass(frozen=True, slots=True)
+class Packet:
+    """One wire frame of the reliable layer.
+
+    ``seq`` numbers are per *directed link* ``(src, dst)``; an ACK echoes
+    the DATA frame's ``seq`` back along the reverse link.  ``inner`` is
+    the wrapped protocol :class:`~repro.dt.messages.Message` (None for
+    acks).  ``attempt`` records the retransmission count, for diagnostics
+    only — receivers treat all attempts identically.
+    """
+
+    kind: WireKind
+    src: int
+    dst: int
+    seq: int
+    inner: Optional[Message] = None
+    attempt: int = 0
+
+    def __repr__(self) -> str:
+        tail = f" {self.inner!r}" if self.inner is not None else ""
+        retry = f" retry={self.attempt}" if self.attempt else ""
+        return (
+            f"Packet({self.kind.value} {self.src}->{self.dst} "
+            f"#{self.seq}{retry}{tail})"
+        )
+
+
+#: A receiver callback; payload type depends on the transport layer
+#: (protocol :class:`Message` for message transports, :class:`Packet`
+#: for the wire layer under a reliable channel).
+Handler = Callable[[object], None]
+
+
+class Transport(abc.ABC):
+    """The channel contract shared by all star-topology transports.
+
+    Addresses are participant indices (0-based) plus
+    :data:`~repro.dt.messages.COORDINATOR`.  A transport never interprets
+    payloads beyond routing on ``src``/``dst``.
+    """
+
+    @abc.abstractmethod
+    def attach(self, address: int, handler: Handler) -> None:
+        """Register the receiver handler for an address."""
+
+    @abc.abstractmethod
+    def detach(self, address: int) -> None:
+        """Unregister an address (inverse of :meth:`attach`).
+
+        Raises KeyError when the address is not attached.  Long-running
+        systems must detach on teardown so the handler table does not
+        leak entries across protocol instances.
+        """
+
+    @abc.abstractmethod
+    def send(self, message) -> None:
+        """Submit one message/packet for delivery."""
+
+    def pump(self) -> int:
+        """Advance simulated time one tick; deliver due traffic.
+
+        Returns the number of messages delivered this tick.  Synchronous
+        transports deliver inside :meth:`send` and return 0 here.
+        """
+        return 0
+
+    @property
+    def pending(self) -> int:
+        """Messages accepted but not yet delivered (0 when synchronous)."""
+        return 0

@@ -1,0 +1,287 @@
+"""Chaos harness: replay workloads under seeded fault schedules.
+
+Two attack surfaces, one acceptance bar (see ``docs/ROBUSTNESS.md``):
+
+**System level** — :func:`run_system_chaos` drives a workload script
+through a :class:`~repro.core.recovery.DurableSystem`, checkpointing
+periodically and "crashing" at seeded element positions.  A crash is
+simulated faithfully: the only state carried across it is the last
+checkpoint and the write-ahead log, both round-tripped through
+``json.dumps``/``json.loads`` exactly as a durable store would hold
+them.  After recovery the run continues, and at the end the observed
+maturities must equal the workload's vectorised oracle element for
+element — same query ids, same timestamps, same ``W(q)``.
+
+**Protocol level** — :func:`run_protocol_chaos` sweeps seeded DT
+instances over a lossy :class:`~repro.dt.faults.FaultyNetwork` under
+the :class:`~repro.dt.reliable.ReliableChannel`, with participant
+crash/restore points, and requires decision-identity with the
+synchronous fault-free :func:`~repro.dt.protocol.run_tracking` oracle
+plus the documented retry-overhead bound.
+
+Every fault schedule derives from one integer seed, so a CI failure is
+replayable locally with the same flags.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..core.recovery import DurableSystem
+from ..core.system import RTSSystem, available_engines
+from ..dt.faults import FaultSpec
+from ..dt.protocol import run_tracking, run_tracking_faulty
+from ..dt.reliable import TRANSPORT_OVERHEAD_FACTOR, TRANSPORT_OVERHEAD_SLACK
+from ..sanitize import SanitizeError
+from ..streams.workload import ELEMENT, REGISTER, REGISTER_BATCH, WorkloadScript
+
+__all__ = [
+    "ProtocolChaosResult",
+    "SystemChaosResult",
+    "run_protocol_chaos",
+    "run_system_chaos",
+]
+
+
+@dataclass(slots=True)
+class SystemChaosResult:
+    """Outcome of one engine's crash/recover replay of a workload."""
+
+    engine: str
+    status: str  # "ok" | "skipped" | "diverged" | "violations"
+    crashes: int = 0
+    checkpoints: int = 0
+    replayed_ops: int = 0  # WAL entries re-applied across all recoveries
+    maturities: int = 0
+    detail: str = ""
+
+    @property
+    def ok(self) -> bool:
+        return self.status in ("ok", "skipped")
+
+
+@dataclass(slots=True)
+class ProtocolChaosResult:
+    """Outcome of a protocol-level chaos sweep vs the fault-free oracle."""
+
+    trials: int
+    mismatches: List[str] = field(default_factory=list)
+    overhead_breaches: List[str] = field(default_factory=list)
+    worst_overhead: float = 0.0
+    total_crashes: int = 0
+    total_retries: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return not self.mismatches and not self.overhead_breaches
+
+
+def _pick_crash_points(
+    script: WorkloadScript, crashes: int, rng: random.Random
+) -> List[int]:
+    """Seeded element-event indices after which the system crashes."""
+    element_idx = [
+        i for i, (kind, _payload) in enumerate(script.events) if kind == ELEMENT
+    ]
+    if not element_idx or crashes <= 0:
+        return []
+    return sorted(rng.sample(element_idx, min(crashes, len(element_idx))))
+
+
+def run_system_chaos(
+    script: WorkloadScript,
+    engine: str,
+    crashes: int = 3,
+    checkpoint_every: int = 50,
+    seed: int = 0,
+    sanitize: Optional[str] = "full",
+) -> SystemChaosResult:
+    """Replay ``script`` with seeded crash/recover points; verify exactly.
+
+    The durable state at every instant is ``(last checkpoint, WAL)``,
+    both JSON round-tripped, so recovery exercises the real
+    serialization path.  Maturities observed live and maturities
+    re-emitted during WAL replay are merged by query id — replay
+    re-derives exactly the events delivered before the crash, so the
+    merge is idempotent — then compared against the oracle.
+    """
+    if engine not in available_engines():
+        raise KeyError(
+            f"unknown engine {engine!r}; available: {available_engines()}"
+        )
+    rng = random.Random(seed)
+    crash_points = set(_pick_crash_points(script, crashes, rng))
+    try:
+        system = RTSSystem(dims=script.params.dims, engine=engine, sanitize=sanitize)
+    except ValueError as exc:  # engine/dimensionality mismatch
+        return SystemChaosResult(engine=engine, status="skipped", detail=str(exc))
+
+    observed: Dict[object, Tuple[int, int]] = {}
+
+    def watch(durable: DurableSystem) -> None:
+        durable.on_maturity(
+            lambda ev: observed.__setitem__(
+                ev.query.query_id, (ev.timestamp, ev.weight_seen)
+            )
+        )
+
+    durable = DurableSystem(system)
+    watch(durable)
+    stored_snapshot = json.dumps(durable.checkpoint())
+    checkpoints = 1
+    crashed = 0
+    replayed_ops = 0
+    ops_since_checkpoint = 0
+
+    try:
+        for idx, (kind, payload) in enumerate(script.events):
+            if kind == ELEMENT:
+                durable.process(payload)
+            elif kind == REGISTER:
+                durable.register(payload)
+            elif kind == REGISTER_BATCH:
+                durable.register_batch(payload)
+            else:
+                durable.terminate(payload)
+            ops_since_checkpoint += 1
+            if checkpoint_every and ops_since_checkpoint >= checkpoint_every:
+                stored_snapshot = json.dumps(durable.checkpoint())
+                checkpoints += 1
+                ops_since_checkpoint = 0
+            if idx in crash_points:
+                # Crash: all in-memory state is gone.  Recover from the
+                # stored snapshot + WAL, exactly as a restart would.
+                stored_wal = json.dumps(durable.wal.to_obj())
+                replayed_ops += len(durable.wal)
+                durable = DurableSystem.recover(
+                    json.loads(stored_snapshot),
+                    json.loads(stored_wal),
+                    sanitize=sanitize,
+                )
+                for ev in durable.replayed_events:
+                    observed[ev.query.query_id] = (ev.timestamp, ev.weight_seen)
+                watch(durable)
+                crashed += 1
+    except SanitizeError as exc:
+        return SystemChaosResult(
+            engine=engine,
+            status="violations",
+            crashes=crashed,
+            checkpoints=checkpoints,
+            replayed_ops=replayed_ops,
+            detail="; ".join(str(v) for v in exc.violations),
+        )
+
+    if observed != script.expected_maturities:
+        extra = {
+            k: v
+            for k, v in observed.items()
+            if script.expected_maturities.get(k) != v
+        }
+        missing = {
+            k: v
+            for k, v in script.expected_maturities.items()
+            if observed.get(k) != v
+        }
+        return SystemChaosResult(
+            engine=engine,
+            status="diverged",
+            crashes=crashed,
+            checkpoints=checkpoints,
+            replayed_ops=replayed_ops,
+            maturities=len(observed),
+            detail=f"wrong/extra={extra!r} missing/expected={missing!r}",
+        )
+    return SystemChaosResult(
+        engine=engine,
+        status="ok",
+        crashes=crashed,
+        checkpoints=checkpoints,
+        replayed_ops=replayed_ops,
+        maturities=len(observed),
+    )
+
+
+def _make_increments(
+    h: int, tau: int, rng: random.Random
+) -> List[Tuple[int, int]]:
+    """A seeded weighted increment sequence guaranteed to reach ``tau``."""
+    increments: List[Tuple[int, int]] = []
+    total = 0
+    target = 2 * tau  # overshoot so maturity happens mid-sequence
+    while total < target:
+        weight = rng.randint(1, 3)
+        increments.append((rng.randrange(h), weight))
+        total += weight
+    return increments
+
+
+def run_protocol_chaos(
+    trials: int = 10,
+    spec: FaultSpec = FaultSpec(drop_rate=0.2, dup_rate=0.2, reorder_rate=0.2),
+    seed: int = 0,
+    crashes: int = 3,
+    checkpoint_every: int = 7,
+) -> ProtocolChaosResult:
+    """Sweep seeded DT instances over the lossy channel vs the oracle.
+
+    Each trial draws ``h``, ``tau`` and an increment sequence from the
+    seeded RNG, runs the fault-free oracle, then the same instance over
+    a :class:`FaultyNetwork` with ``crashes`` participant crash/restore
+    points, and requires identical protocol decisions
+    (``matured_at_step``, ``total_collected``, ``rounds``) plus the
+    documented wire-overhead bound
+    ``wire_total <= TRANSPORT_OVERHEAD_FACTOR * delivered +
+    TRANSPORT_OVERHEAD_SLACK``.
+    """
+    rng = random.Random(seed)
+    result = ProtocolChaosResult(trials=trials)
+    for trial in range(trials):
+        h = rng.randint(1, 6)
+        tau = rng.randint(5, 300)
+        increments = _make_increments(h, tau, rng)
+        oracle = run_tracking(h, tau, increments)
+        horizon = oracle.matured_at_step or len(increments)
+        crash_plan: Dict[int, List[int]] = {}
+        for _ in range(min(crashes, horizon)):
+            step = rng.randint(1, horizon)
+            crash_plan.setdefault(step, []).append(rng.randrange(h))
+        faulty = run_tracking_faulty(
+            h,
+            tau,
+            increments,
+            spec=spec,
+            seed=rng.randrange(2**32),
+            crash_plan=crash_plan,
+            checkpoint_every=checkpoint_every,
+        )
+        result.total_crashes += faulty.crashes
+        result.total_retries += faulty.channel.retries
+        result.worst_overhead = max(result.worst_overhead, faulty.overhead_factor)
+        decisions = (
+            (oracle.matured_at_step, oracle.total_collected, oracle.rounds),
+            (faulty.matured_at_step, faulty.total_collected, faulty.rounds),
+        )
+        if decisions[0] != decisions[1]:
+            result.mismatches.append(
+                f"trial {trial} (h={h}, tau={tau}): oracle "
+                f"{decisions[0]} != faulty {decisions[1]}"
+            )
+        bound = (
+            TRANSPORT_OVERHEAD_FACTOR * faulty.channel.delivered
+            + TRANSPORT_OVERHEAD_SLACK
+        )
+        if faulty.channel.wire_total > bound:
+            result.overhead_breaches.append(
+                f"trial {trial} (h={h}, tau={tau}): wire "
+                f"{faulty.channel.wire_total} > bound {bound}"
+            )
+    return result
+
+
+def chaos_engines(requested: str) -> List[str]:
+    """Resolve an ``--engine`` flag value for the chaos target."""
+    return available_engines() if requested == "all" else [requested]

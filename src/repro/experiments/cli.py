@@ -22,6 +22,12 @@ repro.experiments.cli``)::
     rts-experiments sanitize --mode stochastic --scale 20000 --engine all
     rts-experiments sanitize wl.json --engine dt --format json
 
+    # robustness: replay a workload under seeded crash/recover chaos and
+    # sweep the DT protocol over a lossy channel (see docs/ROBUSTNESS.md);
+    # exits non-zero on any divergence from the fault-free oracle
+    rts-experiments chaos --mode stochastic --scale 20000 --engine all
+    rts-experiments chaos wl.json --engine dt --crashes 5 --seed 7
+
 ``--scale`` divides the paper's workload sizes (1 = the paper's exact
 parameters — hours of CPU in pure Python; 1000 = the default laptop
 scale).  Output is the text rendering of each figure (chart + table +
@@ -65,15 +71,15 @@ def main(argv: Optional[List[str]] = None) -> int:
         "target",
         help="figure id (fig3..fig8, ablation-dt-messages, "
         "ablation-design), 'all', 'list', 'workload', 'verify', 'obs', "
-        "or 'sanitize'",
+        "'sanitize', or 'chaos'",
     )
     parser.add_argument(
         "script_path",
         nargs="?",
         default=None,
-        help="saved workload file (verify, obs and sanitize targets; obs "
-        "and sanitize generate a workload from --mode/--dims/--scale "
-        "when omitted)",
+        help="saved workload file (verify, obs, sanitize and chaos "
+        "targets; obs, sanitize and chaos generate a workload from "
+        "--mode/--dims/--scale when omitted)",
     )
     parser.add_argument(
         "--mode",
@@ -91,14 +97,54 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument(
         "--engine",
         default="dt",
-        help="engine name for the 'verify', 'obs' and 'sanitize' targets "
-        "(default: dt; 'sanitize' also accepts 'all')",
+        help="engine name for the 'verify', 'obs', 'sanitize' and "
+        "'chaos' targets (default: dt; 'sanitize' and 'chaos' also "
+        "accept 'all')",
     )
     parser.add_argument(
         "--level",
         choices=["basic", "full"],
         default="full",
-        help="'sanitize' target: invariant check level (default: full)",
+        help="'sanitize'/'chaos' targets: invariant check level "
+        "(default: full)",
+    )
+    parser.add_argument(
+        "--drop",
+        type=float,
+        default=0.2,
+        help="'chaos' target: per-packet drop probability (default 0.2)",
+    )
+    parser.add_argument(
+        "--dup",
+        type=float,
+        default=0.2,
+        help="'chaos' target: per-packet duplication probability "
+        "(default 0.2)",
+    )
+    parser.add_argument(
+        "--reorder",
+        type=float,
+        default=0.2,
+        help="'chaos' target: per-packet reorder probability (default 0.2)",
+    )
+    parser.add_argument(
+        "--crashes",
+        type=int,
+        default=3,
+        help="'chaos' target: seeded crash/recover points per run "
+        "(default 3)",
+    )
+    parser.add_argument(
+        "--checkpoint-every",
+        type=int,
+        default=50,
+        help="'chaos' target: operations between checkpoints (default 50)",
+    )
+    parser.add_argument(
+        "--trials",
+        type=int,
+        default=8,
+        help="'chaos' target: protocol-level chaos trials (default 8)",
     )
     parser.add_argument(
         "--format",
@@ -150,6 +196,9 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     if args.target == "sanitize":
         return _run_sanitize(args, parser)
+
+    if args.target == "chaos":
+        return _run_chaos(args, parser)
 
     names = list(FIGURES) if args.target == "all" else [args.target]
     unknown = [n for n in names if n not in FIGURES]
@@ -397,6 +446,117 @@ def _run_sanitize(args, parser) -> int:
                         f"  - [{v['invariant']}] ({v['section']}) "
                         f"{v['message']} on {v['subject']}{ctx}"
                     )
+    return 0 if ok else 1
+
+
+def _run_chaos(args, parser) -> int:
+    """Replay a workload under seeded crash/recover chaos; verify exactly.
+
+    Two layers (see docs/ROBUSTNESS.md): every requested engine is
+    crash/recovered through the checkpoint + WAL path and must match the
+    workload oracle element for element, and the DT protocol is swept
+    over a seeded lossy channel and must match the fault-free oracle's
+    decisions within the documented retry-overhead bound.  Exits 0 only
+    when every run is clean.
+    """
+    import json
+
+    from ..dt.faults import FaultSpec
+    from .chaos import chaos_engines, run_protocol_chaos, run_system_chaos
+
+    script = _build_or_load_workload(args, parser)
+    report: dict = {"engines": {}, "protocol": {}}
+    ok = True
+    for engine in chaos_engines(args.engine):
+        started = time.perf_counter()
+        result = run_system_chaos(
+            script,
+            engine,
+            crashes=args.crashes,
+            checkpoint_every=args.checkpoint_every,
+            seed=args.seed,
+            sanitize=args.level,
+        )
+        elapsed = time.perf_counter() - started
+        ok = ok and result.ok
+        report["engines"][engine] = {
+            "status": result.status,
+            "elapsed_s": round(elapsed, 2),
+            "crashes": result.crashes,
+            "checkpoints": result.checkpoints,
+            "replayed_ops": result.replayed_ops,
+            "maturities": result.maturities,
+            "detail": result.detail,
+        }
+
+    spec = FaultSpec(
+        drop_rate=args.drop, dup_rate=args.dup, reorder_rate=args.reorder
+    )
+    started = time.perf_counter()
+    protocol = run_protocol_chaos(
+        trials=args.trials,
+        spec=spec,
+        seed=args.seed,
+        crashes=args.crashes,
+    )
+    elapsed = time.perf_counter() - started
+    ok = ok and protocol.ok
+    report["protocol"] = {
+        "trials": protocol.trials,
+        "elapsed_s": round(elapsed, 2),
+        "crashes": protocol.total_crashes,
+        "retries": protocol.total_retries,
+        "worst_overhead": round(protocol.worst_overhead, 2),
+        "mismatches": protocol.mismatches,
+        "overhead_breaches": protocol.overhead_breaches,
+    }
+
+    if args.obs_format == "json":
+        print(
+            json.dumps(
+                {
+                    "level": args.level,
+                    "mode": script.mode,
+                    "seed": args.seed,
+                    "faults": {
+                        "drop": args.drop,
+                        "dup": args.dup,
+                        "reorder": args.reorder,
+                    },
+                    **report,
+                },
+                indent=2,
+            )
+        )
+    else:
+        print(
+            f"# chaos on {script.mode!r} workload (dims={script.params.dims}, "
+            f"ops={script.operation_count()}, seed={args.seed}): "
+            f"drop={args.drop} dup={args.dup} reorder={args.reorder} "
+            f"crashes={args.crashes}"
+        )
+        for engine, info in report["engines"].items():
+            if info["status"] == "ok":
+                print(
+                    f"{engine}: exact after {info['crashes']} crash/recover "
+                    f"({info['checkpoints']} checkpoints, "
+                    f"{info['replayed_ops']} WAL ops replayed, "
+                    f"{info['maturities']} maturities, {info['elapsed_s']}s)"
+                )
+            elif info["status"] == "skipped":
+                print(f"{engine}: skipped ({info['detail']})")
+            else:
+                print(f"{engine}: {info['status'].upper()}: {info['detail']}")
+        proto = report["protocol"]
+        verdict = "exact" if protocol.ok else "DIVERGED"
+        print(
+            f"dt-protocol: {verdict} over {proto['trials']} lossy-channel "
+            f"trials ({proto['crashes']} crashes, {proto['retries']} retries, "
+            f"worst overhead {proto['worst_overhead']}x, "
+            f"{proto['elapsed_s']}s)"
+        )
+        for line in protocol.mismatches + protocol.overhead_breaches:
+            print(f"  - {line}")
     return 0 if ok else 1
 
 

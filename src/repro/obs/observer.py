@@ -78,6 +78,12 @@ class NullObservability:
     def dt_participant_mode(self, index: int, mode: str) -> None:
         pass
 
+    def transport_event(self, event: str, n: int = 1) -> None:
+        pass
+
+    def ingest_quarantined(self, where: str, n: int = 1) -> None:
+        pass
+
     def rebuild(self, kind: str, queries: int, heap_entries: Optional[int] = None) -> None:
         pass
 
@@ -110,7 +116,15 @@ class Observability(NullObservability):
         Ring-buffer retention bounds (events / finished spans).
     """
 
-    __slots__ = ("metrics", "trace", "spans", "_now", "_msg_counters")
+    __slots__ = (
+        "metrics",
+        "trace",
+        "spans",
+        "_now",
+        "_msg_counters",
+        "_transport_counters",
+        "_quarantine_counters",
+    )
     enabled = True
 
     def __init__(
@@ -126,6 +140,9 @@ class Observability(NullObservability):
         #: message-type -> Counter cache, so the per-message hot path is a
         #: dict lookup instead of a registry get-or-create.
         self._msg_counters: Dict[str, object] = {}
+        #: Same caching pattern for transport faults and ingest quarantine.
+        self._transport_counters: Dict[str, object] = {}
+        self._quarantine_counters: Dict[str, object] = {}
         m = self.metrics
         m.counter("rts_elements_total", "Stream elements processed")
         m.counter("rts_element_weight_total", "Total element weight processed")
@@ -156,6 +173,16 @@ class Observability(NullObservability):
             "rts_dt_messages_total",
             "counter",
             "Simulated DT protocol messages, by type",
+        )
+        m.declare(
+            "rts_transport_events_total",
+            "counter",
+            "Transport-layer fault and recovery events, by kind",
+        )
+        m.declare(
+            "rts_ingest_quarantined_total",
+            "counter",
+            "Malformed stream records skipped under on_error='skip', by adapter",
         )
         m.histogram(
             "rts_rebuild_queries", SIZE_BUCKETS, "Alive queries per rebuild"
@@ -218,6 +245,32 @@ class Observability(NullObservability):
             )
             self._msg_counters[mtype] = counter
         counter.inc(n)
+
+    def transport_event(self, event: str, n: int = 1) -> None:
+        """One transport-layer fault/recovery event (drop, duplicate,
+        defer, retry, redelivery, crash, restart, dead_letter, ...)."""
+        counter = self._transport_counters.get(event)
+        if counter is None:
+            counter = self.metrics.counter(
+                "rts_transport_events_total",
+                "Transport-layer fault and recovery events, by kind",
+                event=event,
+            )
+            self._transport_counters[event] = counter
+        counter.inc(n)
+
+    def ingest_quarantined(self, where: str, n: int = 1) -> None:
+        """A malformed stream record was skipped (``on_error='skip'``)."""
+        counter = self._quarantine_counters.get(where)
+        if counter is None:
+            counter = self.metrics.counter(
+                "rts_ingest_quarantined_total",
+                "Malformed stream records skipped under on_error='skip', by adapter",
+                adapter=where,
+            )
+            self._quarantine_counters[where] = counter
+        counter.inc(n)
+        self.trace.append("ingest.quarantined", ts=self._now, adapter=where, n=n)
 
     def dt_slack(self, query_id: object, lam: int, h: int) -> None:
         self.metrics.counter("rts_dt_slack_announcements_total").inc()

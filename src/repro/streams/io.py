@@ -11,6 +11,18 @@ users do not have to hand-roll parsing:
 
 All adapters are lazy generators: they never hold the stream in memory,
 matching the algorithm's "see each element once, then discard" model.
+
+Error policy
+------------
+By default a malformed record raises ``ValueError`` with the offending
+location (``on_error="raise"``) — the right behaviour for curated
+workload files, where a bad record means the file is wrong.  Long-running
+ingestion from external feeds can opt into ``on_error="skip"``: malformed
+records are quarantined (dropped and counted) instead of killing the
+stream, with the count surfaced through the
+``rts_ingest_quarantined_total`` observability counter when an
+:class:`~repro.obs.Observability` sink is passed (see
+``docs/ROBUSTNESS.md``).
 """
 
 from __future__ import annotations
@@ -23,6 +35,20 @@ from typing import Iterable, Iterator, Mapping, Sequence, Union
 from .element import StreamElement
 
 PathLike = Union[str, pathlib.Path]
+
+_ON_ERROR_CHOICES = ("raise", "skip")
+
+
+def _check_policy(on_error: str) -> None:
+    if on_error not in _ON_ERROR_CHOICES:
+        raise ValueError(
+            f"on_error must be one of {_ON_ERROR_CHOICES}, got {on_error!r}"
+        )
+
+
+def _quarantine(obs, adapter: str) -> None:
+    if obs is not None and obs.enabled:
+        obs.ingest_quarantined(adapter)
 
 
 def _element_from_mapping(
@@ -46,7 +72,12 @@ def _element_from_mapping(
             raise ValueError(
                 f"{where}: missing weight field {weight_field!r}"
             ) from None
-        weight = int(float(raw))
+        try:
+            weight = int(float(raw))
+        except (TypeError, ValueError):
+            raise ValueError(
+                f"{where}: non-numeric weight field: {raw!r}"
+            ) from None
         if weight < 1:
             raise ValueError(
                 f"{where}: weight must be a positive integer, got {raw!r}"
@@ -58,23 +89,37 @@ def elements_from_records(
     records: Iterable[Mapping[str, object]],
     value_fields: Sequence[str],
     weight_field: str | None = None,
+    on_error: str = "raise",
+    obs=None,
 ) -> Iterator[StreamElement]:
     """Adapt an iterable of dict-like records.
 
     ``value_fields`` name the coordinates in order (the dimensionality is
     ``len(value_fields)``); ``weight_field`` names the weight column
-    (omit it for the counting case, weight 1).
+    (omit it for the counting case, weight 1).  ``on_error="skip"``
+    quarantines malformed records instead of raising (see the module
+    docstring).
     """
     if not value_fields:
         raise ValueError("value_fields must name at least one coordinate")
+    _check_policy(on_error)
     for i, record in enumerate(records, start=1):
-        yield _element_from_mapping(record, value_fields, weight_field, f"record {i}")
+        try:
+            yield _element_from_mapping(
+                record, value_fields, weight_field, f"record {i}"
+            )
+        except ValueError:
+            if on_error == "raise":
+                raise
+            _quarantine(obs, "records")
 
 
 def elements_from_csv(
     path: PathLike,
     value_fields: Sequence[str],
     weight_field: str | None = None,
+    on_error: str = "raise",
+    obs=None,
 ) -> Iterator[StreamElement]:
     """Stream elements out of a CSV file with a header row.
 
@@ -83,22 +128,35 @@ def elements_from_csv(
     """
     if not value_fields:
         raise ValueError("value_fields must name at least one coordinate")
+    _check_policy(on_error)
     with open(path, newline="") as handle:
         reader = csv.DictReader(handle)
         for i, row in enumerate(reader, start=1):
-            yield _element_from_mapping(
-                row, value_fields, weight_field, f"{path}:{i}"
-            )
+            try:
+                yield _element_from_mapping(
+                    row, value_fields, weight_field, f"{path}:{i}"
+                )
+            except ValueError:
+                if on_error == "raise":
+                    raise
+                _quarantine(obs, "csv")
 
 
 def elements_from_jsonl(
     path: PathLike,
     value_fields: Sequence[str],
     weight_field: str | None = None,
+    on_error: str = "raise",
+    obs=None,
 ) -> Iterator[StreamElement]:
-    """Stream elements out of a JSON-lines file (one object per line)."""
+    """Stream elements out of a JSON-lines file (one object per line).
+
+    Under ``on_error="skip"`` both unparseable JSON lines and lines whose
+    parsed object is malformed are quarantined.
+    """
     if not value_fields:
         raise ValueError("value_fields must name at least one coordinate")
+    _check_policy(on_error)
     with open(path) as handle:
         for i, line in enumerate(handle, start=1):
             line = line.strip()
@@ -106,8 +164,24 @@ def elements_from_jsonl(
                 continue
             try:
                 record = json.loads(line)
+                if not isinstance(record, Mapping):
+                    raise ValueError(
+                        f"{path}:{i}: expected a JSON object, got "
+                        f"{type(record).__name__}"
+                    )
+                element = _element_from_mapping(
+                    record, value_fields, weight_field, f"{path}:{i}"
+                )
             except json.JSONDecodeError as exc:
-                raise ValueError(f"{path}:{i}: invalid JSON: {exc}") from None
-            yield _element_from_mapping(
-                record, value_fields, weight_field, f"{path}:{i}"
-            )
+                if on_error == "raise":
+                    raise ValueError(
+                        f"{path}:{i}: invalid JSON: {exc}"
+                    ) from None
+                _quarantine(obs, "jsonl")
+                continue
+            except ValueError:
+                if on_error == "raise":
+                    raise
+                _quarantine(obs, "jsonl")
+                continue
+            yield element

@@ -1,0 +1,1 @@
+"""Chaos tests: fault injection, reliable delivery, crash recovery."""

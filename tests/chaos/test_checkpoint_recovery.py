@@ -1,0 +1,175 @@
+"""Crash-recovery tests: snapshots, write-ahead log, DurableSystem.
+
+The bit-identity claim: a run interrupted by crashes and recovered from
+``(checkpoint, WAL)`` must report exactly the maturities of the
+uninterrupted run — same query ids, timestamps and weights.  Maturity
+order *within* one timestamp is engine-layout dependent, so comparisons
+canonicalize by sorting per-event tuples.
+"""
+
+import json
+import math
+
+import pytest
+
+from repro import DurableSystem, Query, RTSSystem, StreamElement, WriteAheadLog
+from repro.core.system import available_engines
+
+
+def roundtrip(obj):
+    """Force durable-store realism: a real JSON round trip."""
+    return json.loads(json.dumps(obj))
+
+
+def canonical(events):
+    return sorted((ev.timestamp, ev.query.query_id, ev.weight_seen) for ev in events)
+
+
+def _workload(dims, n_queries=20, n_elements=300, seed=0):
+    """A small deterministic workload: queries + weighted elements."""
+    import random
+
+    rng = random.Random(seed)
+    queries = []
+    for i in range(n_queries):
+        lo = [rng.uniform(0, 80) for _ in range(dims)]
+        rect = [(v, v + rng.uniform(5, 25)) for v in lo]
+        queries.append(Query(rect, threshold=rng.randint(20, 400), query_id=f"q{i}"))
+    elements = [
+        StreamElement(
+            tuple(rng.uniform(0, 100) for _ in range(dims)), rng.randint(1, 5)
+        )
+        for _ in range(n_elements)
+    ]
+    return queries, elements
+
+
+def _dims_for(engine):
+    return 2 if engine in ("seg-intv-tree", "rtree") else 1
+
+
+@pytest.mark.parametrize("engine", available_engines())
+class TestSnapshotRestore:
+    def test_recovery_is_bit_identical(self, engine):
+        dims = _dims_for(engine)
+        queries, elements = _workload(dims)
+
+        # Oracle: the uninterrupted run.
+        oracle_sys = RTSSystem(dims=dims, engine=engine)
+        oracle_events = []
+        oracle_sys.on_maturity(oracle_events.append)
+        oracle_sys.register_batch(queries)
+        for el in elements:
+            oracle_sys.process(el)
+
+        # Crash/recover run: checkpoint every 75 elements, crash (JSON
+        # round trip of snapshot + WAL) at three points mid-stream.
+        durable = DurableSystem(RTSSystem(dims=dims, engine=engine))
+        events = []
+        durable.on_maturity(events.append)
+        durable.register_batch(queries)
+        snap = roundtrip(durable.checkpoint())
+        for step, el in enumerate(elements, start=1):
+            durable.process(el)
+            if step % 75 == 0:
+                snap = roundtrip(durable.checkpoint())
+            if step in (60, 170, 290):
+                wal = roundtrip(durable.wal.to_obj())
+                durable = DurableSystem.recover(snap, wal)
+                seen = {(t, q, w) for t, q, w in canonical(events)}
+                events.extend(
+                    ev
+                    for ev in durable.replayed_events
+                    if (ev.timestamp, ev.query.query_id, ev.weight_seen) not in seen
+                )
+                durable.on_maturity(events.append)
+
+        assert canonical(events) == canonical(oracle_events)
+        assert len(events) == len(oracle_events)
+
+    def test_snapshot_restores_clock_and_statuses(self, engine):
+        dims = _dims_for(engine)
+        queries, elements = _workload(dims, n_queries=8, n_elements=80)
+        system = RTSSystem(dims=dims, engine=engine)
+        system.register_batch(queries)
+        for el in elements[:40]:
+            system.process(el)
+        system.terminate(queries[0].query_id)
+        restored = RTSSystem.restore(roundtrip(system.snapshot()))
+        assert restored.now == system.now
+        assert restored.alive_count == system.alive_count
+        for q in queries:
+            assert restored.maturity_time(q.query_id) == system.maturity_time(
+                q.query_id
+            )
+
+
+class TestSnapshotErrors:
+    def test_engine_instance_systems_cannot_snapshot(self):
+        from repro.core.logmethod import DTEngine
+
+        system = RTSSystem(dims=1, engine=DTEngine(dims=1))
+        with pytest.raises(ValueError, match="engine instance"):
+            system.snapshot()
+
+    def test_foreign_payload_rejected(self):
+        with pytest.raises(ValueError, match="rts-snapshot-v1"):
+            RTSSystem.restore({"format": "something-else"})
+
+    def test_nan_coordinates_rejected_before_the_wal(self):
+        # StreamElement refuses NaN at construction; the serializer's own
+        # NaN guard (tests/core/test_serialize.py) backstops raw payloads.
+        with pytest.raises(ValueError, match="finite"):
+            StreamElement(math.nan, 1)
+
+
+class TestWriteAheadLog:
+    def test_roundtrip_and_replay(self):
+        wal = WriteAheadLog()
+        q = Query([(0, 10)], threshold=30, query_id="wal-q")
+        wal.log_register(q)
+        wal.log_element(StreamElement(5.0, 20))
+        wal.log_element(StreamElement(5.0, 15))
+        restored = WriteAheadLog.from_obj(roundtrip(wal.to_obj()))
+        assert len(restored) == 3
+        system = RTSSystem(dims=1)
+        events = restored.replay(system)
+        assert [(ev.query.query_id, ev.weight_seen) for ev in events] == [
+            ("wal-q", 35)
+        ]
+
+    def test_foreign_payload_rejected(self):
+        with pytest.raises(ValueError, match="rts-wal-v1"):
+            WriteAheadLog.from_obj({"format": "nope", "entries": []})
+
+    def test_clear_truncates(self):
+        wal = WriteAheadLog()
+        wal.log_terminate("q1")
+        wal.clear()
+        assert len(wal) == 0
+
+
+class TestDurableSystem:
+    def test_double_crash_replays_from_same_snapshot(self):
+        durable = DurableSystem(RTSSystem(dims=1))
+        q = durable.register([(0, 10)], threshold=100)
+        durable.process(5.0, weight=60)
+        snap = roundtrip(durable.checkpoint())
+        durable.process(5.0, weight=30)
+        wal = roundtrip(durable.wal.to_obj())
+        for _ in range(2):  # crash twice before the next checkpoint
+            recovered = DurableSystem.recover(snap, wal)
+            assert recovered.system.progress(q.query_id) == (90, 100)
+            assert recovered.replayed_events == []
+        recovered.process(5.0, weight=10)  # now it matures
+        assert recovered.system.maturity_time(q.query_id) is not None
+
+    def test_terminate_and_register_are_logged(self):
+        durable = DurableSystem(RTSSystem(dims=1))
+        q = durable.register([(0, 10)], threshold=50)
+        durable.terminate(q)
+        assert len(durable.wal) == 2
+        recovered = DurableSystem.recover(
+            RTSSystem(dims=1).snapshot(), roundtrip(durable.wal.to_obj())
+        )
+        assert recovered.alive_count == 0

@@ -1,0 +1,113 @@
+"""Unit tests for the seeded lossy transport (FaultyNetwork)."""
+
+import pytest
+
+from repro import sanitize
+from repro.dt.faults import FaultSpec, FaultyNetwork
+from repro.dt.messages import COORDINATOR, Message, MessageType
+from repro.dt.transport import Packet, WireKind
+
+CHAOS = FaultSpec(drop_rate=0.2, dup_rate=0.2, reorder_rate=0.2)
+
+
+def _packet(seq, src=0, dst=COORDINATOR):
+    return Packet(
+        WireKind.DATA, src, dst, seq, Message(MessageType.SIGNAL, src, dst)
+    )
+
+
+def _drain(net, limit=1000):
+    for _ in range(limit):
+        net.pump()
+        if net.pending == 0:
+            return
+    raise AssertionError("network did not drain")
+
+
+class TestDeterminism:
+    def test_same_seed_same_schedule(self):
+        runs = []
+        for _ in range(2):
+            net = FaultyNetwork(CHAOS, seed=42)
+            got = []
+            net.attach(COORDINATOR, lambda p: got.append(p.seq))
+            for i in range(50):
+                net.send(_packet(i))
+            _drain(net)
+            runs.append((got, net.stats.dropped, net.stats.duplicated))
+        assert runs[0] == runs[1]
+
+    def test_different_seed_different_schedule(self):
+        outcomes = set()
+        for seed in range(5):
+            net = FaultyNetwork(CHAOS, seed=seed)
+            got = []
+            net.attach(COORDINATOR, lambda p: got.append(p.seq))
+            for i in range(50):
+                net.send(_packet(i))
+            _drain(net)
+            outcomes.add(tuple(got))
+        assert len(outcomes) > 1  # schedules actually vary by seed
+
+
+class TestAccounting:
+    def test_conservation_after_drain(self):
+        net = FaultyNetwork(CHAOS, seed=7)
+        net.attach(COORDINATOR, lambda p: None)
+        for i in range(200):
+            net.send(_packet(i))
+        _drain(net)
+        stats = net.stats
+        assert stats.enqueued() == stats.delivered + stats.lost_to_crash
+        sanitize.check(net)  # transport-conservation holds
+
+    def test_fault_free_is_fifo_and_lossless(self):
+        net = FaultyNetwork(FaultSpec(), seed=0)
+        got = []
+        net.attach(COORDINATOR, lambda p: got.append(p.seq))
+        for i in range(20):
+            net.send(_packet(i))
+        _drain(net)
+        assert got == list(range(20))
+        assert net.stats.delivered == 20 and net.stats.dropped == 0
+
+
+class TestCrashRestart:
+    def test_crash_loses_in_flight_traffic(self):
+        net = FaultyNetwork(FaultSpec(), seed=0)
+        net.attach(COORDINATOR, lambda p: None)
+        net.send(_packet(0))
+        net.crash(COORDINATOR)
+        _drain(net)
+        assert net.stats.lost_to_crash == 1 and net.stats.delivered == 0
+        sanitize.check(net)
+
+    def test_restart_resumes_delivery(self):
+        net = FaultyNetwork(FaultSpec(), seed=0)
+        net.attach(COORDINATOR, lambda p: None)
+        net.crash(COORDINATOR)
+        got = []
+        net.attach(COORDINATOR, lambda p: got.append(p.seq))
+        net.send(_packet(5))
+        _drain(net)
+        assert got == [5]
+        assert net.stats.crashes == 1
+
+    def test_crash_unattached_rejected(self):
+        net = FaultyNetwork(FaultSpec(), seed=0)
+        with pytest.raises(KeyError):
+            net.crash(COORDINATOR)
+
+
+class TestObservability:
+    def test_fault_events_counted(self):
+        from repro.obs import Observability
+
+        obs = Observability()
+        net = FaultyNetwork(FaultSpec(drop_rate=0.5), seed=1, obs=obs)
+        net.attach(COORDINATOR, lambda p: None)
+        for i in range(100):
+            net.send(_packet(i))
+        _drain(net)
+        dropped = obs.metrics.value("rts_transport_events_total", event="drop")
+        assert dropped == net.stats.dropped > 0

@@ -1,0 +1,134 @@
+"""Unit + property tests for the retry/ack/dedup reliable channel.
+
+The property test is the robustness claim of docs/ROBUSTNESS.md in
+miniature: for *any* seeded fault schedule within the supported rates,
+the DT coordinator over a ReliableChannel reaches exactly the decisions
+of the synchronous fault-free run.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import sanitize
+from repro.dt import (
+    COORDINATOR,
+    FaultSpec,
+    FaultyNetwork,
+    Message,
+    MessageType,
+    ReliableChannel,
+    TransportError,
+    run_tracking,
+    run_tracking_faulty,
+)
+from repro.dt.reliable import TRANSPORT_OVERHEAD_FACTOR, TRANSPORT_OVERHEAD_SLACK
+
+CHAOS = FaultSpec(drop_rate=0.2, dup_rate=0.2, reorder_rate=0.2)
+
+
+def _chaos_channel(seed, **kwargs):
+    return ReliableChannel(FaultyNetwork(CHAOS, seed=seed), **kwargs)
+
+
+class TestExactlyOnceInOrder:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_delivery_under_chaos(self, seed):
+        channel = _chaos_channel(seed)
+        got = []
+        channel.attach(COORDINATOR, lambda m: got.append(m.payload))
+        channel.attach(0, lambda m: None)
+        for i in range(60):
+            channel.send(Message(MessageType.REPORT, 0, COORDINATOR, payload=i))
+        channel.run_until_quiescent()
+        assert got == list(range(60))  # every payload once, in order
+        assert channel.stats.delivered == 60
+        sanitize.check(channel)
+
+    def test_fault_free_wire_cost_is_exactly_two(self):
+        channel = ReliableChannel(FaultyNetwork(FaultSpec(), seed=0))
+        channel.attach(COORDINATOR, lambda m: None)
+        channel.attach(0, lambda m: None)
+        for i in range(30):
+            channel.send(Message(MessageType.SIGNAL, 0, COORDINATOR))
+        channel.run_until_quiescent()
+        stats = channel.stats
+        assert stats.retries == 0
+        assert stats.wire_total == 2 * stats.delivered  # one DATA + one ACK
+
+    def test_overhead_stays_within_documented_bound(self):
+        channel = _chaos_channel(3)
+        channel.attach(COORDINATOR, lambda m: None)
+        channel.attach(0, lambda m: None)
+        for i in range(200):
+            channel.send(Message(MessageType.SIGNAL, 0, COORDINATOR))
+        channel.run_until_quiescent()
+        stats = channel.stats
+        assert stats.wire_total <= (
+            TRANSPORT_OVERHEAD_FACTOR * stats.delivered + TRANSPORT_OVERHEAD_SLACK
+        )
+
+
+class TestDeadLetters:
+    def test_retry_exhaustion_raises(self):
+        channel = ReliableChannel(
+            FaultyNetwork(FaultSpec(drop_rate=0.95), seed=0),
+            max_retries=2,
+            base_timeout=1,
+        )
+        channel.attach(COORDINATOR, lambda m: None)
+        channel.attach(0, lambda m: None)
+        for i in range(30):
+            channel.send(Message(MessageType.SIGNAL, 0, COORDINATOR))
+        with pytest.raises(TransportError, match="retry budget"):
+            channel.run_until_quiescent()
+        assert channel.stats.dead_letters > 0
+
+
+class TestEndpointSnapshot:
+    def test_snapshot_restore_preserves_link_state(self):
+        channel = _chaos_channel(9)
+        got = []
+        channel.attach(COORDINATOR, lambda m: got.append(m.payload))
+        channel.attach(0, lambda m: None)
+        for i in range(10):
+            channel.send(Message(MessageType.REPORT, 0, COORDINATOR, payload=i))
+        channel.run_until_quiescent()
+        snap = channel.endpoint_snapshot(0)
+        channel.restore_endpoint(snap)  # idempotent on a quiescent link
+        for i in range(10, 20):
+            channel.send(Message(MessageType.REPORT, 0, COORDINATOR, payload=i))
+        channel.run_until_quiescent()
+        assert got == list(range(20))
+
+
+class TestFaultScheduleEquivalence:
+    """Satellite: any fault schedule yields the fault-free decisions."""
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        h=st.integers(1, 5),
+        tau=st.integers(3, 80),
+        seed=st.integers(0, 2**16),
+        drop=st.floats(0.0, 0.3),
+        dup=st.floats(0.0, 0.3),
+        reorder=st.floats(0.0, 0.3),
+        data=st.data(),
+    )
+    def test_coordinator_decisions_match_oracle(
+        self, h, tau, seed, drop, dup, reorder, data
+    ):
+        n_steps = data.draw(st.integers(tau, 2 * tau), label="steps")
+        increments = [
+            (
+                data.draw(st.integers(0, h - 1), label=f"site{i}"),
+                data.draw(st.integers(1, 3), label=f"w{i}"),
+            )
+            for i in range(n_steps)
+        ]
+        spec = FaultSpec(drop_rate=drop, dup_rate=dup, reorder_rate=reorder)
+        oracle = run_tracking(h, tau, increments)
+        faulty = run_tracking_faulty(h, tau, increments, spec=spec, seed=seed)
+        assert faulty.matured_at_step == oracle.matured_at_step
+        assert faulty.total_collected == oracle.total_collected
+        assert faulty.rounds == oracle.rounds

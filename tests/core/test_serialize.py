@@ -4,6 +4,8 @@ import json
 import math
 
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro import Interval, Query, Rect, StreamElement
 from repro.core.serialize import (
@@ -71,6 +73,97 @@ class TestElement:
     def test_roundtrip(self):
         e = StreamElement((1.5, 2.0), weight=7)
         assert element_from_obj(roundtrip_json(element_to_obj(e))) == e
+
+
+class TestNaNRejection:
+    """NaN never round-trips: it poisons every interval comparison."""
+
+    def test_boundary_to_obj_rejects_nan(self):
+        with pytest.raises(ValueError, match="NaN"):
+            boundary_to_obj((math.nan, 0))
+
+    def test_boundary_from_obj_rejects_nan(self):
+        with pytest.raises(ValueError, match="NaN"):
+            boundary_from_obj([math.nan, 0])
+
+    def test_interval_from_obj_rejects_nan(self):
+        obj = interval_to_obj(Interval.closed(1, 2))
+        obj["lo"][0] = math.nan
+        with pytest.raises(ValueError, match="NaN"):
+            interval_from_obj(obj)
+
+    def test_element_from_obj_rejects_nan(self):
+        obj = element_to_obj(StreamElement((1.0, 2.0), 3))
+        obj["v"][1] = math.nan
+        with pytest.raises(ValueError, match="NaN"):
+            element_from_obj(obj)
+
+    def test_query_from_obj_rejects_nan(self):
+        obj = query_to_obj(Query([(0, 1)], 10, query_id="q"))
+        obj["rect"][0]["hi"][0] = math.nan
+        with pytest.raises(ValueError, match="NaN"):
+            query_from_obj(obj)
+
+
+class TestPropertyRoundTrips:
+    """Hypothesis: (de)serialization is the identity on valid objects."""
+
+    finite = st.floats(allow_nan=False, allow_infinity=False, width=32)
+    boundary = st.tuples(
+        st.one_of(finite, st.just(math.inf), st.just(-math.inf)),
+        st.integers(0, 1),
+    )
+
+    @settings(max_examples=200, deadline=None)
+    @given(key=boundary)
+    def test_boundary_roundtrip(self, key):
+        assert boundary_from_obj(roundtrip_json(boundary_to_obj(key))) == key
+
+    @settings(max_examples=200, deadline=None)
+    @given(lo=finite, width=st.floats(0.001, 1e6), kind=st.integers(0, 3))
+    def test_interval_roundtrip(self, lo, width, kind):
+        make = [
+            Interval.closed,
+            Interval.open,
+            Interval.half_open,
+            Interval.left_open,
+        ][kind]
+        iv = make(lo, lo + width)
+        assert interval_from_obj(roundtrip_json(interval_to_obj(iv))) == iv
+
+    @settings(max_examples=100, deadline=None)
+    @given(
+        corners=st.lists(st.tuples(finite, st.floats(0.001, 1e6)), min_size=1, max_size=4)
+    )
+    def test_rect_roundtrip(self, corners):
+        rect = Rect([Interval.half_open(lo, lo + w) for lo, w in corners])
+        assert rect_from_obj(roundtrip_json(rect_to_obj(rect))) == rect
+
+    @settings(max_examples=100, deadline=None)
+    @given(
+        value=st.lists(finite, min_size=1, max_size=4),
+        weight=st.integers(1, 10**9),
+    )
+    def test_element_roundtrip(self, value, weight):
+        e = StreamElement(tuple(value), weight)
+        assert element_from_obj(roundtrip_json(element_to_obj(e))) == e
+
+    @settings(max_examples=100, deadline=None)
+    @given(
+        lo=finite,
+        width=st.floats(0.001, 1e6),
+        threshold=st.integers(1, 10**9),
+        unbounded=st.booleans(),
+    )
+    def test_query_roundtrip(self, lo, width, threshold, unbounded):
+        iv = Interval.at_least(lo) if unbounded else Interval.closed(lo, lo + width)
+        q = Query(Rect([iv]), threshold, query_id="prop-q")
+        back = query_from_obj(roundtrip_json(query_to_obj(q)))
+        assert (back.rect, back.threshold, back.query_id) == (
+            q.rect,
+            q.threshold,
+            q.query_id,
+        )
 
 
 class TestWorkloadScriptPersistence:

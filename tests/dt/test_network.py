@@ -95,6 +95,44 @@ class TestStarNetwork:
         net = StarNetwork(obs=NULL_OBS)
         assert net._obs is None  # no per-send overhead when disabled
 
+    def test_detach_frees_the_address(self):
+        net = StarNetwork()
+        net.attach(0, lambda m: None)
+        assert net.attached(0)
+        net.detach(0)
+        assert not net.attached(0)
+        net.attach(0, lambda m: None)  # re-attachable after detach
+
+    def test_detach_unattached_rejected(self):
+        net = StarNetwork()
+        with pytest.raises(KeyError):
+            net.detach(0)
+
+    def test_send_to_detached_address_rejected(self):
+        net = StarNetwork()
+        net.attach(COORDINATOR, lambda m: None)
+        net.attach(0, lambda m: None)
+        net.detach(COORDINATOR)
+        with pytest.raises(KeyError):
+            net.send(Message(MessageType.SIGNAL, 0, COORDINATOR))
+
+    def test_close_detaches_protocol_endpoints(self):
+        from repro.dt import Coordinator, Participant
+
+        net = StarNetwork()
+        coordinator = Coordinator(h=2, tau=50, network=net)
+        participants = [Participant(i, net) for i in range(2)]
+        coordinator.start()
+        coordinator.close()
+        for p in participants:
+            p.close()
+        assert not net.attached(COORDINATOR)
+        assert not net.attached(0) and not net.attached(1)
+        # The addresses are reusable for the next protocol instance.
+        next_participants = [Participant(i, net) for i in range(2)]
+        Coordinator(h=2, tau=50, network=net).start()
+        assert all(p.lam >= 1 for p in next_participants)  # SLACK arrived
+
     def test_reset_stats_keeps_handlers(self):
         net = StarNetwork(trace=True)
         net.attach(COORDINATOR, lambda m: None)

@@ -84,6 +84,81 @@ class TestCsv:
         assert system.maturity_time(q) is not None
 
 
+class TestSkipPolicy:
+    """on_error="skip": malformed records quarantined, stream survives."""
+
+    def test_records_skip_and_count(self):
+        from repro.obs import Observability
+
+        obs = Observability()
+        records = [
+            {"a": 1},
+            {"a": "spam"},  # non-numeric value
+            {"b": 2},  # missing value field
+            {"a": 3},
+        ]
+        out = list(
+            elements_from_records(records, ["a"], on_error="skip", obs=obs)
+        )
+        assert out == [StreamElement(1.0, 1), StreamElement(3.0, 1)]
+        assert (
+            obs.metrics.value("rts_ingest_quarantined_total", adapter="records")
+            == 2
+        )
+
+    def test_skip_without_obs_sink(self):
+        out = list(
+            elements_from_records(
+                [{"a": 1}, {"a": "bad"}], ["a"], on_error="skip"
+            )
+        )
+        assert out == [StreamElement(1.0, 1)]
+
+    def test_csv_skip(self, tmp_path):
+        from repro.obs import Observability
+
+        obs = Observability()
+        path = tmp_path / "mixed.csv"
+        path.write_text("price,shares\n100,10\nnope,5\n101,0\n102,3\n")
+        out = list(
+            elements_from_csv(
+                path, ["price"], weight_field="shares", on_error="skip", obs=obs
+            )
+        )
+        assert out == [StreamElement(100.0, 10), StreamElement(102.0, 3)]
+        assert (
+            obs.metrics.value("rts_ingest_quarantined_total", adapter="csv") == 2
+        )
+
+    def test_jsonl_skip_covers_parse_errors(self, tmp_path):
+        from repro.obs import Observability
+
+        obs = Observability()
+        path = tmp_path / "mixed.jsonl"
+        lines = [
+            json.dumps({"x": 1}),
+            "{not json}",  # unparseable line
+            json.dumps([1, 2]),  # not an object
+            json.dumps({"x": "bad"}),  # malformed record
+            json.dumps({"x": 2}),
+        ]
+        path.write_text("\n".join(lines) + "\n")
+        out = list(elements_from_jsonl(path, ["x"], on_error="skip", obs=obs))
+        assert out == [StreamElement(1.0, 1), StreamElement(2.0, 1)]
+        assert (
+            obs.metrics.value("rts_ingest_quarantined_total", adapter="jsonl")
+            == 3
+        )
+
+    def test_raise_remains_the_default(self):
+        with pytest.raises(ValueError, match="non-numeric"):
+            list(elements_from_records([{"a": "bad"}], ["a"]))
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ValueError, match="on_error"):
+            list(elements_from_records([{"a": 1}], ["a"], on_error="ignore"))
+
+
 class TestJsonl:
     def test_roundtrip(self, tmp_path):
         path = tmp_path / "events.jsonl"
