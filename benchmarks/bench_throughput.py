@@ -1,0 +1,58 @@
+"""Batched-vs-scalar ingestion throughput (docs/PERFORMANCE.md).
+
+Thin pytest-benchmark wrapper over :mod:`repro.experiments.bench`: the
+same fig. 3-style paper-horizon workload the ``rts-experiments bench``
+CLI runs, timed per engine for element-at-a-time ``process`` and for
+``process_batch`` at the default batch size.  The batch-vs-scalar
+speedup lands in ``extra_info``; the committed baseline lives in
+``BENCH_PR4.json`` and is gated in CI (perf-smoke job).
+
+Sized well below the CLI defaults so the whole module stays in
+benchmark-suite time budgets; run the CLI for the reference numbers.
+"""
+
+import os
+
+import pytest
+
+from repro.experiments.bench import bench_engine, build_bench_workload
+
+BENCH_N = int(os.environ.get("RTS_BENCH_THROUGHPUT_N", "10000"))
+BATCH_SIZE = int(os.environ.get("RTS_BENCH_THROUGHPUT_BATCH", "1024"))
+
+_workload = None
+
+
+def _get_workload():
+    global _workload
+    if _workload is None:
+        _workload = build_bench_workload(dims=1, scale=1000, n=BENCH_N, seed=0)
+    return _workload
+
+
+@pytest.mark.parametrize("engine", ["dt", "dt-static", "baseline"])
+def test_batched_ingestion_throughput(benchmark, engine):
+    workload = _get_workload()
+    holder = {}
+
+    def run():
+        holder["cell"] = bench_engine(
+            engine, workload, batch_sizes=[BATCH_SIZE], repeats=1
+        )
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+    cell = holder["cell"]
+    batched = cell["batched"][str(BATCH_SIZE)]
+    assert batched["events_equal"]
+    benchmark.extra_info.update(
+        {
+            "engine": engine,
+            "n": workload.n,
+            "m": workload.m,
+            "tau": workload.tau,
+            "batch_size": BATCH_SIZE,
+            "scalar_eps": cell["scalar"]["elements_per_sec"],
+            "batched_eps": batched["elements_per_sec"],
+            "speedup": batched["speedup"],
+        }
+    )

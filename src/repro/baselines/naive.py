@@ -10,12 +10,19 @@ paper's DT algorithm escapes.
 
 from __future__ import annotations
 
-from typing import Dict, List, Tuple
+from typing import Dict, List, Sequence, Tuple
 
+from ..core.batch import prepare_batch
 from ..core.engine import Engine, EngineError
 from ..core.events import MaturityEvent
+from ..core.geometry import encoded_key
 from ..core.query import Query
 from ..streams.element import StreamElement
+
+try:  # numpy backs the vectorized probe of process_batch only
+    import numpy as _np
+except ImportError:  # pragma: no cover - numpy ships with the package
+    _np = None
 
 
 class NaiveEngine(Engine):
@@ -77,6 +84,76 @@ class NaiveEngine(Engine):
             events.append(
                 MaturityEvent(query=query, timestamp=timestamp, weight_seen=weight_seen)
             )
+        return events
+
+    def process_batch(
+        self, elements: Sequence[StreamElement], timestamp: int
+    ) -> List[MaturityEvent]:
+        """Vectorized probe: one (batch x queries) containment matrix.
+
+        Queries are independent under the Baseline method — an element
+        only ever *decrements* remainders — so each query's maturity
+        offset is the first prefix of in-range cumulative weight reaching
+        its remainder, computable per query regardless of what other
+        queries do.  Events are emitted in scalar order: by offset, then
+        by registration (dict) order within an element.
+        """
+        batch = prepare_batch(elements, self.dims)
+        if _np is None or not batch.vectorizable or not self._alive:
+            return super().process_batch(batch.elements, timestamp)
+        records = list(self._alive.items())
+        try:
+            remaining = _np.array(
+                [record[1] for _qid, record in records], dtype=_np.int64
+            )
+        except (OverflowError, ValueError):
+            return super().process_batch(batch.elements, timestamp)
+        lows = _np.array(
+            [
+                [encoded_key(lo) for lo, _hi in record[2]]
+                for _qid, record in records
+            ],
+            dtype=_np.float64,
+        )
+        highs = _np.array(
+            [
+                [encoded_key(hi) for _lo, hi in record[2]]
+                for _qid, record in records
+            ],
+            dtype=_np.float64,
+        )
+        values = batch.values  # (B, d)
+        inside = _np.logical_and(
+            values[:, None, :] >= lows[None, :, :],
+            values[:, None, :] < highs[None, :, :],
+        ).all(axis=2)  # (B, m)
+        self.counters.containment_checks += inside.size
+        gains = _np.cumsum(inside * batch.weights[:, None], axis=0)  # (B, m)
+        final = gains[-1]
+        matured_cols = _np.nonzero(final >= remaining)[0]
+        ordered: List[Tuple[int, int, object, list, int]] = []
+        for col in matured_cols.tolist():
+            offset = int(_np.searchsorted(gains[:, col], remaining[col]))
+            query_id, record = records[col]
+            ordered.append(
+                (offset, col, query_id, record, int(gains[offset, col]))
+            )
+        ordered.sort(key=lambda item: (item[0], item[1]))
+        events: List[MaturityEvent] = []
+        for offset, _col, query_id, record, collected in ordered:
+            query: Query = record[0]
+            del self._alive[query_id]
+            events.append(
+                MaturityEvent(
+                    query=query,
+                    timestamp=timestamp + offset,
+                    weight_seen=query.threshold - (record[1] - collected),
+                )
+            )
+        survivors_delta = final.tolist()
+        for col, (query_id, record) in enumerate(records):
+            if survivors_delta[col] and query_id in self._alive:
+                record[1] -= survivors_delta[col]
         return events
 
     # -- termination ------------------------------------------------------

@@ -1,0 +1,112 @@
+"""Batch ingestion support: one validated, array-backed element batch.
+
+The slack-aware batched fast path (``docs/PERFORMANCE.md``) amortises the
+per-element constants of the Section 4 hot loop — tree descent, heap
+peeks, observer calls — over a whole batch of elements.  To do that the
+engines need the batch as contiguous numpy arrays; :class:`PreparedBatch`
+performs the conversion (and all input validation) exactly once, up
+front, so the bisection driver can slice sub-ranges for free.
+
+A batch is *vectorizable* only when the arrays are exact stand-ins for
+the Python values: every coordinate must survive the float64 round-trip
+it already took inside :class:`~repro.streams.element.StreamElement`, and
+the total batch weight must stay below 2^53 so the float64 partial sums
+``numpy.bincount`` computes are exact integers.  Otherwise the engines
+silently fall back to the element-at-a-time loop — same events, no fast
+path.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from ..streams.element import StreamElement
+
+try:  # numpy is a core dependency, but the fallback keeps this importable
+    import numpy as _np
+except ImportError:  # pragma: no cover - numpy ships with the package
+    _np = None
+
+#: Above this total batch weight the float64 leaf sums of the vectorized
+#: routing step could round; such batches take the scalar path instead.
+MAX_EXACT_WEIGHT = 1 << 53
+
+
+class PreparedBatch:
+    """An immutable, validated batch of stream elements.
+
+    Parameters
+    ----------
+    elements:
+        The batch, in arrival order.  Each must be a
+        :class:`~repro.streams.element.StreamElement` of dimensionality
+        ``dims`` (same validation as ``Engine.validate_element``).
+    dims:
+        The engine's data-space dimensionality.
+    """
+
+    __slots__ = ("elements", "size", "values", "weights", "vectorizable", "_arange")
+
+    def __init__(self, elements: Sequence[StreamElement], dims: int):
+        batch: List[StreamElement] = []
+        for element in elements:
+            if not isinstance(element, StreamElement):
+                raise TypeError(f"expected a StreamElement, got {element!r}")
+            if element.dims != dims:
+                raise ValueError(
+                    f"element has {element.dims} coordinate(s); engine "
+                    f"handles {dims} dimension(s)"
+                )
+            batch.append(element)
+        self.elements = batch
+        self.size = len(batch)
+        self.values = None
+        self.weights = None
+        self._arange = None
+        self.vectorizable = False
+        if _np is None or not batch:
+            return
+        try:
+            values = _np.array([e.value for e in batch], dtype=_np.float64)
+            weights = _np.array([e.weight for e in batch], dtype=_np.int64)
+        except (OverflowError, ValueError):
+            return  # weights beyond int64: scalar fallback stays exact
+        if int(weights.sum()) >= MAX_EXACT_WEIGHT:
+            return
+        self.values = values
+        self.weights = weights
+        self._arange = _np.arange(self.size, dtype=_np.intp)
+        self.vectorizable = True
+
+    def indices(self, lo: int, hi: int):
+        """Index array selecting the sub-range ``[lo, hi)`` (a view)."""
+        return self._arange[lo:hi]
+
+    def total_weight(self) -> int:
+        """Sum of element weights (exact, computed from the Python ints)."""
+        return sum(e.weight for e in self.elements)
+
+    def __len__(self) -> int:
+        return self.size
+
+    def __repr__(self) -> str:
+        kind = "vectorizable" if self.vectorizable else "scalar-only"
+        return f"PreparedBatch(size={self.size}, {kind})"
+
+
+def prepare_batch(
+    elements: Sequence[StreamElement], dims: int
+) -> PreparedBatch:
+    """Coerce ``elements`` into a :class:`PreparedBatch` (idempotent).
+
+    Shared by every engine's ``process_batch`` so the Section 4 hot
+    path validates and array-packs each batch exactly once.
+    """
+    if isinstance(elements, PreparedBatch):
+        return elements
+    return PreparedBatch(elements, dims)
+
+
+def numpy_available() -> bool:
+    """True when the vectorized Section 4 routing path can run at all."""
+    return _np is not None

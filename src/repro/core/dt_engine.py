@@ -23,11 +23,122 @@ from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 from ..obs.observer import NULL_OBS
 from ..streams.element import StreamElement
 from ..structures.heap import AddressableMinHeap
+from .batch import PreparedBatch, prepare_batch
 from .endpoint_tree import EndpointTree
 from .engine import Engine, EngineError, WorkCounters
 from .events import MaturityEvent
 from .query import Query
 from .tracker import QueryTracker, TrackerState
+
+try:  # numpy backs the batched bulk-application path only
+    import numpy as _np
+except ImportError:  # pragma: no cover - numpy ships with the package
+    _np = None
+
+#: Ranges at most this long skip the bulk attempt and replay element by
+#: element — below the cutoff a vectorized pass costs more than the
+#: scalar loop it would replace.
+BATCH_SCALAR_CUTOFF = 8
+
+#: Failed bulk attempts allowed per batch before the driver stops trying
+#: and replays the rest scalar.  On slack-starved workloads (signals due
+#: inside almost every range) bisection would otherwise pay a vectorized
+#: pass — and, when a round ended meanwhile, a full heap-min refresh —
+#: per level per failure; the fuel bound keeps the worst case within a
+#: small constant factor of plain scalar processing.
+BATCH_FAIL_FUEL = 8
+
+#: Consecutive fuel-exhausted batches before the driver backs off to
+#: plain scalar replay, and how many *elements* the backoff lasts
+#: (element-denominated so small batches don't probe proportionally more
+#: often).  On a persistently slack-starved stream the probe batches are
+#: then a small minority, bounding steady-state overhead at a few percent
+#: of scalar throughput while still re-probing often enough to catch the
+#: stream leaving the starved regime.
+BATCH_BACKOFF_STRIKES = 2
+BATCH_BACKOFF_ELEMENTS = 16384
+
+
+def apply_collected(out, dirty, counters: WorkCounters) -> None:
+    """Apply the ``(state, deltas)`` pairs a safe ``bulk_collect`` built.
+
+    Safety (``min H(u) > c(u) + delta(u)`` at every touched node) means
+    no heap drain is needed: the range cannot fire a single signal, so
+    bumping the counters *is* the whole of Section 4's per-element work
+    for the range.  The bumps land in each tree's vectorized mirror and
+    are written back to the real nodes lazily (``state.flush()`` via
+    ``dirty``); one bump per touched node is what lands in the
+    machine-independent accounting — the saved work is the point.
+    """
+    bumps = 0
+    for state, deltas in out:
+        state.apply(deltas)
+        dirty[id(state)] = state
+        bumps += int(_np.count_nonzero(deltas))
+    counters.counter_bumps += bumps
+
+
+def flush_collected(dirty) -> None:
+    """Settle every deferred mirror delta onto the real Section 4 node
+    counters."""
+    for state in dirty.values():
+        state.flush()
+    dirty.clear()
+
+
+def bisect_batch(engine: Engine, batch: PreparedBatch, timestamp: int, try_bulk, run_scalar):
+    """Shared slack-aware batch bisection driver (docs/PERFORMANCE.md)
+    amortising the Section 4 per-element hot loop over whole batches.
+
+    Processes batch ranges in arrival order from an explicit stack:
+    ``try_bulk(lo, hi)`` either applies the whole range (True) or
+    declines (False), in which case the range is split in half and both
+    halves are retried — down to :data:`BATCH_SCALAR_CUTOFF` (or until
+    the failure fuel runs out), where ``run_scalar(lo, hi, events)``
+    replays the engine's exact per-element code path.  Because bulk
+    application only ever happens on ranges that provably produce no
+    events, and scalar leaves replay the exact per-element code path
+    (including rebuild checks), the event stream is bit-identical to
+    one-at-a-time processing.
+    """
+    events: List[MaturityEvent] = []
+    if engine._bulk_backoff > 0:
+        # Recent batches exhausted their fuel: the stream is slack-starved
+        # right now, so skip the probing entirely for a while.  A maturity
+        # detaches its tracker's heap entries — often the very entries
+        # that starved the slack — so it ends the backoff early.
+        engine._bulk_backoff -= batch.size
+        run_scalar(0, batch.size, events)
+        if events:
+            engine._bulk_backoff = 0
+            engine._bulk_strikes = 0
+        return events
+    stack: List[Tuple[int, int]] = [(0, batch.size)]
+    # Scale the failure budget with the batch so small batches don't pay
+    # a disproportionate number of failed vectorized passes per element.
+    fuel = min(BATCH_FAIL_FUEL, max(4, batch.size >> 6))
+    while stack:
+        lo, hi = stack.pop()
+        if hi - lo > BATCH_SCALAR_CUTOFF and fuel:
+            if try_bulk(lo, hi):
+                continue
+            fuel -= 1
+            obs = engine.obs
+            if obs.enabled:
+                obs.batch_bisected(hi - lo)
+            mid = (lo + hi) >> 1
+            stack.append((mid, hi))
+            stack.append((lo, mid))
+        else:
+            run_scalar(lo, hi, events)
+    if fuel == 0:
+        engine._bulk_strikes += 1
+        if engine._bulk_strikes >= BATCH_BACKOFF_STRIKES:
+            engine._bulk_strikes = 0
+            engine._bulk_backoff = BATCH_BACKOFF_ELEMENTS
+    else:
+        engine._bulk_strikes = 0
+    return events
 
 
 class TreeInstance:
@@ -113,6 +224,30 @@ class TreeInstance:
                     self.alive -= 1
         return matured
 
+    def collect_batch(self, batch: PreparedBatch, lo: int, hi: int, out, epoch: int) -> bool:
+        """Slack-check the batch range ``[lo, hi)`` against this tree.
+
+        Appends ``(state, deltas)`` pairs to ``out`` and returns True
+        when the range is bulk-safe here (see
+        :meth:`~repro.core.endpoint_tree.EndpointTree.bulk_collect`);
+        nothing is applied either way — the caller applies via
+        :func:`apply_collected` once every participating tree agrees.
+        """
+        return self.tree.bulk_collect(
+            batch.values,
+            batch.weights,
+            batch.indices(lo, hi),
+            out,
+            self._counters,
+            epoch,
+        )
+
+    def resync_batch(self, batch: PreparedBatch, lo: int, hi: int, old_epoch: int, new_epoch: int) -> None:
+        """Fold a scalar-replayed range into this tree's bulk mirrors."""
+        self.tree.bulk_resync(
+            batch.values, batch.weights, batch.indices(lo, hi), old_epoch, new_epoch
+        )
+
     # -- management ---------------------------------------------------------
 
     def terminate(self, query_id: object) -> bool:
@@ -196,6 +331,19 @@ class StaticDTEngine(Engine):
         super().__init__(dims)
         self._heap_factory = heap_factory
         self._instance: Optional[TreeInstance] = None
+        #: Mutation epoch for the batched fast path: any state change not
+        #: driven by the batch driver itself (scalar process, register,
+        #: terminate) advances it, orphaning the trees' bulk mirrors.
+        self._bulk_epoch = 0
+        #: Bulk mirrors holding deltas not yet written to real node
+        #: counters.  Flushed lazily — before any code path that reads
+        #: or mutates the real counters (see :meth:`_bulk_flush`) — so
+        #: consecutive all-bulk batches never pay a per-node write-back.
+        self._bulk_dirty: Dict[int, object] = {}
+        #: Adaptive backoff state for :func:`bisect_batch` — consecutive
+        #: fuel-exhausted batches, and batches left to replay scalar.
+        self._bulk_strikes = 0
+        self._bulk_backoff = 0
 
     # -- registration --------------------------------------------------
 
@@ -203,6 +351,8 @@ class StaticDTEngine(Engine):
         self.validate_query(query)
         if self._instance is not None and self._instance.contains(query.query_id):
             raise EngineError(f"query id {query.query_id!r} already registered")
+        self._bulk_flush()
+        self._bulk_epoch += 1
         entries = self._alive_entries()
         entries.append((query, query.threshold, 0))
         self._instance = TreeInstance(
@@ -214,6 +364,8 @@ class StaticDTEngine(Engine):
             self.obs.rebuild("static-register", len(entries))
 
     def register_batch(self, queries: Iterable[Query]) -> None:
+        self._bulk_flush()
+        self._bulk_epoch += 1
         entries = self._alive_entries()
         seen = {query.query_id for query, _tau, _consumed in entries}
         for query in queries:
@@ -236,6 +388,8 @@ class StaticDTEngine(Engine):
         """
         if self._instance is not None and self._instance.alive:
             raise EngineError("restore_entries requires a fresh engine")
+        self._bulk_flush()
+        self._bulk_epoch += 1
         rebased: List[Tuple[Query, int, int]] = []
         for query, consumed in entries:
             self.validate_query(query)
@@ -262,8 +416,21 @@ class StaticDTEngine(Engine):
 
     # -- stream processing ------------------------------------------------
 
+    def _bulk_flush(self) -> None:
+        """Settle deferred bulk deltas before touching real counters.
+
+        Must run before every epoch bump: an orphaned mirror (epoch
+        mismatch) is simply dropped, so it must never hold unflushed
+        deltas.
+        """
+        if self._bulk_dirty:
+            flush_collected(self._bulk_dirty)
+
     def process(self, element: StreamElement, timestamp: int) -> List[MaturityEvent]:
         self.validate_element(element)
+        if self._bulk_dirty:
+            flush_collected(self._bulk_dirty)
+        self._bulk_epoch += 1
         if self._instance is None:
             return []
         matured = self._instance.process(element)
@@ -274,11 +441,57 @@ class StaticDTEngine(Engine):
         self._maybe_rebuild()
         return events
 
+    def process_batch(
+        self, elements: Sequence[StreamElement], timestamp: int
+    ) -> List[MaturityEvent]:
+        """Slack-aware batched ingestion (docs/PERFORMANCE.md).
+
+        Bulk-applies every batch range whose total per-node weight stays
+        below the node's minimum remaining heap slack; bisects otherwise,
+        down to scalar replay — so maturity events are bit-identical to
+        element-at-a-time processing.  Bulk-applied ranges cannot mature
+        queries, so the global-rebuilding trigger (alive halved) can only
+        fire inside scalar leaves, where :meth:`process` already handles
+        it.
+        """
+        batch = prepare_batch(elements, self.dims)
+        if not batch.vectorizable:
+            return super().process_batch(batch.elements, timestamp)
+        dirty = self._bulk_dirty
+        scalar_elements = batch.elements
+
+        def try_bulk(lo: int, hi: int) -> bool:
+            instance = self._instance
+            if instance is None:
+                return True
+            out: List[Tuple[object, object]] = []
+            if not instance.collect_batch(batch, lo, hi, out, self._bulk_epoch):
+                return False
+            apply_collected(out, dirty, self.counters)
+            return True
+
+        def run_scalar(lo: int, hi: int, events: List[MaturityEvent]) -> None:
+            # process() flushes the deferred deltas before reading real
+            # counters; afterwards the range's own bumps are folded back
+            # into the mirrors so they stay exact without a rebuild.
+            old_epoch = self._bulk_epoch
+            for i in range(lo, hi):
+                events.extend(self.process(scalar_elements[i], timestamp + i))
+            instance = self._instance
+            if instance is not None:
+                instance.resync_batch(batch, lo, hi, old_epoch, self._bulk_epoch)
+
+        # Deferred deltas stay in the mirrors across batches; every real-
+        # counter reader flushes via _bulk_flush first.
+        return bisect_batch(self, batch, timestamp, try_bulk, run_scalar)
+
     # -- termination ------------------------------------------------------
 
     def terminate(self, query_id: object) -> bool:
         if self._instance is None:
             return False
+        self._bulk_flush()
+        self._bulk_epoch += 1
         removed = self._instance.terminate(query_id)
         if removed:
             self._maybe_rebuild()
@@ -307,6 +520,7 @@ class StaticDTEngine(Engine):
     def collected_weight(self, query_id: object) -> int:
         if self._instance is None:
             raise KeyError(f"query {query_id!r} is not alive")
+        self._bulk_flush()
         return self._instance.collected_weight(query_id)
 
     def describe(self) -> Dict[str, object]:

@@ -43,7 +43,125 @@ from typing import Iterator, List, Optional, Sequence, Tuple
 from ..structures.bst import build_skeleton as _build_skeleton
 from ..structures.heap import AddressableMinHeap
 from .engine import WorkCounters
-from .geometry import PLUS_INFINITY, BoundaryKey, Rect
+from .geometry import PLUS_INFINITY, BoundaryKey, Rect, encoded_key
+
+try:  # numpy backs the batched bulk-collection path only
+    import numpy as _np
+except ImportError:  # pragma: no cover - numpy ships with the package
+    _np = None
+
+#: Hot-key cache bound: repeated element values replay their cached
+#: descent (a tuple of last-dimension nodes) instead of re-walking the
+#: tree.  The cache is safe because the skeleton is immutable — rebuilds
+#: construct a brand-new EndpointTree.  Cleared wholesale when full.
+HOT_CACHE_LIMIT = 4096
+
+#: Node counters are mirrored in float64 arrays on the bulk path; stay
+#: well below 2^53 so every mirrored value and sum is exactly
+#: representable.  Beyond this total weight the tree simply stops
+#: offering bulk application (scalar processing is unaffected).
+MAX_EXACT_COUNTER = float(1 << 52)
+
+_INF = float("inf")
+
+
+class _BulkState:
+    """Vectorized mirror of one last-dimension tree for batched ingestion.
+
+    ``cnts``
+        float64 mirror of the *logical* counters ``c(u)`` (real node
+        counters plus not-yet-flushed bulk deltas), indexed like the
+        flat node list.
+    ``pend``
+        Bulk deltas accepted but not yet written back to the real
+        ``ETNode.counter`` ints; :meth:`flush` settles them (the write-
+        back is deferred so one Python loop covers many applied ranges).
+    ``heap_idx`` / ``heaps`` / ``mins``
+        The nodes owning a heap (the only ones that can veto a range),
+        their heaps, and a cached float64 of each heap's minimum sigma
+        (+inf when empty).  The cache is refreshed whenever the engine's
+        ``heap_ops`` counter moved — every sigma mutation in the tracker
+        protocol passes through a ``counters.heap_ops`` bump, so a stale
+        cache is always detected.
+    ``epoch``
+        The engine mutation epoch the mirror is synchronized to; any
+        engine mutation outside the batch driver's control (scalar
+        ``process``, register, terminate, credit) advances the epoch and
+        orphans the mirror.
+    ``guard`` / ``usable``
+        Remaining exactly-representable headroom; the mirror disables
+        itself before float64 rounding could bite.
+    """
+
+    __slots__ = (
+        "nodes",
+        "cnts",
+        "pend",
+        "heap_idx",
+        "heaps",
+        "mins",
+        "heap_stamp",
+        "rounds_stamp",
+        "epoch",
+        "guard",
+        "usable",
+    )
+
+    def __init__(self, nodes, epoch: int, heap_stamp: int, rounds_stamp: int):
+        n = len(nodes)
+        cnts = _np.empty(n, dtype=_np.float64)
+        heap_idx: List[int] = []
+        heaps = []
+        for i, node in enumerate(nodes):
+            cnts[i] = node.counter
+            if node.heap is not None:
+                heap_idx.append(i)
+                heaps.append(node.heap)
+        self.nodes = nodes
+        self.cnts = cnts
+        self.pend = _np.zeros(n, dtype=_np.float64)
+        self.heap_idx = _np.array(heap_idx, dtype=_np.intp)
+        self.heaps = heaps
+        self.mins = _np.empty(len(heaps), dtype=_np.float64)
+        self.refresh_mins()
+        self.heap_stamp = heap_stamp
+        self.rounds_stamp = rounds_stamp
+        self.epoch = epoch
+        self.guard = MAX_EXACT_COUNTER - (float(cnts.max()) if n else 0.0)
+        self.usable = self.guard > 0.0
+
+    def refresh_mins(self) -> None:
+        mins = self.mins
+        for i, heap in enumerate(self.heaps):
+            mk = heap.min_key
+            mins[i] = _INF if mk is None else mk
+
+    def apply(self, deltas) -> None:
+        """Accept a safe range's deltas (deferred; see :meth:`flush`)."""
+        self.cnts += deltas
+        self.pend += deltas
+        # deltas[0] is the root's delta == the range's total routed
+        # weight, an upper bound on any node's growth.
+        self.guard -= float(deltas[0])
+        if self.guard <= 0.0:
+            self.usable = False
+
+    def charge(self, deltas) -> None:
+        """Fold a scalar-replayed range's deltas into the mirror."""
+        self.cnts += deltas
+        self.guard -= float(deltas[0])
+        if self.guard <= 0.0:
+            self.usable = False
+
+    def flush(self) -> None:
+        """Write deferred deltas back to the real node counters."""
+        pend = self.pend
+        idx = _np.nonzero(pend)[0]
+        if idx.size:
+            nodes = self.nodes
+            for i, v in zip(idx.tolist(), pend[idx].astype(_np.int64).tolist()):
+                nodes[i].counter += v
+            pend[idx] = 0.0
 
 
 class ETNode:
@@ -189,7 +307,16 @@ class EndpointTree:
         Shared work-counter sink for machine-independent accounting.
     """
 
-    __slots__ = ("root", "dim", "last_dim", "_counters", "size")
+    __slots__ = (
+        "root",
+        "dim",
+        "last_dim",
+        "_counters",
+        "size",
+        "_flat",
+        "_hot_cache",
+        "_bulk",
+    )
 
     def __init__(
         self,
@@ -204,6 +331,9 @@ class EndpointTree:
         self.last_dim = dim == ndims - 1
         self._counters = counters
         self.size = len(items)
+        self._flat = None  # lazy vectorized-routing index (bulk_collect)
+        self._hot_cache: dict = {}  # value point -> tuple of touched nodes
+        self._bulk: Optional[_BulkState] = None  # batched-ingestion mirror
 
         keys = set()
         usable: List[Tuple[Rect, List[ETNode]]] = []
@@ -243,42 +373,306 @@ class EndpointTree:
 
     # -- stream-side operations -------------------------------------------
 
-    def update(self, point: Sequence[float], weight: int) -> List[ETNode]:
+    def update(self, point: Sequence[float], weight: int) -> Sequence[ETNode]:
         """Add one element: bump ``c(u)`` along every relevant descent.
 
         Returns the last-dimension nodes whose counters changed, so the
         engine can run the slack-inspection (heap drain) step on each.
         The element itself is not stored anywhere (Section 4: "we then
         discard e forever").
+
+        Repeated value points are served from the hot-key cache: the
+        descent is a pure function of the point (the skeleton never
+        changes), so the touched-node tuple can be replayed directly.
         """
-        touched: List[ETNode] = []
-        self._descend(point, weight, touched)
-        return touched
+        cache = self._hot_cache
+        key = point if type(point) is tuple else tuple(point)
+        touched = cache.get(key)
+        if touched is not None:
+            for node in touched:
+                node.counter += weight
+            return touched
+        out: List[ETNode] = []
+        self._descend(point, weight, out)
+        if len(cache) >= HOT_CACHE_LIMIT:
+            cache.clear()
+        cache[key] = tuple(out)
+        return out
 
     def _descend(self, point: Sequence[float], weight: int, touched: List[ETNode]) -> None:
-        node = self.root
-        if node is None:
-            return
-        key = (point[self.dim], 0)
-        if key < node.lo:
-            return  # below the leftmost endpoint: ignored (Section 4)
+        """Iterative multi-level descent (depth-safe, no Python recursion).
+
+        Visits secondary trees in exactly the order the recursive
+        formulation did — pre-order along each descent path — so the
+        ``touched`` sequence (and therefore the heap-drain order in the
+        engine) is unchanged.
+        """
+        stack: List[EndpointTree] = [self]
+        while stack:
+            tree = stack.pop()
+            node = tree.root
+            if node is None:
+                continue
+            key = (point[tree.dim], 0)
+            if key < node.lo:
+                continue  # below the leftmost endpoint: ignored (Section 4)
+            if tree.last_dim:
+                while True:
+                    node.counter += weight
+                    touched.append(node)
+                    left = node.left
+                    if left is None:
+                        break
+                    node = left if key < left.hi else node.right
+            else:
+                path_secondaries: List[EndpointTree] = []
+                while True:
+                    secondary = node.secondary
+                    if secondary is not None:
+                        path_secondaries.append(secondary)
+                    left = node.left
+                    if left is None:
+                        break
+                    node = left if key < left.hi else node.right
+                stack.extend(reversed(path_secondaries))
+
+    # -- batched bulk collection (docs/PERFORMANCE.md) ---------------------
+
+    def _ensure_flat(self):
+        """Build (once) the flat routing index used by :meth:`bulk_collect`.
+
+        For a last-dimension tree: every node in an indexable list, the
+        leaves' encoded jurisdiction lows in key order (for
+        ``searchsorted`` routing), and per-depth ``(parent, left, right)``
+        index arrays, deepest first, for the bottom-up delta propagation
+        that preserves ``c(parent) = c(left) + c(right)``.
+
+        For an earlier dimension: the nodes owning a secondary tree, as
+        ``(encoded lo, encoded hi, secondary)`` triples — an element is
+        handled by a secondary iff its coordinate lies in the owning
+        node's jurisdiction, which is exactly what the scalar descent
+        path visits.
+        """
+        flat = self._flat
+        if flat is not None:
+            return flat
+        root = self.root
         if self.last_dim:
-            while True:
-                node.counter += weight
-                touched.append(node)
-                left = node.left
-                if left is None:
-                    break
-                node = left if key < left.hi else node.right
+            nodes: List[ETNode] = []
+            leaves: List[Tuple[float, int]] = []
+            internal: List[Tuple[int, int, ETNode]] = []
+            walk: List[Tuple[ETNode, int]] = [(root, 0)] if root is not None else []
+            while walk:
+                node, depth = walk.pop()
+                idx = len(nodes)
+                nodes.append(node)
+                if node.left is None:
+                    leaves.append((encoded_key(node.lo), idx))
+                else:
+                    internal.append((depth, idx, node))
+                    walk.append((node.right, depth + 1))
+                    walk.append((node.left, depth + 1))
+            index_of = {id(node): i for i, node in enumerate(nodes)}
+            by_depth: dict = {}
+            for depth, idx, node in internal:
+                bucket = by_depth.setdefault(depth, ([], [], []))
+                bucket[0].append(idx)
+                bucket[1].append(index_of[id(node.left)])
+                bucket[2].append(index_of[id(node.right)])
+            levels = [
+                tuple(_np.array(ids, dtype=_np.intp) for ids in by_depth[d])
+                for d in sorted(by_depth, reverse=True)
+            ]
+            leaves.sort()
+            leaf_lows = _np.array([lo for lo, _ in leaves], dtype=_np.float64)
+            leaf_ids = _np.array([i for _, i in leaves], dtype=_np.intp)
+            flat = (nodes, leaf_lows, leaf_ids, levels)
         else:
-            while True:
-                secondary = node.secondary
-                if secondary is not None:
-                    secondary._descend(point, weight, touched)
-                left = node.left
-                if left is None:
-                    break
-                node = left if key < left.hi else node.right
+            secondaries: List[Tuple[float, float, EndpointTree]] = []
+            walk2: List[ETNode] = [root] if root is not None else []
+            while walk2:
+                node = walk2.pop()
+                if node.secondary is not None:
+                    secondaries.append(
+                        (encoded_key(node.lo), encoded_key(node.hi), node.secondary)
+                    )
+                if node.left is not None:
+                    walk2.append(node.right)
+                    walk2.append(node.left)
+            flat = secondaries
+        self._flat = flat
+        return flat
+
+    def _route_deltas(self, values, weights, sel):
+        """Vectorized last-dimension routing: per-node weight deltas.
+
+        Exactly the counter increments the scalar descents of ``sel``
+        would perform: elements land on leaves via ``searchsorted`` over
+        the encoded jurisdiction lows (values below the leftmost
+        endpoint drop out, as in ``_descend``), then propagate bottom-up
+        so ``delta(parent) = delta(left) + delta(right)``.  Returns None
+        when nothing routes.  ``deltas[0]`` is the root's delta — the
+        total routed weight of the range.
+        """
+        nodes, leaf_lows, leaf_ids, levels = self._ensure_flat()
+        v = values[sel, self.dim]
+        pos = _np.searchsorted(leaf_lows, v, side="right") - 1
+        mask = pos >= 0
+        if not mask.any():
+            return None
+        w = weights[sel]
+        leaf_deltas = _np.bincount(
+            pos[mask],
+            weights=w[mask].astype(_np.float64),
+            minlength=len(leaf_lows),
+        )
+        deltas = _np.zeros(len(nodes), dtype=_np.float64)
+        deltas[leaf_ids] = leaf_deltas
+        for parents, lefts, rights in levels:
+            deltas[parents] = deltas[lefts] + deltas[rights]
+        return deltas
+
+    def _make_bulk_state(self, epoch: int, counters) -> _BulkState:
+        nodes = self._ensure_flat()[0]
+        state = _BulkState(nodes, epoch, counters.heap_ops, counters.rounds)
+        self._bulk = state
+        return state
+
+    def bulk_collect(self, values, weights, sel, out, counters, epoch) -> bool:
+        """Slack-check a batch sub-range for bulk application.
+
+        ``values``/``weights`` are the full batch arrays of a
+        :class:`~repro.core.batch.PreparedBatch`; ``sel`` indexes the
+        elements under consideration.  Returns True iff the range is
+        *safe* everywhere: at each touched node ``u``,
+        ``min H(u) > c(u) + delta(u)``.  Counters are monotone within
+        the range, so safety means no prefix of it can trigger a signal
+        anywhere — applying the deltas in one step is then
+        observationally identical to element-at-a-time processing (and
+        produces zero events).
+
+        The check runs entirely on the tree's :class:`_BulkState` mirror
+        (one vectorized comparison over the heap-bearing nodes); on
+        success ``(state, deltas)`` is appended to ``out`` for the
+        caller to apply once *every* participating tree agrees.  On
+        False nothing has been applied and ``out`` must be discarded.
+        """
+        root = self.root
+        if root is None or len(sel) == 0:
+            return True
+        if self.last_dim:
+            state = self._bulk
+            if state is None or state.epoch != epoch:
+                state = self._make_bulk_state(epoch, counters)
+            if not state.usable:
+                return False
+            deltas = self._route_deltas(values, weights, sel)
+            if deltas is None:
+                return True
+            if state.rounds_stamp != counters.rounds:
+                # A round ended since the cache was taken.  Round
+                # transitions are the only place sigma keys can *decrease*
+                # (re-slacking to c + lambda_new, or the final-phase switch
+                # to c + 1 — see tracker._end_round), so cached mins may
+                # read high and must be fully refreshed before they can
+                # admit a range.
+                state.refresh_mins()
+                state.rounds_stamp = counters.rounds
+                state.heap_stamp = counters.heap_ops
+            hidx = state.heap_idx
+            eff = state.cnts[hidx] + deltas[hidx]
+            mins = state.mins
+            viol = _np.nonzero(mins <= eff)[0]
+            if viol.size:
+                if state.heap_stamp == counters.heap_ops:
+                    return False  # mins are current: a signal would fire
+                # Between round transitions sigma keys only move up, so a
+                # stale min reads low and the violation may be spurious.
+                # Re-read just the violating heaps (usually a handful)
+                # instead of paying a full refresh on every failed probe.
+                heaps = state.heaps
+                for i in viol:
+                    mk = heaps[i].min_key
+                    m = _INF if mk is None else mk
+                    mins[i] = m
+                    if m <= eff[i]:
+                        return False  # a signal would fire inside the range
+            out.append((state, deltas))
+            return True
+        v = values[sel, self.dim]
+        order = _np.argsort(v, kind="stable")
+        sorted_v = v[order]
+        sorted_sel = sel[order]
+        for enc_lo, enc_hi, secondary in self._ensure_flat():
+            a = _np.searchsorted(sorted_v, enc_lo, side="left")
+            b = _np.searchsorted(sorted_v, enc_hi, side="left")
+            if a < b and not secondary.bulk_collect(
+                values, weights, sorted_sel[a:b], out, counters, epoch
+            ):
+                return False
+        return True
+
+    def bulk_resync(self, values, weights, sel, old_epoch: int, new_epoch: int) -> None:
+        """Re-synchronize live mirrors after a scalar replay of ``sel``.
+
+        The scalar path bumped real node counters directly; folding the
+        same routed deltas into each mirror's ``cnts`` (and advancing its
+        epoch) keeps the mirror exact without a rebuild.  Mirrors at an
+        unexpected epoch are dropped instead — they will be rebuilt from
+        the real counters on next use.  Subtrees the range never touches
+        still get their epoch advanced (their counters didn't move).
+        """
+        if self.root is None:
+            return
+        if self.last_dim:
+            state = self._bulk
+            if state is None:
+                return
+            if state.epoch != old_epoch:
+                self._bulk = None
+                return
+            if len(sel):
+                deltas = self._route_deltas(values, weights, sel)
+                if deltas is not None:
+                    state.charge(deltas)
+            state.epoch = new_epoch
+            return
+        secondaries = self._ensure_flat()
+        if len(sel):
+            v = values[sel, self.dim]
+            order = _np.argsort(v, kind="stable")
+            sorted_v = v[order]
+            sorted_sel = sel[order]
+            empty = sorted_sel[:0]
+            for enc_lo, enc_hi, secondary in secondaries:
+                a = _np.searchsorted(sorted_v, enc_lo, side="left")
+                b = _np.searchsorted(sorted_v, enc_hi, side="left")
+                secondary.bulk_resync(
+                    values,
+                    weights,
+                    sorted_sel[a:b] if a < b else empty,
+                    old_epoch,
+                    new_epoch,
+                )
+        else:
+            for _enc_lo, _enc_hi, secondary in secondaries:
+                secondary.bulk_resync(values, weights, sel, old_epoch, new_epoch)
+
+    def bulk_flush(self) -> None:
+        """Settle any deferred bulk deltas on this tree (and subtrees).
+
+        The batch driver flushes through its dirty-state set; this
+        recursive walk exists for introspection paths that must see
+        settled counters without the driver's bookkeeping (tests, debug).
+        """
+        if self.last_dim:
+            if self._bulk is not None:
+                self._bulk.flush()
+            return
+        if self.root is None:
+            return
+        for _enc_lo, _enc_hi, secondary in self._ensure_flat():
+            secondary.bulk_flush()
 
     # -- introspection -------------------------------------------------------
 
@@ -295,14 +689,23 @@ class EndpointTree:
         return sum(node.counter for node in sink)
 
     def _collect_canonical(self, rect: Rect, sink: List[ETNode]) -> None:
-        if self.root is None or rect.is_empty():
+        if rect.is_empty():
             return
-        iv = rect.intervals[self.dim]
-        for node in canonical_nodes(self.root, iv.lo, iv.hi):
-            if self.last_dim:
-                sink.append(node)
-            elif node.secondary is not None:
-                node.secondary._collect_canonical(rect, sink)
+        stack: List[EndpointTree] = [self]
+        while stack:
+            tree = stack.pop()
+            if tree.root is None:
+                continue
+            iv = rect.intervals[tree.dim]
+            found = canonical_nodes(tree.root, iv.lo, iv.hi)
+            if tree.last_dim:
+                sink.extend(found)
+            else:
+                stack.extend(
+                    reversed(
+                        [n.secondary for n in found if n.secondary is not None]
+                    )
+                )
 
     def iter_nodes(self) -> Iterator[ETNode]:
         """Depth-first iteration over this level's nodes (tests/debug)."""
@@ -316,10 +719,17 @@ class EndpointTree:
 
     def height(self) -> int:
         """Height of this level's skeleton (0 for a single leaf)."""
-
-        def rec(node: Optional[ETNode]) -> int:
-            if node is None or node.is_leaf:
-                return 0
-            return 1 + max(rec(node.left), rec(node.right))
-
-        return rec(self.root)
+        root = self.root
+        if root is None or root.is_leaf:
+            return 0
+        best = 0
+        stack: List[Tuple[ETNode, int]] = [(root, 0)]
+        while stack:
+            node, depth = stack.pop()
+            if node.is_leaf:
+                if depth > best:
+                    best = depth
+            else:
+                stack.append((node.left, depth + 1))
+                stack.append((node.right, depth + 1))
+        return best

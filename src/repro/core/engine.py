@@ -15,7 +15,7 @@ DT messages) exposes those asymptotics without any hardware dependence.
 from __future__ import annotations
 
 import abc
-from typing import Dict, Iterable, List, Optional
+from typing import Dict, Iterable, List, Optional, Sequence
 
 from ..obs.observer import NULL_OBS
 from ..streams.element import StreamElement
@@ -217,6 +217,26 @@ class Engine(abc.ABC):
     @abc.abstractmethod
     def process(self, element: StreamElement, timestamp: int) -> List[MaturityEvent]:
         """Consume one element; return the maturities it triggers."""
+
+    def process_batch(
+        self, elements: Sequence[StreamElement], timestamp: int
+    ) -> List[MaturityEvent]:
+        """Consume a batch of elements; element ``i`` (0-based) arrives at
+        ``timestamp + i``.
+
+        The contract is *bit-identical equivalence*: the returned events —
+        queries, timestamps, weights, and order — must match what the
+        element-at-a-time loop would produce.  This default implementation
+        is that loop; engines with a real fast path (the slack-aware batch
+        bisection of the DT engines, the vectorized probe of the Baseline)
+        override it.  See ``docs/PERFORMANCE.md``.
+        """
+        events: List[MaturityEvent] = []
+        ts = timestamp
+        for element in elements:
+            events.extend(self.process(element, ts))
+            ts += 1
+        return events
 
     # -- termination ------------------------------------------------------
 

@@ -44,6 +44,28 @@ PLUS_INFINITY: BoundaryKey = (math.inf, 1)
 MINUS_INFINITY: BoundaryKey = (-math.inf, 0)
 
 
+def encoded_key(key: BoundaryKey) -> float:
+    """Collapse a Section 4 boundary key into a single float, exactly.
+
+    The symbolic ``(v, bit)`` pair orders against *element* keys ``(v, 0)``
+    the same way the float ``v if bit == 0 else nextafter(v, +inf)`` does:
+    there is no representable float strictly between ``v`` and its
+    successor, so ``(v, 0) >= (x, 1)`` iff ``v >= nextafter(x)`` and
+    ``(v, 0) < (y, 1)`` iff ``v < nextafter(y)``.  This lets the batched
+    ingestion path (``docs/PERFORMANCE.md``) route whole element arrays
+    through ``numpy.searchsorted`` over encoded jurisdiction bounds with
+    zero loss of the open/closed endpoint semantics.
+
+    Only valid for comparisons against element keys ``(v, 0)`` — two
+    distinct *boundary* keys ``(x, 1)`` and ``(nextafter(x), 0)`` encode
+    to the same float, which is harmless for element routing (no element
+    can fall strictly between them) but rules the encoding out as a
+    general key replacement.
+    """
+    v, bit = key
+    return v if bit == 0 else math.nextafter(v, math.inf)
+
+
 def value_key(v: float) -> BoundaryKey:
     """Map a stream-element coordinate to its boundary key ``(v, 0)``.
 

@@ -31,7 +31,8 @@ from typing import Dict, Iterable, List, Optional, Tuple
 
 from ..streams.element import StreamElement
 from ..structures.heap import AddressableMinHeap
-from .dt_engine import TreeInstance
+from .batch import prepare_batch
+from .dt_engine import TreeInstance, apply_collected, bisect_batch, flush_collected
 from .engine import Engine, EngineError
 from .events import MaturityEvent
 from .query import Query
@@ -59,6 +60,29 @@ class DTEngine(Engine):
         self._trees: List[Optional[TreeInstance]] = []
         #: query_id -> slot index of the tree currently managing it.
         self._locator: Dict[object, int] = {}
+        #: Mutation epoch for the batched fast path: any state change not
+        #: driven by the batch driver itself (scalar process, register,
+        #: terminate) advances it, orphaning the trees' bulk mirrors.
+        self._bulk_epoch = 0
+        #: Bulk mirrors holding deltas not yet written to real node
+        #: counters.  Flushed lazily — before any code path that reads
+        #: or mutates the real counters (see :meth:`_bulk_flush`) — so
+        #: consecutive all-bulk batches never pay a per-node write-back.
+        self._bulk_dirty: Dict[int, object] = {}
+        #: Adaptive backoff state for :func:`bisect_batch` — consecutive
+        #: fuel-exhausted batches, and batches left to replay scalar.
+        self._bulk_strikes = 0
+        self._bulk_backoff = 0
+
+    def _bulk_flush(self) -> None:
+        """Settle deferred bulk deltas before touching real counters.
+
+        Must run before every epoch bump: an orphaned mirror (epoch
+        mismatch) is simply dropped, so it must never hold unflushed
+        deltas.
+        """
+        if self._bulk_dirty:
+            flush_collected(self._bulk_dirty)
 
     # -- registration (Section 5) ----------------------------------------
 
@@ -66,6 +90,8 @@ class DTEngine(Engine):
         self.validate_query(query)
         if query.query_id in self._locator:
             raise EngineError(f"query id {query.query_id!r} already registered")
+        self._bulk_flush()
+        self._bulk_epoch += 1
         self._merge_into_slot([(query, query.threshold, 0)])
 
     def register_batch(self, queries: Iterable[Query]) -> None:
@@ -84,6 +110,8 @@ class DTEngine(Engine):
             seen.add(query.query_id)
             new_entries.append((query, query.threshold, 0))
         if new_entries:
+            self._bulk_flush()
+            self._bulk_epoch += 1
             self._merge_into_slot(new_entries, merge_all=True)
 
     def restore_entries(self, entries: Iterable) -> None:
@@ -112,6 +140,8 @@ class DTEngine(Engine):
                 )
             rebased.append((query, remaining, consumed))
         if rebased:
+            self._bulk_flush()
+            self._bulk_epoch += 1
             self._merge_into_slot(rebased, merge_all=True)
 
     def _merge_into_slot(
@@ -175,6 +205,9 @@ class DTEngine(Engine):
 
     def process(self, element: StreamElement, timestamp: int) -> List[MaturityEvent]:
         self.validate_element(element)
+        if self._bulk_dirty:
+            flush_collected(self._bulk_dirty)
+        self._bulk_epoch += 1
         events: List[MaturityEvent] = []
         for slot, tree in enumerate(self._trees):
             if tree is None:
@@ -190,6 +223,51 @@ class DTEngine(Engine):
                 self._rebuild_slot(slot)
         return events
 
+    def process_batch(
+        self, elements, timestamp: int
+    ) -> List[MaturityEvent]:
+        """Slack-aware batched ingestion across all logarithmic-method trees.
+
+        A range is bulk-applied only when *every* tree declares it safe —
+        all-or-nothing, because a scalar replay of the range (the bisection
+        leaf) walks every tree, so partially applying one tree's deltas
+        would double-count.  Trees never interact (each query's trackers
+        live in exactly one tree), so "safe in every tree" means the range
+        produces zero events system-wide and the per-element order of
+        Section 5 — slots ascending within each element — is preserved.
+        """
+        batch = prepare_batch(elements, self.dims)
+        if not batch.vectorizable:
+            return super().process_batch(batch.elements, timestamp)
+        dirty = self._bulk_dirty
+        scalar_elements = batch.elements
+
+        def try_bulk(lo: int, hi: int) -> bool:
+            out: List[Tuple[object, object]] = []
+            for tree in self._trees:
+                if tree is not None and not tree.collect_batch(
+                    batch, lo, hi, out, self._bulk_epoch
+                ):
+                    return False
+            apply_collected(out, dirty, self.counters)
+            return True
+
+        def run_scalar(lo: int, hi: int, events: List[MaturityEvent]) -> None:
+            # process() flushes the deferred deltas before reading real
+            # counters; afterwards the range's own bumps are folded back
+            # into every tree's mirrors so they stay exact without a
+            # rebuild.
+            old_epoch = self._bulk_epoch
+            for i in range(lo, hi):
+                events.extend(self.process(scalar_elements[i], timestamp + i))
+            for tree in self._trees:
+                if tree is not None:
+                    tree.resync_batch(batch, lo, hi, old_epoch, self._bulk_epoch)
+
+        # Deferred deltas stay in the mirrors across batches; every real-
+        # counter reader flushes via _bulk_flush first.
+        return bisect_batch(self, batch, timestamp, try_bulk, run_scalar)
+
     # -- termination ------------------------------------------------------
 
     def terminate(self, query_id: object) -> bool:
@@ -198,6 +276,8 @@ class DTEngine(Engine):
             return False
         tree = self._trees[slot]
         assert tree is not None, "locator points at an empty slot"
+        self._bulk_flush()
+        self._bulk_epoch += 1
         removed = tree.terminate(query_id)
         if removed:
             del self._locator[query_id]
@@ -250,6 +330,7 @@ class DTEngine(Engine):
         return [tree.alive if tree is not None else 0 for tree in self._trees]
 
     def collected_weight(self, query_id: object) -> int:
+        self._bulk_flush()
         slot = self._locator.get(query_id)
         if slot is None:
             raise KeyError(f"query {query_id!r} is not alive")

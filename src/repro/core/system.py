@@ -254,11 +254,59 @@ class RTSSystem:
     def process_many(
         self, elements: Iterable[StreamElement]
     ) -> List[MaturityEvent]:
-        """Feed a batch of elements; returns all maturities in order."""
+        """Feed a batch of elements; returns all maturities in order.
+
+        Element-at-a-time semantics with per-element telemetry and
+        sanitizer granularity.  For throughput, prefer
+        :meth:`process_batch`, which produces bit-identical events
+        through the engines' batched fast paths.
+        """
         out: List[MaturityEvent] = []
         for element in elements:
             out.extend(self.process(element))
         return out
+
+    def process_batch(
+        self,
+        elements: Iterable[Union[float, Sequence[float], StreamElement]],
+    ) -> List[MaturityEvent]:
+        """Feed a batch of elements through the engine's batched fast path.
+
+        Accepts ready :class:`StreamElement` objects or raw values
+        (weight 1).  Maturity events — queries, timestamps, order — are
+        bit-identical to feeding the same elements through
+        :meth:`process` one at a time (the engines' batch contract; see
+        ``docs/PERFORMANCE.md``).  Telemetry and sanitizer checks run
+        once per batch instead of once per element.
+        """
+        batch: List[StreamElement] = []
+        for value in elements:
+            batch.append(
+                value
+                if isinstance(value, StreamElement)
+                else StreamElement(value)
+            )
+        if not batch:
+            return []
+        start = self._clock + 1
+        self._clock += len(batch)
+        obs_on = self.obs.enabled
+        if obs_on:
+            self.obs.batch_processed(
+                self._clock, len(batch), sum(e.weight for e in batch)
+            )
+        events = self.engine.process_batch(batch, start)
+        for event in events:
+            self._status[event.query.query_id] = QueryStatus.MATURED
+            self._maturity_times[event.query.query_id] = event.timestamp
+            if obs_on:
+                self.obs.query_matured(
+                    event.query.query_id, event.timestamp, event.weight_seen
+                )
+            self._dispatcher.dispatch(event)
+        if self._sanitize:
+            self._sanitize_check()
+        return events
 
     # -- termination ------------------------------------------------------
 

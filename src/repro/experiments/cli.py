@@ -28,6 +28,12 @@ repro.experiments.cli``)::
     rts-experiments chaos --mode stochastic --scale 20000 --engine all
     rts-experiments chaos wl.json --engine dt --crashes 5 --seed 7
 
+    # performance: batched-vs-scalar ingestion throughput benchmark
+    # (see docs/PERFORMANCE.md); --check gates against a committed
+    # baseline and exits non-zero on a >tolerance regression
+    rts-experiments bench --engine dt,dt-static --scale 500 --out BENCH.json
+    rts-experiments bench --check BENCH_PR4.json --tolerance 0.25
+
 ``--scale`` divides the paper's workload sizes (1 = the paper's exact
 parameters — hours of CPU in pure Python; 1000 = the default laptop
 scale).  Output is the text rendering of each figure (chart + table +
@@ -71,7 +77,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "target",
         help="figure id (fig3..fig8, ablation-dt-messages, "
         "ablation-design), 'all', 'list', 'workload', 'verify', 'obs', "
-        "'sanitize', or 'chaos'",
+        "'sanitize', 'chaos', or 'bench'",
     )
     parser.add_argument(
         "script_path",
@@ -151,7 +157,40 @@ def main(argv: Optional[List[str]] = None) -> int:
         choices=["prom", "json", "all"],
         default="prom",
         dest="obs_format",
-        help="'obs' target output: Prometheus text, JSON report, or both",
+        help="'obs' target output: Prometheus text, JSON report, or both "
+        "('bench': 'json' prints the report as JSON instead of text)",
+    )
+    parser.add_argument(
+        "--batch-size",
+        default="1024",
+        help="'bench' target: comma-separated process_batch sizes "
+        "(default 1024)",
+    )
+    parser.add_argument(
+        "--n",
+        type=int,
+        default=40_000,
+        dest="bench_n",
+        help="'bench' target: stream length (default 40000)",
+    )
+    parser.add_argument(
+        "--repeats",
+        type=int,
+        default=2,
+        help="'bench' target: timing repeats, fastest wins (default 2)",
+    )
+    parser.add_argument(
+        "--check",
+        type=pathlib.Path,
+        default=None,
+        help="'bench' target: baseline rts-bench-v1 JSON to gate against",
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.25,
+        help="'bench' target: allowed relative decline per gate metric "
+        "(default 0.25)",
     )
     parser.add_argument(
         "--scale",
@@ -199,6 +238,9 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     if args.target == "chaos":
         return _run_chaos(args, parser)
+
+    if args.target == "bench":
+        return _run_bench(args, parser)
 
     names = list(FIGURES) if args.target == "all" else [args.target]
     unknown = [n for n in names if n not in FIGURES]
@@ -248,6 +290,64 @@ def main(argv: Optional[List[str]] = None) -> int:
     if failed:
         print(f"FAILED figures: {', '.join(failed)}", file=sys.stderr)
         return 1
+    return 0
+
+
+def _run_bench(args, parser) -> int:
+    """Batched-vs-scalar ingestion benchmark; optional baseline gate."""
+    import json
+
+    from .bench import check_against_baseline, format_report, load_baseline, run_bench
+
+    engines = [e for e in args.engine.split(",") if e]
+    try:
+        batch_sizes = [int(b) for b in args.batch_size.split(",") if b]
+    except ValueError:
+        parser.error(f"--batch-size must be comma-separated ints, got {args.batch_size!r}")
+    if not batch_sizes or any(b < 1 for b in batch_sizes):
+        parser.error("--batch-size values must be positive")
+
+    started = time.perf_counter()
+    try:
+        report = run_bench(
+            engines,
+            dims=args.dims,
+            scale=args.scale,
+            n=args.bench_n,
+            seed=args.seed,
+            batch_sizes=batch_sizes,
+            repeats=args.repeats,
+        )
+    except AssertionError as exc:
+        # The batched replay disagreed with the scalar replay: that is a
+        # correctness failure, not a performance number.
+        print(f"ERROR: {exc}", file=sys.stderr)
+        return 1
+    elapsed = time.perf_counter() - started
+
+    if args.obs_format == "json":
+        print(json.dumps(report, indent=2))
+    else:
+        print(format_report(report))
+        print(f"(benchmarked in {elapsed:.1f}s)")
+    if args.out is not None:
+        out = args.out
+        if out.suffix != ".json":
+            out.mkdir(parents=True, exist_ok=True)
+            out = out / "bench.json"
+        out.write_text(json.dumps(report, indent=2) + "\n")
+        print(f"# wrote {out}")
+
+    if args.check is not None:
+        baseline = load_baseline(args.check)
+        gate = check_against_baseline(report, baseline, tolerance=args.tolerance)
+        print(f"# gate vs {args.check} (tolerance {args.tolerance:.0%})")
+        for line in gate.lines:
+            print(f"  {line}")
+        if not gate.ok:
+            print("PERF REGRESSION", file=sys.stderr)
+            return 1
+        print("# gate: ok")
     return 0
 
 

@@ -61,6 +61,7 @@ def run_cell(
     trace_window: Optional[int] = None,
     verify: bool = True,
     observability=None,
+    batch_size: Optional[int] = None,
 ) -> RunResult:
     """Replay ``script`` on a fresh ``engine``; measure and verify.
 
@@ -82,7 +83,16 @@ def run_cell(
         system for the replay.  The result then carries the JSON metrics
         dump, and — when tracing — each window additionally samples the
         registry's scalar metrics so figures can plot metric series.
+    batch_size:
+        When given, runs of consecutive ELEMENT events are chunked into
+        batches of this size and fed through ``system.process_batch``
+        (the batched fast path, docs/PERFORMANCE.md).  Registrations and
+        terminations flush the pending chunk first, so operation order —
+        and therefore every maturity — is identical to the unbatched
+        replay.  Traced runs amortise each batch over its elements.
     """
+    if batch_size is not None and batch_size < 1:
+        raise ValueError(f"batch_size must be positive, got {batch_size}")
     system = RTSSystem(
         dims=script.params.dims, engine=engine, observability=observability
     )
@@ -100,21 +110,62 @@ def run_cell(
     )
     counters = system.work_counters
 
+    pending: List = []
+
     total_start = time.perf_counter()
     if recorder is None:
         # Tight loop without per-op timing overhead.
         for kind, payload in script.events:
             if kind == ELEMENT:
-                system.process(payload)
-            elif kind == REGISTER:
+                if batch_size is None:
+                    system.process(payload)
+                else:
+                    pending.append(payload)
+                    if len(pending) >= batch_size:
+                        system.process_batch(pending)
+                        pending.clear()
+                continue
+            if pending:
+                system.process_batch(pending)
+                pending.clear()
+            if kind == REGISTER:
                 system.register(payload)
             elif kind == REGISTER_BATCH:
                 system.register_batch(payload)
             else:
                 system.terminate(payload)
+        if pending:
+            system.process_batch(pending)
+            pending.clear()
     else:
         base = counters.checkpoint()
+
+        def record_op(op_start: float, n_ops: int) -> None:
+            nonlocal base
+            op_seconds = time.perf_counter() - op_start
+            work = sum(counters.diff(base).values())
+            if n_ops == 1:
+                recorder.record(op_seconds, work)
+            else:
+                # Amortise batches over their operations, as the paper
+                # does when tracing per-op cost from the stream start.
+                recorder.record_many(op_seconds, work, n_ops)
+            base = counters.checkpoint()
+
+        def flush_pending() -> None:
+            if pending:
+                op_start = time.perf_counter()
+                system.process_batch(pending)
+                record_op(op_start, len(pending))
+                pending.clear()
+
         for kind, payload in script.events:
+            if kind == ELEMENT and batch_size is not None:
+                pending.append(payload)
+                if len(pending) >= batch_size:
+                    flush_pending()
+                continue
+            flush_pending()
             op_start = time.perf_counter()
             if kind == ELEMENT:
                 system.process(payload)
@@ -124,16 +175,8 @@ def run_cell(
                 system.register_batch(payload)
             else:
                 system.terminate(payload)
-            op_seconds = time.perf_counter() - op_start
-            work = sum(counters.diff(base).values())
-            if kind == REGISTER_BATCH:
-                # Amortise the batch over its queries, as the paper does
-                # when tracing per-operation cost from the stream start.
-                k = len(payload)
-                recorder.record_many(op_seconds, work, k)
-            else:
-                recorder.record(op_seconds, work)
-            base = counters.checkpoint()
+            record_op(op_start, len(payload) if kind == REGISTER_BATCH else 1)
+        flush_pending()
     total_seconds = time.perf_counter() - total_start
 
     correct = observed == script.expected_maturities

@@ -52,6 +52,12 @@ class NullObservability:
     def element_processed(self, ts: int, weight: int) -> None:
         pass
 
+    def batch_processed(self, ts: int, n: int, weight: int) -> None:
+        pass
+
+    def batch_bisected(self, span: int) -> None:
+        pass
+
     def query_registered(self, query_id: object, ts: int) -> None:
         pass
 
@@ -146,6 +152,14 @@ class Observability(NullObservability):
         m = self.metrics
         m.counter("rts_elements_total", "Stream elements processed")
         m.counter("rts_element_weight_total", "Total element weight processed")
+        m.counter(
+            "rts_batch_elements_total",
+            "Stream elements ingested through the batched fast path",
+        )
+        m.counter(
+            "rts_batch_bisections_total",
+            "Batch ranges split because a node's heap slack was too small",
+        )
         m.counter("rts_queries_registered_total", "Queries registered")
         m.counter("rts_queries_matured_total", "Queries matured")
         m.counter("rts_queries_terminated_total", "Queries explicitly terminated")
@@ -206,6 +220,23 @@ class Observability(NullObservability):
         self._now = ts
         self.metrics.counter("rts_elements_total").inc()
         self.metrics.counter("rts_element_weight_total").inc(weight)
+
+    def batch_processed(self, ts: int, n: int, weight: int) -> None:
+        """A whole batch entered through ``process_batch``.
+
+        ``ts`` is the arrival index of the batch's *last* element;
+        interior trace events therefore carry batch-granular timestamps
+        (maturity events keep exact per-element ones — they are stamped
+        explicitly).
+        """
+        self._now = ts
+        self.metrics.counter("rts_elements_total").inc(n)
+        self.metrics.counter("rts_element_weight_total").inc(weight)
+        self.metrics.counter("rts_batch_elements_total").inc(n)
+
+    def batch_bisected(self, span: int) -> None:
+        """A batch range of ``span`` elements failed the slack check."""
+        self.metrics.counter("rts_batch_bisections_total").inc()
 
     # -- query lifecycle ---------------------------------------------------
 

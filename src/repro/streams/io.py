@@ -12,6 +12,11 @@ users do not have to hand-roll parsing:
 All adapters are lazy generators: they never hold the stream in memory,
 matching the algorithm's "see each element once, then discard" model.
 
+:func:`ingest_batched` closes the loop on the consumption side: it feeds
+any element iterable into a system in fixed-size chunks through the
+batched fast path (``RTSSystem.process_batch``, see
+``docs/PERFORMANCE.md``), yielding maturity events as batches complete.
+
 Error policy
 ------------
 By default a malformed record raises ``ValueError`` with the offending
@@ -112,6 +117,29 @@ def elements_from_records(
             if on_error == "raise":
                 raise
             _quarantine(obs, "records")
+
+
+def ingest_batched(system, elements: Iterable[StreamElement], batch_size: int = 1024):
+    """Feed ``elements`` into ``system`` through the batched fast path.
+
+    Pulls the (lazy) iterable in chunks of ``batch_size`` and hands each
+    chunk to ``system.process_batch``, yielding maturity events in the
+    order they fire — which is bit-identical to calling
+    ``system.process`` element by element (docs/PERFORMANCE.md).  The
+    stream is never materialised beyond one chunk.
+    """
+    if batch_size < 1:
+        raise ValueError(f"batch_size must be positive, got {batch_size}")
+    chunk: list = []
+    append = chunk.append
+    for element in elements:
+        append(element)
+        if len(chunk) >= batch_size:
+            yield from system.process_batch(chunk)
+            chunk = []
+            append = chunk.append
+    if chunk:
+        yield from system.process_batch(chunk)
 
 
 def elements_from_csv(

@@ -38,12 +38,16 @@ from ..core.geometry import BoundaryKey, Interval
 class IntervalItem:
     """Handle to one stored interval; ``payload`` is opaque to the tree."""
 
-    __slots__ = ("interval", "payload", "alive")
+    __slots__ = ("interval", "payload", "alive", "seq")
 
     def __init__(self, interval: Interval, payload):
         self.interval = interval
         self.payload = payload
         self.alive = True
+        #: insertion sequence number, assigned by the owning tree; breaks
+        #: endpoint ties deterministically (insertion order) so stab order
+        #: never depends on object addresses
+        self.seq = 0
 
     def __repr__(self) -> str:
         state = "alive" if self.alive else "dead"
@@ -65,8 +69,8 @@ class _ITNode:
 
     def add(self, item: IntervalItem) -> None:
         lo, hi = item.interval.lo, item.interval.hi
-        bisect.insort(self.by_lo, (lo, id(item), item), key=lambda t: (t[0], t[1]))
-        bisect.insort(self.by_hi, (hi, id(item), item), key=lambda t: (t[0], t[1]))
+        bisect.insort(self.by_lo, (lo, item.seq, item), key=lambda t: (t[0], t[1]))
+        bisect.insort(self.by_hi, (hi, item.seq, item), key=lambda t: (t[0], t[1]))
 
 
 class CenteredIntervalTree:
@@ -89,14 +93,22 @@ class CenteredIntervalTree:
         "_inserted_since_build",
         "_built_size",
         "_min_rebuild",
+        "_seq",
         "rebuild_count",
     )
 
     def __init__(self, items: Sequence[Tuple[Interval, object]] = (), min_rebuild: int = 16):
         self._min_rebuild = min_rebuild
         self.rebuild_count = 0
-        handles = [IntervalItem(iv, payload) for iv, payload in items]
+        self._seq = 0
+        handles = [self._new_item(iv, payload) for iv, payload in items]
         self._bulk_load(handles)
+
+    def _new_item(self, interval: Interval, payload) -> IntervalItem:
+        item = IntervalItem(interval, payload)
+        item.seq = self._seq
+        self._seq += 1
+        return item
 
     # -- construction ----------------------------------------------------
 
@@ -142,7 +154,7 @@ class CenteredIntervalTree:
 
     def insert(self, interval: Interval, payload) -> IntervalItem:
         """Store an interval; returns the handle used for removal."""
-        item = IntervalItem(interval, payload)
+        item = self._new_item(interval, payload)
         if interval.is_empty():
             # An empty interval is stabbed by nothing; keep it out of the
             # tree entirely but hand back a handle for uniformity.

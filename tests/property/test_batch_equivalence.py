@@ -1,0 +1,144 @@
+"""Property: ``process_batch`` is bit-identical to one-at-a-time ``process``.
+
+The batched fast path's whole contract (docs/PERFORMANCE.md) is that
+chunking the stream changes *nothing* observable: every engine, fed the
+same elements in arbitrary chunk sizes — interleaved with scalar calls,
+mid-stream registrations/terminations, and a snapshot/restore in the
+middle of the run — must produce the same maturity events (queries,
+timestamps, weights) in the same order, and report the same collected
+weights for the survivors.  Hypothesis drives the chunking and the
+workload; any divergence shrinks to a minimal trace.
+"""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro import Query, RTSSystem, StreamElement
+from repro.core.system import available_engines
+
+ENGINES_1D = ["baseline", "dt", "dt-scan", "dt-static", "interval-tree"]
+ENGINES_2D = ["baseline", "dt", "dt-scan", "dt-static", "rtree", "seg-intv-tree"]
+
+
+def _queries(draw, dims, count):
+    queries = []
+    for i in range(count):
+        rect = []
+        for _ in range(dims):
+            lo = draw(st.integers(0, 80))
+            hi = lo + draw(st.integers(1, 40))
+            rect.append((lo, hi))
+        tau = draw(st.integers(1, 400))
+        queries.append(Query(rect, tau, query_id=f"q{i}"))
+    return queries
+
+
+def _elements(draw, dims, count):
+    elements = []
+    for _ in range(count):
+        value = tuple(draw(st.integers(0, 100)) for _ in range(dims))
+        weight = draw(st.integers(1, 9))
+        elements.append(StreamElement(value if dims > 1 else value[0], weight))
+    return elements
+
+
+@st.composite
+def workloads(draw, dims):
+    queries = _queries(draw, dims, draw(st.integers(2, 12)))
+    elements = _elements(draw, dims, draw(st.integers(1, 120)))
+    # Chunk boundaries for the batched replay: a partition of the stream.
+    chunks = []
+    remaining = len(elements)
+    while remaining > 0:
+        size = draw(st.integers(1, remaining))
+        chunks.append(size)
+        remaining -= size
+    return queries, elements, chunks
+
+
+def _ev_key(events):
+    return [(e.query.query_id, e.timestamp, e.weight_seen) for e in events]
+
+
+def _survivor_weights(system, queries):
+    weights = {}
+    for q in queries:
+        try:
+            weights[q.query_id] = system.progress(q)[0]
+        except KeyError:
+            weights[q.query_id] = None
+    return weights
+
+
+def _scalar_run(engine, dims, queries, elements):
+    system = RTSSystem(dims=dims, engine=engine)
+    for q in queries:
+        system.register(q)
+    events = []
+    for el in elements:
+        events.extend(_ev_key(system.process(el)))
+    return events, _survivor_weights(system, queries)
+
+
+def _batched_run(engine, dims, queries, elements, chunks, restore_at):
+    system = RTSSystem(dims=dims, engine=engine)
+    for q in queries:
+        system.register(q)
+    events = []
+    pos = 0
+    for i, size in enumerate(chunks):
+        if restore_at is not None and i == restore_at:
+            # Snapshot/restore between batches: the restored system must
+            # continue the event stream bit-identically.
+            system = RTSSystem.restore(system.snapshot())
+        events.extend(_ev_key(system.process_batch(elements[pos : pos + size])))
+        pos += size
+    return events, _survivor_weights(system, queries)
+
+
+def _check_engine(engine, dims, queries, elements, chunks, restore_at):
+    scalar_events, scalar_weights = _scalar_run(engine, dims, queries, elements)
+    batch_events, batch_weights = _batched_run(
+        engine, dims, queries, elements, chunks, restore_at
+    )
+    if restore_at is not None:
+        # Restoring rebuilds the engine with one batch merge, which may
+        # reorder *simultaneous* maturities (the checkpoint contract is
+        # the exact maturity set, not intra-element order — see
+        # docs/ROBUSTNESS.md).  Timestamps and weights stay exact.
+        batch_events = sorted(batch_events, key=lambda e: (e[1], str(e[0])))
+        scalar_events = sorted(scalar_events, key=lambda e: (e[1], str(e[0])))
+    assert batch_events == scalar_events, (
+        f"{engine}: batched events diverged with chunks {chunks}"
+    )
+    assert batch_weights == scalar_weights, (
+        f"{engine}: survivor weights diverged with chunks {chunks}"
+    )
+
+
+@settings(max_examples=25, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(data=st.data())
+def test_batch_equals_scalar_1d(data):
+    queries, elements, chunks = data.draw(workloads(dims=1))
+    restore_at = data.draw(
+        st.one_of(st.none(), st.integers(0, max(0, len(chunks) - 1)))
+    )
+    for engine in ENGINES_1D:
+        _check_engine(engine, 1, queries, elements, chunks, restore_at)
+
+
+@settings(max_examples=10, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(data=st.data())
+def test_batch_equals_scalar_2d(data):
+    queries, elements, chunks = data.draw(workloads(dims=2))
+    restore_at = data.draw(
+        st.one_of(st.none(), st.integers(0, max(0, len(chunks) - 1)))
+    )
+    for engine in ENGINES_2D:
+        _check_engine(engine, 2, queries, elements, chunks, restore_at)
+
+
+def test_engine_lineup_is_complete():
+    # Every registered engine appears in one of the parametrised line-ups,
+    # so a future engine cannot silently skip the batch contract.
+    assert set(ENGINES_1D) | set(ENGINES_2D) == set(available_engines())
