@@ -78,6 +78,34 @@ class PreparedBatch:
         self._arange = _np.arange(self.size, dtype=_np.intp)
         self.vectorizable = True
 
+    @classmethod
+    def from_arrays(cls, elements, values, weights) -> "PreparedBatch":
+        """Trusted construction from pre-validated elements + packed arrays.
+
+        The sharded router validates and array-packs each ingest batch
+        exactly once, then hands every shard a row-subset of the same
+        arrays; this constructor re-wraps such a subset without repeating
+        the per-element validation loop.  ``values`` must be the
+        ``(n, dims)`` float64 rows of ``elements`` (or None to disable
+        the vectorized path), and the caller vouches that the
+        vectorizability preconditions hold — they are inherited from the
+        validated parent batch, whose total weight bounds any subset's.
+        """
+        batch = cls.__new__(cls)
+        batch.elements = elements
+        batch.size = len(elements)
+        batch.values = values
+        batch.weights = weights
+        if values is None or weights is None or _np is None or not len(elements):
+            batch.values = None
+            batch.weights = None
+            batch._arange = None
+            batch.vectorizable = False
+        else:
+            batch._arange = _np.arange(batch.size, dtype=_np.intp)
+            batch.vectorizable = True
+        return batch
+
     def indices(self, lo: int, hi: int):
         """Index array selecting the sub-range ``[lo, hi)`` (a view)."""
         return self._arange[lo:hi]
@@ -88,6 +116,9 @@ class PreparedBatch:
 
     def __len__(self) -> int:
         return self.size
+
+    def __iter__(self):
+        return iter(self.elements)
 
     def __repr__(self) -> str:
         kind = "vectorizable" if self.vectorizable else "scalar-only"

@@ -244,6 +244,16 @@ class Engine(abc.ABC):
     def terminate(self, query_id: object) -> bool:
         """Remove an alive query; returns False when it was not alive."""
 
+    def terminate_batch(self, query_ids: Iterable[object]) -> List[bool]:
+        """Remove many queries at once; one removed-flag per input id.
+
+        The bulk counterpart of :meth:`register_batch`.  The default
+        implementation terminates one by one; engines whose removal
+        triggers amortised maintenance (rebuild scheduling, tree
+        compaction) can override it to defer that work to once per batch.
+        """
+        return [self.terminate(query_id) for query_id in query_ids]
+
     # -- introspection ------------------------------------------------------
 
     @property

@@ -278,14 +278,26 @@ class RTSSystem:
         :meth:`process` one at a time (the engines' batch contract; see
         ``docs/PERFORMANCE.md``).  Telemetry and sanitizer checks run
         once per batch instead of once per element.
+
+        A pre-validated :class:`~repro.core.batch.PreparedBatch` passes
+        straight through to the engine, skipping re-wrapping and
+        re-packing — the sharded router uses this to array-pack each
+        ingest batch exactly once for all shards.
         """
-        batch: List[StreamElement] = []
-        for value in elements:
-            batch.append(
-                value
-                if isinstance(value, StreamElement)
-                else StreamElement(value)
-            )
+        from .batch import PreparedBatch
+
+        if isinstance(elements, PreparedBatch):
+            prepared: Union[PreparedBatch, List[StreamElement]] = elements
+            batch = elements.elements
+        else:
+            batch = []
+            for value in elements:
+                batch.append(
+                    value
+                    if isinstance(value, StreamElement)
+                    else StreamElement(value)
+                )
+            prepared = batch
         if not batch:
             return []
         start = self._clock + 1
@@ -295,7 +307,7 @@ class RTSSystem:
             self.obs.batch_processed(
                 self._clock, len(batch), sum(e.weight for e in batch)
             )
-        events = self.engine.process_batch(batch, start)
+        events = self.engine.process_batch(prepared, start)
         for event in events:
             self._status[event.query.query_id] = QueryStatus.MATURED
             self._maturity_times[event.query.query_id] = event.timestamp
@@ -319,6 +331,44 @@ class RTSSystem:
         if removed:
             self._status[query_id] = QueryStatus.TERMINATED
             if self.obs.enabled:
+                self.obs.query_terminated(query_id, self._clock)
+        if self._sanitize:
+            self._sanitize_check()
+        return removed
+
+    def terminate_batch(
+        self, queries: Iterable[Union[Query, object]]
+    ) -> List[bool]:
+        """Bulk TERMINATE: one removed-flag per input, in input order.
+
+        Mirrors :meth:`register_batch`: a single engine call covers the
+        whole batch (one sanitizer pass, one chance for the engine to
+        amortise removal maintenance).  Inputs that are not alive —
+        unknown, matured, already terminated, or duplicated earlier in
+        the same batch — come back False, exactly as :meth:`terminate`
+        would report them one at a time.
+        """
+        ids = [
+            query.query_id if isinstance(query, Query) else query
+            for query in queries
+        ]
+        candidates: List[Tuple[int, object]] = []
+        seen = set()
+        for i, query_id in enumerate(ids):
+            if query_id in seen:
+                continue
+            if self._status.get(query_id) is QueryStatus.ALIVE:
+                candidates.append((i, query_id))
+                seen.add(query_id)
+        flags = self.engine.terminate_batch([qid for _, qid in candidates])
+        removed = [False] * len(ids)
+        obs_on = self.obs.enabled
+        for (i, query_id), flag in zip(candidates, flags):
+            if not flag:
+                continue
+            removed[i] = True
+            self._status[query_id] = QueryStatus.TERMINATED
+            if obs_on:
                 self.obs.query_terminated(query_id, self._clock)
         if self._sanitize:
             self._sanitize_check()

@@ -42,6 +42,11 @@ from ..streams.generators import QueryFactory, elements_from_arrays, generate_el
 from ..streams.scale import PAPER_TAU, paper_params
 
 BENCH_FORMAT = "rts-bench-v1"
+#: Additive schema revision within the v1 format.  Minor 1 adds the
+#: interpolated percentiles, optional per-engine ``sharded`` cells with
+#: per-shard wall times, and ``shard_speedup_*`` gate keys.  Consumers
+#: key on ``format`` alone, so older baselines stay checkable.
+BENCH_FORMAT_MINOR = 1
 
 #: Queries given a reduced threshold so some maturities fire in-stream.
 SMALL_TAU_FRACTION = 0.005
@@ -121,10 +126,19 @@ def build_bench_workload(
 
 
 def _percentile(sorted_samples: List[float], q: float) -> float:
+    """Linearly interpolated quantile (numpy's default ``linear`` method).
+
+    The old nearest-rank rounding made small-sample p99 jump between
+    adjacent observations from run to run; interpolating between the two
+    straddling order statistics removes that quantisation noise.
+    """
     if not sorted_samples:
         return 0.0
-    idx = min(len(sorted_samples) - 1, int(round(q * (len(sorted_samples) - 1))))
-    return sorted_samples[idx]
+    pos = q * (len(sorted_samples) - 1)
+    lo = int(pos)
+    hi = min(lo + 1, len(sorted_samples) - 1)
+    frac = pos - lo
+    return sorted_samples[lo] * (1.0 - frac) + sorted_samples[hi] * frac
 
 
 def _fresh(engine: str, workload: BenchWorkload):
@@ -237,6 +251,113 @@ def bench_engine(
     return result
 
 
+def _canonical(events: List[Tuple[object, int, int]]) -> List[Tuple[object, int, int]]:
+    """Order events canonically: simultaneous maturities by query id.
+
+    The sharded merge fixes a registration-order tie-break for
+    same-element maturities; a raw engine emits them in engine-internal
+    order.  Both are permutations of the same event *set* per timestamp,
+    so equivalence is checked under this canonical ordering (the same
+    normalisation the snapshot/restore tests use; ``docs/SHARDING.md``).
+    """
+    return sorted(events, key=lambda e: (e[1], str(e[0])))
+
+
+def bench_sharded(
+    engine: str,
+    workload: BenchWorkload,
+    shard_counts: Sequence[int],
+    policy: str = "spatial-grid",
+    executor: str = "serial",
+    batch_size: int = 1024,
+    repeats: int = 2,
+) -> Dict[str, object]:
+    """Benchmark the sharded system at each shard count.
+
+    Every sharded run's maturity events are verified (canonically
+    ordered) against the un-sharded batched replay.  ``spatial-grid``
+    uses quantile boundaries fitted to the workload's query anchors —
+    the balanced-grid construction ``docs/SHARDING.md`` recommends for
+    clustered query sets like fig. 3's.
+    """
+    from ..shard import ShardedRTSSystem, SpatialGridPolicy
+
+    elements = workload.elements
+    n = workload.n
+    ref_seconds = None
+    ref_events: Optional[List[Tuple[object, int, int]]] = None
+    for _ in range(repeats):
+        seconds, events, _lat, _cnt = _run_once(
+            engine, workload, batch_size, timed_calls=False
+        )
+        if ref_seconds is None or seconds < ref_seconds:
+            ref_seconds = seconds
+        ref_events = events
+    canon_ref = _canonical(ref_events)
+    cell: Dict[str, object] = {
+        "policy": policy,
+        "executor": executor,
+        "batch_size": batch_size,
+        "unsharded_seconds": round(ref_seconds, 6),
+        "counts": {},
+    }
+    s1_seconds: Optional[float] = None
+    for shards in shard_counts:
+        best = None
+        best_busy: List[float] = []
+        best_routed: List[int] = []
+        events: List[Tuple[object, int, int]] = []
+        for _ in range(repeats):
+            if policy == "spatial-grid":
+                pol = SpatialGridPolicy.from_queries(shards, workload.queries)
+            else:
+                pol = policy
+            system = ShardedRTSSystem(
+                dims=workload.dims,
+                engine=engine,
+                shards=shards,
+                policy=pol,
+                executor=executor,
+            )
+            try:
+                system.register_batch(workload.queries)
+                run_events: List[Tuple[object, int, int]] = []
+                t0 = time.perf_counter()
+                for i in range(0, len(elements), batch_size):
+                    for e in system.process_batch(elements[i : i + batch_size]):
+                        run_events.append(
+                            (e.query.query_id, e.timestamp, e.weight_seen)
+                        )
+                seconds = time.perf_counter() - t0
+                if best is None or seconds < best:
+                    best = seconds
+                    best_busy = list(system.shard_busy_seconds)
+                    best_routed = list(system.elements_routed)
+                events = run_events
+            finally:
+                system.close()
+        if _canonical(events) != canon_ref:
+            raise AssertionError(
+                f"{engine}: sharded run (S={shards}, {policy}/{executor}) "
+                f"maturity events differ from the un-sharded replay "
+                f"({len(events)} vs {len(canon_ref)})"
+            )
+        if shards == 1:
+            s1_seconds = best
+        row: Dict[str, object] = {
+            "seconds": round(best, 6),
+            "elements_per_sec": round(n / best, 1),
+            "speedup_vs_unsharded": round(ref_seconds / best, 4),
+            "shard_busy_seconds": [round(b, 6) for b in best_busy],
+            "elements_routed": best_routed,
+            "events_equal": True,
+        }
+        if s1_seconds is not None:
+            row["speedup_vs_s1"] = round(s1_seconds / best, 4)
+        cell["counts"][str(shards)] = row
+    return cell
+
+
 def run_bench(
     engines: Sequence[str],
     dims: int = 1,
@@ -245,11 +366,22 @@ def run_bench(
     seed: int = 0,
     batch_sizes: Sequence[int] = (1024,),
     repeats: int = 2,
+    shard_counts: Sequence[int] = (),
+    shard_policy: str = "spatial-grid",
+    shard_executor: str = "serial",
 ) -> Dict[str, object]:
-    """Full benchmark report in the ``rts-bench-v1`` schema."""
+    """Full benchmark report in the ``rts-bench-v1`` schema.
+
+    ``shard_counts`` (when non-empty) adds a ``sharded`` cell per engine
+    benching :class:`~repro.shard.system.ShardedRTSSystem` at each shard
+    count through the largest batch size, with ``shard_speedup_s{S}_*``
+    gate keys relative to the 1-shard row (falling back to the
+    un-sharded replay when 1 is not among the counts).
+    """
     workload = build_bench_workload(dims=dims, scale=scale, n=n, seed=seed)
     report: Dict[str, object] = {
         "format": BENCH_FORMAT,
+        "format_minor": BENCH_FORMAT_MINOR,
         "generated_by": "rts-experiments bench",
         "workload": workload.meta(),
         "batch_sizes": list(batch_sizes),
@@ -269,6 +401,21 @@ def run_bench(
                 # Deterministic "work saved" ratio: scalar counter bumps
                 # per batched counter bump on the identical workload.
                 gate[f"work_ratio_b{bs}"] = round(scalar_bumps / bumps, 4)
+        if shard_counts:
+            batch_size = max(batch_sizes)
+            sharded = bench_sharded(
+                engine,
+                workload,
+                shard_counts,
+                policy=shard_policy,
+                executor=shard_executor,
+                batch_size=batch_size,
+                repeats=repeats,
+            )
+            cell["sharded"] = sharded
+            for count, row in sharded["counts"].items():
+                speedup = row.get("speedup_vs_s1", row["speedup_vs_unsharded"])
+                gate[f"shard_speedup_s{count}_b{batch_size}"] = speedup
         report["gate"][engine] = gate
     return report
 
@@ -339,6 +486,16 @@ def format_report(report: Dict[str, object]) -> str:
                 f"({b['speedup']:.2f}x)  p50={b['p50_batch_ms']:.2f}ms "
                 f"p99={b['p99_batch_ms']:.2f}ms"
             )
+        sharded = cell.get("sharded")
+        if sharded:
+            for count, row in sharded["counts"].items():
+                busy = "/".join(f"{b:.2f}" for b in row["shard_busy_seconds"])
+                lines.append(
+                    f"{engine:<12} S={count:<4} {row['elements_per_sec']:>12,.0f} "
+                    f"el/s  ({row['speedup_vs_unsharded']:.2f}x vs unsharded, "
+                    f"{row.get('speedup_vs_s1', float('nan')):.2f}x vs S=1)  "
+                    f"[{sharded['policy']}/{sharded['executor']}] busy={busy}s"
+                )
     return "\n".join(lines)
 
 

@@ -34,6 +34,14 @@ repro.experiments.cli``)::
     rts-experiments bench --engine dt,dt-static --scale 500 --out BENCH.json
     rts-experiments bench --check BENCH_PR4.json --tolerance 0.25
 
+    # sharded: multi-core query partitioning (see docs/SHARDING.md);
+    # --shards benches ShardedRTSSystem at each count through the
+    # largest batch size; --check-shard-speedup gates the top count's
+    # speedup over the 1-shard row and exits non-zero below the floor
+    rts-experiments bench --engine dt,baseline --shards 1,2,4
+    rts-experiments bench --shards 1,2 --shard-executor parallel \
+        --check-shard-speedup 1.3
+
 ``--scale`` divides the paper's workload sizes (1 = the paper's exact
 parameters — hours of CPU in pure Python; 1000 = the default laptop
 scale).  Output is the text rendering of each figure (chart + table +
@@ -180,6 +188,34 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="'bench' target: timing repeats, fastest wins (default 2)",
     )
     parser.add_argument(
+        "--shards",
+        default="",
+        help="'bench' target: comma-separated shard counts to bench the "
+        "sharded system at (e.g. 1,2,4; empty = no sharded rows)",
+    )
+    parser.add_argument(
+        "--shard-policy",
+        default="spatial-grid",
+        help="'bench' target: partition policy for the sharded rows "
+        "(spatial-grid fits quantile boundaries to the workload; "
+        "see docs/SHARDING.md)",
+    )
+    parser.add_argument(
+        "--shard-executor",
+        choices=["serial", "parallel"],
+        default="serial",
+        help="'bench' target: run shards in-process or in worker "
+        "processes (default serial)",
+    )
+    parser.add_argument(
+        "--check-shard-speedup",
+        type=float,
+        default=None,
+        help="'bench' target: exit non-zero unless the largest shard "
+        "count beats the 1-shard row by at least this factor "
+        "(requires --shards including 1)",
+    )
+    parser.add_argument(
         "--check",
         type=pathlib.Path,
         default=None,
@@ -306,6 +342,14 @@ def _run_bench(args, parser) -> int:
         parser.error(f"--batch-size must be comma-separated ints, got {args.batch_size!r}")
     if not batch_sizes or any(b < 1 for b in batch_sizes):
         parser.error("--batch-size values must be positive")
+    try:
+        shard_counts = [int(s) for s in args.shards.split(",") if s]
+    except ValueError:
+        parser.error(f"--shards must be comma-separated ints, got {args.shards!r}")
+    if any(s < 1 for s in shard_counts):
+        parser.error("--shards values must be positive")
+    if args.check_shard_speedup is not None and 1 not in shard_counts:
+        parser.error("--check-shard-speedup needs --shards to include 1")
 
     started = time.perf_counter()
     try:
@@ -317,6 +361,9 @@ def _run_bench(args, parser) -> int:
             seed=args.seed,
             batch_sizes=batch_sizes,
             repeats=args.repeats,
+            shard_counts=shard_counts,
+            shard_policy=args.shard_policy,
+            shard_executor=args.shard_executor,
         )
     except AssertionError as exc:
         # The batched replay disagreed with the scalar replay: that is a
@@ -348,6 +395,28 @@ def _run_bench(args, parser) -> int:
             print("PERF REGRESSION", file=sys.stderr)
             return 1
         print("# gate: ok")
+
+    if args.check_shard_speedup is not None:
+        floor = args.check_shard_speedup
+        top = str(max(shard_counts))
+        failed = False
+        for engine in engines:
+            counts = report["engines"][engine].get("sharded", {}).get("counts", {})
+            row = counts.get(top)
+            speedup = row.get("speedup_vs_s1") if row else None
+            if speedup is None:
+                print(f"ERROR: {engine}: no S={top} sharded row", file=sys.stderr)
+                failed = True
+                continue
+            status = "ok" if speedup >= floor else "TOO SLOW"
+            print(
+                f"# shard-speedup gate {engine}: S={top} is {speedup:.2f}x "
+                f"vs S=1 (floor {floor:.2f}x) [{status}]"
+            )
+            failed = failed or speedup < floor
+        if failed:
+            print("SHARD SPEEDUP BELOW FLOOR", file=sys.stderr)
+            return 1
     return 0
 
 

@@ -90,6 +90,12 @@ class NullObservability:
     def ingest_quarantined(self, where: str, n: int = 1) -> None:
         pass
 
+    def shard_elements(self, shard: int, n: int) -> None:
+        pass
+
+    def shard_skew(self, ratio: float) -> None:
+        pass
+
     def rebuild(self, kind: str, queries: int, heap_entries: Optional[int] = None) -> None:
         pass
 
@@ -130,6 +136,7 @@ class Observability(NullObservability):
         "_msg_counters",
         "_transport_counters",
         "_quarantine_counters",
+        "_shard_counters",
     )
     enabled = True
 
@@ -149,6 +156,7 @@ class Observability(NullObservability):
         #: Same caching pattern for transport faults and ingest quarantine.
         self._transport_counters: Dict[str, object] = {}
         self._quarantine_counters: Dict[str, object] = {}
+        self._shard_counters: Dict[int, object] = {}
         m = self.metrics
         m.counter("rts_elements_total", "Stream elements processed")
         m.counter("rts_element_weight_total", "Total element weight processed")
@@ -197,6 +205,15 @@ class Observability(NullObservability):
             "rts_ingest_quarantined_total",
             "counter",
             "Malformed stream records skipped under on_error='skip', by adapter",
+        )
+        m.declare(
+            "rts_shard_elements_total",
+            "counter",
+            "Elements routed to each shard of a sharded system",
+        )
+        m.gauge(
+            "rts_shard_skew_ratio",
+            "Routing balance: max shard load over mean shard load (1.0 = even)",
         )
         m.histogram(
             "rts_rebuild_queries", SIZE_BUCKETS, "Alive queries per rebuild"
@@ -302,6 +319,22 @@ class Observability(NullObservability):
             self._quarantine_counters[where] = counter
         counter.inc(n)
         self.trace.append("ingest.quarantined", ts=self._now, adapter=where, n=n)
+
+    def shard_elements(self, shard: int, n: int) -> None:
+        """``n`` elements of a routed batch landed on ``shard``."""
+        counter = self._shard_counters.get(shard)
+        if counter is None:
+            counter = self.metrics.counter(
+                "rts_shard_elements_total",
+                "Elements routed to each shard of a sharded system",
+                shard=str(shard),
+            )
+            self._shard_counters[shard] = counter
+        counter.inc(n)
+
+    def shard_skew(self, ratio: float) -> None:
+        """Routing balance after a batch: max/mean cumulative shard load."""
+        self.metrics.gauge("rts_shard_skew_ratio").set(ratio)
 
     def dt_slack(self, query_id: object, lam: int, h: int) -> None:
         self.metrics.counter("rts_dt_slack_announcements_total").inc()

@@ -32,6 +32,8 @@ from ..dt.reliable import (
     TRANSPORT_OVERHEAD_SLACK,
     ReliableChannel,
 )
+from ..shard.executor import SerialExecutor
+from ..shard.system import ShardedRTSSystem
 from ..structures.heap import AddressableMinHeap, ScanMinList
 from ..structures.interval_tree import CenteredIntervalTree
 from ..structures.rtree import RTree, mbr_union
@@ -696,6 +698,115 @@ def validate_system(system: RTSSystem, level: str) -> Iterator[Violation]:
     from .checker import collect
 
     yield from collect(system.engine, level)
+
+
+@register_checker(ShardedRTSSystem)
+def validate_sharded_system(
+    system: ShardedRTSSystem, level: str
+) -> Iterator[Violation]:
+    """Partition coverage, extent soundness, and (in-process) shard state.
+
+    The *partition-coverage* invariant of ``docs/SHARDING.md``: every
+    alive query is owned by exactly one in-range shard, carries a unique
+    registration sequence (the deterministic-merge tie-break), and —
+    when the shards run in-process — actually lives on the shard the
+    router believes owns it, with the shard's routing extent covering
+    its dim-0 range.
+    """
+    from ..core.geometry import encoded_key
+    from ..core.query import QueryStatus
+
+    subject = repr(system)
+    alive_ids = {
+        qid
+        for qid, st in system._status.items()
+        if st is QueryStatus.ALIVE
+    }
+    owned_ids = set(system._owner)
+    for qid in alive_ids ^ owned_ids:
+        yield Violation(
+            "shard-partition-coverage",
+            f"query {qid!r} is "
+            + (
+                "ALIVE but owned by no shard"
+                if qid in alive_ids
+                else "owned by a shard but not ALIVE"
+            ),
+            section="S3.2",
+            subject=subject,
+            context=_ctx(query=qid),
+        )
+    seqs: Dict[int, object] = {}
+    for qid, owner in system._owner.items():
+        if not 0 <= owner < system.shards:
+            yield Violation(
+                "shard-partition-coverage",
+                f"query {qid!r} owned by shard {owner}, outside "
+                f"[0, {system.shards})",
+                section="S3.2",
+                subject=subject,
+                context=_ctx(query=qid, owner=owner),
+            )
+        seq = system._seq.get(qid)
+        if seq is None:
+            yield Violation(
+                "shard-merge-seq",
+                f"alive query {qid!r} has no registration sequence "
+                "(the deterministic merge cannot break its ties)",
+                section="S3.2",
+                subject=subject,
+                context=_ctx(query=qid),
+            )
+        elif seq in seqs:
+            yield Violation(
+                "shard-merge-seq",
+                f"queries {seqs[seq]!r} and {qid!r} share registration "
+                f"sequence {seq}",
+                section="S3.2",
+                subject=subject,
+                context=_ctx(seq=seq),
+            )
+        else:
+            seqs[seq] = qid
+        query = system._queries.get(qid)
+        if query is not None and 0 <= owner < system.shards:
+            iv = query.rect.intervals[0]
+            lo, hi = system._extents[owner]
+            if encoded_key(iv.lo) < lo or encoded_key(iv.hi) > hi:
+                yield Violation(
+                    "shard-extent-cover",
+                    f"shard {owner} extent [{lo!r}, {hi!r}) does not cover "
+                    f"owned query {qid!r}'s dim-0 range (elements it needs "
+                    "could be routed away)",
+                    section="S3.2",
+                    subject=subject,
+                    context=_ctx(query=qid, owner=owner),
+                )
+    executor = system.executor
+    if isinstance(executor, SerialExecutor) and executor.systems:
+        by_owner: Dict[int, Set[object]] = {}
+        for qid, owner in system._owner.items():
+            by_owner.setdefault(owner, set()).add(qid)
+        from .checker import collect
+
+        for shard, shard_system in enumerate(executor.systems):
+            shard_alive = {
+                qid
+                for qid, st in shard_system._status.items()
+                if st is QueryStatus.ALIVE
+            }
+            expected = by_owner.get(shard, set())
+            if shard_alive != expected:
+                yield Violation(
+                    "shard-partition-coverage",
+                    f"shard {shard} holds {len(shard_alive)} alive queries "
+                    f"but the router assigns it {len(expected)} "
+                    f"(diverging ids: {sorted(map(repr, shard_alive ^ expected))[:4]})",
+                    section="S3.2",
+                    subject=subject,
+                    context=_ctx(shard=shard),
+                )
+            yield from collect(shard_system, level)
 
 
 # ---------------------------------------------------------------------------

@@ -1,0 +1,48 @@
+"""Sharded parallel RTS: query partitioning with a deterministic merge.
+
+Public surface of the sharding subsystem (see ``docs/SHARDING.md``):
+
+* :class:`ShardedRTSSystem` — the multi-shard façade mirroring
+  :class:`~repro.core.system.RTSSystem`.
+* Partition policies — :class:`RoundRobinPolicy`, :class:`RectHashPolicy`,
+  :class:`SpatialGridPolicy`, plus the :func:`make_policy` /
+  :func:`available_policies` registry.
+* Shard executors — :class:`SerialExecutor` (in-process determinism
+  oracle) and :class:`ParallelExecutor` (persistent worker processes),
+  plus :func:`make_executor` / :func:`available_executors`.
+"""
+
+from .executor import (
+    ParallelExecutor,
+    SerialExecutor,
+    ShardExecutor,
+    available_executors,
+    make_executor,
+)
+from .partition import (
+    PartitionPolicy,
+    RectHashPolicy,
+    RoundRobinPolicy,
+    SpatialGridPolicy,
+    available_policies,
+    make_policy,
+    stable_rect_hash,
+)
+from .system import SHARD_SNAPSHOT_FORMAT, ShardedRTSSystem
+
+__all__ = [
+    "SHARD_SNAPSHOT_FORMAT",
+    "ShardedRTSSystem",
+    "PartitionPolicy",
+    "RoundRobinPolicy",
+    "RectHashPolicy",
+    "SpatialGridPolicy",
+    "stable_rect_hash",
+    "available_policies",
+    "make_policy",
+    "ShardExecutor",
+    "SerialExecutor",
+    "ParallelExecutor",
+    "available_executors",
+    "make_executor",
+]

@@ -1,0 +1,255 @@
+"""Shard executors: where the per-shard engines actually run.
+
+The sharded router (:class:`~repro.shard.system.ShardedRTSSystem`) is
+executor-agnostic: it routes queries and element slices, and an executor
+carries them to ``S`` resident :class:`~repro.core.system.RTSSystem`
+instances.
+
+:class:`SerialExecutor`
+    Runs every shard in-process, one after the other.  No IPC, no
+    processes — this is the *determinism oracle* the parallel executor
+    is tested against, and the fastest choice on a single core (where
+    sharding still wins through the spatial policy's element pruning).
+
+:class:`ParallelExecutor`
+    One persistent single-worker :class:`concurrent.futures.ProcessPoolExecutor`
+    per shard.  Sizing each pool to one worker pins a shard's state to
+    one process for its whole life, so only :mod:`~repro.shard.wire`
+    payloads ever cross the boundary; slices for all shards are submitted
+    before any result is awaited, which is what overlaps shard work
+    across cores.
+"""
+
+from __future__ import annotations
+
+import abc
+import time
+from typing import Dict, List, Optional, Tuple
+
+from .wire import EventKey, ShardSlice, encode_queries
+
+#: Per-shard outcome of one routed batch: (event keys, busy seconds).
+ShardOutcome = Tuple[List[EventKey], float]
+
+
+class ShardExecutor(abc.ABC):
+    """Lifecycle + command surface shared by serial and parallel backends."""
+
+    #: Registry name; recorded as a hint in shard snapshots.
+    name: str = "abstract"
+
+    @abc.abstractmethod
+    def start(
+        self, configs: List[dict], snapshots: Optional[List[dict]] = None
+    ) -> None:
+        """Bring up one shard per config (optionally restored from blobs).
+
+        ``configs[k]`` holds ``dims``/``engine``/``engine_options``/
+        ``sanitize`` for shard ``k``; ``snapshots[k]``, when given, is an
+        ``rts-snapshot-v1`` blob the shard resumes from.
+        """
+
+    @abc.abstractmethod
+    def register(self, shard: int, queries: List) -> None:
+        """Register queries on their owner shard."""
+
+    @abc.abstractmethod
+    def process(self, slices: Dict[int, ShardSlice]) -> Dict[int, ShardOutcome]:
+        """Run one routed batch; returns per-shard events + busy time."""
+
+    @abc.abstractmethod
+    def terminate(self, shard: int, query_ids: List[object]) -> int:
+        """Bulk-terminate owned queries; returns how many were removed."""
+
+    @abc.abstractmethod
+    def collected_weight(self, shard: int, query_id: object) -> int:
+        """Exact ``W(q)`` from the owner shard."""
+
+    @abc.abstractmethod
+    def snapshot(self, shard: int) -> dict:
+        """The shard's ``rts-snapshot-v1`` blob."""
+
+    @abc.abstractmethod
+    def describe(self, shard: int) -> Dict[str, object]:
+        """Shard diagnostics."""
+
+    def close(self) -> None:
+        """Release worker resources (idempotent; no-op by default)."""
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}()"
+
+
+class SerialExecutor(ShardExecutor):
+    """All shards in-process: the determinism oracle (no IPC, no pickling)."""
+
+    name = "serial"
+
+    def __init__(self) -> None:
+        self.systems: List = []
+
+    def start(
+        self, configs: List[dict], snapshots: Optional[List[dict]] = None
+    ) -> None:
+        from ..core.system import RTSSystem
+
+        self.systems = []
+        for k, config in enumerate(configs):
+            if snapshots is not None:
+                self.systems.append(
+                    RTSSystem.restore(snapshots[k], sanitize=config.get("sanitize"))
+                )
+            else:
+                self.systems.append(
+                    RTSSystem(
+                        dims=config["dims"],
+                        engine=config["engine"],
+                        sanitize=config.get("sanitize"),
+                        **config.get("engine_options", {}),
+                    )
+                )
+
+    def register(self, shard: int, queries: List) -> None:
+        self.systems[shard].register_batch(queries)
+
+    def process(self, slices: Dict[int, ShardSlice]) -> Dict[int, ShardOutcome]:
+        from ..core.batch import PreparedBatch
+
+        out: Dict[int, ShardOutcome] = {}
+        for shard, sl in slices.items():
+            system = self.systems[shard]
+            started = time.perf_counter()
+            base = system.now
+            events = system.process_batch(
+                PreparedBatch.from_arrays(sl.elements, sl.values, sl.weights)
+            )
+            keys = [
+                (e.query.query_id, sl.timestamps[e.timestamp - base - 1], e.weight_seen)
+                for e in events
+            ]
+            out[shard] = (keys, time.perf_counter() - started)
+        return out
+
+    def terminate(self, shard: int, query_ids: List[object]) -> int:
+        return sum(self.systems[shard].terminate_batch(query_ids))
+
+    def collected_weight(self, shard: int, query_id: object) -> int:
+        return self.systems[shard].progress(query_id)[0]
+
+    def snapshot(self, shard: int) -> dict:
+        return self.systems[shard].snapshot()
+
+    def describe(self, shard: int) -> Dict[str, object]:
+        return self.systems[shard].describe()
+
+
+class ParallelExecutor(ShardExecutor):
+    """Persistent worker process per shard, exchanging wire payloads only.
+
+    Parameters
+    ----------
+    mp_context:
+        ``multiprocessing`` start-method name (``"fork"``/``"spawn"``/
+        ``"forkserver"``); None uses the platform default.  Fork is the
+        cheap option on Linux; spawn is the portable one.
+    """
+
+    name = "parallel"
+
+    def __init__(self, mp_context: Optional[str] = None) -> None:
+        self._mp_context = mp_context
+        self._pools: List = []
+
+    def start(
+        self, configs: List[dict], snapshots: Optional[List[dict]] = None
+    ) -> None:
+        import multiprocessing
+        from concurrent.futures import ProcessPoolExecutor
+
+        from . import worker
+
+        ctx = (
+            multiprocessing.get_context(self._mp_context)
+            if self._mp_context is not None
+            else None
+        )
+        self.close()
+        self._pools = []
+        for k, config in enumerate(configs):
+            blob = snapshots[k] if snapshots is not None else None
+            self._pools.append(
+                ProcessPoolExecutor(
+                    max_workers=1,
+                    mp_context=ctx,
+                    initializer=worker.init_shard,
+                    initargs=(config, blob),
+                )
+            )
+
+    def register(self, shard: int, queries: List) -> None:
+        from . import worker
+
+        self._pools[shard].submit(worker.register, encode_queries(queries)).result()
+
+    def process(self, slices: Dict[int, ShardSlice]) -> Dict[int, ShardOutcome]:
+        from . import worker
+
+        futures = {}
+        for shard, sl in slices.items():
+            values, weights, timestamps = sl.encode()
+            futures[shard] = self._pools[shard].submit(
+                worker.process, values, weights, timestamps
+            )
+        return {shard: fut.result() for shard, fut in futures.items()}
+
+    def terminate(self, shard: int, query_ids: List[object]) -> int:
+        from . import worker
+
+        return self._pools[shard].submit(worker.terminate, query_ids).result()
+
+    def collected_weight(self, shard: int, query_id: object) -> int:
+        from . import worker
+
+        return self._pools[shard].submit(worker.collected_weight, query_id).result()
+
+    def snapshot(self, shard: int) -> dict:
+        from . import worker
+
+        return self._pools[shard].submit(worker.snapshot).result()
+
+    def describe(self, shard: int) -> Dict[str, object]:
+        from . import worker
+
+        return self._pools[shard].submit(worker.describe).result()
+
+    def close(self) -> None:
+        for pool in self._pools:
+            pool.shutdown(wait=True, cancel_futures=True)
+        self._pools = []
+
+
+_EXECUTORS = {
+    SerialExecutor.name: SerialExecutor,
+    ParallelExecutor.name: ParallelExecutor,
+}
+
+
+def available_executors() -> List[str]:
+    """Names accepted by ``make_executor`` / ``ShardedRTSSystem(executor=)``."""
+    return sorted(_EXECUTORS)
+
+
+def make_executor(executor, **options) -> ShardExecutor:
+    """Build an executor from a name or pass an instance through."""
+    if isinstance(executor, ShardExecutor):
+        if options:
+            raise ValueError("executor options only apply when executor is a name")
+        return executor
+    try:
+        cls = _EXECUTORS[executor]
+    except (KeyError, TypeError):
+        known = ", ".join(sorted(_EXECUTORS))
+        raise ValueError(
+            f"unknown shard executor {executor!r}; choose one of: {known}"
+        ) from None
+    return cls(**options)

@@ -1,0 +1,253 @@
+"""Query partition policies for the sharded RTS system.
+
+The sharded system (``docs/SHARDING.md``) splits the ``m`` registered
+queries across ``S`` shards, each running an independent engine.  A
+:class:`PartitionPolicy` decides ownership: every live query is owned by
+exactly one shard (the *partition-coverage* invariant checked by the
+sanitizer).  Elements are then routed to shards whose owned queries they
+might stab — broadcast for the content-blind policies, extent-pruned for
+the spatial policy.
+
+Three built-in policies:
+
+``round-robin``
+    Queries cycle through shards in registration order.  Content-blind:
+    perfect ownership balance, every element broadcast to every shard.
+
+``rect-hash``
+    Queries are placed by a *stable* hash of their rectangle's boundary
+    keys (process-independent, unlike Python's seeded ``hash``), so
+    identical regions collocate.  Content-blind broadcast, like
+    round-robin, but placement is reproducible across processes and
+    restarts regardless of registration order.
+
+``spatial-grid``
+    Dimension 0 is cut into ``S`` cells; a query is owned by the cell
+    containing its dim-0 anchor (interval midpoint).  Because ownership
+    correlates with geometry, each shard's *extent* — the union of its
+    owned queries' dim-0 ranges — covers only a slice of the data space,
+    and the router can skip any shard whose extent an element cannot
+    stab.  This is the policy that turns sharding into a work reduction
+    rather than a replication (see ``docs/SHARDING.md`` for the cost
+    model).
+"""
+
+from __future__ import annotations
+
+import abc
+import bisect
+import math
+import struct
+import zlib
+from typing import Dict, List, Optional, Sequence, Tuple, Type
+
+from ..core.query import Query
+
+
+class PartitionPolicy(abc.ABC):
+    """Assigns each registered query to one of ``shards`` shards.
+
+    Policies are deterministic functions of the query (and its
+    registration sequence number), never of wall-clock or process state,
+    so the same registration order yields the same partition everywhere —
+    the foundation of the sharded system's determinism contract.
+    """
+
+    #: Registry name (``make_policy``) and snapshot spec tag.
+    name: str = "abstract"
+
+    #: True when the policy's ownership correlates with geometry, letting
+    #: the router prune shards by extent instead of broadcasting.
+    prunes_elements: bool = False
+
+    def __init__(self, shards: int):
+        if not isinstance(shards, int) or shards < 1:
+            raise ValueError(f"shards must be a positive integer, got {shards!r}")
+        self.shards = shards
+
+    @abc.abstractmethod
+    def assign(self, query: Query, seq: int) -> int:
+        """Owner shard index for ``query`` (``seq``: registration number)."""
+
+    def spec(self) -> Dict[str, object]:
+        """JSON-compatible policy description (``rts-shard-snapshot-v1``)."""
+        return {"policy": self.name, "shards": self.shards}
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(shards={self.shards})"
+
+
+class RoundRobinPolicy(PartitionPolicy):
+    """Cycle through shards in registration order (content-blind)."""
+
+    name = "round-robin"
+
+    def assign(self, query: Query, seq: int) -> int:
+        return seq % self.shards
+
+
+def stable_rect_hash(query: Query) -> int:
+    """Process-stable 32-bit digest of a query rectangle.
+
+    Python's built-in ``hash`` is salted per process (PYTHONHASHSEED), so
+    it cannot place queries consistently across the parent and its shard
+    workers, or across a snapshot/restore boundary.  This digest packs
+    every boundary key ``(value, bit)`` to its IEEE-754 bytes and CRCs
+    them — bit-exact, endian-pinned, and fast.
+    """
+    crc = 0
+    for iv in query.rect.intervals:
+        for value, bit in (iv.lo, iv.hi):
+            crc = zlib.crc32(struct.pack("<dB", value, bit), crc)
+    return crc
+
+
+class RectHashPolicy(PartitionPolicy):
+    """Place queries by a stable hash of their rectangle (content-blind)."""
+
+    name = "rect-hash"
+
+    def assign(self, query: Query, seq: int) -> int:
+        return stable_rect_hash(query) % self.shards
+
+
+class SpatialGridPolicy(PartitionPolicy):
+    """Partition dimension 0 into ``S`` cells; own queries by anchor cell.
+
+    Parameters
+    ----------
+    shards:
+        Number of shards ``S``.
+    domain:
+        ``(lo, hi)`` bounds of dimension 0; the grid cuts this range into
+        ``S`` equal cells.  Mutually exclusive with ``boundaries``.
+    boundaries:
+        Explicit sorted cell boundaries (``S - 1`` values).  Use
+        :meth:`from_queries` to derive balanced (quantile) boundaries
+        from a known query population.
+
+    A query's *anchor* is the midpoint of its dim-0 interval (clamped to
+    the finite endpoint when the other end is unbounded); the query is
+    owned by the cell the anchor falls in.  Queries may well overhang
+    their cell — the router's per-shard extents, maintained by the
+    sharded system from the owned queries' actual ranges, keep element
+    routing exact regardless.
+    """
+
+    name = "spatial-grid"
+    prunes_elements = True
+
+    def __init__(
+        self,
+        shards: int,
+        domain: Optional[Tuple[float, float]] = None,
+        boundaries: Optional[Sequence[float]] = None,
+    ):
+        super().__init__(shards)
+        if (domain is None) == (boundaries is None):
+            raise ValueError("pass exactly one of domain= or boundaries=")
+        if boundaries is None:
+            lo, hi = float(domain[0]), float(domain[1])
+            if not (math.isfinite(lo) and math.isfinite(hi)) or lo >= hi:
+                raise ValueError(f"domain must be finite with lo < hi, got {domain!r}")
+            width = (hi - lo) / shards
+            boundaries = [lo + i * width for i in range(1, shards)]
+        cuts = [float(b) for b in boundaries]
+        if len(cuts) != shards - 1:
+            raise ValueError(
+                f"need {shards - 1} boundaries for {shards} shards, got {len(cuts)}"
+            )
+        if any(b != b for b in cuts) or sorted(cuts) != cuts:
+            raise ValueError(f"boundaries must be sorted and NaN-free: {cuts!r}")
+        self.boundaries = cuts
+
+    @classmethod
+    def from_queries(
+        cls, shards: int, queries: Sequence[Query]
+    ) -> "SpatialGridPolicy":
+        """Balanced grid: boundaries at anchor quantiles of ``queries``.
+
+        A uniform grid over the domain is badly skewed when query centres
+        cluster (the fig. 3 workload concentrates them around the domain
+        midpoint); cutting at the anchor quantiles instead gives each
+        shard an equal share of the *queries*, which is what bounds
+        per-shard work.
+        """
+        if not queries:
+            raise ValueError("from_queries needs at least one query")
+        anchors = sorted(_anchor(q) for q in queries)
+        cuts = []
+        for i in range(1, shards):
+            cuts.append(anchors[min(len(anchors) - 1, i * len(anchors) // shards)])
+        # Quantiles of few/duplicated anchors may repeat; keep them sorted
+        # (bisect handles equal cuts by emptying the middle cells).
+        return cls(shards, boundaries=cuts)
+
+    def assign(self, query: Query, seq: int) -> int:
+        return bisect.bisect_right(self.boundaries, _anchor(query))
+
+    def spec(self) -> Dict[str, object]:
+        return {
+            "policy": self.name,
+            "shards": self.shards,
+            "boundaries": list(self.boundaries),
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"SpatialGridPolicy(shards={self.shards}, "
+            f"boundaries={self.boundaries!r})"
+        )
+
+
+def _anchor(query: Query) -> float:
+    """Dim-0 placement anchor: interval midpoint, robust to unbounded ends."""
+    iv = query.rect.intervals[0]
+    lo, hi = iv.lo[0], iv.hi[0]
+    lo_finite, hi_finite = math.isfinite(lo), math.isfinite(hi)
+    if lo_finite and hi_finite:
+        return (lo + hi) / 2.0
+    if lo_finite:
+        return lo
+    if hi_finite:
+        return hi
+    return -math.inf  # (-inf, +inf): owned by the leftmost cell
+
+
+_POLICIES: Dict[str, Type[PartitionPolicy]] = {
+    RoundRobinPolicy.name: RoundRobinPolicy,
+    RectHashPolicy.name: RectHashPolicy,
+    SpatialGridPolicy.name: SpatialGridPolicy,
+}
+
+
+def available_policies() -> List[str]:
+    """Names accepted by ``make_policy`` / ``ShardedRTSSystem(policy=...)``."""
+    return sorted(_POLICIES)
+
+
+def make_policy(policy, shards: int, **options) -> PartitionPolicy:
+    """Build a policy from a name, an instance, or a snapshot spec dict."""
+    if isinstance(policy, PartitionPolicy):
+        if policy.shards != shards:
+            raise ValueError(
+                f"policy handles {policy.shards} shard(s), system asked "
+                f"for {shards}"
+            )
+        if options:
+            raise ValueError("policy options only apply when policy is a name")
+        return policy
+    if isinstance(policy, dict):
+        spec = dict(policy)
+        name = spec.pop("policy")
+        spec.pop("shards", None)
+        spec.update(options)
+        return make_policy(name, shards, **spec)
+    try:
+        cls = _POLICIES[policy]
+    except (KeyError, TypeError):
+        known = ", ".join(sorted(_POLICIES))
+        raise ValueError(
+            f"unknown partition policy {policy!r}; choose one of: {known}"
+        ) from None
+    return cls(shards, **options)

@@ -1,0 +1,93 @@
+"""Shard worker: the code that runs inside a parallel shard process.
+
+Each shard of a :class:`~repro.shard.system.ShardedRTSSystem` under the
+:class:`~repro.shard.executor.ParallelExecutor` is a persistent child
+process holding one resident :class:`~repro.core.system.RTSSystem`.  The
+pool is sized to exactly one worker, so every call for a shard lands in
+the same process and the engine state never crosses the boundary — only
+the :mod:`~repro.shard.wire` payloads do.
+
+All functions here are module-level (picklable by reference) and operate
+on the process-global ``_SYSTEM``; the pool initializer installs it.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List, Optional, Tuple
+
+from .wire import EventKey, decode_elements, decode_queries
+
+#: The resident shard system of this worker process.
+_SYSTEM = None
+
+
+def init_shard(config: dict, snapshot: Optional[dict] = None) -> None:
+    """Pool initializer: build (or restore) this worker's shard system."""
+    global _SYSTEM
+    from ..core.system import RTSSystem
+
+    if snapshot is not None:
+        _SYSTEM = RTSSystem.restore(snapshot, sanitize=config.get("sanitize"))
+        return
+    _SYSTEM = RTSSystem(
+        dims=config["dims"],
+        engine=config["engine"],
+        sanitize=config.get("sanitize"),
+        **config.get("engine_options", {}),
+    )
+
+
+def register(query_objs: List[dict]) -> int:
+    """Register wire-coded queries; returns the shard's alive count."""
+    _SYSTEM.register_batch(decode_queries(query_objs))
+    return _SYSTEM.alive_count
+
+
+def process(values, weights, timestamps: List[int]) -> Tuple[List[EventKey], float]:
+    """Process one routed slice; return (event keys, busy seconds).
+
+    The slice runs on the shard's compact local clock; event timestamps
+    are remapped to the global arrival indices in ``timestamps`` before
+    they go back on the wire.
+    """
+    start = time.perf_counter()
+    from ..core.batch import PreparedBatch
+
+    try:
+        import numpy as _np
+    except ImportError:  # pragma: no cover - numpy ships with the package
+        _np = None
+
+    elements = decode_elements(values, weights)
+    if _np is not None and isinstance(values, _np.ndarray) and values.ndim == 2:
+        prepared = PreparedBatch.from_arrays(elements, values, weights)
+    else:
+        prepared = PreparedBatch.from_arrays(elements, None, None)
+    base = _SYSTEM.now
+    events = _SYSTEM.process_batch(prepared)
+    keys = [
+        (e.query.query_id, timestamps[e.timestamp - base - 1], e.weight_seen)
+        for e in events
+    ]
+    return keys, time.perf_counter() - start
+
+
+def terminate(query_ids: List[object]) -> int:
+    """Bulk-terminate owned queries; returns how many were removed."""
+    return sum(_SYSTEM.terminate_batch(query_ids))
+
+
+def collected_weight(query_id: object) -> int:
+    """Exact ``W(q)`` for an alive owned query."""
+    return _SYSTEM.progress(query_id)[0]
+
+
+def snapshot() -> dict:
+    """The shard's ``rts-snapshot-v1`` checkpoint blob."""
+    return _SYSTEM.snapshot()
+
+
+def describe() -> Dict[str, object]:
+    """Shard diagnostics (engine describe payload)."""
+    return _SYSTEM.describe()

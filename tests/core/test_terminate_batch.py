@@ -1,0 +1,71 @@
+"""``terminate_batch``: the bulk TERMINATE path mirrors one-at-a-time."""
+
+import pytest
+
+from repro import Query, RTSSystem, StreamElement
+from repro.core.query import QueryStatus
+from repro.core.system import available_engines
+
+
+def _q(lo, hi, tau, qid):
+    return Query([(lo, hi)], tau, query_id=qid)
+
+
+class TestSystemTerminateBatch:
+    def test_flags_per_input_in_order(self):
+        system = RTSSystem(dims=1, engine="dt")
+        system.register_batch([_q(0, 10, 9, "a"), _q(0, 10, 9, "b"), _q(0, 10, 1, "m")])
+        system.process(StreamElement(5))  # matures m
+        flags = system.terminate_batch(["a", "unknown", "m", "b"])
+        assert flags == [True, False, False, True]
+        assert system.status("a") is QueryStatus.TERMINATED
+        assert system.status("b") is QueryStatus.TERMINATED
+        assert system.status("m") is QueryStatus.MATURED
+
+    def test_duplicates_in_batch_report_false(self):
+        system = RTSSystem(dims=1, engine="dt")
+        system.register(_q(0, 10, 5, "a"))
+        assert system.terminate_batch(["a", "a", "a"]) == [True, False, False]
+
+    def test_accepts_query_objects(self):
+        system = RTSSystem(dims=1, engine="dt")
+        q = system.register(_q(0, 10, 5, "a"))
+        assert system.terminate_batch([q]) == [True]
+
+    def test_empty_batch(self):
+        system = RTSSystem(dims=1, engine="dt")
+        assert system.terminate_batch([]) == []
+
+    def test_matches_sequential_terminate(self):
+        queries = [_q(i, i + 20, 50, f"q{i}") for i in range(0, 60, 10)]
+        batched = RTSSystem(dims=1, engine="dt")
+        sequential = RTSSystem(dims=1, engine="dt")
+        for system in (batched, sequential):
+            system.register_batch(queries)
+            system.process_batch([5, 15, 25, 35])
+        targets = ["q0", "q30", "nope", "q0"]
+        assert batched.terminate_batch(targets) == [
+            sequential.terminate(t) for t in targets
+        ]
+        tail_b = batched.process_batch([12, 22, 44])
+        tail_s = sequential.process_batch([12, 22, 44])
+        assert [(e.query.query_id, e.timestamp) for e in tail_b] == [
+            (e.query.query_id, e.timestamp) for e in tail_s
+        ]
+
+    def test_sanitize_runs_once_per_batch(self):
+        system = RTSSystem(dims=1, engine="dt", sanitize="full")
+        system.register_batch([_q(0, 10, 5, "a"), _q(5, 15, 5, "b")])
+        assert system.terminate_batch(["a", "b"]) == [True, True]
+
+
+@pytest.mark.parametrize("engine", available_engines())
+def test_engine_default_terminate_batch(engine):
+    dims = 2 if engine == "seg-intv-tree" else 1
+    system = RTSSystem(dims=dims, engine=engine)
+    rect = [(0, 10)] * dims
+    system.register_batch(
+        [Query(rect, 9, query_id="a"), Query(rect, 9, query_id="b")]
+    )
+    flags = system.engine.terminate_batch(["a", "missing", "b"])
+    assert flags == [True, False, True]

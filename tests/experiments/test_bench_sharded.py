@@ -1,0 +1,125 @@
+"""Bench-harness additions for the sharded system (rts-bench-v1.1).
+
+Covers the interpolated percentile helper, the ``bench_sharded`` cell
+(per-shard wall times, routed counts, equivalence flags), the report's
+``format_minor`` bump, and that ``check_against_baseline`` stays
+backward-compatible with pre-sharding baselines.
+"""
+
+import pytest
+
+from repro.experiments.bench import (
+    BENCH_FORMAT,
+    BENCH_FORMAT_MINOR,
+    _canonical,
+    _percentile,
+    bench_sharded,
+    build_bench_workload,
+    check_against_baseline,
+    format_report,
+    run_bench,
+)
+
+
+class TestPercentile:
+    def test_empty(self):
+        assert _percentile([], 0.5) == 0.0
+
+    def test_single_sample(self):
+        assert _percentile([7.0], 0.99) == 7.0
+
+    def test_endpoints_exact(self):
+        samples = [1.0, 2.0, 3.0, 4.0]
+        assert _percentile(samples, 0.0) == 1.0
+        assert _percentile(samples, 1.0) == 4.0
+
+    def test_interpolates_between_order_statistics(self):
+        samples = [0.0, 10.0]
+        assert _percentile(samples, 0.5) == 5.0
+        assert _percentile(samples, 0.99) == pytest.approx(9.9)
+
+    def test_matches_numpy_linear_method(self):
+        np = pytest.importorskip("numpy")
+        samples = sorted([3.1, 0.2, 9.7, 4.4, 5.0, 1.8, 7.3])
+        for q in (0.1, 0.25, 0.5, 0.9, 0.99):
+            assert _percentile(samples, q) == pytest.approx(
+                float(np.quantile(samples, q))
+            )
+
+
+def test_canonical_orders_by_timestamp_then_id():
+    events = [("b", 2, 5), ("a", 2, 5), ("z", 1, 1)]
+    assert _canonical(events) == [("z", 1, 1), ("a", 2, 5), ("b", 2, 5)]
+
+
+@pytest.fixture(scope="module")
+def small_workload():
+    return build_bench_workload(dims=1, scale=40, n=2_000, seed=0)
+
+
+class TestBenchSharded:
+    def test_cell_shape_and_equivalence(self, small_workload):
+        cell = bench_sharded(
+            "dt", small_workload, shard_counts=[1, 2], batch_size=256, repeats=1
+        )
+        assert cell["policy"] == "spatial-grid"
+        assert cell["executor"] == "serial"
+        assert set(cell["counts"]) == {"1", "2"}
+        for shards, row in cell["counts"].items():
+            assert row["events_equal"] is True
+            assert row["seconds"] > 0
+            assert len(row["shard_busy_seconds"]) == int(shards)
+            assert len(row["elements_routed"]) == int(shards)
+            assert sum(row["elements_routed"]) > 0
+            assert row["speedup_vs_s1"] > 0
+            assert row["speedup_vs_unsharded"] > 0
+        assert cell["counts"]["1"]["speedup_vs_s1"] == 1.0
+
+    def test_round_robin_broadcasts(self, small_workload):
+        cell = bench_sharded(
+            "baseline",
+            small_workload,
+            shard_counts=[2],
+            policy="round-robin",
+            batch_size=512,
+            repeats=1,
+        )
+        row = cell["counts"]["2"]
+        # Content-blind policies replicate the stream to every shard.
+        assert sum(row["elements_routed"]) == 2 * small_workload.n
+
+
+class TestRunBenchWithShards:
+    def test_report_carries_sharded_cell_and_gate_keys(self, small_workload):
+        report = run_bench(
+            ["dt"],
+            scale=40,
+            n=2_000,
+            batch_sizes=(256,),
+            repeats=1,
+            shard_counts=(1, 2),
+        )
+        assert report["format"] == BENCH_FORMAT
+        assert report["format_minor"] == BENCH_FORMAT_MINOR >= 1
+        cell = report["engines"]["dt"]
+        assert set(cell["sharded"]["counts"]) == {"1", "2"}
+        gate = report["gate"]["dt"]
+        assert "shard_speedup_s1_b256" in gate
+        assert "shard_speedup_s2_b256" in gate
+        # Pre-sharding gate keys survive untouched.
+        assert "batch_speedup_b256" in gate
+        rendered = format_report(report)
+        assert "sharded" in rendered
+
+    def test_old_baseline_still_gates(self, small_workload):
+        report = run_bench(
+            ["dt"], scale=40, n=2_000, batch_sizes=(256,), repeats=1
+        )
+        # A v1.0 baseline knows nothing of format_minor or shard keys;
+        # gating against it must keep working (only its keys compared).
+        old_baseline = {
+            "format": BENCH_FORMAT,
+            "gate": {"dt": {"batch_speedup_b256": 0.0001}},
+        }
+        result = check_against_baseline(report, old_baseline)
+        assert result.ok, result.lines

@@ -1,0 +1,164 @@
+"""Property: a sharded system reproduces the single-system event stream.
+
+The sharded determinism contract (``docs/SHARDING.md``): for every
+engine, partition policy, and shard count, the merged maturity events —
+queries, global timestamps, weights — equal those of one un-sharded
+system fed the same operations, and survivor weights match exactly.  The
+single caveat is *simultaneous* maturities (several queries maturing on
+one element): the sharded merge emits those in registration order, while
+a single engine's intra-element order is engine-internal, so both sides
+are compared under the canonical ``(timestamp, query id)`` ordering —
+the same normalisation the checkpoint contract applies.
+
+Hypothesis drives the workload, the batch chunking, and a mid-stream
+snapshot/restore of the *sharded* system (JSON round-tripped, the way a
+checkpoint would actually travel).
+"""
+
+import json
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro import Query, RTSSystem, StreamElement
+from repro.shard import ShardedRTSSystem
+from repro.shard.partition import available_policies
+
+ENGINES_1D = ["baseline", "dt", "dt-scan", "dt-static", "interval-tree"]
+ENGINES_2D = ["baseline", "dt", "dt-scan", "dt-static", "rtree", "seg-intv-tree"]
+POLICIES = available_policies()
+SHARD_COUNTS = [1, 2, 4]
+
+#: Values are drawn from [0, 100]; a domain just past the top keeps the
+#: spatial grid's half-open routing extents covering every element.
+DOMAIN = (0.0, 101.0)
+
+
+def _queries(draw, dims, count):
+    queries = []
+    for i in range(count):
+        rect = []
+        for _ in range(dims):
+            lo = draw(st.integers(0, 80))
+            hi = lo + draw(st.integers(1, 40))
+            rect.append((lo, hi))
+        tau = draw(st.integers(1, 400))
+        queries.append(Query(rect, tau, query_id=f"q{i}"))
+    return queries
+
+
+def _elements(draw, dims, count):
+    elements = []
+    for _ in range(count):
+        value = tuple(draw(st.integers(0, 100)) for _ in range(dims))
+        weight = draw(st.integers(1, 9))
+        elements.append(StreamElement(value if dims > 1 else value[0], weight))
+    return elements
+
+
+@st.composite
+def workloads(draw, dims):
+    queries = _queries(draw, dims, draw(st.integers(2, 10)))
+    elements = _elements(draw, dims, draw(st.integers(1, 80)))
+    chunks = []
+    remaining = len(elements)
+    while remaining > 0:
+        size = draw(st.integers(1, remaining))
+        chunks.append(size)
+        remaining -= size
+    return queries, elements, chunks
+
+
+def _canonical(events):
+    return sorted(events, key=lambda e: (e[1], str(e[0])))
+
+
+def _ev_key(events):
+    return [(e.query.query_id, e.timestamp, e.weight_seen) for e in events]
+
+
+def _survivor_weights(system, queries):
+    weights = {}
+    for q in queries:
+        try:
+            weights[q.query_id] = system.progress(q)[0]
+        except KeyError:
+            weights[q.query_id] = None
+    return weights
+
+
+def _single_run(engine, dims, queries, elements, chunks):
+    system = RTSSystem(dims=dims, engine=engine)
+    system.register_batch(queries)
+    events = []
+    pos = 0
+    for size in chunks:
+        events.extend(_ev_key(system.process_batch(elements[pos : pos + size])))
+        pos += size
+    return _canonical(events), _survivor_weights(system, queries)
+
+
+def _sharded_run(engine, dims, queries, elements, chunks, policy, shards, restore_at):
+    policy_options = {"domain": DOMAIN} if policy == "spatial-grid" else None
+    system = ShardedRTSSystem(
+        dims=dims,
+        engine=engine,
+        shards=shards,
+        policy=policy,
+        policy_options=policy_options,
+    )
+    events = []
+    pos = 0
+    try:
+        system.register_batch(queries)
+        for i, size in enumerate(chunks):
+            if restore_at is not None and i == restore_at:
+                snap = json.loads(json.dumps(system.snapshot()))
+                system.close()
+                system = ShardedRTSSystem.restore(snap)
+            events.extend(_ev_key(system.process_batch(elements[pos : pos + size])))
+            pos += size
+        return _canonical(events), _survivor_weights(system, queries)
+    finally:
+        system.close()
+
+
+def _check_engine(engine, dims, queries, elements, chunks, restore_at):
+    expected = _single_run(engine, dims, queries, elements, chunks)
+    for policy in POLICIES:
+        for shards in SHARD_COUNTS:
+            got = _sharded_run(
+                engine, dims, queries, elements, chunks, policy, shards, restore_at
+            )
+            assert got == expected, (
+                f"{engine}/{policy}/S={shards}: sharded run diverged "
+                f"(chunks {chunks}, restore_at {restore_at})"
+            )
+
+
+@settings(max_examples=8, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(data=st.data())
+def test_sharded_equals_single_1d(data):
+    queries, elements, chunks = data.draw(workloads(dims=1))
+    restore_at = data.draw(
+        st.one_of(st.none(), st.integers(0, max(0, len(chunks) - 1)))
+    )
+    for engine in ENGINES_1D:
+        _check_engine(engine, 1, queries, elements, chunks, restore_at)
+
+
+@settings(max_examples=4, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(data=st.data())
+def test_sharded_equals_single_2d(data):
+    queries, elements, chunks = data.draw(workloads(dims=2))
+    restore_at = data.draw(
+        st.one_of(st.none(), st.integers(0, max(0, len(chunks) - 1)))
+    )
+    for engine in ENGINES_2D:
+        _check_engine(engine, 2, queries, elements, chunks, restore_at)
+
+
+def test_engine_lineup_is_complete():
+    from repro.core.system import available_engines
+
+    assert set(ENGINES_1D) | set(ENGINES_2D) == set(available_engines())

@@ -1,0 +1,99 @@
+"""The parallel executor matches the serial determinism oracle.
+
+Worker processes are expensive relative to the tiny workloads here, so
+this module keeps one compact end-to-end scenario per contract point:
+event equivalence, the full lifecycle surface over IPC, and restoring a
+serial checkpoint into parallel workers (and back).
+"""
+
+import json
+
+import pytest
+
+from repro import Query, StreamElement
+from repro.core.query import QueryStatus
+from repro.shard import ShardedRTSSystem, available_executors
+
+
+def _q(lo, hi, tau, qid):
+    return Query([(lo, hi)], tau, query_id=qid)
+
+
+QUERIES = [
+    _q(0, 30, 5, "a"),
+    _q(20, 60, 8, "b"),
+    _q(50, 100, 3, "c"),
+    _q(0, 100, 20, "d"),
+]
+VALUES = [5, 25, 55, 70, 10, 40, 90, 22, 33, 66, 15, 80, 51, 29, 3, 97]
+
+
+def _events(system):
+    out = []
+    for chunk in (VALUES[:6], VALUES[6:7], VALUES[7:]):
+        out.extend(
+            (e.query.query_id, e.timestamp, e.weight_seen)
+            for e in system.process_batch([StreamElement(v, 2) for v in chunk])
+        )
+    return out
+
+
+def test_available_executors():
+    assert available_executors() == ["parallel", "serial"]
+
+
+def test_parallel_matches_serial_oracle():
+    def run(executor):
+        with ShardedRTSSystem(
+            shards=2,
+            policy="spatial-grid",
+            policy_options={"domain": (0, 100)},
+            executor=executor,
+        ) as system:
+            system.register_batch(QUERIES)
+            events = _events(system)
+            statuses = {q.query_id: system.status(q) for q in QUERIES}
+            routed = list(system.elements_routed)
+        return events, statuses, routed
+
+    serial = run("serial")
+    parallel = run("parallel")
+    assert parallel == serial
+
+
+def test_parallel_lifecycle_over_ipc():
+    with ShardedRTSSystem(shards=2, executor="parallel") as system:
+        system.register_batch(QUERIES)
+        system.process_batch([StreamElement(25, 1)])
+        assert system.progress("a") == (1, 5)
+        assert system.terminate_batch(["a", "ghost"]) == [True, False]
+        assert system.status("a") is QueryStatus.TERMINATED
+        info = system.describe()
+        assert len(info["shard_describes"]) == 2
+        assert sum(system.aggregate_work_counters().values()) > 0
+
+
+def test_serial_snapshot_restores_into_parallel_workers():
+    with ShardedRTSSystem(shards=2, executor="serial") as serial:
+        serial.register_batch(QUERIES)
+        serial.process_batch([StreamElement(v, 2) for v in VALUES[:8]])
+        snap = json.loads(json.dumps(serial.snapshot()))
+        tail_expected = [
+            (e.query.query_id, e.timestamp, e.weight_seen)
+            for e in serial.process_batch([StreamElement(v, 2) for v in VALUES[8:]])
+        ]
+    restored = ShardedRTSSystem.restore(snap, executor="parallel")
+    try:
+        assert restored.executor.name == "parallel"
+        tail = [
+            (e.query.query_id, e.timestamp, e.weight_seen)
+            for e in restored.process_batch([StreamElement(v, 2) for v in VALUES[8:]])
+        ]
+        assert tail == tail_expected
+    finally:
+        restored.close()
+
+
+def test_unknown_executor_rejected():
+    with pytest.raises(ValueError, match="unknown shard executor"):
+        ShardedRTSSystem(executor="threads")

@@ -1,0 +1,138 @@
+"""Unit tests for the shard partition policies and their registry."""
+
+import pytest
+
+from repro import Interval, Query
+from repro.shard.partition import (
+    PartitionPolicy,
+    RectHashPolicy,
+    RoundRobinPolicy,
+    SpatialGridPolicy,
+    available_policies,
+    make_policy,
+    stable_rect_hash,
+)
+
+
+def _q(lo, hi, tau=5, qid=None):
+    return Query([(lo, hi)], tau, query_id=qid)
+
+
+class TestRegistry:
+    def test_available_policies(self):
+        assert available_policies() == ["rect-hash", "round-robin", "spatial-grid"]
+
+    def test_make_policy_by_name(self):
+        policy = make_policy("round-robin", 3)
+        assert isinstance(policy, RoundRobinPolicy)
+        assert policy.shards == 3
+
+    def test_make_policy_unknown_name(self):
+        with pytest.raises(ValueError, match="unknown partition policy"):
+            make_policy("zigzag", 2)
+        with pytest.raises(ValueError, match="unknown partition policy"):
+            make_policy(None, 2)
+
+    def test_make_policy_passthrough_checks_shards(self):
+        policy = RoundRobinPolicy(2)
+        assert make_policy(policy, 2) is policy
+        with pytest.raises(ValueError, match="policy handles 2 shard"):
+            make_policy(policy, 4)
+        with pytest.raises(ValueError, match="options only apply"):
+            make_policy(policy, 2, domain=(0, 1))
+
+    def test_make_policy_from_spec_dict(self):
+        # Snapshot specs rebuild the identical policy.
+        original = SpatialGridPolicy(3, boundaries=[10.0, 20.0])
+        rebuilt = make_policy(original.spec(), 3)
+        assert isinstance(rebuilt, SpatialGridPolicy)
+        assert rebuilt.boundaries == original.boundaries
+
+    def test_invalid_shard_count(self):
+        with pytest.raises(ValueError, match="positive integer"):
+            RoundRobinPolicy(0)
+
+
+class TestRoundRobin:
+    def test_cycles_by_sequence(self):
+        policy = RoundRobinPolicy(3)
+        owners = [policy.assign(_q(0, 10), seq) for seq in range(6)]
+        assert owners == [0, 1, 2, 0, 1, 2]
+
+
+class TestRectHash:
+    def test_stable_across_calls_and_instances(self):
+        a, b = _q(5, 25, qid="a"), _q(5, 25, qid="b")
+        assert stable_rect_hash(a) == stable_rect_hash(b)
+        policy = RectHashPolicy(4)
+        assert policy.assign(a, 0) == policy.assign(b, 99)
+
+    def test_distinct_rects_can_differ(self):
+        hashes = {stable_rect_hash(_q(i, i + 10)) for i in range(32)}
+        assert len(hashes) > 1
+
+    def test_assign_in_range(self):
+        policy = RectHashPolicy(3)
+        for i in range(50):
+            assert 0 <= policy.assign(_q(i, i + 5), i) < 3
+
+
+class TestSpatialGrid:
+    def test_requires_exactly_one_of_domain_boundaries(self):
+        with pytest.raises(ValueError, match="exactly one"):
+            SpatialGridPolicy(2)
+        with pytest.raises(ValueError, match="exactly one"):
+            SpatialGridPolicy(2, domain=(0, 10), boundaries=[5.0])
+
+    def test_domain_validation(self):
+        with pytest.raises(ValueError, match="finite"):
+            SpatialGridPolicy(2, domain=(10, 10))
+        with pytest.raises(ValueError, match="finite"):
+            SpatialGridPolicy(2, domain=(0, float("inf")))
+
+    def test_boundary_validation(self):
+        with pytest.raises(ValueError, match="need 2 boundaries"):
+            SpatialGridPolicy(3, boundaries=[5.0])
+        with pytest.raises(ValueError, match="sorted"):
+            SpatialGridPolicy(3, boundaries=[20.0, 10.0])
+
+    def test_domain_cuts_into_equal_cells(self):
+        policy = SpatialGridPolicy(4, domain=(0, 100))
+        assert policy.boundaries == [25.0, 50.0, 75.0]
+        # Anchor = midpoint of the query's dim-0 interval.
+        assert policy.assign(_q(0, 10), 0) == 0
+        assert policy.assign(_q(30, 40), 0) == 1
+        assert policy.assign(_q(90, 100), 0) == 3
+
+    def test_from_queries_balances_ownership(self):
+        # Anchors cluster at the low end; quantile cuts still spread the
+        # queries evenly while a uniform grid would pile them on shard 0.
+        queries = [_q(i, i + 2, qid=i) for i in range(40)]
+        policy = SpatialGridPolicy.from_queries(4, queries)
+        counts = [0] * 4
+        for seq, q in enumerate(queries):
+            counts[policy.assign(q, seq)] += 1
+        assert max(counts) - min(counts) <= 2
+
+    def test_from_queries_empty(self):
+        with pytest.raises(ValueError, match="at least one query"):
+            SpatialGridPolicy.from_queries(2, [])
+
+    def test_unbounded_intervals_anchor_on_finite_end(self):
+        policy = SpatialGridPolicy(2, domain=(0, 100))
+        assert policy.assign(Query(Interval.at_most(10), 1), 0) == 0
+        assert policy.assign(Query(Interval.at_least(90), 1), 0) == 1
+        unbounded = Interval(Interval.at_most(0).lo, Interval.at_least(0).hi)
+        assert policy.assign(Query(unbounded, 1), 0) == 0
+
+    def test_spec_round_trip(self):
+        policy = SpatialGridPolicy(2, domain=(0, 50))
+        spec = policy.spec()
+        assert spec["policy"] == "spatial-grid"
+        assert spec["boundaries"] == [25.0]
+        assert make_policy(spec, 2).boundaries == [25.0]
+
+    def test_prunes_elements_flags(self):
+        assert SpatialGridPolicy(2, domain=(0, 1)).prunes_elements
+        assert not RoundRobinPolicy(2).prunes_elements
+        assert not RectHashPolicy(2).prunes_elements
