@@ -81,6 +81,7 @@ class Coordinator:
         "_collect_sum",
         "_collect_pending",
         "_collected_so_far",
+        "_round_ctx",
         "obs",
     )
 
@@ -103,6 +104,7 @@ class Coordinator:
         self._collect_sum = 0
         self._collect_pending = 0
         self._collected_so_far = 0  # weight confirmed by completed rounds
+        self._round_ctx = None  # span of the round collection in flight
         network.attach(COORDINATOR, self.handle)
 
     # -- protocol driving ------------------------------------------------
@@ -179,28 +181,43 @@ class Coordinator:
         self.rounds += 1
         self._collecting = True
         # Tell everyone the round is over (stops further signalling), then
-        # collect the precise counters.
+        # collect the precise counters.  The COLLECT broadcast carries the
+        # round span's context, so each participant's reply span becomes a
+        # child of this round (docs/OBSERVABILITY.md).
         self._broadcast(MessageType.ROUND_END)
         self._collect_sum = 0
         self._collect_pending = self.h
-        self._broadcast(MessageType.COLLECT)
+        trace = None
+        if self.obs.enabled:
+            self._round_ctx = self.obs.new_span()
+            trace = self._round_ctx.to_wire()
+        self._broadcast(MessageType.COLLECT, trace=trace)
 
     def _finish_collect(self) -> None:
         total = self._collect_sum
         self._collecting = False
         if self.obs.enabled:
+            if self._round_ctx is not None:
+                self.obs.span(
+                    "dt.round_collect",
+                    self._round_ctx,
+                    round_no=self.rounds,
+                    collected=total,
+                    participants=self.h,
+                )
             self.obs.dt_round_end(
                 "coordinator",
                 self.rounds,
                 collected=total,
                 remaining=max(self.tau - total, 0),
             )
+        self._round_ctx = None
         if total >= self.tau:
             self.matured_at = total
             return
         self._open_phase(self.tau - total, already_collected=total)
 
-    def _broadcast(self, mtype: MessageType, payload=None) -> None:
+    def _broadcast(self, mtype: MessageType, payload=None, trace=None) -> None:
         for i in range(self.h):
             self.network.send(
                 Message(
@@ -209,6 +226,7 @@ class Coordinator:
                     dst=i,
                     payload=payload,
                     epoch=self.epoch,
+                    trace=trace,
                 )
             )
 

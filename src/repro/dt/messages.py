@@ -58,6 +58,12 @@ class Message:
         default for hand-built messages — matches any epoch.  The round
         counter is ``O(log tau)`` bits, within the paper's one-word
         message budget.
+    trace:
+        Optional span-context wire tuple (``SpanContext.to_wire()``)
+        propagating the coordinator's round span to participants, whose
+        COLLECT replies echo it (see ``docs/OBSERVABILITY.md``).  Pure
+        telemetry metadata: it never influences protocol decisions and
+        is excluded from the one-word cost model (``words`` stays 1).
     """
 
     mtype: MessageType
@@ -65,6 +71,7 @@ class Message:
     dst: int
     payload: Optional[int] = None
     epoch: Optional[int] = None
+    trace: Optional[tuple] = None
 
     @property
     def words(self) -> int:

@@ -22,6 +22,7 @@ import enum
 from typing import Dict, Optional
 
 from ..obs.observer import NULL_OBS
+from ..obs.trace import SpanContext
 from .messages import COORDINATOR, Message, MessageType
 from .transport import Transport
 
@@ -105,9 +106,25 @@ class Participant:
             self.epoch = message.epoch
             self._round_id += 1
         elif message.mtype is MessageType.COLLECT:
+            if self.obs.enabled and message.trace is not None:
+                # Record this site's collection as a child of the
+                # coordinator's round span (propagated in the COLLECT).
+                ctx = self.obs.new_span(SpanContext.from_wire(message.trace))
+                self.obs.span(
+                    "dt.participant_collect",
+                    ctx,
+                    participant=self.index,
+                    counter=self.c,
+                )
             # The reply echoes the COLLECT's epoch, so the coordinator can
-            # tell which round's counters it is summing.
-            self._send(MessageType.REPORT, payload=self.c, epoch=message.epoch)
+            # tell which round's counters it is summing — and the trace
+            # context, so the reply stays attributable to its round.
+            self._send(
+                MessageType.REPORT,
+                payload=self.c,
+                epoch=message.epoch,
+                trace=message.trace,
+            )
         elif message.mtype is MessageType.ROUND_END:
             # Stop signalling until the next SLACK (or FINAL_PHASE).
             self.mode = ParticipantMode.IDLE
@@ -121,7 +138,9 @@ class Participant:
         else:
             raise ValueError(f"participant got unexpected message {message!r}")
 
-    def _send(self, mtype: MessageType, payload=None, epoch=_OWN_EPOCH) -> None:
+    def _send(
+        self, mtype: MessageType, payload=None, epoch=_OWN_EPOCH, trace=None
+    ) -> None:
         if epoch is _OWN_EPOCH:
             epoch = self.epoch
         self.network.send(
@@ -131,6 +150,7 @@ class Participant:
                 dst=COORDINATOR,
                 payload=payload,
                 epoch=epoch,
+                trace=trace,
             )
         )
 

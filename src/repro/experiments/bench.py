@@ -44,9 +44,14 @@ from ..streams.scale import PAPER_TAU, paper_params
 BENCH_FORMAT = "rts-bench-v1"
 #: Additive schema revision within the v1 format.  Minor 1 adds the
 #: interpolated percentiles, optional per-engine ``sharded`` cells with
-#: per-shard wall times, and ``shard_speedup_*`` gate keys.  Consumers
-#: key on ``format`` alone, so older baselines stay checkable.
-BENCH_FORMAT_MINOR = 1
+#: per-shard wall times, and ``shard_speedup_*`` gate keys.  Minor 2
+#: sources the sharded rows' busy/batch accounting from the merged
+#: cross-process metric registry (``rts-metrics-v1``) instead of ad-hoc
+#: executor return values, and adds per-shard DT message/round counters,
+#: route/pack/descend/merge phase percentiles, and the merged Prometheus
+#: exposition.  Consumers key on ``format`` alone, so older baselines
+#: stay checkable.
+BENCH_FORMAT_MINOR = 2
 
 #: Queries given a reduced threshold so some maturities fire in-stream.
 SMALL_TAU_FRACTION = 0.005
@@ -263,6 +268,83 @@ def _canonical(events: List[Tuple[object, int, int]]) -> List[Tuple[object, int,
     return sorted(events, key=lambda e: (e[1], str(e[0])))
 
 
+def _observed_shard_replay(
+    engine: str,
+    workload: BenchWorkload,
+    shards: int,
+    policy,
+    executor: str,
+    batch_size: int,
+) -> Tuple[Dict[str, object], object]:
+    """One extra *observed* replay at a shard count (untimed).
+
+    The timed repeats run unobserved so telemetry never skews the
+    throughput numbers; this replay runs with a fresh
+    :class:`~repro.obs.Observability` and derives the row's busy/batch
+    accounting — plus per-shard DT counters and phase percentiles — from
+    the merged cross-process registry (``docs/OBSERVABILITY.md``).
+    Returns ``(row_fields, registry)``.
+    """
+    from ..obs import Observability, PHASES
+    from ..obs.aggregate import family_histogram, labelled_total
+    from ..shard import ShardedRTSSystem
+
+    obs = Observability()
+    system = ShardedRTSSystem(
+        dims=workload.dims,
+        engine=engine,
+        shards=shards,
+        policy=policy,
+        executor=executor,
+        observability=obs,
+    )
+    try:
+        system.register_batch(workload.queries)
+        elements = workload.elements
+        for i in range(0, len(elements), batch_size):
+            system.process_batch(elements[i : i + batch_size])
+    finally:
+        system.close()  # drains the shards' final registry deltas
+    metrics = obs.metrics
+    keys = [str(k) for k in range(shards)]
+    phase_latency: Dict[str, Dict[str, float]] = {}
+    for phase in PHASES:
+        combined = family_histogram(metrics, "rts_phase_seconds", phase=phase)
+        if combined is None or not combined[0].count:
+            continue
+        hist = combined[0]
+        phase_latency[phase] = {
+            "p50_ms": round(hist.quantile(0.50) * 1e3, 4),
+            "p99_ms": round(hist.quantile(0.99) * 1e3, 4),
+            "count": hist.count,
+        }
+    row = {
+        "shard_busy_seconds": [
+            round(
+                labelled_total(
+                    metrics, "rts_shard_worker_busy_seconds", shard=k
+                ),
+                6,
+            )
+            for k in keys
+        ],
+        "worker_batches": [
+            labelled_total(metrics, "rts_shard_worker_batches_total", shard=k)
+            for k in keys
+        ],
+        "dt_messages_per_shard": [
+            labelled_total(metrics, "rts_dt_messages_total", shard=k)
+            for k in keys
+        ],
+        "dt_rounds_per_shard": [
+            labelled_total(metrics, "rts_dt_rounds_total", shard=k)
+            for k in keys
+        ],
+        "phase_latency": phase_latency,
+    }
+    return row, metrics
+
+
 def bench_sharded(
     engine: str,
     workload: BenchWorkload,
@@ -279,6 +361,12 @@ def bench_sharded(
     uses quantile boundaries fitted to the workload's query anchors —
     the balanced-grid construction ``docs/SHARDING.md`` recommends for
     clustered query sets like fig. 3's.
+
+    The timed repeats are unobserved; each shard count then runs once
+    more under a fresh observer (:func:`_observed_shard_replay`) whose
+    merged registry supplies the row's ``shard_busy_seconds``, per-shard
+    DT counters, and phase percentiles.  The largest count's exposition
+    lands in the cell as ``merged_prometheus``.
     """
     from ..shard import ShardedRTSSystem, SpatialGridPolicy
 
@@ -302,16 +390,16 @@ def bench_sharded(
         "counts": {},
     }
     s1_seconds: Optional[float] = None
+    largest = max(shard_counts) if shard_counts else None
     for shards in shard_counts:
         best = None
-        best_busy: List[float] = []
         best_routed: List[int] = []
         events: List[Tuple[object, int, int]] = []
+        if policy == "spatial-grid":
+            pol = SpatialGridPolicy.from_queries(shards, workload.queries)
+        else:
+            pol = policy
         for _ in range(repeats):
-            if policy == "spatial-grid":
-                pol = SpatialGridPolicy.from_queries(shards, workload.queries)
-            else:
-                pol = policy
             system = ShardedRTSSystem(
                 dims=workload.dims,
                 engine=engine,
@@ -331,7 +419,6 @@ def bench_sharded(
                 seconds = time.perf_counter() - t0
                 if best is None or seconds < best:
                     best = seconds
-                    best_busy = list(system.shard_busy_seconds)
                     best_routed = list(system.elements_routed)
                 events = run_events
             finally:
@@ -344,16 +431,21 @@ def bench_sharded(
             )
         if shards == 1:
             s1_seconds = best
+        observed, registry = _observed_shard_replay(
+            engine, workload, shards, pol, executor, batch_size
+        )
         row: Dict[str, object] = {
             "seconds": round(best, 6),
             "elements_per_sec": round(n / best, 1),
             "speedup_vs_unsharded": round(ref_seconds / best, 4),
-            "shard_busy_seconds": [round(b, 6) for b in best_busy],
             "elements_routed": best_routed,
             "events_equal": True,
         }
+        row.update(observed)
         if s1_seconds is not None:
             row["speedup_vs_s1"] = round(s1_seconds / best, 4)
+        if shards == largest:
+            cell["merged_prometheus"] = registry.to_prometheus()
         cell["counts"][str(shards)] = row
     return cell
 
@@ -496,6 +588,21 @@ def format_report(report: Dict[str, object]) -> str:
                     f"{row.get('speedup_vs_s1', float('nan')):.2f}x vs S=1)  "
                     f"[{sharded['policy']}/{sharded['executor']}] busy={busy}s"
                 )
+                msgs = row.get("dt_messages_per_shard")
+                if msgs and any(msgs):
+                    rounds = row.get("dt_rounds_per_shard", [])
+                    lines.append(
+                        f"{engine:<12} S={count:<4} dt msgs/shard="
+                        f"{'/'.join(str(v) for v in msgs)}  rounds/shard="
+                        f"{'/'.join(str(v) for v in rounds)}"
+                    )
+                phases = row.get("phase_latency") or {}
+                if phases:
+                    rendered = "  ".join(
+                        f"{name} p50={p['p50_ms']:.3f}ms p99={p['p99_ms']:.3f}ms"
+                        for name, p in phases.items()
+                    )
+                    lines.append(f"{engine:<12} S={count:<4} phases: {rendered}")
     return "\n".join(lines)
 
 

@@ -42,6 +42,13 @@ repro.experiments.cli``)::
     rts-experiments bench --shards 1,2 --shard-executor parallel \
         --check-shard-speedup 1.3
 
+    # perf trajectory: load every committed BENCH_PR*.json baseline and
+    # the figure summary, emit a markdown + SVG report of throughput,
+    # shard scaling and latency percentiles per PR (docs/PERFORMANCE.md);
+    # exits non-zero when a required section comes up empty
+    rts-experiments report --out results/trajectory/
+    rts-experiments report --bench-glob 'BENCH_PR*.json' --out report/
+
 ``--scale`` divides the paper's workload sizes (1 = the paper's exact
 parameters — hours of CPU in pure Python; 1000 = the default laptop
 scale).  Output is the text rendering of each figure (chart + table +
@@ -85,7 +92,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "target",
         help="figure id (fig3..fig8, ablation-dt-messages, "
         "ablation-design), 'all', 'list', 'workload', 'verify', 'obs', "
-        "'sanitize', 'chaos', or 'bench'",
+        "'sanitize', 'chaos', 'bench', or 'report'",
     )
     parser.add_argument(
         "script_path",
@@ -222,6 +229,19 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="'bench' target: baseline rts-bench-v1 JSON to gate against",
     )
     parser.add_argument(
+        "--bench-glob",
+        default="BENCH_PR*.json",
+        help="'report' target: glob for the committed bench baselines "
+        "(default BENCH_PR*.json, relative to the current directory)",
+    )
+    parser.add_argument(
+        "--summary",
+        type=pathlib.Path,
+        default=pathlib.Path("results/summary.json"),
+        help="'report' target: figure-harness summary JSON "
+        "(default results/summary.json; skipped when absent)",
+    )
+    parser.add_argument(
         "--tolerance",
         type=float,
         default=0.25,
@@ -277,6 +297,9 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     if args.target == "bench":
         return _run_bench(args, parser)
+
+    if args.target == "report":
+        return _run_report(args, parser)
 
     names = list(FIGURES) if args.target == "all" else [args.target]
     unknown = [n for n in names if n not in FIGURES]
@@ -377,6 +400,19 @@ def _run_bench(args, parser) -> int:
     else:
         print(format_report(report))
         print(f"(benchmarked in {elapsed:.1f}s)")
+        for engine in engines:
+            exposition = (
+                report["engines"][engine]
+                .get("sharded", {})
+                .get("merged_prometheus")
+            )
+            if exposition:
+                top = max(shard_counts)
+                print(
+                    f"# merged registry ({engine}, S={top}, "
+                    f"{args.shard_executor} executor):"
+                )
+                print(exposition, end="")
     if args.out is not None:
         out = args.out
         if out.suffix != ".json":
@@ -417,6 +453,29 @@ def _run_bench(args, parser) -> int:
         if failed:
             print("SHARD SPEEDUP BELOW FLOOR", file=sys.stderr)
             return 1
+    return 0
+
+
+def _run_report(args, parser) -> int:
+    """Perf-trajectory report over the committed bench baselines."""
+    from .trajectory import generate_report
+
+    if args.out is None:
+        parser.error("the 'report' target requires --out DIR")
+    bench_paths = sorted(pathlib.Path(".").glob(args.bench_glob))
+    try:
+        result = generate_report(bench_paths, args.summary, args.out)
+    except ValueError as exc:
+        print(f"ERROR: {exc}", file=sys.stderr)
+        return 1
+    for key, info in result["sections"].items():
+        if info.get("skipped"):
+            print(f"# {key}: skipped (no data)")
+        else:
+            print(
+                f"# {key}: {info['series']} series, {info['points']} points"
+            )
+    print(f"# wrote report.md + SVGs to {result['out']}")
     return 0
 
 

@@ -1,0 +1,509 @@
+"""Perf-trajectory report: how the repo's numbers move PR over PR.
+
+``rts-experiments report`` loads every committed ``BENCH_PR*.json``
+baseline (the ``rts-bench-v1`` artifacts the perf-smoke gate checks
+against) plus ``results/summary.json`` (the figure harness totals) and
+emits a committed markdown report with dependency-free SVG charts:
+
+* **throughput-trajectory** — elements/second per engine per PR, scalar
+  and batched;
+* **shard-scaling** — speedup vs the 1-shard row per shard count, per
+  PR that benched the sharded system, against the ideal line;
+* **latency-percentiles** — scalar p50/p99 call latency per engine per
+  PR;
+* **phase-latency** — route/pack/descend/merge percentiles from the
+  merged cross-process registry (``format_minor >= 2`` baselines only);
+* **figure-summary** — per-figure engine totals from the figure
+  harness's ``summary.json``.
+
+Sections are registered in ``SECTIONS`` (one builder per chart, in the
+style of a figure-registry ``generate_figures.py``); required sections
+with no series fail the build, which is what the CI ``report-smoke``
+job asserts.  Output is deterministic — no timestamps, no environment
+probes — so the committed report only changes when the data does.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import re
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+#: Ordered colour palette shared by every chart (series are assigned in
+#: first-seen order, so re-renders are stable).
+_PALETTE = (
+    "#1f77b4",
+    "#d62728",
+    "#2ca02c",
+    "#ff7f0e",
+    "#9467bd",
+    "#8c564b",
+    "#17becf",
+    "#7f7f7f",
+)
+
+_CHART_W = 760
+_CHART_H = 420
+_MARGIN_L = 72
+_MARGIN_R = 180  # legend column
+_MARGIN_T = 44
+_MARGIN_B = 56
+
+
+@dataclass(slots=True)
+class Series:
+    """One polyline: y value (or None for a gap) per x position."""
+
+    name: str
+    values: List[Optional[float]]
+    dashed: bool = False
+
+
+@dataclass(slots=True)
+class Chart:
+    """One rendered section: an SVG line chart plus its data table."""
+
+    key: str
+    title: str
+    x_labels: List[str]
+    series: List[Series]
+    y_label: str = ""
+
+    @property
+    def points(self) -> int:
+        return sum(
+            1 for s in self.series for v in s.values if v is not None
+        )
+
+
+@dataclass(slots=True)
+class SectionSpec:
+    """Registry entry: how to build one report section."""
+
+    key: str
+    build: Callable[["TrajectoryData"], Optional[Chart]]
+    required: bool = True
+
+
+@dataclass(slots=True)
+class TrajectoryData:
+    """Everything the section builders read."""
+
+    #: ``(label, report)`` per baseline, ordered by PR number.
+    benches: List[Tuple[str, dict]] = field(default_factory=list)
+    #: Parsed ``summary.json`` payload, or None when absent.
+    summary: Optional[dict] = None
+
+
+# -- input loading -----------------------------------------------------------
+
+
+def load_trajectory_data(
+    bench_paths: Sequence[pathlib.Path],
+    summary_path: Optional[pathlib.Path] = None,
+) -> TrajectoryData:
+    """Parse the bench baselines (ordered by PR number) and the summary."""
+    labelled: List[Tuple[int, str, dict]] = []
+    for path in bench_paths:
+        match = re.search(r"(\d+)", path.stem)
+        order = int(match.group(1)) if match else 10**9
+        with open(path) as handle:
+            report = json.load(handle)
+        if report.get("format") != "rts-bench-v1":
+            raise ValueError(
+                f"{path}: not an rts-bench-v1 payload "
+                f"(format={report.get('format')!r})"
+            )
+        labelled.append((order, path.stem.replace("BENCH_", ""), report))
+    labelled.sort(key=lambda item: (item[0], item[1]))
+    data = TrajectoryData(
+        benches=[(label, report) for _, label, report in labelled]
+    )
+    if summary_path is not None and summary_path.exists():
+        with open(summary_path) as handle:
+            data.summary = json.load(handle)
+    return data
+
+
+# -- section builders --------------------------------------------------------
+
+
+def _engines_in_order(data: TrajectoryData) -> List[str]:
+    seen: List[str] = []
+    for _, report in data.benches:
+        for engine in report.get("engines", {}):
+            if engine not in seen:
+                seen.append(engine)
+    return seen
+
+
+def _build_throughput(data: TrajectoryData) -> Optional[Chart]:
+    labels = [label for label, _ in data.benches]
+    series: List[Series] = []
+    for engine in _engines_in_order(data):
+        scalar: List[Optional[float]] = []
+        batched: Dict[str, List[Optional[float]]] = {}
+        for _, report in data.benches:
+            cell = report.get("engines", {}).get(engine)
+            scalar.append(
+                cell["scalar"]["elements_per_sec"] if cell else None
+            )
+            sizes = set(cell["batched"]) if cell else set()
+            for bs in set(batched) | sizes:
+                batched.setdefault(bs, [None] * (len(scalar) - 1)).append(
+                    cell["batched"][bs]["elements_per_sec"]
+                    if cell and bs in cell["batched"]
+                    else None
+                )
+        if any(v is not None for v in scalar):
+            series.append(Series(f"{engine} scalar", scalar, dashed=True))
+        for bs in sorted(batched, key=int):
+            series.append(Series(f"{engine} b{bs}", batched[bs]))
+    if not series:
+        return None
+    return Chart(
+        key="throughput-trajectory",
+        title="Ingestion throughput per PR (fig3 bench workload)",
+        x_labels=labels,
+        series=series,
+        y_label="elements/sec",
+    )
+
+
+def _build_shard_scaling(data: TrajectoryData) -> Optional[Chart]:
+    counts: List[int] = []
+    per_series: Dict[str, Dict[int, float]] = {}
+    for label, report in data.benches:
+        for engine, cell in report.get("engines", {}).items():
+            rows = cell.get("sharded", {}).get("counts", {})
+            for count_str, row in rows.items():
+                speedup = row.get("speedup_vs_s1")
+                if speedup is None:
+                    continue
+                count = int(count_str)
+                if count not in counts:
+                    counts.append(count)
+                per_series.setdefault(f"{engine} {label}", {})[count] = speedup
+    if not per_series:
+        return None
+    counts.sort()
+    series = [
+        Series(name, [values.get(c) for c in counts])
+        for name, values in per_series.items()
+    ]
+    series.append(
+        Series("ideal", [float(c) for c in counts], dashed=True)
+    )
+    return Chart(
+        key="shard-scaling",
+        title="Sharded speedup vs 1-shard row, per shard count",
+        x_labels=[f"S={c}" for c in counts],
+        series=series,
+        y_label="speedup vs S=1",
+    )
+
+
+def _build_latency(data: TrajectoryData) -> Optional[Chart]:
+    labels = [label for label, _ in data.benches]
+    series: List[Series] = []
+    for engine in _engines_in_order(data):
+        p50: List[Optional[float]] = []
+        p99: List[Optional[float]] = []
+        for _, report in data.benches:
+            cell = report.get("engines", {}).get(engine)
+            p50.append(cell["scalar"].get("p50_us") if cell else None)
+            p99.append(cell["scalar"].get("p99_us") if cell else None)
+        if any(v is not None for v in p50):
+            series.append(Series(f"{engine} p50", p50))
+        if any(v is not None for v in p99):
+            series.append(Series(f"{engine} p99", p99, dashed=True))
+    if not series:
+        return None
+    return Chart(
+        key="latency-percentiles",
+        title="Scalar call latency per PR",
+        x_labels=labels,
+        series=series,
+        y_label="microseconds",
+    )
+
+
+def _build_phase_latency(data: TrajectoryData) -> Optional[Chart]:
+    """Per-phase p99 from the merged registry (minor-2 baselines only)."""
+    buckets: Dict[str, Dict[str, float]] = {}
+    columns: List[str] = []
+    for label, report in data.benches:
+        for engine, cell in report.get("engines", {}).items():
+            rows = cell.get("sharded", {}).get("counts", {})
+            for count_str, row in sorted(rows.items(), key=lambda kv: int(kv[0])):
+                phases = row.get("phase_latency") or {}
+                if not phases:
+                    continue
+                column = f"{label} {engine} S={count_str}"
+                if column not in columns:
+                    columns.append(column)
+                for phase, pcts in phases.items():
+                    buckets.setdefault(phase, {})[column] = pcts["p99_ms"]
+    if not buckets:
+        return None
+    series = [
+        Series(phase, [values.get(c) for c in columns])
+        for phase, values in sorted(buckets.items())
+    ]
+    return Chart(
+        key="phase-latency",
+        title="Router/worker phase p99 per observed sharded run",
+        x_labels=columns,
+        series=series,
+        y_label="p99 ms",
+    )
+
+
+def _build_figure_summary(data: TrajectoryData) -> Optional[Chart]:
+    if not data.summary:
+        return None
+    figures = data.summary.get("figures", {})
+    columns = sorted(figures)
+    per_engine: Dict[str, Dict[str, float]] = {}
+    for fig_id in columns:
+        for engine, total in figures[fig_id].get("series_totals", {}).items():
+            per_engine.setdefault(engine, {})[fig_id] = total
+    if not per_engine:
+        return None
+    series = [
+        Series(engine, [values.get(c) for c in columns])
+        for engine, values in sorted(per_engine.items())
+    ]
+    return Chart(
+        key="figure-summary",
+        title=(
+            "Figure-harness per-series wall totals "
+            f"(scale {data.summary.get('scale', '?')})"
+        ),
+        x_labels=columns,
+        series=series,
+        y_label="seconds",
+    )
+
+
+SECTIONS: Tuple[SectionSpec, ...] = (
+    SectionSpec("throughput-trajectory", _build_throughput),
+    SectionSpec("shard-scaling", _build_shard_scaling),
+    SectionSpec("latency-percentiles", _build_latency),
+    SectionSpec("phase-latency", _build_phase_latency, required=False),
+    SectionSpec("figure-summary", _build_figure_summary, required=False),
+)
+
+
+# -- SVG rendering -----------------------------------------------------------
+
+
+def _nice_ticks(lo: float, hi: float, n: int = 5) -> List[float]:
+    """Round tick positions covering [lo, hi] (1/2/5 ladder)."""
+    if hi <= lo:
+        hi = lo + 1.0
+    raw = (hi - lo) / max(n - 1, 1)
+    magnitude = 10.0 ** int(f"{raw:e}".split("e")[1])
+    for mult in (1.0, 2.0, 5.0, 10.0):
+        step = mult * magnitude
+        if step >= raw:
+            break
+    first = step * int(lo / step)
+    if first > lo:
+        first -= step
+    ticks = []
+    value = first
+    while value <= hi + step * 0.5:
+        ticks.append(round(value, 10))
+        value += step
+    return ticks
+
+
+def _fmt(value: float) -> str:
+    if value == int(value) and abs(value) < 1e15:
+        return f"{int(value):,}"
+    if abs(value) >= 1000:
+        return f"{value:,.0f}"
+    return f"{value:.4g}"
+
+
+def render_chart_svg(chart: Chart) -> str:
+    """Dependency-free SVG line chart (deterministic output)."""
+    plot_w = _CHART_W - _MARGIN_L - _MARGIN_R
+    plot_h = _CHART_H - _MARGIN_T - _MARGIN_B
+    values = [
+        v for s in chart.series for v in s.values if v is not None
+    ]
+    lo = min(values + [0.0])
+    hi = max(values) if values else 1.0
+    ticks = _nice_ticks(lo, hi)
+    lo, hi = ticks[0], ticks[-1]
+    n_x = max(len(chart.x_labels), 1)
+
+    def x_pos(i: int) -> float:
+        if n_x == 1:
+            return _MARGIN_L + plot_w / 2
+        return _MARGIN_L + plot_w * i / (n_x - 1)
+
+    def y_pos(v: float) -> float:
+        return _MARGIN_T + plot_h * (1.0 - (v - lo) / (hi - lo))
+
+    parts = [
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{_CHART_W}" '
+        f'height="{_CHART_H}" viewBox="0 0 {_CHART_W} {_CHART_H}" '
+        'font-family="sans-serif" font-size="11">',
+        f'<rect width="{_CHART_W}" height="{_CHART_H}" fill="white"/>',
+        f'<text x="{_MARGIN_L}" y="20" font-size="14" font-weight="bold">'
+        f"{_esc(chart.title)}</text>",
+    ]
+    if chart.y_label:
+        parts.append(
+            f'<text x="12" y="{_MARGIN_T - 8}" fill="#555">'
+            f"{_esc(chart.y_label)}</text>"
+        )
+    for tick in ticks:
+        y = y_pos(tick)
+        parts.append(
+            f'<line x1="{_MARGIN_L}" y1="{y:.1f}" '
+            f'x2="{_CHART_W - _MARGIN_R}" y2="{y:.1f}" '
+            'stroke="#ddd" stroke-width="1"/>'
+        )
+        parts.append(
+            f'<text x="{_MARGIN_L - 6}" y="{y + 4:.1f}" text-anchor="end" '
+            f'fill="#555">{_fmt(tick)}</text>'
+        )
+    for i, label in enumerate(chart.x_labels):
+        x = x_pos(i)
+        parts.append(
+            f'<text x="{x:.1f}" y="{_CHART_H - _MARGIN_B + 18}" '
+            f'text-anchor="middle" fill="#555">{_esc(label)}</text>'
+        )
+    parts.append(
+        f'<line x1="{_MARGIN_L}" y1="{_MARGIN_T + plot_h}" '
+        f'x2="{_CHART_W - _MARGIN_R}" y2="{_MARGIN_T + plot_h}" '
+        'stroke="#333" stroke-width="1"/>'
+    )
+    for idx, s in enumerate(chart.series):
+        colour = _PALETTE[idx % len(_PALETTE)]
+        dash = ' stroke-dasharray="6 3"' if s.dashed else ""
+        run: List[str] = []
+        segments: List[List[str]] = []
+        for i, v in enumerate(s.values):
+            if v is None:
+                if run:
+                    segments.append(run)
+                run = []
+                continue
+            run.append(f"{x_pos(i):.1f},{y_pos(v):.1f}")
+        if run:
+            segments.append(run)
+        for seg in segments:
+            if len(seg) == 1:
+                x, y = seg[0].split(",")
+                parts.append(
+                    f'<circle cx="{x}" cy="{y}" r="3" fill="{colour}"/>'
+                )
+            else:
+                parts.append(
+                    f'<polyline points="{" ".join(seg)}" fill="none" '
+                    f'stroke="{colour}" stroke-width="2"{dash}/>'
+                )
+        ly = _MARGIN_T + 16 * idx
+        lx = _CHART_W - _MARGIN_R + 12
+        parts.append(
+            f'<line x1="{lx}" y1="{ly + 4}" x2="{lx + 18}" y2="{ly + 4}" '
+            f'stroke="{colour}" stroke-width="2"{dash}/>'
+        )
+        parts.append(
+            f'<text x="{lx + 24}" y="{ly + 8}">{_esc(s.name)}</text>'
+        )
+    parts.append("</svg>")
+    return "\n".join(parts) + "\n"
+
+
+def _esc(text: str) -> str:
+    return (
+        str(text)
+        .replace("&", "&amp;")
+        .replace("<", "&lt;")
+        .replace(">", "&gt;")
+    )
+
+
+# -- report assembly ---------------------------------------------------------
+
+
+def _chart_table(chart: Chart) -> List[str]:
+    lines = [
+        "| series | " + " | ".join(chart.x_labels) + " |",
+        "|---" * (len(chart.x_labels) + 1) + "|",
+    ]
+    for s in chart.series:
+        cells = [_fmt(v) if v is not None else "—" for v in s.values]
+        lines.append(f"| {s.name} | " + " | ".join(cells) + " |")
+    return lines
+
+
+def generate_report(
+    bench_paths: Sequence[pathlib.Path],
+    summary_path: Optional[pathlib.Path],
+    out_dir: pathlib.Path,
+) -> Dict[str, object]:
+    """Build every section, write ``report.md`` + one SVG per chart.
+
+    Raises ValueError when a *required* section produced no series —
+    the failure mode the CI report-smoke job exists to catch (a schema
+    drift that silently empties the trajectory would otherwise commit a
+    blank report).
+    """
+    if not bench_paths:
+        raise ValueError("no bench baselines matched; nothing to report on")
+    data = load_trajectory_data(bench_paths, summary_path)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    stats: Dict[str, object] = {}
+    lines = [
+        "# Performance trajectory",
+        "",
+        "Regenerate with `rts-experiments report --out results/trajectory/`.",
+        f"Inputs: {', '.join(label for label, _ in data.benches)}"
+        + (" + summary.json" if data.summary else "")
+        + ".",
+        "",
+    ]
+    for spec in SECTIONS:
+        chart = spec.build(data)
+        if chart is None or not chart.points:
+            if spec.required:
+                raise ValueError(
+                    f"required report section {spec.key!r} has no data "
+                    "(schema drift in the bench baselines?)"
+                )
+            stats[spec.key] = {"skipped": True}
+            continue
+        svg_name = f"{chart.key}.svg"
+        (out_dir / svg_name).write_text(render_chart_svg(chart))
+        lines.append(f"## {chart.title}")
+        lines.append("")
+        lines.append(f"![{chart.key}]({svg_name})")
+        lines.append("")
+        lines.extend(_chart_table(chart))
+        lines.append("")
+        stats[spec.key] = {
+            "series": len(chart.series),
+            "points": chart.points,
+        }
+    (out_dir / "report.md").write_text("\n".join(lines))
+    return {"sections": stats, "out": str(out_dir)}
+
+
+__all__ = [
+    "Chart",
+    "SECTIONS",
+    "Series",
+    "TrajectoryData",
+    "generate_report",
+    "load_trajectory_data",
+    "render_chart_svg",
+]

@@ -1,0 +1,348 @@
+"""Cross-process metric aggregation: the ``rts-metrics-v1`` wire format.
+
+A parallel shard worker owns a private :class:`MetricsRegistry`; without
+this module every counter it bumps dies with the worker process.  The
+protocol here is the one Yi–Zhang-style distributed tracking uses for
+its own accounting: each site ships *deltas* of its local registry and
+the coordinator folds them into its registry under a source label.
+
+Wire format (JSON-compatible)::
+
+    {
+      "format": "rts-metrics-v1",
+      "kind": "snapshot" | "delta",
+      "families": {
+        "<name>": {
+          "type": "counter" | "gauge" | "histogram",
+          "buckets": [...],               # histograms only
+          "samples": [
+            {"labels": {...}, "value": v},                      # scalar
+            {"labels": {...}, "counts": [...], "sum": s,
+             "count": c},                                       # histogram
+          ],
+        },
+      },
+    }
+
+Merge semantics (per the central catalog, :mod:`repro.obs.catalog`):
+
+* **counters** sum;
+* **gauges** resolve by their declared ``gauge_policy`` (``last`` /
+  ``max`` / ``sum``) when a sample lands on an existing label set;
+* **histograms** merge bucket-wise — which is only sound because every
+  registry uses the catalog's bucket bounds; :func:`merge_into` raises
+  on any mismatch rather than producing silently wrong percentiles.
+
+Deltas are what shard workers piggyback on each batch reply: counters
+and histograms subtract their previous snapshot (zero rows dropped, so
+an idle family costs nothing on the wire); gauges always carry the
+current value (they are levels, not flows).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Tuple
+
+from .catalog import spec_for
+from .metrics import Histogram, MetricsRegistry
+
+#: Format tag of every payload this module produces.
+METRICS_FORMAT = "rts-metrics-v1"
+
+
+def registry_snapshot(registry: MetricsRegistry) -> Dict[str, object]:
+    """Full ``rts-metrics-v1`` snapshot of a registry's current state."""
+    families: Dict[str, object] = {}
+    for family in registry.families():
+        samples: List[Dict[str, object]] = []
+        for key in sorted(family.instruments):
+            instrument = family.instruments[key]
+            sample: Dict[str, object] = {"labels": dict(key)}
+            if isinstance(instrument, Histogram):
+                sample["counts"] = list(instrument.counts)
+                sample["sum"] = instrument.sum
+                sample["count"] = instrument.count
+            else:
+                sample["value"] = instrument.value
+            samples.append(sample)
+        entry: Dict[str, object] = {"type": family.kind, "samples": samples}
+        if family.kind == "histogram" and family.buckets is not None:
+            entry["buckets"] = list(family.buckets)
+        families[family.name] = entry
+    return {"format": METRICS_FORMAT, "kind": "snapshot", "families": families}
+
+
+def snapshot_delta(
+    current: Dict[str, object], previous: Optional[Dict[str, object]]
+) -> Dict[str, object]:
+    """The change from ``previous`` to ``current`` (both snapshots).
+
+    Counters and histograms subtract; all-zero rows are dropped so idle
+    families cost nothing on the wire.  Gauges pass through the current
+    value (a level, not a flow).  ``previous=None`` means everything is
+    new: the delta equals the snapshot.
+    """
+    _check_format(current, "snapshot")
+    prev_families: Dict[str, object] = {}
+    if previous is not None:
+        _check_format(previous, "snapshot")
+        prev_families = previous["families"]
+    families: Dict[str, object] = {}
+    for name, entry in current["families"].items():
+        prev_entry = prev_families.get(name, {"samples": []})
+        prev_samples = {
+            _sample_key(s["labels"]): s for s in prev_entry["samples"]
+        }
+        samples: List[Dict[str, object]] = []
+        for sample in entry["samples"]:
+            prev = prev_samples.get(_sample_key(sample["labels"]))
+            if entry["type"] == "counter":
+                base = prev["value"] if prev else 0
+                diff = sample["value"] - base
+                if diff:
+                    samples.append({"labels": dict(sample["labels"]), "value": diff})
+            elif entry["type"] == "gauge":
+                samples.append(dict(sample))
+            else:  # histogram
+                base_counts = prev["counts"] if prev else [0] * len(sample["counts"])
+                counts = [c - b for c, b in zip(sample["counts"], base_counts)]
+                count = sample["count"] - (prev["count"] if prev else 0)
+                if count or any(counts):
+                    samples.append(
+                        {
+                            "labels": dict(sample["labels"]),
+                            "counts": counts,
+                            "sum": sample["sum"] - (prev["sum"] if prev else 0),
+                            "count": count,
+                        }
+                    )
+        if samples:
+            out_entry: Dict[str, object] = {"type": entry["type"], "samples": samples}
+            if "buckets" in entry:
+                out_entry["buckets"] = list(entry["buckets"])
+            families[name] = out_entry
+    return {"format": METRICS_FORMAT, "kind": "delta", "families": families}
+
+
+def merge_into(
+    registry: MetricsRegistry,
+    payload: Dict[str, object],
+    labels: Optional[Mapping[str, str]] = None,
+) -> int:
+    """Fold a snapshot/delta into ``registry``; returns samples merged.
+
+    ``labels`` (e.g. ``{"shard": "0"}``) are added to every incoming
+    sample, so per-source series stay distinguishable in the merged
+    registry.  Histogram buckets are validated against the catalog (and
+    the payload's own declaration); counters reject negative values —
+    a negative delta means the source registry went backwards.
+    """
+    _check_format(payload, None)
+    extra = dict(labels or {})
+    merged = 0
+    for name, entry in payload["families"].items():
+        kind = entry["type"]
+        spec = spec_for(name)
+        help_text = spec.help if spec is not None else ""
+        if spec is not None and spec.kind != kind:
+            raise ValueError(
+                f"metric {name!r} arrived as a {kind}; the catalog declares "
+                f"a {spec.kind}"
+            )
+        if kind == "histogram":
+            buckets = entry.get("buckets")
+            if spec is not None and spec.buckets is not None:
+                if buckets is not None and tuple(buckets) != tuple(spec.buckets):
+                    raise ValueError(
+                        f"histogram {name!r} arrived with buckets "
+                        f"{buckets}; the catalog declares {list(spec.buckets)} "
+                        "(bucket-wise merging requires identical bounds)"
+                    )
+                buckets = spec.buckets
+            if buckets is None:
+                raise ValueError(
+                    f"histogram {name!r} has no bucket declaration in the "
+                    "payload or the catalog; refusing to merge"
+                )
+        for sample in entry["samples"]:
+            all_labels = {**sample["labels"], **extra}
+            if kind == "counter":
+                value = sample["value"]
+                if value < 0:
+                    raise ValueError(
+                        f"counter {name!r} delta is negative ({value}); "
+                        "source registry went backwards"
+                    )
+                registry.counter(name, help_text, **all_labels).inc(value)
+            elif kind == "gauge":
+                gauge = registry.gauge(name, help_text, **all_labels)
+                policy = spec.gauge_policy if spec is not None else "last"
+                if policy == "sum":
+                    gauge.inc(sample["value"])
+                elif policy == "max":
+                    gauge.set(max(gauge.value, sample["value"]))
+                else:  # "last"
+                    gauge.set(sample["value"])
+            else:  # histogram
+                hist = registry.histogram(name, buckets, help_text, **all_labels)
+                counts = sample["counts"]
+                if len(counts) != len(hist.counts):
+                    raise ValueError(
+                        f"histogram {name!r} arrived with {len(counts)} "
+                        f"count slots; expected {len(hist.counts)}"
+                    )
+                for i, c in enumerate(counts):
+                    hist.counts[i] += c
+                hist.sum += sample["sum"]
+                hist.count += sample["count"]
+            merged += 1
+    return merged
+
+
+# -- conservation accounting -------------------------------------------------
+
+
+def deterministic_totals(registry: MetricsRegistry) -> Dict[str, object]:
+    """Family totals of every *deterministic* counter and histogram.
+
+    Counters map to their family total (summed over label sets);
+    histograms to ``{"counts": [...], "sum": s, "count": c}`` summed
+    element-wise over label sets.  Gauges (levels) and metrics the
+    catalog marks ``deterministic=False`` (wall-clock timers) are
+    excluded — this is exactly the set over which the serial and
+    parallel shard executors must agree bit-for-bit (the conservation
+    contract in ``docs/OBSERVABILITY.md``).
+    """
+    out: Dict[str, object] = {}
+    for family in registry.families():
+        spec = spec_for(family.name)
+        if spec is not None and not spec.deterministic:
+            continue
+        if family.kind == "counter":
+            total = sum(inst.value for inst in family.instruments.values())
+            if total:
+                out[family.name] = total
+        elif family.kind == "histogram":
+            instruments = list(family.instruments.values())
+            if not instruments:
+                continue
+            counts = [0] * len(instruments[0].counts)
+            total_sum = 0
+            total_count = 0
+            for inst in instruments:
+                for i, c in enumerate(inst.counts):
+                    counts[i] += c
+                total_sum += inst.sum
+                total_count += inst.count
+            if total_count:
+                out[family.name] = {
+                    "counts": counts,
+                    "sum": total_sum,
+                    "count": total_count,
+                }
+    return out
+
+
+def add_totals(
+    a: Dict[str, object], b: Dict[str, object]
+) -> Dict[str, object]:
+    """Combine two :func:`deterministic_totals` results additively.
+
+    Used to account across a mid-stream snapshot/restore: the restored
+    run's registry starts from zero, so the full-run totals are the sum
+    of the two phases' totals (for flow metrics; that is why
+    :func:`deterministic_totals` carries no gauges)."""
+    out: Dict[str, object] = dict(a)
+    for name, value in b.items():
+        if name not in out:
+            out[name] = value
+        elif isinstance(value, dict):
+            prior = out[name]
+            out[name] = {
+                "counts": [
+                    x + y for x, y in zip(prior["counts"], value["counts"])
+                ],
+                "sum": prior["sum"] + value["sum"],
+                "count": prior["count"] + value["count"],
+            }
+        else:
+            out[name] = out[name] + value
+    return out
+
+
+def labelled_total(registry: MetricsRegistry, name: str, **labels: str):
+    """Sum of a counter/gauge family over label sets containing ``labels``.
+
+    Returns 0 when the family (or no matching label set) exists — the
+    forgiving read the bench harness wants when a shard happened to
+    process nothing."""
+    want = {(str(k), str(v)) for k, v in labels.items()}
+    for family in registry.families():
+        if family.name != name or family.kind == "histogram":
+            continue
+        return sum(
+            inst.value
+            for key, inst in family.instruments.items()
+            if want <= set(key)
+        )
+    return 0
+
+
+def family_histogram(
+    registry: MetricsRegistry, name: str, **labels: str
+) -> Optional[Tuple[Histogram, int]]:
+    """Element-wise combination of a histogram family's instruments.
+
+    Returns ``(combined, instruments_merged)`` over the label sets
+    containing ``labels``, or None when nothing matches.  The combined
+    histogram is a fresh instrument — mutating it does not touch the
+    registry."""
+    want = {(str(k), str(v)) for k, v in labels.items()}
+    for family in registry.families():
+        if family.name != name or family.kind != "histogram":
+            continue
+        matched = [
+            inst
+            for key, inst in family.instruments.items()
+            if want <= set(key)
+        ]
+        if not matched:
+            return None
+        combined = Histogram(family.buckets)
+        for inst in matched:
+            for i, c in enumerate(inst.counts):
+                combined.counts[i] += c
+            combined.sum += inst.sum
+            combined.count += inst.count
+        return combined, len(matched)
+    return None
+
+
+# -- helpers -----------------------------------------------------------------
+
+
+def _sample_key(labels: Mapping[str, str]) -> Tuple[Tuple[str, str], ...]:
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+def _check_format(payload: Dict[str, object], kind: Optional[str]) -> None:
+    if payload.get("format") != METRICS_FORMAT:
+        raise ValueError(
+            f"not an {METRICS_FORMAT} payload: format={payload.get('format')!r}"
+        )
+    if kind is not None and payload.get("kind") != kind:
+        raise ValueError(
+            f"expected a {kind!r} payload, got kind={payload.get('kind')!r}"
+        )
+
+
+__all__ = [
+    "METRICS_FORMAT",
+    "add_totals",
+    "deterministic_totals",
+    "family_histogram",
+    "labelled_total",
+    "merge_into",
+    "registry_snapshot",
+    "snapshot_delta",
+]

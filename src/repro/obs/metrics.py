@@ -29,11 +29,24 @@ def _label_key(labels: Mapping[str, str]) -> LabelKey:
     return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
 
 
+def _escape_label_value(value: str) -> str:
+    """Escape a label value per text exposition format 0.0.4:
+    backslash, double-quote and newline must be backslash-escaped."""
+    return (
+        value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+    )
+
+
+def _escape_help(text: str) -> str:
+    """Escape HELP text per exposition format 0.0.4 (backslash, newline)."""
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
+
+
 def _render_labels(key: LabelKey, extra: Sequence[Tuple[str, str]] = ()) -> str:
     pairs = list(key) + list(extra)
     if not pairs:
         return ""
-    inner = ",".join(f'{k}="{v}"' for k, v in pairs)
+    inner = ",".join(f'{k}="{_escape_label_value(v)}"' for k, v in pairs)
     return "{" + inner + "}"
 
 
@@ -94,6 +107,29 @@ class Histogram:
         self.counts[bisect_left(self.buckets, value)] += 1
         self.sum += value
         self.count += 1
+
+    def quantile(self, q: float) -> float:
+        """Estimated ``q``-quantile, linearly interpolated within buckets.
+
+        The true value is only known to bucket resolution; observations
+        are assumed uniform inside a bucket (Prometheus's
+        ``histogram_quantile`` convention).  Overflow-bucket quantiles
+        clamp to the last finite bound.  Returns 0.0 when empty.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        if self.count == 0:
+            return 0.0
+        target = q * self.count
+        running = 0
+        lo = 0.0
+        for bound, n in zip(self.buckets, self.counts):
+            if n and running + n >= target:
+                frac = (target - running) / n
+                return lo + (bound - lo) * frac
+            running += n
+            lo = bound
+        return self.buckets[-1]
 
     def cumulative(self) -> List[Tuple[str, int]]:
         """``(le, cumulative_count)`` pairs, ending with ``+Inf``."""
@@ -206,6 +242,11 @@ class MetricsRegistry:
 
     # -- reading ----------------------------------------------------------
 
+    def families(self) -> List[_Family]:
+        """The registered families, sorted by name (for exposition and
+        the cross-process aggregation layer; see ``repro.obs.aggregate``)."""
+        return [self._families[name] for name in sorted(self._families)]
+
     def value(self, name: str, **labels: str):
         """Current value of one counter/gauge (KeyError when absent)."""
         family = self._families[name]
@@ -239,7 +280,7 @@ class MetricsRegistry:
         for name in sorted(self._families):
             family = self._families[name]
             if family.help:
-                lines.append(f"# HELP {name} {family.help}")
+                lines.append(f"# HELP {name} {_escape_help(family.help)}")
             lines.append(f"# TYPE {name} {family.kind}")
             for key in sorted(family.instruments):
                 instrument = family.instruments[key]

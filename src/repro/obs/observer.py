@@ -20,22 +20,27 @@ Clocking
 The facade keeps the current *arrival index* (updated by
 ``element_processed``), so interior hooks — which fire deep inside engine
 code that has no notion of the system clock — stamp their events with the
-right logical time automatically.
+right logical time automatically.  The one deliberate exception is the
+pair of wall-clock surfaces this layer owns (the phase profiler's
+``rts_phase_seconds`` and the end-to-end ``rts_maturity_latency_seconds``):
+they measure the implementation, not the algorithm, and the catalog marks
+them non-deterministic so conservation checks skip them.
+
+Metric declarations come from the central catalog
+(:mod:`repro.obs.catalog`): every family is pre-registered at
+construction, so exposition metadata, bucket bounds, and merge policies
+are identical in every process — the invariant the cross-process
+aggregation protocol (:mod:`repro.obs.aggregate`) is built on.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Tuple
+from time import perf_counter
+from typing import Dict, Optional
 
+from .catalog import CATALOG, LATENCY_BUCKETS, SIZE_BUCKETS, TIME_BUCKETS
 from .metrics import MetricsRegistry
-from .trace import SpanStore, TraceLog
-
-#: Maturity-detection latency buckets, in arrival-index units (powers of
-#: two up to ~1M elements cover every workload scale this repo runs).
-LATENCY_BUCKETS: Tuple[float, ...] = tuple(float(1 << i) for i in range(0, 21))
-
-#: Rebuild / merge size buckets (queries involved).
-SIZE_BUCKETS: Tuple[float, ...] = tuple(float(1 << i) for i in range(0, 21))
+from .trace import SpanContext, SpanStore, TraceLog
 
 
 class NullObservability:
@@ -96,6 +101,18 @@ class NullObservability:
     def shard_skew(self, ratio: float) -> None:
         pass
 
+    def shard_worker_batch(self, n: int, busy_seconds: float) -> None:
+        pass
+
+    def phase(self, name: str, seconds: float) -> None:
+        pass
+
+    def new_span(self, parent: Optional[SpanContext] = None) -> Optional[SpanContext]:
+        return None
+
+    def span(self, name: str, ctx, duration: Optional[float] = None, **fields):
+        return None
+
     def rebuild(self, kind: str, queries: int, heap_entries: Optional[int] = None) -> None:
         pass
 
@@ -137,6 +154,12 @@ class Observability(NullObservability):
         "_transport_counters",
         "_quarantine_counters",
         "_shard_counters",
+        "_phase_hists",
+        "_wall_registered",
+        "_span_seq",
+        "_worker_batches",
+        "_worker_busy",
+        "_maturity_wall_hist",
     )
     enabled = True
 
@@ -153,78 +176,34 @@ class Observability(NullObservability):
         #: message-type -> Counter cache, so the per-message hot path is a
         #: dict lookup instead of a registry get-or-create.
         self._msg_counters: Dict[str, object] = {}
-        #: Same caching pattern for transport faults and ingest quarantine.
+        #: Same caching pattern for transport faults, ingest quarantine,
+        #: shard routing, and the phase profiler's histograms.
         self._transport_counters: Dict[str, object] = {}
         self._quarantine_counters: Dict[str, object] = {}
         self._shard_counters: Dict[int, object] = {}
+        self._phase_hists: Dict[str, object] = {}
+        #: query id -> perf_counter() at registration (end-to-end wall
+        #: latency; dropped on terminate).
+        self._wall_registered: Dict[object, float] = {}
+        self._span_seq = 0
         m = self.metrics
-        m.counter("rts_elements_total", "Stream elements processed")
-        m.counter("rts_element_weight_total", "Total element weight processed")
-        m.counter(
-            "rts_batch_elements_total",
-            "Stream elements ingested through the batched fast path",
+        # Every family comes from the central catalog: labelled families
+        # are declared (metadata without a stale zero sample), unlabelled
+        # ones get their instrument eagerly so hooks can cache it.
+        for spec in CATALOG.values():
+            if spec.labels:
+                m.declare(spec.name, spec.kind, spec.help, buckets=spec.buckets)
+            elif spec.kind == "counter":
+                m.counter(spec.name, spec.help)
+            elif spec.kind == "gauge":
+                m.gauge(spec.name, spec.help)
+            else:
+                m.histogram(spec.name, spec.buckets, spec.help)
+        self._worker_batches = m.counter("rts_shard_worker_batches_total")
+        self._worker_busy = m.counter("rts_shard_worker_busy_seconds")
+        self._maturity_wall_hist = m.histogram(
+            "rts_maturity_latency_seconds", TIME_BUCKETS
         )
-        m.counter(
-            "rts_batch_bisections_total",
-            "Batch ranges split because a node's heap slack was too small",
-        )
-        m.counter("rts_queries_registered_total", "Queries registered")
-        m.counter("rts_queries_matured_total", "Queries matured")
-        m.counter("rts_queries_terminated_total", "Queries explicitly terminated")
-        m.gauge("rts_alive_queries", "Currently alive queries (m_alive)")
-        m.histogram(
-            "rts_maturity_latency_elements",
-            LATENCY_BUCKETS,
-            "Maturity-detection latency in arrival-index units",
-        )
-        m.counter("rts_dt_rounds_total", "DT round transitions across all queries")
-        m.counter("rts_dt_slack_announcements_total", "DT slack announcements")
-        m.counter("rts_dt_final_phase_total", "DT switches to the final phase")
-        m.histogram(
-            "rts_dt_round_remaining_tau",
-            LATENCY_BUCKETS,
-            "Remaining threshold tau' at each DT round end",
-        )
-        m.histogram(
-            "rts_dt_round_length_elements",
-            LATENCY_BUCKETS,
-            "Arrival-index span of each completed DT round",
-        )
-        m.declare("rts_rebuilds_total", "counter", "Structure rebuilds, by kind")
-        m.declare(
-            "rts_dt_messages_total",
-            "counter",
-            "Simulated DT protocol messages, by type",
-        )
-        m.declare(
-            "rts_transport_events_total",
-            "counter",
-            "Transport-layer fault and recovery events, by kind",
-        )
-        m.declare(
-            "rts_ingest_quarantined_total",
-            "counter",
-            "Malformed stream records skipped under on_error='skip', by adapter",
-        )
-        m.declare(
-            "rts_shard_elements_total",
-            "counter",
-            "Elements routed to each shard of a sharded system",
-        )
-        m.gauge(
-            "rts_shard_skew_ratio",
-            "Routing balance: max shard load over mean shard load (1.0 = even)",
-        )
-        m.histogram(
-            "rts_rebuild_queries", SIZE_BUCKETS, "Alive queries per rebuild"
-        )
-        m.counter("rts_logmethod_merges_total", "Logarithmic-method merges")
-        m.histogram(
-            "rts_logmethod_merge_queries",
-            SIZE_BUCKETS,
-            "Queries merged into the target slot per merge",
-        )
-        m.gauge("rts_tree_heap_entries", "Heap entries after the latest rebuild")
 
     # -- clocking / stream ------------------------------------------------
 
@@ -261,11 +240,15 @@ class Observability(NullObservability):
         self._now = max(self._now, ts)
         self.metrics.counter("rts_queries_registered_total").inc()
         self.metrics.gauge("rts_alive_queries").inc()
+        self._wall_registered[query_id] = perf_counter()
         self.spans.open(query_id, ts)
 
     def query_matured(self, query_id: object, ts: int, weight_seen: int) -> None:
         self.metrics.counter("rts_queries_matured_total").inc()
         self.metrics.gauge("rts_alive_queries").dec()
+        started = self._wall_registered.pop(query_id, None)
+        if started is not None:
+            self._maturity_wall_hist.observe(perf_counter() - started)
         span = self.spans.close(query_id, ts, "matured", weight_seen=weight_seen)
         if span is not None:
             self.metrics.histogram(
@@ -278,6 +261,7 @@ class Observability(NullObservability):
     def query_terminated(self, query_id: object, ts: int) -> None:
         self.metrics.counter("rts_queries_terminated_total").inc()
         self.metrics.gauge("rts_alive_queries").dec()
+        self._wall_registered.pop(query_id, None)
         self.spans.close(query_id, ts, "terminated")
         self.trace.append("query.terminated", ts=ts, query_id=query_id)
 
@@ -335,6 +319,62 @@ class Observability(NullObservability):
     def shard_skew(self, ratio: float) -> None:
         """Routing balance after a batch: max/mean cumulative shard load."""
         self.metrics.gauge("rts_shard_skew_ratio").set(ratio)
+
+    def shard_worker_batch(self, n: int, busy_seconds: float) -> None:
+        """One routed slice of ``n`` elements ran inside this shard worker.
+
+        Emitted by the executor backends (worker process or serial
+        in-process shard); the busy-seconds counter is the authoritative
+        per-shard accounting the bench reads from the merged registry."""
+        self._worker_batches.inc()
+        self._worker_busy.inc(busy_seconds)
+
+    # -- phase profiler ----------------------------------------------------
+
+    def phase(self, name: str, seconds: float) -> None:
+        """One timed phase (route/pack/descend/merge/recover) completed.
+
+        Fed by :class:`~repro.obs.profiler.PhaseProfiler`; the histogram
+        per phase is cached so the per-batch cost is one dict lookup."""
+        hist = self._phase_hists.get(name)
+        if hist is None:
+            hist = self.metrics.histogram(
+                "rts_phase_seconds", TIME_BUCKETS, phase=name
+            )
+            self._phase_hists[name] = hist
+        hist.observe(seconds)
+
+    # -- spans -------------------------------------------------------------
+
+    def new_span(self, parent: Optional[SpanContext] = None) -> SpanContext:
+        """Allocate a span context (fresh trace, or a child of ``parent``).
+
+        Ids are process-local monotone integers; contexts cross process
+        boundaries via :meth:`SpanContext.to_wire` (see
+        ``docs/OBSERVABILITY.md`` for the propagation model)."""
+        self._span_seq += 1
+        sid = self._span_seq
+        if parent is None:
+            return SpanContext(trace_id=sid, span_id=sid)
+        return SpanContext(
+            trace_id=parent.trace_id, span_id=sid, parent_id=parent.span_id
+        )
+
+    def span(self, name: str, ctx, duration: Optional[float] = None, **fields):
+        """Record one completed span as a structured trace event.
+
+        ``ctx`` may come from :meth:`new_span` or from a remote process
+        (a worker's batch reply, a participant's COLLECT echo)."""
+        record = {
+            "name": name,
+            "trace_id": ctx.trace_id,
+            "span_id": ctx.span_id,
+            "parent_id": ctx.parent_id,
+        }
+        if duration is not None:
+            record["duration_s"] = duration
+        record.update(fields)
+        return self.trace.append("span", ts=self._now, **record)
 
     def dt_slack(self, query_id: object, lam: int, h: int) -> None:
         self.metrics.counter("rts_dt_slack_announcements_total").inc()

@@ -19,7 +19,38 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Deque, Dict, List, Mapping, Optional
+from typing import Deque, Dict, List, Mapping, Optional, Tuple
+
+
+@dataclass(frozen=True, slots=True)
+class SpanContext:
+    """Identity of one span, propagatable across process boundaries.
+
+    ``trace_id`` groups every span of one logical operation (a routed
+    batch, a DT round); ``span_id`` identifies this span within its
+    origin process; ``parent_id`` links to the enclosing span.  Ids are
+    allocated per-process (a monotone counter), so cross-process records
+    additionally carry a source field (``shard=...``, ``participant=...``)
+    to stay unambiguous — the wire format deliberately spends no words
+    on globally unique ids, matching the paper's one-word message budget.
+    """
+
+    trace_id: int
+    span_id: int
+    parent_id: Optional[int] = None
+
+    def to_wire(self) -> Tuple[int, int, Optional[int]]:
+        """Compact tuple form carried inside messages / batch calls."""
+        return (self.trace_id, self.span_id, self.parent_id)
+
+    @classmethod
+    def from_wire(cls, wire) -> "SpanContext":
+        trace_id, span_id, parent_id = wire
+        return cls(
+            trace_id=int(trace_id),
+            span_id=int(span_id),
+            parent_id=None if parent_id is None else int(parent_id),
+        )
 
 
 @dataclass(frozen=True, slots=True)

@@ -28,8 +28,12 @@ from typing import Dict, List, Optional, Tuple
 
 from .wire import EventKey, ShardSlice, encode_queries
 
-#: Per-shard outcome of one routed batch: (event keys, busy seconds).
-ShardOutcome = Tuple[List[EventKey], float]
+#: Per-shard outcome of one routed batch:
+#: (event keys, busy seconds, piggybacked telemetry payload or None).
+#: The payload is an ``rts-metrics-v1`` registry delta plus a descend
+#: span record (:mod:`repro.shard.telemetry`); it is None when the
+#: parent system is unobserved.
+ShardOutcome = Tuple[List[EventKey], float, Optional[dict]]
 
 
 class ShardExecutor(abc.ABC):
@@ -54,8 +58,24 @@ class ShardExecutor(abc.ABC):
         """Register queries on their owner shard."""
 
     @abc.abstractmethod
-    def process(self, slices: Dict[int, ShardSlice]) -> Dict[int, ShardOutcome]:
-        """Run one routed batch; returns per-shard events + busy time."""
+    def process(
+        self, slices: Dict[int, ShardSlice], trace: Optional[tuple] = None
+    ) -> Dict[int, ShardOutcome]:
+        """Run one routed batch; returns per-shard events + busy time.
+
+        ``trace`` is the router's batch span context in wire form
+        (``SpanContext.to_wire()``); observed shards record their
+        ``descend`` span as its child and echo it in the outcome payload.
+        """
+
+    def drain_telemetry(self) -> Dict[int, dict]:
+        """Pull pending registry deltas from observed shards.
+
+        Covers telemetry that accrued outside a routed batch reply
+        (registrations, terminations); returns ``{shard: payload}`` for
+        shards that had an observer.  No-op (empty) by default.
+        """
+        return {}
 
     @abc.abstractmethod
     def terminate(self, shard: int, query_ids: List[object]) -> int:
@@ -87,33 +107,49 @@ class SerialExecutor(ShardExecutor):
 
     def __init__(self) -> None:
         self.systems: List = []
+        self._observers: List = []
+        self._prev_snapshots: List = []
 
     def start(
         self, configs: List[dict], snapshots: Optional[List[dict]] = None
     ) -> None:
         from ..core.system import RTSSystem
+        from ..obs.observer import Observability
 
         self.systems = []
+        self._observers = []
+        self._prev_snapshots = []
         for k, config in enumerate(configs):
+            obs = Observability() if config.get("observe") else None
             if snapshots is not None:
                 self.systems.append(
-                    RTSSystem.restore(snapshots[k], sanitize=config.get("sanitize"))
+                    RTSSystem.restore(
+                        snapshots[k],
+                        observability=obs,
+                        sanitize=config.get("sanitize"),
+                    )
                 )
             else:
                 self.systems.append(
                     RTSSystem(
                         dims=config["dims"],
                         engine=config["engine"],
+                        observability=obs,
                         sanitize=config.get("sanitize"),
                         **config.get("engine_options", {}),
                     )
                 )
+            self._observers.append(obs)
+            self._prev_snapshots.append(None)
 
     def register(self, shard: int, queries: List) -> None:
         self.systems[shard].register_batch(queries)
 
-    def process(self, slices: Dict[int, ShardSlice]) -> Dict[int, ShardOutcome]:
+    def process(
+        self, slices: Dict[int, ShardSlice], trace: Optional[tuple] = None
+    ) -> Dict[int, ShardOutcome]:
         from ..core.batch import PreparedBatch
+        from .telemetry import observe_slice
 
         out: Dict[int, ShardOutcome] = {}
         for shard, sl in slices.items():
@@ -127,7 +163,25 @@ class SerialExecutor(ShardExecutor):
                 (e.query.query_id, sl.timestamps[e.timestamp - base - 1], e.weight_seen)
                 for e in events
             ]
-            out[shard] = (keys, time.perf_counter() - started)
+            busy = time.perf_counter() - started
+            payload = None
+            obs = self._observers[shard]
+            if obs is not None:
+                payload, self._prev_snapshots[shard] = observe_slice(
+                    obs, self._prev_snapshots[shard], len(sl.timestamps), busy, trace
+                )
+            out[shard] = (keys, busy, payload)
+        return out
+
+    def drain_telemetry(self) -> Dict[int, dict]:
+        from .telemetry import drain
+
+        out: Dict[int, dict] = {}
+        for shard, obs in enumerate(self._observers):
+            if obs is not None:
+                out[shard], self._prev_snapshots[shard] = drain(
+                    obs, self._prev_snapshots[shard]
+                )
         return out
 
     def terminate(self, shard: int, query_ids: List[object]) -> int:
@@ -191,16 +245,31 @@ class ParallelExecutor(ShardExecutor):
 
         self._pools[shard].submit(worker.register, encode_queries(queries)).result()
 
-    def process(self, slices: Dict[int, ShardSlice]) -> Dict[int, ShardOutcome]:
+    def process(
+        self, slices: Dict[int, ShardSlice], trace: Optional[tuple] = None
+    ) -> Dict[int, ShardOutcome]:
         from . import worker
 
         futures = {}
         for shard, sl in slices.items():
             values, weights, timestamps = sl.encode()
             futures[shard] = self._pools[shard].submit(
-                worker.process, values, weights, timestamps
+                worker.process, values, weights, timestamps, trace
             )
         return {shard: fut.result() for shard, fut in futures.items()}
+
+    def drain_telemetry(self) -> Dict[int, dict]:
+        from . import worker
+
+        futures = {
+            shard: pool.submit(worker.drain_telemetry)
+            for shard, pool in enumerate(self._pools)
+        }
+        return {
+            shard: payload
+            for shard, fut in futures.items()
+            if (payload := fut.result()) is not None
+        }
 
     def terminate(self, shard: int, query_ids: List[object]) -> int:
         from . import worker

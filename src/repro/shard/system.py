@@ -45,7 +45,10 @@ from ..core.events import EventDispatcher, MaturityCallback, MaturityEvent
 from ..core.geometry import encoded_key
 from ..core.query import Query, QueryStatus, RectLike, coerce_rect
 from ..core.system import make_engine
+from ..obs.aggregate import merge_into
 from ..obs.observer import NULL_OBS
+from ..obs.profiler import PhaseProfiler
+from ..obs.trace import SpanContext
 from ..streams.element import StreamElement
 from .executor import ShardExecutor, make_executor
 from .partition import PartitionPolicy, make_policy
@@ -85,9 +88,16 @@ class ShardedRTSSystem:
         ``"serial"`` (default), ``"parallel"``, or a
         :class:`ShardExecutor` instance.
     observability:
-        Parent-level telemetry sink; shards run unobserved and the
-        router emits the system-level hooks plus the per-shard balance
-        gauges (``rts_shard_elements_total``, ``rts_shard_skew_ratio``).
+        Parent-level telemetry sink.  The router emits the system-level
+        hooks, the per-shard balance gauges (``rts_shard_elements_total``,
+        ``rts_shard_skew_ratio``), and the route/pack/merge phase timers.
+        When enabled, each shard additionally runs its *own* private
+        :class:`~repro.obs.Observability` (inside the worker process
+        under the parallel executor); shard registry deltas are
+        piggybacked on every batch reply in the ``rts-metrics-v1``
+        format and merged here under a ``shard`` label, so serial and
+        parallel executors expose identical family totals (see
+        ``docs/OBSERVABILITY.md``).
     sanitize:
         Invariant checking (``docs/CORRECTNESS.md``): applied both to
         the router (partition-coverage invariant) and inside each shard.
@@ -147,6 +157,7 @@ class ShardedRTSSystem:
         #: Cumulative per-shard busy wall time (seconds inside the shard's
         #: ``process_batch``, excluding routing and IPC overhead).
         self.shard_busy_seconds: List[float] = [0.0] * shards
+        self._profiler = PhaseProfiler(self.obs)
         self.executor.start(self._shard_configs())
 
     # -- lifecycle plumbing ------------------------------------------------
@@ -158,12 +169,20 @@ class ShardedRTSSystem:
                 "engine": self.engine_name,
                 "engine_options": dict(self.engine_options),
                 "sanitize": self._sanitize,
+                "observe": bool(self.obs.enabled),
             }
             for _ in range(self.shards)
         ]
 
     def close(self) -> None:
-        """Shut down executor resources (worker processes); idempotent."""
+        """Shut down executor resources (worker processes); idempotent.
+
+        Drains the shards' pending registry deltas first, so counts that
+        accrued outside a batch reply (registrations, terminations) reach
+        the parent registry before the workers go away.
+        """
+        if self.obs.enabled:
+            self._drain_telemetry()
         self.executor.close()
 
     def __enter__(self) -> "ShardedRTSSystem":
@@ -291,6 +310,7 @@ class ShardedRTSSystem:
         if isinstance(elements, PreparedBatch):
             prepared = elements
         else:
+            t_pack = self._profiler.start()
             prepared = PreparedBatch(
                 [
                     value
@@ -300,6 +320,7 @@ class ShardedRTSSystem:
                 ],
                 self.dims,
             )
+            self._profiler.stop("pack", t_pack)
         if not prepared.size:
             return []
         start = self._clock + 1
@@ -311,9 +332,17 @@ class ShardedRTSSystem:
         return self._route_and_process(prepared, start)
 
     def _route_and_process(self, prepared, start: int) -> List[MaturityEvent]:
-        slices = self._route(prepared, start)
-        outcomes = self.executor.process(slices) if slices else {}
         obs_on = self.obs.enabled
+        ctx = trace = None
+        if obs_on:
+            # Root span of this batch; shards attach their descend spans
+            # as children via the wire-form context.
+            ctx = self.obs.new_span()
+            trace = ctx.to_wire()
+        t_route = self._profiler.start()
+        slices = self._route(prepared, start)
+        self._profiler.stop("route", t_route)
+        outcomes = self.executor.process(slices, trace=trace) if slices else {}
         if obs_on:
             for shard, sl in slices.items():
                 self.obs.shard_elements(shard, len(sl))
@@ -326,10 +355,13 @@ class ShardedRTSSystem:
                 self.obs.shard_skew(peak * self.shards / total)
         keys: List[EventKey] = []
         for shard in outcomes:
-            shard_keys, busy = outcomes[shard]
+            shard_keys, busy, payload = outcomes[shard]
             keys.extend(shard_keys)
             self.shard_busy_seconds[shard] += busy
+            self._absorb_telemetry(shard, payload)
+        t_merge = self._profiler.start()
         events = self._merge(keys)
+        self._profiler.stop("merge", t_merge)
         for event in events:
             qid = event.query.query_id
             self._status[qid] = QueryStatus.MATURED
@@ -339,9 +371,45 @@ class ShardedRTSSystem:
             if obs_on:
                 self.obs.query_matured(qid, event.timestamp, event.weight_seen)
             self._dispatcher.dispatch(event)
+        if obs_on:
+            self.obs.span(
+                "shard.batch",
+                ctx,
+                elements=prepared.size,
+                shards=len(slices),
+                events=len(events),
+            )
         if self._sanitize:
             self._sanitize_check()
         return events
+
+    def _absorb_telemetry(self, shard: int, payload: Optional[dict]) -> None:
+        """Fold a shard's piggybacked telemetry into the parent registry.
+
+        The metrics delta lands under a ``shard`` label (counters sum,
+        gauges resolve by catalog policy, histograms merge bucket-wise);
+        the descend span record is logged into the parent trace, where
+        the wire-form context ties it back to the batch's root span.
+        """
+        if payload is None:
+            return
+        if self.obs.enabled:
+            merge_into(
+                self.obs.metrics, payload["metrics"], labels={"shard": str(shard)}
+            )
+            span = payload.get("span")
+            if span is not None:
+                self.obs.span(
+                    "shard.descend",
+                    SpanContext.from_wire(span["trace"]),
+                    duration=span["duration"],
+                    shard=shard,
+                    elements=span["elements"],
+                )
+
+    def _drain_telemetry(self) -> None:
+        for shard, payload in sorted(self.executor.drain_telemetry().items()):
+            self._absorb_telemetry(shard, payload)
 
     def _route(self, prepared, start: int) -> Dict[int, ShardSlice]:
         """Split one prepared batch into per-shard slices.
@@ -460,7 +528,12 @@ class ShardedRTSSystem:
         plus the router's partition state: policy spec, ownership, and
         registration sequences (the merge tie-break must survive
         restarts for the determinism contract to hold).
+
+        Observed systems drain pending shard registry deltas first, so
+        the parent registry is complete as of the checkpoint.
         """
+        if self.obs.enabled:
+            self._drain_telemetry()
         alive = [
             {"id": qid, "owner": self._owner[qid], "seq": self._seq[qid]}
             for qid, status in self._status.items()
@@ -535,6 +608,7 @@ class ShardedRTSSystem:
             int(v) for v in snapshot.get("elements_routed", [0] * system.shards)
         ]
         system.shard_busy_seconds = [0.0] * system.shards
+        system._profiler = PhaseProfiler(system.obs)
         blobs = snapshot["shard_blobs"]
         owners = {rec["id"]: int(rec["owner"]) for rec in snapshot["alive"]}
         seqs = {rec["id"]: int(rec["seq"]) for rec in snapshot["alive"]}
@@ -553,7 +627,9 @@ class ShardedRTSSystem:
                 system._status[query.query_id] = QueryStatus(item["status"])
                 if item.get("matured_at") is not None:
                     system._maturity_times[query.query_id] = int(item["matured_at"])
+        t_recover = system._profiler.start()
         system.executor.start(system._shard_configs(), snapshots=list(blobs))
+        system._profiler.stop("recover", t_recover)
         if system._sanitize:
             system._sanitize_check()
         return system

@@ -20,19 +20,29 @@ from .wire import EventKey, decode_elements, decode_queries
 
 #: The resident shard system of this worker process.
 _SYSTEM = None
+#: The worker's private Observability when the parent is observed.
+_OBS = None
+#: Registry snapshot at the last piggybacked delta (rts-metrics-v1).
+_PREV = None
 
 
 def init_shard(config: dict, snapshot: Optional[dict] = None) -> None:
     """Pool initializer: build (or restore) this worker's shard system."""
-    global _SYSTEM
+    global _SYSTEM, _OBS, _PREV
     from ..core.system import RTSSystem
+    from ..obs.observer import Observability
 
+    _OBS = Observability() if config.get("observe") else None
+    _PREV = None
     if snapshot is not None:
-        _SYSTEM = RTSSystem.restore(snapshot, sanitize=config.get("sanitize"))
+        _SYSTEM = RTSSystem.restore(
+            snapshot, observability=_OBS, sanitize=config.get("sanitize")
+        )
         return
     _SYSTEM = RTSSystem(
         dims=config["dims"],
         engine=config["engine"],
+        observability=_OBS,
         sanitize=config.get("sanitize"),
         **config.get("engine_options", {}),
     )
@@ -44,12 +54,16 @@ def register(query_objs: List[dict]) -> int:
     return _SYSTEM.alive_count
 
 
-def process(values, weights, timestamps: List[int]) -> Tuple[List[EventKey], float]:
-    """Process one routed slice; return (event keys, busy seconds).
+def process(
+    values, weights, timestamps: List[int], trace: Optional[tuple] = None
+) -> Tuple[List[EventKey], float, Optional[dict]]:
+    """Process one routed slice; return (event keys, busy seconds, telemetry).
 
     The slice runs on the shard's compact local clock; event timestamps
     are remapped to the global arrival indices in ``timestamps`` before
-    they go back on the wire.
+    they go back on the wire.  When this worker is observed, the third
+    element is the piggybacked ``rts-metrics-v1`` registry delta plus the
+    descend-phase span record (child of the router's ``trace`` context).
     """
     start = time.perf_counter()
     from ..core.batch import PreparedBatch
@@ -70,7 +84,25 @@ def process(values, weights, timestamps: List[int]) -> Tuple[List[EventKey], flo
         (e.query.query_id, timestamps[e.timestamp - base - 1], e.weight_seen)
         for e in events
     ]
-    return keys, time.perf_counter() - start
+    busy = time.perf_counter() - start
+    payload = None
+    if _OBS is not None:
+        global _PREV
+        from .telemetry import observe_slice
+
+        payload, _PREV = observe_slice(_OBS, _PREV, len(timestamps), busy, trace)
+    return keys, busy, payload
+
+
+def drain_telemetry() -> Optional[dict]:
+    """Pull the registry delta accrued since the last batch reply."""
+    global _PREV
+    if _OBS is None:
+        return None
+    from .telemetry import drain
+
+    payload, _PREV = drain(_OBS, _PREV)
+    return payload
 
 
 def terminate(query_ids: List[object]) -> int:

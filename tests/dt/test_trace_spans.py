@@ -1,0 +1,69 @@
+"""Span propagation across the DT coordinator/participant round path.
+
+The COLLECT broadcast carries the round span's wire context
+(:meth:`SpanContext.to_wire` on the message's ``trace`` field); each
+participant records its collection as a child span, so one round's
+coordinator span and all ``h`` participant spans share a trace_id.
+"""
+
+from repro.dt.protocol import run_unweighted
+from repro.obs import Observability
+
+
+def _spans(obs, name):
+    return [
+        e.fields
+        for e in obs.trace.events()
+        if e.kind == "span" and e.fields["name"] == name
+    ]
+
+
+class TestDTSpanPropagation:
+    H = 3
+
+    def _run(self, tau=1000):
+        obs = Observability()
+        res = run_unweighted(
+            self.H, tau, (i % self.H for i in range(tau + 10)), obs=obs
+        )
+        assert res.matured
+        return obs, res
+
+    def test_one_root_span_per_round_collection(self):
+        obs, _res = self._run()
+        rounds = _spans(obs, "dt.round_collect")
+        assert rounds, "a matured run past the straightforward phase collects"
+        assert sorted(r["round_no"] for r in rounds) == list(
+            range(1, len(rounds) + 1)
+        )
+        for r in rounds:
+            assert r["participants"] == self.H
+            assert r["parent_id"] is None  # round spans are trace roots
+            assert r["trace_id"] == r["span_id"]
+
+    def test_participant_spans_are_children_of_their_round(self):
+        obs, _res = self._run()
+        rounds = {r["span_id"]: r for r in _spans(obs, "dt.round_collect")}
+        children = _spans(obs, "dt.participant_collect")
+        assert len(children) == self.H * len(rounds)
+        for child in children:
+            parent = rounds[child["parent_id"]]
+            assert child["trace_id"] == parent["trace_id"]
+            assert child["span_id"] != parent["span_id"]
+        # Every round heard from every participant exactly once.
+        for span_id in rounds:
+            got = sorted(
+                c["participant"] for c in children if c["parent_id"] == span_id
+            )
+            assert got == list(range(self.H))
+
+    def test_straightforward_phase_emits_no_round_spans(self):
+        # tau <= 6h: no rounds, hence no collections to trace.
+        obs = Observability()
+        res = run_unweighted(4, 10, (i % 4 for i in range(10)), obs=obs)
+        assert res.matured and res.rounds == 0
+        assert _spans(obs, "dt.round_collect") == []
+
+    def test_disabled_obs_still_matures(self):
+        res = run_unweighted(3, 500, (i % 3 for i in range(510)))
+        assert res.matured

@@ -1,0 +1,177 @@
+"""Tests for the perf-trajectory report pipeline (``rts-experiments report``).
+
+Runs against the committed bench baselines (BENCH_PR*.json) so the tests
+double as a schema check on those artifacts: if a baseline drifts in a
+way that empties a required section, this suite fails before CI's
+report-smoke job does.
+"""
+
+import json
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+from repro.experiments.trajectory import (
+    SECTIONS,
+    generate_report,
+    load_trajectory_data,
+    render_chart_svg,
+)
+
+ROOT = pathlib.Path(__file__).resolve().parents[2]
+BENCHES = sorted(ROOT.glob("BENCH_PR*.json"))
+SUMMARY = ROOT / "results" / "summary.json"
+
+
+def _minimal_bench(tmp_path, name="BENCH_PR9.json", minor=2):
+    """A tiny but schema-complete rts-bench-v1 report."""
+    report = {
+        "format": "rts-bench-v1",
+        "format_minor": minor,
+        "n_elements": 1000,
+        "engines": {
+            "dt": {
+                "scalar": {
+                    "elements_per_sec": 50_000.0,
+                    "p50_us": 10.0,
+                    "p99_us": 40.0,
+                },
+                "batched": {"256": {"elements_per_sec": 90_000.0}},
+                "sharded": {
+                    "counts": {
+                        "1": {"speedup_vs_s1": 1.0},
+                        "2": {
+                            "speedup_vs_s1": 1.8,
+                            "phase_latency": {
+                                "route": {
+                                    "p50_ms": 0.1,
+                                    "p99_ms": 0.4,
+                                    "count": 10,
+                                }
+                            },
+                        },
+                    }
+                },
+            }
+        },
+    }
+    path = tmp_path / name
+    path.write_text(json.dumps(report))
+    return path
+
+
+@pytest.mark.skipif(not BENCHES, reason="no committed bench baselines")
+class TestCommittedBaselines:
+    def test_generate_report_from_committed_artifacts(self, tmp_path):
+        result = generate_report(BENCHES, SUMMARY, tmp_path)
+        stats = result["sections"]
+        for spec in SECTIONS:
+            assert spec.key in stats
+            if spec.required:
+                assert stats[spec.key]["points"] > 0, spec.key
+        report = (tmp_path / "report.md").read_text()
+        for spec in SECTIONS:
+            if not stats[spec.key].get("skipped"):
+                svg = tmp_path / f"{spec.key}.svg"
+                assert svg.is_file() and svg.stat().st_size > 0
+                assert f"{spec.key}.svg" in report
+
+    def test_baselines_ordered_by_pr_number(self):
+        data = load_trajectory_data(BENCHES)
+        orders = [label for label, _ in data.benches]
+        assert orders == sorted(
+            orders, key=lambda s: int("".join(filter(str.isdigit, s)))
+        )
+
+    def test_svg_output_is_deterministic(self, tmp_path):
+        a, b = tmp_path / "a", tmp_path / "b"
+        generate_report(BENCHES, SUMMARY, a)
+        generate_report(BENCHES, SUMMARY, b)
+        for path in sorted(a.iterdir()):
+            assert path.read_text() == (b / path.name).read_text()
+
+
+class TestSyntheticReports:
+    def test_minimal_bench_covers_required_sections(self, tmp_path):
+        bench = _minimal_bench(tmp_path)
+        out = tmp_path / "out"
+        result = generate_report([bench], None, out)
+        stats = result["sections"]
+        assert stats["throughput-trajectory"]["points"] > 0
+        assert stats["shard-scaling"]["points"] > 0
+        assert stats["latency-percentiles"]["points"] > 0
+        assert stats["phase-latency"]["points"] > 0  # minor-2 rows present
+
+    def test_wrong_format_rejected(self, tmp_path):
+        bad = tmp_path / "BENCH_PR1.json"
+        bad.write_text(json.dumps({"format": "bogus"}))
+        with pytest.raises(ValueError, match="rts-bench-v1"):
+            generate_report([bad], None, tmp_path / "out")
+
+    def test_empty_required_section_raises(self, tmp_path):
+        # Engines present but without any throughput numbers: the
+        # throughput section comes up empty and must fail loudly.
+        hollow = tmp_path / "BENCH_PR1.json"
+        hollow.write_text(
+            json.dumps({"format": "rts-bench-v1", "engines": {}, "sharded": {}})
+        )
+        with pytest.raises(ValueError, match="required report section"):
+            generate_report([hollow], None, tmp_path / "out")
+
+    def test_no_baselines_raises(self, tmp_path):
+        with pytest.raises(ValueError, match="no bench baselines"):
+            generate_report([], None, tmp_path / "out")
+
+    def test_svg_is_wellformed_xml(self, tmp_path):
+        import xml.etree.ElementTree as ET
+
+        bench = _minimal_bench(tmp_path)
+        out = tmp_path / "out"
+        generate_report([bench], None, out)
+        for svg in out.glob("*.svg"):
+            ET.fromstring(svg.read_text())
+
+
+@pytest.mark.skipif(not BENCHES, reason="no committed bench baselines")
+class TestReportCli:
+    def test_cli_report_target(self, tmp_path):
+        out = tmp_path / "report"
+        proc = subprocess.run(
+            [
+                sys.executable,
+                "-m",
+                "repro.experiments.cli",
+                "report",
+                "--out",
+                str(out),
+            ],
+            cwd=ROOT,
+            env={"PYTHONPATH": str(ROOT / "src"), "PATH": "/usr/bin:/bin"},
+            capture_output=True,
+            text=True,
+        )
+        assert proc.returncode == 0, proc.stderr
+        assert (out / "report.md").is_file()
+        assert "throughput-trajectory" in proc.stdout
+
+    def test_cli_fails_on_no_matches(self, tmp_path):
+        proc = subprocess.run(
+            [
+                sys.executable,
+                "-m",
+                "repro.experiments.cli",
+                "report",
+                "--bench-glob",
+                "NOPE_*.json",
+                "--out",
+                str(tmp_path / "r"),
+            ],
+            cwd=ROOT,
+            env={"PYTHONPATH": str(ROOT / "src"), "PATH": "/usr/bin:/bin"},
+            capture_output=True,
+            text=True,
+        )
+        assert proc.returncode == 1
+        assert "no bench baselines" in proc.stderr

@@ -1,0 +1,216 @@
+"""Unit tests for the ``rts-metrics-v1`` aggregation protocol."""
+
+import pytest
+
+from repro.obs.aggregate import (
+    METRICS_FORMAT,
+    add_totals,
+    deterministic_totals,
+    family_histogram,
+    labelled_total,
+    merge_into,
+    registry_snapshot,
+    snapshot_delta,
+)
+from repro.obs.catalog import CATALOG
+from repro.obs.metrics import MetricsRegistry
+
+
+def _worker_registry() -> MetricsRegistry:
+    reg = MetricsRegistry()
+    reg.counter("rts_elements_total", "").inc(10)
+    reg.counter("rts_dt_messages_total", "", type="signal").inc(4)
+    reg.gauge("rts_alive_queries", "").set(7)
+    hist = reg.histogram("rts_test_latency", (1.0, 2.0, 4.0), "")
+    hist.observe(1.5)
+    hist.observe(100.0)
+    return reg
+
+
+class TestSnapshot:
+    def test_snapshot_shape(self):
+        snap = registry_snapshot(_worker_registry())
+        assert snap["format"] == METRICS_FORMAT
+        assert snap["kind"] == "snapshot"
+        fams = snap["families"]
+        assert fams["rts_elements_total"]["samples"] == [
+            {"labels": {}, "value": 10}
+        ]
+        assert fams["rts_dt_messages_total"]["samples"][0]["labels"] == {
+            "type": "signal"
+        }
+        hist = fams["rts_test_latency"]
+        assert hist["buckets"] == [1.0, 2.0, 4.0]
+        assert hist["samples"][0]["counts"] == [0, 1, 0, 1]
+        assert hist["samples"][0]["count"] == 2
+
+    def test_snapshot_is_json_safe(self):
+        import json
+
+        json.dumps(registry_snapshot(_worker_registry()))
+
+
+class TestDelta:
+    def test_delta_subtracts_counters_and_histograms(self):
+        reg = _worker_registry()
+        before = registry_snapshot(reg)
+        reg.counter("rts_elements_total", "").inc(5)
+        reg.histogram(
+            "rts_test_latency", (1.0, 2.0, 4.0), ""
+        ).observe(3.0)
+        delta = snapshot_delta(registry_snapshot(reg), before)
+        assert delta["kind"] == "delta"
+        fams = delta["families"]
+        assert fams["rts_elements_total"]["samples"][0]["value"] == 5
+        assert fams["rts_test_latency"]["samples"][0]["counts"] == [
+            0,
+            0,
+            1,
+            0,
+        ]
+        # Unchanged families are dropped entirely.
+        assert "rts_dt_messages_total" not in fams
+
+    def test_gauges_pass_through_current_value(self):
+        reg = _worker_registry()
+        before = registry_snapshot(reg)
+        delta = snapshot_delta(registry_snapshot(reg), before)
+        # A gauge is a level: it rides every delta, even when unchanged.
+        assert delta["families"]["rts_alive_queries"]["samples"][0]["value"] == 7
+
+    def test_none_previous_equals_snapshot(self):
+        snap = registry_snapshot(_worker_registry())
+        delta = snapshot_delta(snap, None)
+        assert (
+            delta["families"]["rts_elements_total"]["samples"][0]["value"] == 10
+        )
+
+    def test_rejects_wrong_format(self):
+        with pytest.raises(ValueError):
+            snapshot_delta({"format": "bogus"}, None)
+
+
+class TestMerge:
+    def test_merge_adds_source_labels(self):
+        parent = MetricsRegistry()
+        payload = registry_snapshot(_worker_registry())
+        merged = merge_into(parent, payload, labels={"shard": "3"})
+        assert merged == 4
+        assert parent.value("rts_elements_total", shard="3") == 10
+        assert parent.value("rts_dt_messages_total", shard="3", type="signal") == 4
+
+    def test_counters_sum_across_merges(self):
+        parent = MetricsRegistry()
+        payload = registry_snapshot(_worker_registry())
+        merge_into(parent, payload, labels={"shard": "0"})
+        merge_into(parent, payload, labels={"shard": "0"})
+        assert parent.value("rts_elements_total", shard="0") == 20
+
+    def test_gauge_last_policy_replaces(self):
+        parent = MetricsRegistry()
+        payload = registry_snapshot(_worker_registry())
+        merge_into(parent, payload, labels={"shard": "0"})
+        merge_into(parent, payload, labels={"shard": "0"})
+        # rts_alive_queries is policy "last": re-delivery replaces.
+        assert parent.value("rts_alive_queries", shard="0") == 7
+
+    def test_gauge_max_policy_keeps_peak(self):
+        parent = MetricsRegistry()
+        reg = MetricsRegistry()
+        reg.gauge("rts_shard_skew_ratio", "").set(2.5)
+        merge_into(parent, registry_snapshot(reg))
+        reg.gauge("rts_shard_skew_ratio", "").set(1.5)
+        merge_into(parent, registry_snapshot(reg))
+        assert parent.value("rts_shard_skew_ratio") == 2.5
+
+    def test_histograms_merge_bucket_wise(self):
+        parent = MetricsRegistry()
+        payload = registry_snapshot(_worker_registry())
+        merge_into(parent, payload, labels={"shard": "0"})
+        merge_into(parent, payload, labels={"shard": "1"})
+        combined = family_histogram(parent, "rts_test_latency")
+        assert combined is not None
+        hist, n = combined
+        assert n == 2
+        assert hist.count == 4
+        assert hist.counts == [0, 2, 0, 2]
+
+    def test_negative_counter_delta_rejected(self):
+        parent = MetricsRegistry()
+        bad = {
+            "format": METRICS_FORMAT,
+            "kind": "delta",
+            "families": {
+                "rts_elements_total": {
+                    "type": "counter",
+                    "samples": [{"labels": {}, "value": -1}],
+                }
+            },
+        }
+        with pytest.raises(ValueError, match="negative"):
+            merge_into(parent, bad)
+
+    def test_kind_mismatch_vs_catalog_rejected(self):
+        parent = MetricsRegistry()
+        bad = {
+            "format": METRICS_FORMAT,
+            "kind": "delta",
+            "families": {
+                "rts_elements_total": {
+                    "type": "gauge",
+                    "samples": [{"labels": {}, "value": 1}],
+                }
+            },
+        }
+        with pytest.raises(ValueError, match="catalog"):
+            merge_into(parent, bad)
+
+    def test_histogram_bucket_mismatch_vs_catalog_rejected(self):
+        parent = MetricsRegistry()
+        bad = {
+            "format": METRICS_FORMAT,
+            "kind": "delta",
+            "families": {
+                "rts_maturity_latency_elements": {
+                    "type": "histogram",
+                    "buckets": [1.0, 99.0],
+                    "samples": [
+                        {
+                            "labels": {},
+                            "counts": [1, 0, 0],
+                            "sum": 1,
+                            "count": 1,
+                        }
+                    ],
+                }
+            },
+        }
+        with pytest.raises(ValueError, match="bucket"):
+            merge_into(parent, bad)
+
+
+class TestTotals:
+    def test_deterministic_totals_skip_wall_clock_and_gauges(self):
+        reg = MetricsRegistry()
+        reg.counter("rts_elements_total", "").inc(3)
+        reg.counter("rts_shard_worker_busy_seconds", "").inc(1)
+        reg.gauge("rts_alive_queries", "").set(9)
+        totals = deterministic_totals(reg)
+        assert totals == {"rts_elements_total": 3}
+        spec = CATALOG["rts_shard_worker_busy_seconds"]
+        assert not spec.deterministic
+
+    def test_add_totals_is_additive(self):
+        a = {"rts_elements_total": 3, "h": {"counts": [1, 0], "sum": 2, "count": 1}}
+        b = {"rts_elements_total": 4, "h": {"counts": [0, 2], "sum": 9, "count": 2}}
+        combined = add_totals(a, b)
+        assert combined["rts_elements_total"] == 7
+        assert combined["h"] == {"counts": [1, 2], "sum": 11, "count": 3}
+
+    def test_labelled_total(self):
+        reg = MetricsRegistry()
+        reg.counter("rts_elements_total", "", shard="0").inc(2)
+        reg.counter("rts_elements_total", "", shard="1").inc(5)
+        assert labelled_total(reg, "rts_elements_total", shard="1") == 5
+        assert labelled_total(reg, "rts_elements_total") == 7
+        assert labelled_total(reg, "rts_missing_total") == 0

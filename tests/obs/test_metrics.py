@@ -158,3 +158,73 @@ class TestExposition:
     def test_default_buckets_are_powers_of_two(self):
         assert POW2_BUCKETS[0] == 2.0
         assert all(b == 2 * a for a, b in zip(POW2_BUCKETS, POW2_BUCKETS[1:]))
+
+
+class TestExpositionEscaping:
+    """Prometheus text format 0.0.4: label values escape backslash,
+    double-quote and newline; HELP lines escape backslash and newline."""
+
+    def test_hostile_label_values(self):
+        reg = MetricsRegistry()
+        reg.counter("evil_total", "help", who='he said "hi"\npath=C:\\tmp').inc()
+        text = reg.to_prometheus()
+        assert 'who="he said \\"hi\\"\\npath=C:\\\\tmp"' in text
+        # No raw newline may survive inside a sample line.
+        sample_lines = [
+            ln for ln in text.splitlines() if ln.startswith("evil_total{")
+        ]
+        assert len(sample_lines) == 1
+        assert sample_lines[0].endswith("} 1")
+
+    def test_backslash_escaped_before_quote(self):
+        # A value ending in a backslash must not escape the closing quote.
+        reg = MetricsRegistry()
+        reg.counter("t_total", "", v="trailing\\").inc()
+        assert 'v="trailing\\\\"' in reg.to_prometheus()
+
+    def test_help_text_escaping(self):
+        reg = MetricsRegistry()
+        reg.counter("h_total", "line one\nline two \\ done").inc()
+        text = reg.to_prometheus()
+        assert "# HELP h_total line one\\nline two \\\\ done" in text
+        assert all(
+            ln.startswith(("#", "h_total")) for ln in text.strip().splitlines()
+        )
+
+    def test_plain_values_untouched(self):
+        reg = MetricsRegistry()
+        reg.counter("p_total", "plain help", kind="simple").inc()
+        assert 'p_total{kind="simple"} 1' in reg.to_prometheus()
+
+
+class TestHistogramQuantile:
+    def test_empty_histogram_is_zero(self):
+        assert Histogram([1, 2]).quantile(0.5) == 0.0
+
+    def test_interpolates_within_bucket(self):
+        h = Histogram([10.0, 20.0])
+        for _ in range(4):
+            h.observe(15.0)  # all mass in (10, 20]
+        # Median of a bucket spanning 10..20 interpolates to its middle.
+        assert h.quantile(0.5) == pytest.approx(15.0)
+        assert h.quantile(1.0) == pytest.approx(20.0)
+
+    def test_overflow_clamps_to_top_bound(self):
+        h = Histogram([1.0, 2.0])
+        h.observe(100.0)
+        assert h.quantile(0.99) == 2.0
+
+    def test_rejects_out_of_range(self):
+        h = Histogram([1.0])
+        with pytest.raises(ValueError):
+            h.quantile(1.5)
+        with pytest.raises(ValueError):
+            h.quantile(-0.1)
+
+
+class TestFamilies:
+    def test_families_sorted_by_name(self):
+        reg = MetricsRegistry()
+        reg.counter("z_total")
+        reg.gauge("a_gauge")
+        assert [f.name for f in reg.families()] == ["a_gauge", "z_total"]

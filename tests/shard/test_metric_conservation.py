@@ -1,0 +1,121 @@
+"""Metric conservation: serial and parallel executors expose identical
+deterministic family totals after shard-delta aggregation.
+
+The contract behind ``rts-metrics-v1`` piggybacking: moving a shard's
+engine out of process must not change *what* is counted, only where the
+counting happens.  Wall-clock families (busy seconds, phase latencies)
+are excluded via the catalog's ``deterministic`` flag; everything else —
+elements, DT messages, rounds, maturities — must match bit for bit.
+"""
+
+import random
+
+import pytest
+
+from repro import Query, StreamElement
+from repro.obs import Observability
+from repro.obs.aggregate import add_totals, deterministic_totals
+from repro.shard import ShardedRTSSystem
+
+
+def _workload(seed=7, n_queries=24, n_batches=10, batch=64):
+    rnd = random.Random(seed)
+    queries = []
+    for i in range(n_queries):
+        lo = rnd.uniform(0, 80)
+        hi = lo + rnd.uniform(1, 20)
+        queries.append(Query([(lo, hi)], rnd.randrange(20, 400), query_id=f"q{i}"))
+    batches = [
+        [
+            StreamElement(rnd.uniform(0, 100), rnd.randrange(1, 4))
+            for _ in range(batch)
+        ]
+        for _ in range(n_batches)
+    ]
+    return queries, batches
+
+
+def _system(executor, obs):
+    return ShardedRTSSystem(
+        shards=2,
+        engine="dt",
+        policy="spatial-grid",
+        policy_options={"domain": (0, 100)},
+        executor=executor,
+        observability=obs,
+    )
+
+
+def _run(executor):
+    queries, batches = _workload()
+    obs = Observability()
+    events = []
+    with _system(executor, obs) as system:
+        system.register_batch(queries)
+        for elements in batches:
+            events.extend(
+                (e.query.query_id, e.timestamp, e.weight_seen)
+                for e in system.process_batch(elements)
+            )
+    return events, deterministic_totals(obs.metrics)
+
+
+def _run_with_restore(executor):
+    """Same workload, snapshot/restore halfway; totals are summed across
+    the two registries (a restored registry starts from zero)."""
+    queries, batches = _workload()
+    half = len(batches) // 2
+    events = []
+    obs1 = Observability()
+    system = _system(executor, obs1)
+    system.register_batch(queries)
+    for elements in batches[:half]:
+        events.extend(
+            (e.query.query_id, e.timestamp, e.weight_seen)
+            for e in system.process_batch(elements)
+        )
+    snapshot = system.snapshot()  # drains in-flight worker deltas first
+    system.close()
+    obs2 = Observability()
+    with ShardedRTSSystem.restore(
+        snapshot, executor=executor, observability=obs2
+    ) as restored:
+        for elements in batches[half:]:
+            events.extend(
+                (e.query.query_id, e.timestamp, e.weight_seen)
+                for e in restored.process_batch(elements)
+            )
+    return events, add_totals(
+        deterministic_totals(obs1.metrics), deterministic_totals(obs2.metrics)
+    )
+
+
+class TestConservation:
+    def test_serial_and_parallel_totals_identical(self):
+        serial_events, serial_totals = _run("serial")
+        parallel_events, parallel_totals = _run("parallel")
+        assert serial_events == parallel_events
+        assert serial_totals == parallel_totals
+        # The totals must actually witness engine work, not vacuously agree.
+        assert serial_totals["rts_elements_total"] > 0
+        assert serial_totals["rts_dt_messages_total"] > 0
+        assert serial_totals["rts_queries_matured_total"] > 0
+
+    def test_snapshot_restore_preserves_executor_equivalence(self):
+        # Restore rebuilds DT instances, so totals differ from an
+        # uninterrupted run (fresh registrations, new slack rounds) — but
+        # serial and parallel must still agree with each other, and the
+        # emitted events must match the uninterrupted stream exactly.
+        full_events, _full_totals = _run("serial")
+        serial_events, serial_totals = _run_with_restore("serial")
+        parallel_events, parallel_totals = _run_with_restore("parallel")
+        assert serial_events == full_events
+        assert parallel_events == full_events
+        assert serial_totals == parallel_totals
+        assert serial_totals["rts_dt_messages_total"] > 0
+
+    def test_totals_exclude_wall_clock_families(self):
+        _events, totals = _run("serial")
+        assert "rts_shard_worker_busy_seconds" not in totals
+        assert "rts_phase_seconds" not in totals
+        assert "rts_maturity_latency_seconds" not in totals

@@ -148,6 +148,51 @@ class TestPaperRefDocstring:
         )
 
 
+class TestUndeclaredMetric:
+    """The rule AST-parses repro/obs/catalog.py (found via the linted
+    path's ancestors, falling back to cwd/src) — it never imports it."""
+
+    def _hits(self, code, **kwargs):
+        return [v for v in _lint(code, **kwargs) if v.rule == "undeclared-metric"]
+
+    def test_flags_missing_rts_prefix(self):
+        hits = self._hits('def f(reg):\n    reg.counter("events_total").inc()\n')
+        assert len(hits) == 1
+        assert "namespace prefix" in hits[0].message
+
+    def test_flags_name_absent_from_catalog(self):
+        hits = self._hits(
+            'def f(reg):\n    reg.counter("rts_bogus_total").inc()\n'
+        )
+        assert len(hits) == 1
+        assert "not declared" in hits[0].message
+
+    def test_allows_cataloged_names(self):
+        code = (
+            "def f(reg):\n"
+            '    reg.counter("rts_elements_total").inc()\n'
+            '    reg.gauge("rts_alive_queries").set(1)\n'
+            '    reg.histogram("rts_phase_seconds", [1.0])\n'
+        )
+        assert self._hits(code) == []
+
+    def test_allows_dynamic_prefix_names(self):
+        # DYNAMIC_GAUGE_PREFIX covers mirrored engine work counters.
+        code = 'def f(reg):\n    reg.gauge("rts_work_heap_pops").set(2)\n'
+        assert self._hits(code) == []
+
+    def test_skips_non_literal_names(self):
+        code = "def f(reg, name):\n    reg.counter(name).inc()\n"
+        assert self._hits(code) == []
+
+    def test_pragma_suppresses(self):
+        code = (
+            "def f(reg):\n"
+            '    reg.counter("oops")  # rtslint: disable=undeclared-metric\n'
+        )
+        assert self._hits(code) == []
+
+
 class TestPragmas:
     def test_line_pragma_suppresses_named_rule(self):
         code = "def f(heap):\n    return heap._arr  # rtslint: disable=heap-internals\n"

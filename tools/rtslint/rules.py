@@ -186,6 +186,10 @@ _EMIT_HOOKS = {
     "dt_participant_mode",
     "rebuild",
     "logmethod_merge",
+    "span",
+    "new_span",
+    "phase",
+    "shard_worker_batch",
 }
 
 
@@ -273,6 +277,133 @@ def check_unguarded_obs(
                 "unguarded-obs",
                 f"obs hook {func.attr!r} called without an enabled-guard; "
                 "wrap in `if <obs>.enabled:` so the disabled path is free",
+            )
+
+
+# ---------------------------------------------------------------------------
+# undeclared-metric
+# ---------------------------------------------------------------------------
+
+#: Instrument factory methods on a MetricsRegistry.
+_METRIC_FACTORIES = {"counter", "gauge", "histogram"}
+_METRIC_PREFIX = "rts_"
+
+#: Parsed catalog per catalog-file path: (declared names, dynamic
+#: prefixes).  The catalog is AST-parsed, never imported — the linter
+#: stays runnable on trees that don't import.
+_CATALOG_CACHE: Dict[str, Tuple[Set[str], Set[str]]] = {}
+
+
+def _locate_catalog(path: str) -> str:
+    """Find ``repro/obs/catalog.py`` relative to the linted file or cwd."""
+    import pathlib
+
+    candidates = [
+        parent / "repro" / "obs" / "catalog.py"
+        for parent in pathlib.Path(path).resolve().parents
+    ]
+    candidates.append(pathlib.Path.cwd() / "src" / "repro" / "obs" / "catalog.py")
+    for candidate in candidates:
+        if candidate.is_file():
+            return str(candidate)
+    return ""
+
+
+def _catalog_names(catalog_path: str) -> Tuple[Set[str], Set[str]]:
+    """Declared metric names + dynamic-name prefixes from the catalog.
+
+    Names are the first string argument (or ``name=`` keyword) of every
+    ``MetricSpec(...)`` call; prefixes come from string assignments to
+    ``*_PREFIX`` module constants (``DYNAMIC_GAUGE_PREFIX``)."""
+    cached = _CATALOG_CACHE.get(catalog_path)
+    if cached is not None:
+        return cached
+    names: Set[str] = set()
+    prefixes: Set[str] = set()
+    try:
+        with open(catalog_path, encoding="utf-8") as handle:
+            tree = ast.parse(handle.read())
+    except (OSError, SyntaxError):
+        _CATALOG_CACHE[catalog_path] = (names, prefixes)
+        return names, prefixes
+    for node in ast.walk(tree):
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Name)
+            and node.func.id == "MetricSpec"
+        ):
+            name_arg = node.args[0] if node.args else None
+            for kw in node.keywords:
+                if kw.arg == "name":
+                    name_arg = kw.value
+            if isinstance(name_arg, ast.Constant) and isinstance(
+                name_arg.value, str
+            ):
+                names.add(name_arg.value)
+        if isinstance(node, ast.Assign) and isinstance(
+            node.value, ast.Constant
+        ):
+            for target in node.targets:
+                if (
+                    isinstance(target, ast.Name)
+                    and target.id.endswith("_PREFIX")
+                    and isinstance(node.value.value, str)
+                ):
+                    prefixes.add(node.value.value)
+    _CATALOG_CACHE[catalog_path] = (names, prefixes)
+    return names, prefixes
+
+
+@_rule(
+    "undeclared-metric",
+    "literal metric names passed to counter()/gauge()/histogram() must be "
+    "rts_-prefixed and declared in repro/obs/catalog.py",
+)
+def check_undeclared_metric(
+    module: ast.Module, path: str, source: str
+) -> Iterator[LintViolation]:
+    catalog_path = _locate_catalog(path)
+    names: Set[str] = set()
+    prefixes: Set[str] = set()
+    if catalog_path:
+        names, prefixes = _catalog_names(catalog_path)
+    for node in ast.walk(module):
+        if not isinstance(node, ast.Call):
+            continue
+        func = node.func
+        if not (
+            isinstance(func, ast.Attribute) and func.attr in _METRIC_FACTORIES
+        ):
+            continue
+        if not node.args:
+            continue
+        arg = node.args[0]
+        if not (isinstance(arg, ast.Constant) and isinstance(arg.value, str)):
+            continue  # dynamic names (f-strings, variables) are out of scope
+        name = arg.value
+        if not name.startswith(_METRIC_PREFIX):
+            yield LintViolation(
+                path,
+                node.lineno,
+                node.col_offset,
+                "undeclared-metric",
+                f"metric name {name!r} lacks the {_METRIC_PREFIX!r} "
+                "namespace prefix; see repro/obs/catalog.py",
+            )
+        elif (
+            names
+            and name not in names
+            and not any(name.startswith(p) for p in prefixes)
+        ):
+            yield LintViolation(
+                path,
+                node.lineno,
+                node.col_offset,
+                "undeclared-metric",
+                f"metric {name!r} is not declared in the central catalog "
+                "(repro/obs/catalog.py); declare it there so the "
+                "cross-process aggregation layer knows its kind, buckets "
+                "and policies",
             )
 
 
