@@ -24,7 +24,7 @@ from ..obs.observer import NULL_OBS
 from ..streams.element import StreamElement
 from ..structures.heap import AddressableMinHeap
 from .batch import PreparedBatch, prepare_batch
-from .endpoint_tree import EndpointTree
+from .endpoint_tree import EndpointTree, ETNode
 from .engine import Engine, EngineError, WorkCounters
 from .events import MaturityEvent
 from .query import Query
@@ -179,12 +179,14 @@ class TreeInstance:
             self.trackers[query.query_id] = tracker
             items.append((query.rect, tracker.nodes))
         self.tree = EndpointTree(items, 0, dims, counters)
-        heapified = set()
+        # Deduplicate by identity but keep registration order so the
+        # heapify sweep is deterministic (dict preserves insertion).
+        heapified: Dict[int, ETNode] = {}
         for tracker in self.trackers.values():
             tracker.start(counters, heap_factory, obs)
             for node in tracker.nodes:
-                heapified.add(node)
-        for node in heapified:
+                heapified[id(node)] = node
+        for node in heapified.values():
             node.heap.heapify()
         self.built_count = len(self.trackers)
         self.alive = self.built_count

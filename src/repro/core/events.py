@@ -73,7 +73,10 @@ class EventDispatcher:
         self._listeners.remove(callback)
 
     def dispatch(self, event: MaturityEvent) -> None:
-        """Deliver one event to every listener."""
+        """Deliver one event to every listener, in subscription order.
+
+        rtscheck: deterministic-surface
+        """
         for listener in self._listeners:
             listener(event)
 

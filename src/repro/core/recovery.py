@@ -82,6 +82,8 @@ class WriteAheadLog:
         Returns the maturity events the replay produces; on a freshly
         restored snapshot these are exactly the events emitted between the
         checkpoint and the crash.
+
+        rtscheck: deterministic-surface
         """
         events: List[MaturityEvent] = []
         for entry in self._entries:

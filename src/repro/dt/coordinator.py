@@ -42,6 +42,10 @@ FINAL_PHASE_FACTOR = 6
 class Coordinator:
     """The tracking coordinator ``q``.
 
+    Holds a network attachment until :meth:`close`.
+
+    rtscheck: resource
+
     Parameters
     ----------
     h:

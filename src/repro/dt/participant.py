@@ -39,7 +39,12 @@ class ParticipantMode(enum.Enum):
 
 
 class Participant:
-    """One tracking site ``s_i`` with counter ``c_i``."""
+    """One tracking site ``s_i`` with counter ``c_i``.
+
+    Holds a network attachment until :meth:`close`.
+
+    rtscheck: resource
+    """
 
     __slots__ = (
         "index",
@@ -76,6 +81,11 @@ class Participant:
         if delta < 1:
             raise ValueError(f"counter increments must be positive, got {delta}")
         self.c += delta
+        if self.mode is ParticipantMode.IDLE:
+            # No round parameters yet (before the first SLACK after
+            # start or restore): increments accumulate in ``c`` and are
+            # reconciled by the next COLLECT/SLACK exchange.
+            return
         if self.mode is ParticipantMode.FINAL:
             # Forward the whole increment as one weighted message.
             self.cbar = self.c

@@ -112,6 +112,8 @@ class _LinkReceiver:
 class ReliableChannel(Transport):
     """At-most-once in, exactly-once out: the recovery layer.
 
+    rtscheck: resource
+
     Endpoints attach protocol-message handlers exactly as they would on a
     :class:`~repro.dt.network.StarNetwork`; the channel speaks
     :class:`~repro.dt.transport.Packet` frames to the underlying (lossy)

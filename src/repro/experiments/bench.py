@@ -475,7 +475,9 @@ def run_bench(
         "format": BENCH_FORMAT,
         "format_minor": BENCH_FORMAT_MINOR,
         "generated_by": "rts-experiments bench",
-        "workload": workload.meta(),
+        # Reproduction provenance: read by humans regenerating the
+        # bench, not by any rts-bench-v1 consumer in the program.
+        "workload": workload.meta(),  # rtscheck: disable=wire-dead-key
         "batch_sizes": list(batch_sizes),
         "repeats": repeats,
         "engines": {},

@@ -1,3 +1,6 @@
+# rtscheck: disable-file=det-wallclock (per-operation wall timing is
+# this module's purpose; the machine-independent work counters carry the
+# deterministic series)
 """Operation-level instrumentation for experiment runs.
 
 The paper's trace figures (3, 6, 8) plot the *average per-operation cost*

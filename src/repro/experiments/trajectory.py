@@ -116,6 +116,10 @@ def load_trajectory_data(
                 f"{path}: not an rts-bench-v1 payload "
                 f"(format={report.get('format')!r})"
             )
+        if not isinstance(report.get("engines"), dict):
+            raise ValueError(
+                f"{path}: rts-bench-v1 payload lacks an 'engines' table"
+            )
         labelled.append((order, path.stem.replace("BENCH_", ""), report))
     labelled.sort(key=lambda item: (item[0], item[1]))
     data = TrajectoryData(
@@ -457,6 +461,8 @@ def generate_report(
     the failure mode the CI report-smoke job exists to catch (a schema
     drift that silently empties the trajectory would otherwise commit a
     blank report).
+
+    rtscheck: deterministic-surface
     """
     if not bench_paths:
         raise ValueError("no bench baselines matched; nothing to report on")

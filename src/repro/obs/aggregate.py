@@ -212,6 +212,8 @@ def deterministic_totals(registry: MetricsRegistry) -> Dict[str, object]:
     excluded — this is exactly the set over which the serial and
     parallel shard executors must agree bit-for-bit (the conservation
     contract in ``docs/OBSERVABILITY.md``).
+
+    rtscheck: deterministic-surface
     """
     out: Dict[str, object] = {}
     for family in registry.families():

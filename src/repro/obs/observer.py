@@ -1,3 +1,6 @@
+# rtscheck: disable-file=det-wallclock (wall-latency telemetry is this
+# module's purpose; every timed metric is cataloged deterministic=False
+# and excluded from the executor-equivalence totals)
 """The :class:`Observability` facade engines emit into.
 
 One object bundles the three telemetry surfaces of this package — a

@@ -1,3 +1,5 @@
+# rtscheck: disable-file=det-wallclock (phase timing is this module's
+# purpose; rts_phase_seconds is cataloged deterministic=False)
 """Low-overhead phase profiler feeding ``rts_phase_seconds``.
 
 The sharded hot path decomposes into phases — ``route`` (partition the

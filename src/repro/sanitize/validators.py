@@ -398,6 +398,8 @@ def validate_tree_instance(inst: TreeInstance, level: str) -> Iterator[Violation
         )
     for tracker in inst.trackers.values():
         yield from validate_tracker(tracker, level)
+        if tracker.state in (TrackerState.INERT, TrackerState.DONE):
+            continue  # detached states carry no due-signal obligations
         if tracker.state in (TrackerState.ROUND, TrackerState.FINAL):
             collected = tracker.collected_weight()
             if collected >= tracker.tau:

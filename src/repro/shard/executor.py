@@ -154,7 +154,8 @@ class SerialExecutor(ShardExecutor):
         out: Dict[int, ShardOutcome] = {}
         for shard, sl in slices.items():
             system = self.systems[shard]
-            started = time.perf_counter()
+            # Busy-time telemetry (deterministic=False metric family).
+            started = time.perf_counter()  # rtscheck: disable=det-wallclock
             base = system.now
             events = system.process_batch(
                 PreparedBatch.from_arrays(sl.elements, sl.values, sl.weights)
@@ -163,7 +164,7 @@ class SerialExecutor(ShardExecutor):
                 (e.query.query_id, sl.timestamps[e.timestamp - base - 1], e.weight_seen)
                 for e in events
             ]
-            busy = time.perf_counter() - started
+            busy = time.perf_counter() - started  # rtscheck: disable=det-wallclock
             payload = None
             obs = self._observers[shard]
             if obs is not None:

@@ -332,6 +332,13 @@ class ShardedRTSSystem:
         return self._route_and_process(prepared, start)
 
     def _route_and_process(self, prepared, start: int) -> List[MaturityEvent]:
+        """Route one prepared batch, process on all shards, merge events.
+
+        The merged event stream must be bit-identical across executors
+        and shard counts (docs/SHARDING.md).
+
+        rtscheck: deterministic-surface
+        """
         obs_on = self.obs.enabled
         ctx = trace = None
         if obs_on:
@@ -463,7 +470,10 @@ class ShardedRTSSystem:
         return slices
 
     def _merge(self, keys: List[EventKey]) -> List[MaturityEvent]:
-        """Deterministic merge: order by (arrival index, registration seq)."""
+        """Deterministic merge: order by (arrival index, registration seq).
+
+        rtscheck: deterministic-surface
+        """
         keys.sort(key=lambda k: (k[1], self._seq.get(k[0], -1)))
         return [
             MaturityEvent(query=self._queries[qid], timestamp=ts, weight_seen=w)

@@ -65,7 +65,8 @@ def process(
     element is the piggybacked ``rts-metrics-v1`` registry delta plus the
     descend-phase span record (child of the router's ``trace`` context).
     """
-    start = time.perf_counter()
+    # Busy-time telemetry (deterministic=False metric family).
+    start = time.perf_counter()  # rtscheck: disable=det-wallclock
     from ..core.batch import PreparedBatch
 
     try:
@@ -84,7 +85,7 @@ def process(
         (e.query.query_id, timestamps[e.timestamp - base - 1], e.weight_seen)
         for e in events
     ]
-    busy = time.perf_counter() - start
+    busy = time.perf_counter() - start  # rtscheck: disable=det-wallclock
     payload = None
     if _OBS is not None:
         global _PREV

@@ -1,0 +1,139 @@
+"""rtscheck CLI: repo-clean gate, JSON, baselines, pragma validation."""
+
+import json
+import pathlib
+import subprocess
+import sys
+import textwrap
+
+ROOT = pathlib.Path(__file__).resolve().parents[2]
+if str(ROOT) not in sys.path:
+    sys.path.insert(0, str(ROOT))
+
+from tools.rtscheck import RULES, check_paths  # noqa: E402
+
+BAD_POOL = '''
+from concurrent.futures import ProcessPoolExecutor
+
+
+def run(tasks):
+    pool = ProcessPoolExecutor(max_workers=2)
+    return [pool.submit(t).result() for t in tasks]
+'''
+
+
+def _run(*args, cwd=ROOT):
+    return subprocess.run(
+        [sys.executable, "-m", "tools.rtscheck", *args],
+        cwd=cwd,
+        capture_output=True,
+        text=True,
+    )
+
+
+class TestRepoGate:
+    def test_repo_src_is_clean(self):
+        proc = _run("src/")
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+
+    def test_check_paths_on_repo_src_is_clean(self):
+        assert check_paths([str(ROOT / "src")]) == []
+
+
+class TestCli:
+    def test_json_output_and_nonzero_exit(self, tmp_path):
+        bad = tmp_path / "runner.py"
+        bad.write_text(textwrap.dedent(BAD_POOL))
+        proc = _run("--json", str(bad))
+        assert proc.returncode == 1
+        payload = json.loads(proc.stdout)
+        assert payload[0]["rule"] == "lc-unclosed-resource"
+        assert payload[0]["line"] == 6
+
+    def test_list_rules_covers_all_analyses(self):
+        proc = _run("--list-rules")
+        assert proc.returncode == 0
+        for name in RULES:
+            assert name in proc.stdout
+        for prefix in ("det-", "proto-", "wire-", "lc-"):
+            assert prefix in proc.stdout
+
+    def test_select_restricts_rules(self, tmp_path):
+        bad = tmp_path / "runner.py"
+        bad.write_text(textwrap.dedent(BAD_POOL))
+        proc = _run("--select", "wire-dead-key", str(bad))
+        assert proc.returncode == 0
+
+    def test_unknown_select_is_rejected(self, tmp_path):
+        bad = tmp_path / "runner.py"
+        bad.write_text("x = 1\n")
+        try:
+            check_paths([str(bad)], select=["bogus"])
+        except ValueError as exc:
+            assert "unknown rule" in str(exc)
+        else:
+            raise AssertionError("expected ValueError")
+
+
+class TestBaseline:
+    def test_write_then_compare_grandfathers_findings(self, tmp_path):
+        bad = tmp_path / "runner.py"
+        bad.write_text(textwrap.dedent(BAD_POOL))
+        baseline = tmp_path / "baseline.json"
+
+        proc = _run(str(bad), "--write-baseline", str(baseline))
+        assert proc.returncode == 0
+        payload = json.loads(baseline.read_text())
+        assert payload["tool"] == "rtscheck"
+        assert len(payload["findings"]) == 1
+
+        proc = _run(str(bad), "--baseline", str(baseline))
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+
+    def test_new_finding_beyond_baseline_fails(self, tmp_path):
+        bad = tmp_path / "runner.py"
+        bad.write_text(textwrap.dedent(BAD_POOL))
+        baseline = tmp_path / "baseline.json"
+        _run(str(bad), "--write-baseline", str(baseline))
+
+        bad.write_text(
+            textwrap.dedent(BAD_POOL)
+            + textwrap.dedent(
+                '''
+def run2(tasks):
+    pool = ProcessPoolExecutor(max_workers=4)
+    return [pool.submit(t).result() for t in tasks]
+'''
+            )
+        )
+        proc = _run(str(bad), "--baseline", str(baseline))
+        assert proc.returncode == 1
+        assert "run2" in bad.read_text()
+        assert "lc-unclosed-resource" in proc.stdout
+
+    def test_wrong_tool_baseline_is_rejected(self, tmp_path):
+        bad = tmp_path / "runner.py"
+        bad.write_text("x = 1\n")
+        baseline = tmp_path / "baseline.json"
+        baseline.write_text(
+            json.dumps({"tool": "rtslint", "version": 1, "findings": []})
+        )
+        proc = _run(str(bad), "--baseline", str(baseline))
+        assert proc.returncode == 2
+        assert "baseline" in proc.stderr
+
+
+class TestPragmaValidation:
+    def test_unknown_pragma_rule_exits_nonzero(self, tmp_path):
+        source = tmp_path / "mod.py"
+        source.write_text("x = 1  # rtscheck: disable=det-wallclok\n")
+        proc = _run(str(source))
+        assert proc.returncode == 1
+        assert "unknown-pragma" in proc.stdout
+        assert "det-wallclok" in proc.stdout
+
+    def test_known_pragma_is_silent(self, tmp_path):
+        source = tmp_path / "mod.py"
+        source.write_text("x = 1  # rtscheck: disable=det-wallclock\n")
+        proc = _run(str(source))
+        assert proc.returncode == 0

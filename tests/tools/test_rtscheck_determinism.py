@@ -1,0 +1,231 @@
+"""Determinism analysis: seeded violations, exemptions, reachability."""
+
+import pathlib
+import sys
+import textwrap
+
+ROOT = pathlib.Path(__file__).resolve().parents[2]
+if str(ROOT) not in sys.path:
+    sys.path.insert(0, str(ROOT))
+
+from tools.rtscheck import check_paths  # noqa: E402
+
+MARKED = '''
+def merge(keys):
+    """Order events.
+
+    rtscheck: deterministic-surface
+    """
+    return collect(keys)
+'''
+
+
+def _check(tmp_path, files, select=()):
+    for name, content in files.items():
+        (tmp_path / name).write_text(textwrap.dedent(content))
+    return check_paths([str(tmp_path)], select=select)
+
+
+class TestSetIter:
+    def test_seeded_set_iteration_feeding_merge_is_the_only_finding(
+        self, tmp_path
+    ):
+        findings = _check(
+            tmp_path,
+            {
+                "pipeline.py": MARKED
+                + '''
+def collect(keys):
+    pending = set(keys)
+    out = []
+    for k in pending:
+        out.append(k)
+    return out
+'''
+            },
+        )
+        assert len(findings) == 1
+        finding = findings[0]
+        assert finding.rule == "det-set-iter"
+        assert finding.line == 12  # the for statement's iterable
+        assert "reachable from pipeline.merge" in finding.message
+
+    def test_sorted_wrapping_is_exempt(self, tmp_path):
+        findings = _check(
+            tmp_path,
+            {
+                "pipeline.py": MARKED
+                + '''
+def collect(keys):
+    out = []
+    for k in sorted(set(keys)):
+        out.append(k)
+    return sum(x for x in {1, 2, 3})
+'''
+            },
+        )
+        assert findings == []
+
+    def test_set_literal_and_union_locals_are_tracked(self, tmp_path):
+        findings = _check(
+            tmp_path,
+            {
+                "pipeline.py": MARKED
+                + '''
+def collect(keys):
+    a = {1, 2}
+    b = a | set(keys)
+    return [x for x in b]
+'''
+            },
+        )
+        assert [f.rule for f in findings] == ["det-set-iter"]
+
+    def test_unreachable_functions_are_not_flagged(self, tmp_path):
+        findings = _check(
+            tmp_path,
+            {
+                "pipeline.py": MARKED
+                + '''
+def collect(keys):
+    return list(keys)
+
+def unrelated(keys):
+    for k in set(keys):
+        print(k)
+'''
+            },
+        )
+        assert findings == []
+
+
+class TestOtherSources:
+    def test_id_in_sort_key(self, tmp_path):
+        findings = _check(
+            tmp_path,
+            {
+                "pipeline.py": MARKED
+                + '''
+def collect(keys):
+    return sorted(keys, key=lambda k: id(k))
+'''
+            },
+        )
+        assert [f.rule for f in findings] == ["det-id-order"]
+
+    def test_id_as_plain_dict_key_is_fine(self, tmp_path):
+        findings = _check(
+            tmp_path,
+            {
+                "pipeline.py": MARKED
+                + '''
+def collect(keys):
+    seen = {}
+    for k in keys:
+        seen[id(k)] = k
+    return list(seen.values())
+'''
+            },
+        )
+        assert findings == []
+
+    def test_unseeded_random_and_wallclock_and_env(self, tmp_path):
+        findings = _check(
+            tmp_path,
+            {
+                "pipeline.py": '''
+import os
+import random
+import time
+'''
+                + MARKED
+                + '''
+def collect(keys):
+    random.shuffle(keys)
+    t = time.perf_counter()
+    flag = os.getenv("RTS_FLAG")
+    return keys, t, flag
+'''
+            },
+        )
+        assert [f.rule for f in findings] == [
+            "det-unseeded-random",
+            "det-wallclock",
+            "det-env",
+        ]
+
+    def test_seeded_random_instance_is_fine(self, tmp_path):
+        findings = _check(
+            tmp_path,
+            {
+                "pipeline.py": '''
+import random
+'''
+                + MARKED
+                + '''
+def collect(keys):
+    rng = random.Random(7)
+    rng.shuffle(keys)
+    return keys
+'''
+            },
+        )
+        assert findings == []
+
+    def test_as_completed_consumption(self, tmp_path):
+        findings = _check(
+            tmp_path,
+            {
+                "pipeline.py": '''
+from concurrent.futures import as_completed
+'''
+                + MARKED
+                + '''
+def collect(futures):
+    return [f.result() for f in as_completed(futures)]
+'''
+            },
+        )
+        assert [f.rule for f in findings] == ["det-completion-order"]
+
+
+class TestPragmas:
+    def test_line_pragma_suppresses(self, tmp_path):
+        findings = _check(
+            tmp_path,
+            {
+                "pipeline.py": '''
+import time
+'''
+                + MARKED
+                + '''
+def collect(keys):
+    t = time.perf_counter()  # rtscheck: disable=det-wallclock
+    return keys, t
+'''
+            },
+        )
+        assert findings == []
+
+    def test_reachability_crosses_modules(self, tmp_path):
+        findings = _check(
+            tmp_path,
+            {
+                "root.py": '''
+from helper import collect
+
+def merge(keys):
+    """Order events.
+
+    rtscheck: deterministic-surface
+    """
+    return collect(keys)
+''',
+                "helper.py": '''
+def collect(keys):
+    return tuple(set(keys))
+''',
+            },
+        )
+        assert [f.rule for f in findings] == ["det-set-iter"]
+        assert findings[0].path.endswith("helper.py")

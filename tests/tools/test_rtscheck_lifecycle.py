@@ -1,0 +1,197 @@
+"""Lifecycle analysis: pools/channels/handles must reach teardown."""
+
+import pathlib
+import sys
+import textwrap
+
+ROOT = pathlib.Path(__file__).resolve().parents[2]
+if str(ROOT) not in sys.path:
+    sys.path.insert(0, str(ROOT))
+
+from tools.rtscheck import check_paths  # noqa: E402
+
+
+def _check(tmp_path, files, select=()):
+    for name, content in files.items():
+        (tmp_path / name).write_text(textwrap.dedent(content))
+    return check_paths([str(tmp_path)], select=select)
+
+
+class TestUnclosedPool:
+    def test_seeded_unclosed_pool_is_the_only_finding(self, tmp_path):
+        findings = _check(
+            tmp_path,
+            {
+                "runner.py": '''
+from concurrent.futures import ProcessPoolExecutor
+
+
+def run(tasks):
+    pool = ProcessPoolExecutor(max_workers=2)
+    return [pool.submit(t).result() for t in tasks]
+''',
+            },
+        )
+        assert len(findings) == 1
+        finding = findings[0]
+        assert finding.rule == "lc-unclosed-resource"
+        assert "ProcessPoolExecutor" in finding.message
+        assert finding.line == 6
+
+    def test_shutdown_call_satisfies(self, tmp_path):
+        findings = _check(
+            tmp_path,
+            {
+                "runner.py": '''
+from concurrent.futures import ProcessPoolExecutor
+
+
+def run(tasks):
+    pool = ProcessPoolExecutor(max_workers=2)
+    try:
+        return [pool.submit(t).result() for t in tasks]
+    finally:
+        pool.shutdown()
+''',
+            },
+        )
+        assert findings == []
+
+    def test_with_block_satisfies(self, tmp_path):
+        findings = _check(
+            tmp_path,
+            {
+                "runner.py": '''
+from concurrent.futures import ProcessPoolExecutor
+
+
+def run(tasks):
+    with ProcessPoolExecutor(max_workers=2) as pool:
+        return [pool.submit(t).result() for t in tasks]
+''',
+            },
+        )
+        assert findings == []
+
+    def test_ownership_transfer_out_satisfies(self, tmp_path):
+        findings = _check(
+            tmp_path,
+            {
+                "runner.py": '''
+from concurrent.futures import ProcessPoolExecutor
+
+
+def build():
+    pool = ProcessPoolExecutor(max_workers=1)
+    return pool
+''',
+            },
+        )
+        assert findings == []
+
+
+class TestMarkedResources:
+    CHANNEL = '''
+class Channel:
+    """A link.
+
+    rtscheck: resource
+    """
+
+    def close(self):
+        pass
+'''
+
+    def test_marked_class_requires_close(self, tmp_path):
+        findings = _check(
+            tmp_path,
+            {
+                "chan.py": self.CHANNEL,
+                "use.py": '''
+from chan import Channel
+
+
+def leak():
+    ch = Channel()
+    ch.send = None
+''',
+            },
+        )
+        assert [f.rule for f in findings] == ["lc-unclosed-resource"]
+
+    def test_loop_close_over_collected_resources(self, tmp_path):
+        findings = _check(
+            tmp_path,
+            {
+                "chan.py": self.CHANNEL,
+                "use.py": '''
+from chan import Channel
+
+
+def run(h):
+    channels = [Channel() for _ in range(h)]
+    try:
+        return len(channels)
+    finally:
+        for ch in channels:
+            ch.close()
+''',
+            },
+        )
+        assert findings == []
+
+
+class TestClassTeardown:
+    def test_storing_pool_without_teardown_method(self, tmp_path):
+        findings = _check(
+            tmp_path,
+            {
+                "owner.py": '''
+from concurrent.futures import ProcessPoolExecutor
+
+
+class Runner:
+    def start(self):
+        self.pool = ProcessPoolExecutor(max_workers=1)
+''',
+            },
+        )
+        assert [f.rule for f in findings] == ["lc-missing-teardown"]
+        assert "Runner" in findings[0].message
+
+    def test_teardown_method_satisfies(self, tmp_path):
+        findings = _check(
+            tmp_path,
+            {
+                "owner.py": '''
+from concurrent.futures import ProcessPoolExecutor
+
+
+class Runner:
+    def start(self):
+        self.pool = ProcessPoolExecutor(max_workers=1)
+
+    def close(self):
+        self.pool.shutdown()
+''',
+            },
+        )
+        assert findings == []
+
+    def test_append_into_attribute_list_checks_class(self, tmp_path):
+        findings = _check(
+            tmp_path,
+            {
+                "owner.py": '''
+from concurrent.futures import ProcessPoolExecutor
+
+
+class Sharded:
+    def start(self, n):
+        self._pools = []
+        for _ in range(n):
+            self._pools.append(ProcessPoolExecutor(max_workers=1))
+''',
+            },
+        )
+        assert [f.rule for f in findings] == ["lc-missing-teardown"]

@@ -1,0 +1,159 @@
+"""Wire-format analysis: key agreement, orphans, version skew."""
+
+import pathlib
+import sys
+import textwrap
+
+ROOT = pathlib.Path(__file__).resolve().parents[2]
+if str(ROOT) not in sys.path:
+    sys.path.insert(0, str(ROOT))
+
+from tools.rtscheck import check_paths  # noqa: E402
+
+
+def _check(tmp_path, files, select=()):
+    for name, content in files.items():
+        (tmp_path / name).write_text(textwrap.dedent(content))
+    return check_paths([str(tmp_path)], select=select)
+
+
+ROUND_TRIP = '''
+FORMAT = "rts-demo-v1"
+
+
+def to_obj(system):
+    return {
+        "format": FORMAT,
+        "clock": system.clock,
+        "alive": system.alive,
+    }
+
+
+def from_obj(obj):
+    if obj.get("format") != FORMAT:
+        raise ValueError(obj)
+    return (obj["clock"], obj["alive"])
+'''
+
+
+class TestKeyAgreement:
+    def test_clean_round_trip(self, tmp_path):
+        assert _check(tmp_path, {"serialize.py": ROUND_TRIP}) == []
+
+    def test_seeded_reader_writer_key_mismatch_is_the_only_finding(
+        self, tmp_path
+    ):
+        source = ROUND_TRIP.replace(
+            '"clock": system.clock,', '"tick": system.clock,'
+        )
+        findings = _check(tmp_path, {"serialize.py": source})
+        rules = sorted(f.rule for f in findings)
+        assert rules == ["wire-dead-key", "wire-missing-key"]
+        missing = [f for f in findings if f.rule == "wire-missing-key"][0]
+        assert "'clock'" in missing.message
+        assert "rts-demo-v1" in missing.message
+        dead = [f for f in findings if f.rule == "wire-dead-key"][0]
+        assert "'tick'" in dead.message
+
+    def test_optional_get_reads_count(self, tmp_path):
+        source = ROUND_TRIP.replace(
+            'return (obj["clock"], obj["alive"])',
+            'return (obj["clock"], obj.get("alive"))',
+        )
+        assert _check(tmp_path, {"serialize.py": source}) == []
+
+    def test_constants_resolve_across_modules(self, tmp_path):
+        findings = _check(
+            tmp_path,
+            {
+                "formats.py": 'WAL_FORMAT = "rts-wal-v1"\n',
+                "writer.py": '''
+from formats import WAL_FORMAT
+
+
+def to_obj(entries):
+    return {"format": WAL_FORMAT, "entries": list(entries)}
+''',
+                "reader.py": '''
+from formats import WAL_FORMAT
+
+
+def from_obj(obj):
+    if obj["format"] != WAL_FORMAT:
+        raise ValueError(obj)
+    return obj["entries"]
+''',
+            },
+        )
+        assert findings == []
+
+    def test_checker_call_propagates_one_level(self, tmp_path):
+        findings = _check(
+            tmp_path,
+            {
+                "agg.py": '''
+FORMAT = "rts-metrics-v1"
+
+
+def _check_format(payload, kind):
+    if payload.get("format") != FORMAT:
+        raise ValueError(kind)
+
+
+def registry_snapshot(reg):
+    return {"format": FORMAT, "families": dict(reg)}
+
+
+def merge_into(reg, payload):
+    _check_format(payload, "snapshot")
+    for name, family in payload["families"].items():
+        reg[name] = family
+''',
+            },
+        )
+        assert findings == []
+
+
+class TestOrphansAndVersions:
+    def test_written_never_read(self, tmp_path):
+        findings = _check(
+            tmp_path,
+            {
+                "w.py": '''
+def to_obj(x):
+    return {"format": "rts-ghost-v1", "x": x}
+''',
+            },
+        )
+        assert [f.rule for f in findings] == ["wire-orphan-format"]
+        assert "never read" in findings[0].message
+
+    def test_version_skew_between_writer_and_reader(self, tmp_path):
+        findings = _check(
+            tmp_path,
+            {
+                "w.py": '''
+def to_obj(x):
+    return {"format": "rts-demo-v2", "x": x}
+
+
+def from_obj(obj):
+    if obj.get("format") != "rts-demo-v1":
+        raise ValueError(obj)
+    return obj["x"]
+''',
+            },
+        )
+        rules = {f.rule for f in findings}
+        assert "wire-version-mismatch" in rules
+        skew = [f for f in findings if f.rule == "wire-version-mismatch"][0]
+        assert "rts-demo-v1" in skew.message
+        assert "rts-demo-v2" in skew.message
+
+    def test_pragma_suppresses_dead_provenance_key(self, tmp_path):
+        source = ROUND_TRIP.replace(
+            '"alive": system.alive,',
+            '"host": system.host,  # rtscheck: disable=wire-dead-key\n'
+            '        "alive": system.alive,',
+        )
+        assert _check(tmp_path, {"serialize.py": source}) == []

@@ -265,3 +265,138 @@ class TestCli:
 
 def test_lint_paths_on_repo_src_is_clean():
     assert lint_paths([str(ROOT / "src")]) == []
+
+
+def test_repo_tools_and_scripts_are_clean():
+    """Satellite coverage: the linter's own code and scripts/ pass it."""
+    assert lint_paths([str(ROOT / "tools"), str(ROOT / "scripts")]) == []
+
+
+class TestPragmaEdgeCases:
+    def test_file_pragma_combined_with_line_pragma(self):
+        code = (
+            "# rtslint: disable-file=paper-ref-docstring\n"
+            "def f(heap):\n"
+            "    return heap._arr  # rtslint: disable=heap-internals\n"
+        )
+        assert _lint(code) == []
+
+    def test_file_pragma_does_not_absorb_other_line_rules(self):
+        code = (
+            "# rtslint: disable-file=paper-ref-docstring\n"
+            "def f(heap):\n"
+            "    return heap._arr\n"
+        )
+        assert _rules_hit(code) == {"heap-internals"}
+
+    def test_pragma_on_continuation_line_covers_the_statement(self):
+        code = (
+            "def f(heap, entry):\n"
+            "    heap._arr.insert(\n"
+            "        0,\n"
+            "        entry,\n"
+            "    )  # rtslint: disable=heap-internals\n"
+        )
+        assert "heap-internals" not in _rules_hit(code)
+
+    def test_pragma_on_statement_head_covers_wrapped_lines(self):
+        code = (
+            "def f(heap, entry):\n"
+            "    heap._arr.insert(  # rtslint: disable=heap-internals\n"
+            "        0,\n"
+            "        entry,\n"
+            "    )\n"
+        )
+        assert "heap-internals" not in _rules_hit(code)
+
+    def test_pragma_inside_function_does_not_blanket_the_body(self):
+        code = (
+            "def f(heap):  # rtslint: disable=heap-internals\n"
+            "    x = 1\n"
+            "    return heap._arr\n"
+        )
+        assert "heap-internals" in _rules_hit(code)
+
+    def test_unknown_rule_name_in_pragma_is_a_violation(self):
+        code = "x = 1  # rtslint: disable=heap-internal\n"
+        violations = _lint(code)
+        assert [v.rule for v in violations] == ["unknown-pragma"]
+        assert "heap-internal" in violations[0].message
+
+    def test_unknown_rule_in_file_pragma_is_a_violation(self):
+        code = "# rtslint: disable-file=bogus-rule\nx = 1\n"
+        assert "unknown-pragma" in _rules_hit(code)
+
+    def test_unknown_pragma_reported_even_under_select(self):
+        code = "x = 1  # rtslint: disable=bogus\n"
+        violations = _lint(code, select=["float-eq"])
+        assert [v.rule for v in violations] == ["unknown-pragma"]
+
+
+class TestCliPragmaExit:
+    def _run(self, *args):
+        return subprocess.run(
+            [sys.executable, "-m", "tools.rtslint", *args],
+            cwd=ROOT,
+            capture_output=True,
+            text=True,
+        )
+
+    def test_unknown_pragma_rule_exits_nonzero(self, tmp_path):
+        bad = tmp_path / "mod.py"
+        bad.write_text("x = 1  # rtslint: disable=no-such-rule\n")
+        proc = self._run(str(bad))
+        assert proc.returncode == 1
+        assert "unknown-pragma" in proc.stdout
+
+
+class TestBaseline:
+    def _run(self, *args):
+        return subprocess.run(
+            [sys.executable, "-m", "tools.rtslint", *args],
+            cwd=ROOT,
+            capture_output=True,
+            text=True,
+        )
+
+    def test_write_then_compare_grandfathers_findings(self, tmp_path):
+        bad = tmp_path / "bad.py"
+        bad.write_text("def f(a=[]):\n    pass\n")
+        baseline = tmp_path / "baseline.json"
+
+        proc = self._run(str(bad), "--write-baseline", str(baseline))
+        assert proc.returncode == 0
+        payload = json.loads(baseline.read_text())
+        assert payload["tool"] == "rtslint"
+        assert payload["version"] == 1
+
+        proc = self._run(str(bad), "--baseline", str(baseline))
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+
+    def test_new_instance_of_grandfathered_rule_still_fails(self, tmp_path):
+        bad = tmp_path / "bad.py"
+        bad.write_text("def f(a=[]):\n    pass\n")
+        baseline = tmp_path / "baseline.json"
+        self._run(str(bad), "--write-baseline", str(baseline))
+
+        bad.write_text(
+            "def f(a=[]):\n    pass\n\ndef g(b={}):\n    pass\n"
+        )
+        proc = self._run(str(bad), "--baseline", str(baseline))
+        assert proc.returncode == 1
+
+    def test_unknown_pragma_is_never_absorbed_by_baseline(self, tmp_path):
+        bad = tmp_path / "bad.py"
+        bad.write_text("x = 1  # rtslint: disable=bogus\n")
+        baseline = tmp_path / "baseline.json"
+        self._run(str(bad), "--write-baseline", str(baseline))
+
+        proc = self._run(str(bad), "--baseline", str(baseline))
+        assert proc.returncode == 1
+        assert "unknown-pragma" in proc.stdout
+
+    def test_missing_baseline_file_exits_two(self, tmp_path):
+        bad = tmp_path / "bad.py"
+        bad.write_text("x = 1\n")
+        proc = self._run(str(bad), "--baseline", str(tmp_path / "nope.json"))
+        assert proc.returncode == 2

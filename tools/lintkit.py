@@ -1,0 +1,269 @@
+"""Shared infrastructure of the project's static-analysis tools.
+
+Both ``tools/rtslint`` (single-file AST rules) and ``tools/rtscheck``
+(whole-program analyses) speak the same suppression and baseline
+protocol; this module is the one implementation of it:
+
+* **pragmas** — ``# <tool>: disable=rule[,rule]`` on (or inside) the
+  offending statement, ``# <tool>: disable-file=rule`` within the first
+  ten lines of the file.  A line pragma placed on any physical line of a
+  multi-line statement suppresses findings anywhere in that statement
+  (continuation-line pragmas), matching how violations on wrapped calls
+  are reported at the statement head.
+* **pragma validation** — a pragma naming a rule the tool does not know
+  is itself an error (rule ``unknown-pragma``), so a typo cannot
+  silently disable nothing.
+* **baselines** — a JSON file of finding fingerprints; comparing against
+  it lets a new rule land with grandfathered findings instead of
+  all-or-nothing.  Fingerprints deliberately exclude line numbers so
+  unrelated edits do not invalidate the baseline.
+
+Everything here is pure text/AST work — nothing imports the analyzed
+code.
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+import pathlib
+import re
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Sequence, Set, Tuple
+
+#: How many leading lines may carry a ``disable-file`` pragma.
+FILE_PRAGMA_WINDOW = 10
+
+#: Reserved rule name reported for pragmas naming unknown rules; it can
+#: never itself be disabled.
+UNKNOWN_PRAGMA_RULE = "unknown-pragma"
+
+#: Baseline payload version (bump on incompatible fingerprint changes).
+BASELINE_VERSION = 1
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One analysis hit, pointing at a source location.
+
+    The shared shape of rtslint violations and rtscheck findings: both
+    tools render, serialize, and baseline through this interface.
+    """
+
+    path: str
+    line: int
+    col: int
+    rule: str
+    message: str
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: [{self.rule}] {self.message}"
+
+    def to_json(self) -> Dict[str, object]:
+        return {
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "rule": self.rule,
+            "message": self.message,
+        }
+
+    def fingerprint(self) -> str:
+        """Line-independent identity used by baseline comparison."""
+        return f"{self.path}::{self.rule}::{self.message}"
+
+
+@dataclass
+class Pragmas:
+    """Parsed suppressions of one source file (see :func:`parse_pragmas`)."""
+
+    #: line -> rule names disabled by a pragma on that physical line.
+    line_disables: Dict[int, Set[str]] = field(default_factory=dict)
+    #: rules disabled for the whole file.
+    file_disables: Set[str] = field(default_factory=set)
+    #: every (line, rule-name) a pragma mentioned, for validation.
+    mentions: List[Tuple[int, str]] = field(default_factory=list)
+    #: line -> (start, end) of the statement spanning it (1-based,
+    #: inclusive); lines outside any simple statement map to themselves.
+    spans: Dict[int, Tuple[int, int]] = field(default_factory=dict)
+
+    def disabled_at(self, line: int) -> Set[str]:
+        """Rules suppressed for a finding reported at ``line``.
+
+        Union of the file pragmas, the pragma on the line itself, and
+        pragmas on any line of the statement spanning ``line``.
+        """
+        out = set(self.file_disables)
+        start, end = self.spans.get(line, (line, line))
+        for pragma_line in range(start, end + 1):
+            out.update(self.line_disables.get(pragma_line, ()))
+        return out
+
+
+def _statement_spans(tree: ast.AST) -> List[Tuple[int, int]]:
+    """(start, end) line ranges of simple statements and compound headers.
+
+    Simple statements span their full source extent (so a pragma on the
+    closing-paren line of a wrapped call still applies); compound
+    statements contribute only their header lines, never their bodies —
+    a pragma inside a function must not blanket the whole function.
+    """
+    spans: List[Tuple[int, int]] = []
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.stmt):
+            continue
+        body = getattr(node, "body", None)
+        if body and isinstance(body, list) and isinstance(body[0], ast.stmt):
+            header_end = max(node.lineno, body[0].lineno - 1)
+            spans.append((node.lineno, header_end))
+        else:
+            spans.append((node.lineno, getattr(node, "end_lineno", node.lineno)))
+    return spans
+
+
+def parse_pragmas(source: str, tool: str, tree: ast.AST = None) -> Pragmas:
+    """Extract ``tool``'s suppressions from ``source``.
+
+    ``tree`` (optional, parsed from the same source) enables the
+    continuation-line behaviour: without it pragmas apply only to their
+    own physical line.
+    """
+    line_re = re.compile(rf"#\s*{re.escape(tool)}:\s*disable=([\w,\-]+)")
+    file_re = re.compile(rf"#\s*{re.escape(tool)}:\s*disable-file=([\w,\-]+)")
+    pragmas = Pragmas()
+    for lineno, line in enumerate(source.splitlines(), start=1):
+        m = line_re.search(line)
+        if m:
+            names = set(m.group(1).split(","))
+            pragmas.line_disables[lineno] = names
+            pragmas.mentions.extend((lineno, n) for n in names)
+        if lineno <= FILE_PRAGMA_WINDOW:
+            m = file_re.search(line)
+            if m:
+                names = set(m.group(1).split(","))
+                pragmas.file_disables.update(names)
+                pragmas.mentions.extend((lineno, n) for n in names)
+    if tree is not None:
+        for start, end in _statement_spans(tree):
+            if end <= start:
+                continue
+            for line in range(start, end + 1):
+                known = pragmas.spans.get(line)
+                # Prefer the tightest span covering the line.
+                if known is None or (end - start) < (known[1] - known[0]):
+                    pragmas.spans[line] = (start, end)
+    return pragmas
+
+
+def validate_pragmas(
+    pragmas: Pragmas, known_rules: Iterable[str], path: str
+) -> List[Finding]:
+    """One :data:`UNKNOWN_PRAGMA_RULE` finding per unknown pragma name."""
+    known = set(known_rules) | {"all"}
+    out: List[Finding] = []
+    for line, name in pragmas.mentions:
+        if name not in known:
+            out.append(
+                Finding(
+                    path=path,
+                    line=line,
+                    col=0,
+                    rule=UNKNOWN_PRAGMA_RULE,
+                    message=(
+                        f"pragma names unknown rule {name!r}; it disables "
+                        "nothing (check --list-rules for valid names)"
+                    ),
+                )
+            )
+    return out
+
+
+def iter_python_files(paths: Iterable[str]) -> List[pathlib.Path]:
+    """Expand files/directories into a sorted list of ``.py`` files."""
+    out: List[pathlib.Path] = []
+    for raw in paths:
+        p = pathlib.Path(raw)
+        if p.is_dir():
+            out.extend(sorted(p.rglob("*.py")))
+        else:
+            out.append(p)
+    return out
+
+
+# -- baselines ---------------------------------------------------------------
+
+
+def baseline_obj(findings: Sequence[Finding], tool: str) -> Dict[str, object]:
+    """The JSON payload of a baseline file (sorted, line-free)."""
+    counts: Dict[str, int] = {}
+    for finding in findings:
+        fp = finding.fingerprint()
+        counts[fp] = counts.get(fp, 0) + 1
+    return {
+        "tool": tool,
+        "version": BASELINE_VERSION,
+        "findings": [
+            {"fingerprint": fp, "count": counts[fp]} for fp in sorted(counts)
+        ],
+    }
+
+
+def write_baseline(path: str, findings: Sequence[Finding], tool: str) -> None:
+    """Persist the current findings as ``path`` (grandfathering them)."""
+    payload = baseline_obj(findings, tool)
+    pathlib.Path(path).write_text(json.dumps(payload, indent=2) + "\n")
+
+
+def load_baseline(path: str, tool: str) -> Dict[str, int]:
+    """Read a baseline back as ``{fingerprint: count}``."""
+    obj = json.loads(pathlib.Path(path).read_text())
+    if obj.get("tool") != tool:
+        raise ValueError(
+            f"{path}: baseline belongs to tool {obj.get('tool')!r}, not {tool!r}"
+        )
+    if obj.get("version") != BASELINE_VERSION:
+        raise ValueError(
+            f"{path}: baseline version {obj.get('version')!r} != "
+            f"{BASELINE_VERSION} (regenerate with --write-baseline)"
+        )
+    return {rec["fingerprint"]: int(rec["count"]) for rec in obj["findings"]}
+
+
+def new_findings(
+    findings: Sequence[Finding], baseline: Dict[str, int]
+) -> List[Finding]:
+    """Findings not covered by the baseline (multiset subtraction).
+
+    A fingerprint appearing N times in the baseline absorbs up to N
+    current findings; the N+1-th (a *new* instance of a grandfathered
+    problem) is reported.  :data:`UNKNOWN_PRAGMA_RULE` findings are never
+    absorbed — a baseline must not grandfather broken suppressions.
+    """
+    budget = dict(baseline)
+    out: List[Finding] = []
+    for finding in findings:
+        if finding.rule == UNKNOWN_PRAGMA_RULE:
+            out.append(finding)
+            continue
+        fp = finding.fingerprint()
+        if budget.get(fp, 0) > 0:
+            budget[fp] -= 1
+        else:
+            out.append(finding)
+    return out
+
+
+__all__ = [
+    "BASELINE_VERSION",
+    "FILE_PRAGMA_WINDOW",
+    "Finding",
+    "Pragmas",
+    "UNKNOWN_PRAGMA_RULE",
+    "baseline_obj",
+    "iter_python_files",
+    "load_baseline",
+    "new_findings",
+    "parse_pragmas",
+    "validate_pragmas",
+    "write_baseline",
+]

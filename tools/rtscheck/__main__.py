@@ -1,0 +1,93 @@
+"""CLI: ``python -m tools.rtscheck src/ [--json] [--baseline PATH]``.
+
+Flags mirror ``python -m tools.rtslint`` exactly — same pragma syntax,
+same JSON annotation shape, same baseline protocol (``tools/lintkit.py``):
+
+    python -m tools.rtscheck src/ --write-baseline rtscheck-baseline.json
+    python -m tools.rtscheck src/ --baseline rtscheck-baseline.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional
+
+from ..lintkit import load_baseline, new_findings, write_baseline
+from . import RULES, TOOL, check_paths
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="rtscheck",
+        description="Whole-program static analysis for the RTS codebase "
+        "(rule catalogue in docs/CORRECTNESS.md).",
+    )
+    parser.add_argument(
+        "paths", nargs="*", help="files or directories to analyze"
+    )
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="emit findings as a JSON array (CI annotation format)",
+    )
+    parser.add_argument(
+        "--select",
+        default="",
+        help="comma-separated rule names to report (default: all)",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule catalogue and exit",
+    )
+    parser.add_argument(
+        "--baseline",
+        metavar="PATH",
+        help="compare against a JSON baseline; only new findings fail",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        metavar="PATH",
+        help="write the current findings as a baseline and exit zero",
+    )
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for name in sorted(RULES):
+            print(f"{name}: {RULES[name]}")
+        return 0
+    if not args.paths:
+        parser.error("no paths given (try: python -m tools.rtscheck src/)")
+
+    select = [s for s in args.select.split(",") if s]
+    findings = check_paths(args.paths, select=select)
+
+    if args.write_baseline:
+        write_baseline(args.write_baseline, findings, TOOL)
+        print(
+            f"wrote {len(findings)} finding(s) to {args.write_baseline}",
+            file=sys.stderr,
+        )
+        return 0
+    if args.baseline:
+        try:
+            baseline = load_baseline(args.baseline, TOOL)
+        except (OSError, ValueError, KeyError) as exc:
+            print(f"rtscheck: bad baseline: {exc}", file=sys.stderr)
+            return 2
+        findings = new_findings(findings, baseline)
+
+    if args.json:
+        print(json.dumps([f.to_json() for f in findings], indent=2))
+    else:
+        for finding in findings:
+            print(finding.render())
+        if findings:
+            print(f"\n{len(findings)} finding(s)", file=sys.stderr)
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

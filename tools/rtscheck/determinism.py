@@ -1,0 +1,334 @@
+"""Determinism analysis: nondeterminism sources on deterministic paths.
+
+The deterministic contracts of this codebase (bit-identical shard merge,
+``deterministic=True`` metric families, replayable event ordering) are
+declared in source by a docstring marker::
+
+    def _merge(self, keys):
+        '''Merge shard events ...
+
+        rtscheck: deterministic-surface
+        '''
+
+Every function transitively reachable from a marked function — over the
+approximate call graph of :class:`~tools.rtscheck.program.Program`, which
+over-approximates by design — must be free of nondeterminism *sources*:
+
+* ``det-set-iter`` — iterating a set-typed value (``for``, comprehension,
+  ``list()``/``tuple()``/``enumerate()`` conversion).  Order-insensitive
+  consumption (``sorted``, ``min``/``max``, ``sum``, ``len``, ``any``/
+  ``all``, rebuilding a ``set``) is exempt.
+* ``det-id-order`` — ``id()`` inside a sort key or an ordering
+  comparison; CPython addresses vary run to run.  (Keying a dict by
+  ``id`` and iterating in *insertion* order is fine and not flagged.)
+* ``det-unseeded-random`` — module-level ``random`` functions (the
+  global unseeded generator).  ``random.Random(seed)`` instances are the
+  sanctioned source and are not flagged.
+* ``det-wallclock`` — ``time.time``/``perf_counter``/``monotonic``
+  family and ``datetime.now``-style reads.
+* ``det-env`` — ``os.environ`` / ``os.getenv`` reads.
+* ``det-completion-order`` — consuming results in completion order
+  (``concurrent.futures.as_completed``, ``imap_unordered``).
+
+Findings are reported at the offending expression; suppress a justified
+telemetry read with ``# rtscheck: disable=det-wallclock`` on that line.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Set, Tuple
+
+from ..lintkit import Finding
+from .program import FunctionInfo, ModuleInfo, Program
+
+#: Docstring marker declaring a deterministic-contract root.
+SURFACE_MARKER = "rtscheck: deterministic-surface"
+
+RULES: Dict[str, str] = {
+    "det-set-iter": (
+        "no iteration over set-typed values on paths reachable from a "
+        "deterministic surface; wrap in sorted() or consume "
+        "order-insensitively"
+    ),
+    "det-id-order": (
+        "no id() inside sort keys or ordering comparisons on "
+        "deterministic paths; ids vary across runs and processes"
+    ),
+    "det-unseeded-random": (
+        "no module-level random.* calls on deterministic paths; use a "
+        "seeded random.Random instance"
+    ),
+    "det-wallclock": (
+        "no wall-clock reads (time.time/perf_counter/datetime.now) on "
+        "deterministic paths; pragma justified telemetry"
+    ),
+    "det-env": (
+        "no os.environ/os.getenv reads on deterministic paths; thread "
+        "configuration through parameters"
+    ),
+    "det-completion-order": (
+        "no completion-order consumption (as_completed/imap_unordered) "
+        "on deterministic paths; collect futures in submission order"
+    ),
+}
+
+#: Builtins whose result does not depend on the iteration order of their
+#: argument.
+_ORDER_INSENSITIVE = {
+    "sorted", "min", "max", "sum", "len", "any", "all", "set", "frozenset",
+}
+
+_SET_BINOPS = (ast.BitOr, ast.BitAnd, ast.Sub, ast.BitXor)
+_SET_METHODS = {
+    "union", "intersection", "difference", "symmetric_difference", "copy",
+}
+_WALLCLOCK_TIME_ATTRS = {
+    "time", "perf_counter", "monotonic", "process_time", "time_ns",
+    "perf_counter_ns", "monotonic_ns", "process_time_ns",
+}
+_WALLCLOCK_DATETIME_ATTRS = {"now", "utcnow", "today"}
+_ORDER_COMPARES = (ast.Lt, ast.LtE, ast.Gt, ast.GtE)
+
+
+def run(program: Program) -> List[Finding]:
+    roots = sorted(
+        info.qualname for info in program.functions_with_marker(SURFACE_MARKER)
+    )
+    root_of: Dict[str, str] = {}
+    for root in roots:
+        for qualname in program.reachable_from([root]):
+            root_of.setdefault(qualname, root)
+    out: List[Finding] = []
+    for qualname in sorted(root_of):
+        info = program.functions[qualname]
+        module = program.modules[info.module]
+        out.extend(_check_function(info, module, root_of[qualname]))
+    return out
+
+
+def _walk_with_parents(
+    tree: ast.AST,
+) -> Iterator[Tuple[ast.AST, List[ast.AST]]]:
+    stack: List[Tuple[ast.AST, List[ast.AST]]] = [(tree, [])]
+    while stack:
+        node, ancestors = stack.pop()
+        yield node, ancestors
+        child_ancestors = ancestors + [node]
+        for child in ast.iter_child_nodes(node):
+            stack.append((child, child_ancestors))
+
+
+def _check_function(
+    info: FunctionInfo, module: ModuleInfo, root: str
+) -> List[Finding]:
+    suffix = f"on a deterministic path (reachable from {root})"
+    set_names = _set_typed_locals(info.node)
+    out: List[Finding] = []
+
+    def finding(node: ast.AST, rule: str, what: str) -> None:
+        out.append(
+            Finding(
+                path=module.path,
+                line=node.lineno,
+                col=node.col_offset,
+                rule=rule,
+                message=f"{what} {suffix}",
+            )
+        )
+
+    for node, parents in _walk_with_parents(info.node):
+        # -- det-set-iter -------------------------------------------------
+        for it, ctx in _iteration_sites(node, parents):
+            if _is_set_expr(it, set_names) and not _order_insensitive(ctx):
+                finding(it, "det-set-iter", "iteration over a set")
+        # -- det-id-order -------------------------------------------------
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Name)
+            and node.func.id == "id"
+            and _in_ordering_context(parents)
+        ):
+            finding(node, "det-id-order", "id() used for ordering")
+        # -- call-shaped rules --------------------------------------------
+        if isinstance(node, ast.Call):
+            out.extend(_check_call(node, module, suffix))
+        # -- det-env: bare os.environ access (not only calls) -------------
+        if isinstance(node, ast.Attribute) and node.attr == "environ":
+            if _resolves_to_module(node.value, module, "os"):
+                finding(node, "det-env", "os.environ read")
+        if isinstance(node, ast.Name) and module.imports.get(node.id) == (
+            "os.environ"
+        ):
+            finding(node, "det-env", "os.environ read")
+    return out
+
+
+def _iteration_sites(
+    node: ast.AST, parents: List[ast.AST]
+) -> List[Tuple[ast.AST, object]]:
+    """(iterated expr, consumer context) pairs introduced by ``node``.
+
+    The context is the node whose parent chain decides whether the
+    iteration order can matter; ``None`` means it always does (``for``
+    statement bodies run side effects in iteration order).
+    """
+    if isinstance(node, ast.For):
+        return [(node.iter, None)]
+    if isinstance(node, ast.SetComp):
+        return []  # a set rebuilt from a set is order-insensitive
+    if isinstance(node, (ast.ListComp, ast.GeneratorExp, ast.DictComp)):
+        return [(gen.iter, parents) for gen in node.generators]
+    if (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Name)
+        and node.func.id in ("list", "tuple", "enumerate")
+        and node.args
+    ):
+        return [(node.args[0], parents)]
+    return []
+
+
+def _order_insensitive(ctx: object) -> bool:
+    """True when the produced sequence is consumed order-insensitively."""
+    if ctx is None:
+        return False
+    parents: List[ast.AST] = ctx  # type: ignore[assignment]
+    if not parents:
+        return False
+    parent = parents[-1]
+    return (
+        isinstance(parent, ast.Call)
+        and isinstance(parent.func, ast.Name)
+        and parent.func.id in _ORDER_INSENSITIVE
+    )
+
+
+def _in_ordering_context(parents: List[ast.AST]) -> bool:
+    for ancestor in parents:
+        if (
+            isinstance(ancestor, ast.Call)
+            and isinstance(ancestor.func, ast.Name)
+            and ancestor.func.id in ("sorted", "min", "max")
+        ):
+            return True
+        if isinstance(ancestor, ast.Compare) and any(
+            isinstance(op, _ORDER_COMPARES) for op in ancestor.ops
+        ):
+            return True
+    return False
+
+
+def _set_typed_locals(fn_node: ast.AST) -> Set[str]:
+    """Names assigned from statically set-typed expressions (2-pass)."""
+    names: Set[str] = set()
+    for _ in range(2):
+        for node in ast.walk(fn_node):
+            if isinstance(node, ast.Assign) and _is_set_expr(
+                node.value, names
+            ):
+                for target in node.targets:
+                    if isinstance(target, ast.Name):
+                        names.add(target.id)
+            elif (
+                isinstance(node, ast.AugAssign)
+                and isinstance(node.op, _SET_BINOPS)
+                and isinstance(node.target, ast.Name)
+                and _is_set_expr(node.value, names)
+            ):
+                names.add(node.target.id)
+    return names
+
+
+def _is_set_expr(node: ast.AST, set_names: Set[str]) -> bool:
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Name):
+        return node.id in set_names
+    if isinstance(node, ast.Call):
+        if isinstance(node.func, ast.Name) and node.func.id in (
+            "set",
+            "frozenset",
+        ):
+            return True
+        if (
+            isinstance(node.func, ast.Attribute)
+            and node.func.attr in _SET_METHODS
+        ):
+            return _is_set_expr(node.func.value, set_names)
+        return False
+    if isinstance(node, ast.BinOp) and isinstance(node.op, _SET_BINOPS):
+        return _is_set_expr(node.left, set_names) or _is_set_expr(
+            node.right, set_names
+        )
+    return False
+
+
+def _resolves_to_module(
+    node: ast.AST, module: ModuleInfo, target: str
+) -> bool:
+    return (
+        isinstance(node, ast.Name)
+        and module.imports.get(node.id) == target
+    )
+
+
+def _check_call(
+    call: ast.Call, module: ModuleInfo, suffix: str
+) -> List[Finding]:
+    out: List[Finding] = []
+
+    def finding(rule: str, what: str) -> None:
+        out.append(
+            Finding(
+                path=module.path,
+                line=call.lineno,
+                col=call.col_offset,
+                rule=rule,
+                message=f"{what} {suffix}",
+            )
+        )
+
+    func = call.func
+    if isinstance(func, ast.Attribute) and isinstance(func.value, ast.Name):
+        target = module.imports.get(func.value.id)
+        if target == "random" and func.attr not in ("Random", "SystemRandom"):
+            finding(
+                "det-unseeded-random",
+                f"module-level random.{func.attr}() call",
+            )
+        elif target == "time" and func.attr in _WALLCLOCK_TIME_ATTRS:
+            finding("det-wallclock", f"time.{func.attr}() read")
+        elif target == "os" and func.attr == "getenv":
+            finding("det-env", "os.getenv() read")
+        elif target == "concurrent.futures" and func.attr == "as_completed":
+            finding("det-completion-order", "as_completed() consumption")
+        elif func.attr == "imap_unordered":
+            finding("det-completion-order", "imap_unordered() consumption")
+    elif isinstance(func, ast.Attribute) and isinstance(
+        func.value, ast.Attribute
+    ):
+        receiver = ast.unparse(func.value)
+        if (
+            receiver.split(".")[0] in module.imports
+            and module.imports[receiver.split(".")[0]] == "datetime"
+            and func.attr in _WALLCLOCK_DATETIME_ATTRS
+        ):
+            finding("det-wallclock", f"{receiver}.{func.attr}() read")
+    elif isinstance(func, ast.Name):
+        target = module.imports.get(func.id, "")
+        if target.startswith("random.") and target not in (
+            "random.Random",
+            "random.SystemRandom",
+        ):
+            finding("det-unseeded-random", f"module-level {target}() call")
+        elif (
+            target.startswith("time.")
+            and target.split(".", 1)[1] in _WALLCLOCK_TIME_ATTRS
+        ):
+            finding("det-wallclock", f"{target}() read")
+        elif target == "os.getenv":
+            finding("det-env", "os.getenv() read")
+        elif target == "concurrent.futures.as_completed":
+            finding("det-completion-order", "as_completed() consumption")
+    return out

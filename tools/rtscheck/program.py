@@ -1,0 +1,375 @@
+"""The whole-program model behind the rtscheck analyses.
+
+:class:`Program` parses every ``.py`` file under the given roots into a
+light-weight cross-module view — pure AST work, the analyzed code is
+never imported:
+
+* a **module table** keyed by dotted module name (derived from the
+  ``__init__.py`` package structure above each file);
+* a per-module **symbol table** of functions, classes, methods, and
+  module-level string constants;
+* an **import map** resolving each module's local aliases to program
+  qualnames (handles ``import a.b``, ``from .. import x``, aliasing);
+* an approximate **call graph**: direct calls, ``self.``/``cls.``
+  method calls resolved through program-defined bases, calls through
+  imported modules, and callables *passed as arguments* (callbacks,
+  ``pool.submit(worker.fn)``).  Unresolvable attribute calls fall back
+  to name-based class-hierarchy analysis over program-defined methods —
+  an over-approximation, which is the safe direction for the
+  reachability used by the determinism analysis.
+
+Functions are addressed by qualname: ``pkg.mod.fn`` or
+``pkg.mod.Class.meth``.
+"""
+
+from __future__ import annotations
+
+import ast
+import pathlib
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+
+@dataclass
+class FunctionInfo:
+    """One function or method definition."""
+
+    qualname: str
+    name: str
+    module: str
+    node: ast.AST  # FunctionDef | AsyncFunctionDef
+    class_name: Optional[str] = None  # owning class, if a method
+
+    @property
+    def docstring(self) -> str:
+        return ast.get_docstring(self.node) or ""
+
+
+@dataclass
+class ClassInfo:
+    """One class definition with its methods and base-class names."""
+
+    qualname: str
+    name: str
+    module: str
+    node: ast.ClassDef
+    base_names: List[str] = field(default_factory=list)
+    methods: Dict[str, FunctionInfo] = field(default_factory=dict)
+
+    def is_abstract_method(self, name: str) -> bool:
+        info = self.methods.get(name)
+        if info is None:
+            return False
+        for deco in getattr(info.node, "decorator_list", []):
+            text = ast.unparse(deco)
+            if "abstractmethod" in text:
+                return True
+        return False
+
+
+@dataclass
+class ModuleInfo:
+    """One parsed source file."""
+
+    name: str
+    path: str
+    source: str
+    tree: ast.Module
+    functions: Dict[str, FunctionInfo] = field(default_factory=dict)
+    classes: Dict[str, ClassInfo] = field(default_factory=dict)
+    #: module-level NAME = "literal" string constants.
+    str_constants: Dict[str, str] = field(default_factory=dict)
+    #: local alias -> dotted target ("pkg.mod" or "pkg.mod.symbol").
+    imports: Dict[str, str] = field(default_factory=dict)
+
+
+def module_name_for(path: pathlib.Path) -> str:
+    """Dotted module name from the package structure above ``path``.
+
+    Walks up while ``__init__.py`` siblings exist, so ``src/repro/x.py``
+    maps to ``repro.x`` regardless of the checkout location.
+    """
+    path = path.resolve()
+    parts = [path.stem] if path.stem != "__init__" else []
+    parent = path.parent
+    while (parent / "__init__.py").exists():
+        parts.insert(0, parent.name)
+        parent = parent.parent
+    return ".".join(parts) if parts else path.stem
+
+
+class Program:
+    """The parsed multi-module program (see the module docstring)."""
+
+    def __init__(self) -> None:
+        self.modules: Dict[str, ModuleInfo] = {}
+        self.functions: Dict[str, FunctionInfo] = {}
+        self.classes: Dict[str, ClassInfo] = {}
+        #: method/function simple name -> qualnames defining it.
+        self.by_name: Dict[str, List[str]] = {}
+        #: caller qualname -> callee qualnames.
+        self.calls: Dict[str, Set[str]] = {}
+
+    # -- construction ------------------------------------------------------
+
+    @classmethod
+    def load(cls, paths: Iterable[str]) -> "Program":
+        """Parse every ``.py`` under ``paths`` and build the call graph."""
+        from ..lintkit import iter_python_files
+
+        program = cls()
+        for file in iter_python_files(paths):
+            source = file.read_text()
+            try:
+                tree = ast.parse(source, filename=str(file))
+            except SyntaxError:
+                continue  # unparsable files are rtslint's problem
+            name = module_name_for(file)
+            program._add_module(
+                ModuleInfo(name=name, path=str(file), source=source, tree=tree)
+            )
+        program._build_call_graph()
+        return program
+
+    def _add_module(self, module: ModuleInfo) -> None:
+        self.modules[module.name] = module
+        self._collect_imports(module)
+        for node in module.tree.body:
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                self._add_function(module, node, class_name=None)
+            elif isinstance(node, ast.ClassDef):
+                info = ClassInfo(
+                    qualname=f"{module.name}.{node.name}",
+                    name=node.name,
+                    module=module.name,
+                    node=node,
+                    base_names=[ast.unparse(b) for b in node.bases],
+                )
+                module.classes[node.name] = info
+                self.classes[info.qualname] = info
+                for sub in node.body:
+                    if isinstance(sub, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                        fn = self._add_function(module, sub, class_name=node.name)
+                        info.methods[sub.name] = fn
+            elif isinstance(node, ast.Assign) and isinstance(node.value, ast.Constant):
+                if isinstance(node.value.value, str):
+                    for target in node.targets:
+                        if isinstance(target, ast.Name):
+                            module.str_constants[target.id] = node.value.value
+
+    def _add_function(
+        self, module: ModuleInfo, node: ast.AST, class_name: Optional[str]
+    ) -> FunctionInfo:
+        scope = f"{module.name}.{class_name}" if class_name else module.name
+        info = FunctionInfo(
+            qualname=f"{scope}.{node.name}",
+            name=node.name,
+            module=module.name,
+            node=node,
+            class_name=class_name,
+        )
+        if class_name is None:
+            module.functions[node.name] = info
+        self.functions[info.qualname] = info
+        self.by_name.setdefault(node.name, []).append(info.qualname)
+        return info
+
+    def _collect_imports(self, module: ModuleInfo) -> None:
+        package = module.name.rsplit(".", 1)[0] if "." in module.name else ""
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    module.imports[alias.asname or alias.name.split(".")[0]] = (
+                        alias.name
+                    )
+            elif isinstance(node, ast.ImportFrom):
+                base = node.module or ""
+                if node.level:
+                    # Relative import: climb level-1 packages from here.
+                    parts = package.split(".") if package else []
+                    if node.level - 1:
+                        parts = parts[: -(node.level - 1)] or []
+                    base = ".".join(parts + ([base] if base else []))
+                for alias in node.names:
+                    if alias.name == "*":
+                        continue
+                    module.imports[alias.asname or alias.name] = (
+                        f"{base}.{alias.name}" if base else alias.name
+                    )
+
+    # -- symbol resolution -------------------------------------------------
+
+    def resolve_str_constant(self, module: ModuleInfo, name: str) -> Optional[str]:
+        """Value of a string constant visible as ``name`` in ``module``."""
+        if name in module.str_constants:
+            return module.str_constants[name]
+        target = module.imports.get(name)
+        if target and "." in target:
+            target_module, symbol = target.rsplit(".", 1)
+            owner = self.modules.get(target_module)
+            if owner is not None:
+                return owner.str_constants.get(symbol)
+        return None
+
+    def resolve_class(
+        self, module: ModuleInfo, name: str
+    ) -> Optional[ClassInfo]:
+        """Program class visible as ``name`` (possibly dotted) in ``module``."""
+        if name in module.classes:
+            return module.classes[name]
+        target = module.imports.get(name.split(".")[0])
+        if target is None:
+            return None
+        if "." in name:  # e.g. ``abc.ABC`` — module attr lookup
+            target = f"{target}.{name.split('.', 1)[1]}"
+        if target in self.classes:
+            return self.classes[target]
+        target_module, _, symbol = target.rpartition(".")
+        owner = self.modules.get(target_module)
+        if owner is not None and symbol in owner.classes:
+            return owner.classes[symbol]
+        return None
+
+    def class_mro(self, info: ClassInfo) -> List[ClassInfo]:
+        """Program-defined classes in ``info``'s hierarchy (DFS order)."""
+        out: List[ClassInfo] = []
+        stack = [info]
+        seen: Set[str] = set()
+        while stack:
+            current = stack.pop(0)
+            if current.qualname in seen:
+                continue
+            seen.add(current.qualname)
+            out.append(current)
+            module = self.modules[current.module]
+            for base_name in current.base_names:
+                base = self.resolve_class(module, base_name)
+                if base is not None:
+                    stack.append(base)
+        return out
+
+    def subclasses_of(self, info: ClassInfo) -> List[ClassInfo]:
+        """Program classes that (transitively) inherit from ``info``."""
+        out = []
+        for candidate in self.classes.values():
+            if candidate.qualname == info.qualname:
+                continue
+            mro = self.class_mro(candidate)
+            if any(c.qualname == info.qualname for c in mro[1:]):
+                out.append(candidate)
+        return out
+
+    def resolve_method(
+        self, owner: ClassInfo, name: str
+    ) -> Optional[FunctionInfo]:
+        """``name`` looked up through ``owner``'s program-defined MRO."""
+        for cls in self.class_mro(owner):
+            if name in cls.methods:
+                return cls.methods[name]
+        return None
+
+    # -- call graph --------------------------------------------------------
+
+    def _build_call_graph(self) -> None:
+        for info in self.functions.values():
+            self.calls[info.qualname] = self._callees(info)
+
+    def _callees(self, info: FunctionInfo) -> Set[str]:
+        module = self.modules[info.module]
+        owner = module.classes.get(info.class_name) if info.class_name else None
+        out: Set[str] = set()
+        for node in ast.walk(info.node):
+            if not isinstance(node, ast.Call):
+                continue
+            out.update(self._resolve_callable(node.func, module, owner))
+            # Callables passed as arguments are future calls (callbacks,
+            # executor submissions, pool initializers).
+            for arg in list(node.args) + [k.value for k in node.keywords]:
+                if isinstance(arg, (ast.Name, ast.Attribute)):
+                    out.update(
+                        self._resolve_callable(
+                            arg, module, owner, argument_position=True
+                        )
+                    )
+        return out
+
+    def _resolve_callable(
+        self,
+        func: ast.AST,
+        module: ModuleInfo,
+        owner: Optional[ClassInfo],
+        argument_position: bool = False,
+    ) -> Set[str]:
+        if isinstance(func, ast.Name):
+            return self._resolve_name_callable(func.id, module)
+        if isinstance(func, ast.Attribute):
+            receiver = func.value
+            if isinstance(receiver, ast.Name):
+                if receiver.id in ("self", "cls") and owner is not None:
+                    target = self.resolve_method(owner, func.attr)
+                    if target is not None:
+                        return {target.qualname}
+                    return self._by_name_edges(func.attr)
+                target_mod = module.imports.get(receiver.id)
+                if target_mod in self.modules:
+                    mod = self.modules[target_mod]
+                    if func.attr in mod.functions:
+                        return {mod.functions[func.attr].qualname}
+                    if func.attr in mod.classes:
+                        return self._class_init_edges(mod.classes[func.attr])
+            if argument_position and not isinstance(receiver, ast.Name):
+                return set()  # e.g. ``a.b.c`` data attributes — too noisy
+            return self._by_name_edges(func.attr)
+        return set()
+
+    def _resolve_name_callable(self, name: str, module: ModuleInfo) -> Set[str]:
+        if name in module.functions:
+            return {module.functions[name].qualname}
+        if name in module.classes:
+            return self._class_init_edges(module.classes[name])
+        target = module.imports.get(name)
+        if target is not None:
+            if target in self.functions:
+                return {target}
+            if target in self.classes:
+                return self._class_init_edges(self.classes[target])
+        return set()
+
+    def _class_init_edges(self, info: ClassInfo) -> Set[str]:
+        init = self.resolve_method(info, "__init__")
+        return {init.qualname} if init is not None else set()
+
+    def _by_name_edges(self, name: str) -> Set[str]:
+        """Name-based fallback: every program function/method so named."""
+        return set(self.by_name.get(name, ()))
+
+    # -- reachability ------------------------------------------------------
+
+    def reachable_from(self, roots: Iterable[str]) -> Set[str]:
+        """Qualnames transitively callable from ``roots`` (roots included)."""
+        seen: Set[str] = set()
+        stack = [r for r in roots if r in self.functions]
+        while stack:
+            current = stack.pop()
+            if current in seen:
+                continue
+            seen.add(current)
+            stack.extend(self.calls.get(current, ()))
+        return seen
+
+    def functions_with_marker(self, marker: str) -> List[FunctionInfo]:
+        """Functions whose docstring carries ``marker`` (contract roots)."""
+        return [
+            info
+            for info in self.functions.values()
+            if marker in info.docstring
+        ]
+
+
+__all__ = [
+    "ClassInfo",
+    "FunctionInfo",
+    "ModuleInfo",
+    "Program",
+    "module_name_for",
+]

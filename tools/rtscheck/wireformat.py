@@ -1,0 +1,389 @@
+"""Wire-format schema analysis: writers and readers of ``rts-*-v1`` blobs.
+
+Every persistent payload in this codebase is a JSON-compatible dict
+stamped with a ``"format"`` version string (``rts-snapshot-v1``,
+``rts-wal-v1``, ...).  This analysis cross-checks, per format string:
+
+* **writers** — functions building a dict literal with a ``"format"``
+  key whose value resolves to a version string (directly or through a
+  module constant like ``SNAPSHOT_FORMAT``);
+* **readers** — functions that format-check a value (comparing its
+  ``["format"]``/``.get("format")`` against the same string) and then
+  subscript keys out of it.  A function that passes the value to a
+  *checker* (a callee that does the format comparison on a parameter,
+  e.g. ``_check_format(payload, ...)``) counts as a reader too — the
+  check is propagated one call level.
+
+Rules:
+
+* ``wire-missing-key`` — a reader subscripts a key (``obj["k"]``, a hard
+  KeyError at runtime) that no writer of that format emits.
+* ``wire-dead-key`` — a writer emits a key no reader ever touches.
+  Provenance keys (``format``, ``format_minor``, ``generated_by``) are
+  exempt; deliberate documentation-only keys take a line pragma.
+* ``wire-orphan-format`` — a format with writers but no readers, or
+  readers but no writers (usually a version-string typo).
+* ``wire-version-mismatch`` — two different versions of the same format
+  stem (``rts-bench-v1`` vs ``rts-bench-v2``) live in the program;
+  writers and readers have skewed.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Dict, List, Optional, Set, Tuple
+
+from ..lintkit import Finding
+from .program import FunctionInfo, ModuleInfo, Program
+
+RULES: Dict[str, str] = {
+    "wire-missing-key": (
+        "keys a reader subscripts out of a versioned payload must be "
+        "written by some writer of that format"
+    ),
+    "wire-dead-key": (
+        "keys a writer puts into a versioned payload must be read "
+        "somewhere (provenance keys exempt)"
+    ),
+    "wire-orphan-format": (
+        "every versioned format needs both a writer and a reader; "
+        "one-sided formats are usually version-string typos"
+    ),
+    "wire-version-mismatch": (
+        "only one version of a format stem may be live; a writer/reader "
+        "version skew loses data silently"
+    ),
+}
+
+#: Keys documenting provenance rather than carrying state.
+PROVENANCE_KEYS = {"format", "format_minor", "generated_by"}
+
+_VERSIONED = re.compile(r"^(?P<stem>.+)-v(?P<version>\d+)$")
+
+
+def run(program: Program) -> List[Finding]:
+    schema = _Schema()
+    for qualname in sorted(program.functions):
+        info = program.functions[qualname]
+        module = program.modules[info.module]
+        _collect_writers(schema, info, module, program)
+        _find_checked_params(schema, info, module, program)
+    # Reads need the checker table complete, hence the second pass.
+    for qualname in sorted(program.functions):
+        info = program.functions[qualname]
+        module = program.modules[info.module]
+        _collect_reads(schema, info, module, program)
+    return _report(schema)
+
+
+class _Schema:
+    def __init__(self) -> None:
+        #: format -> key -> [(path, line, col)] writer emission sites.
+        self.written: Dict[str, Dict[str, List[Tuple[str, int, int]]]] = {}
+        #: format -> first writer site.
+        self.writer_site: Dict[str, Tuple[str, int, int]] = {}
+        #: format -> key -> [(path, line, col)] hard-subscript reads.
+        self.required: Dict[str, Dict[str, List[Tuple[str, int, int]]]] = {}
+        #: format -> keys read via .get() (optional).
+        self.optional: Dict[str, Set[str]] = {}
+        #: format -> first reader (format-check) site.
+        self.reader_site: Dict[str, Tuple[str, int, int]] = {}
+        #: checker qualname -> {param index: format} for callees that
+        #: format-check one of their parameters.
+        self.checkers: Dict[str, Dict[int, str]] = {}
+
+
+def _format_value(
+    node: ast.AST, module: ModuleInfo, program: Program
+) -> Optional[str]:
+    """The version string ``node`` denotes, if it is one."""
+    value: Optional[str] = None
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        value = node.value
+    elif isinstance(node, ast.Name):
+        value = program.resolve_str_constant(module, node.id)
+    elif isinstance(node, ast.Attribute) and isinstance(node.value, ast.Name):
+        target = module.imports.get(node.value.id)
+        if target in program.modules:
+            value = program.modules[target].str_constants.get(node.attr)
+    if value is not None and _VERSIONED.match(value):
+        return value
+    return None
+
+
+# -- writers -----------------------------------------------------------------
+
+
+def _collect_writers(
+    schema: _Schema, info: FunctionInfo, module: ModuleInfo, program: Program
+) -> None:
+    for node in ast.walk(info.node):
+        if not isinstance(node, ast.Dict):
+            continue
+        fmt: Optional[str] = None
+        for key, value in zip(node.keys, node.values):
+            if (
+                isinstance(key, ast.Constant)
+                and key.value == "format"
+            ):
+                fmt = _format_value(value, module, program)
+        if fmt is None:
+            continue
+        schema.writer_site.setdefault(
+            fmt, (module.path, node.lineno, node.col_offset)
+        )
+        keys = schema.written.setdefault(fmt, {})
+        for key in node.keys:
+            if isinstance(key, ast.Constant) and isinstance(key.value, str):
+                keys.setdefault(key.value, []).append(
+                    (module.path, key.lineno, key.col_offset)
+                )
+
+
+# -- readers -----------------------------------------------------------------
+
+
+def _format_check(
+    node: ast.AST, module: ModuleInfo, program: Program
+) -> Optional[Tuple[str, str]]:
+    """(checked name, format) when ``node`` compares X's format field."""
+    if not isinstance(node, ast.Compare) or len(node.comparators) != 1:
+        return None
+    for access, const in (
+        (node.left, node.comparators[0]),
+        (node.comparators[0], node.left),
+    ):
+        name = _format_access_name(access)
+        if name is None:
+            continue
+        fmt = _format_value(const, module, program)
+        if fmt is not None:
+            return name, fmt
+    return None
+
+
+def _format_access_name(node: ast.AST) -> Optional[str]:
+    """X for ``X["format"]`` / ``X.get("format")`` accesses."""
+    if (
+        isinstance(node, ast.Subscript)
+        and isinstance(node.value, ast.Name)
+        and isinstance(node.slice, ast.Constant)
+        and node.slice.value == "format"
+    ):
+        return node.value.id
+    if (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Attribute)
+        and node.func.attr == "get"
+        and isinstance(node.func.value, ast.Name)
+        and node.args
+        and isinstance(node.args[0], ast.Constant)
+        and node.args[0].value == "format"
+    ):
+        return node.func.value.id
+    return None
+
+
+def _param_names(info: FunctionInfo) -> List[str]:
+    args = info.node.args
+    return [a.arg for a in args.posonlyargs + args.args]
+
+
+def _find_checked_params(
+    schema: _Schema, info: FunctionInfo, module: ModuleInfo, program: Program
+) -> None:
+    params = _param_names(info)
+    for node in ast.walk(info.node):
+        check = _format_check(node, module, program)
+        if check is None:
+            continue
+        name, fmt = check
+        if name in params:
+            schema.checkers.setdefault(info.qualname, {})[
+                params.index(name)
+            ] = fmt
+
+
+def _collect_reads(
+    schema: _Schema, info: FunctionInfo, module: ModuleInfo, program: Program
+) -> None:
+    #: local/param name -> formats it is checked against in this function.
+    checked: Dict[str, Set[str]] = {}
+    for node in ast.walk(info.node):
+        check = _format_check(node, module, program)
+        if check is not None:
+            name, fmt = check
+            checked.setdefault(name, set()).add(fmt)
+            schema.reader_site.setdefault(
+                fmt, (module.path, node.lineno, node.col_offset)
+            )
+        if isinstance(node, ast.Call):
+            _propagate_checker_call(
+                schema, node, info, module, program, checked
+            )
+    if not checked:
+        return
+    for node in ast.walk(info.node):
+        if (
+            isinstance(node, ast.Subscript)
+            and isinstance(node.value, ast.Name)
+            and node.value.id in checked
+            and isinstance(node.slice, ast.Constant)
+            and isinstance(node.slice.value, str)
+        ):
+            for fmt in checked[node.value.id]:
+                schema.required.setdefault(fmt, {}).setdefault(
+                    node.slice.value, []
+                ).append((module.path, node.lineno, node.col_offset))
+        elif (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr == "get"
+            and isinstance(node.func.value, ast.Name)
+            and node.func.value.id in checked
+            and node.args
+            and isinstance(node.args[0], ast.Constant)
+            and isinstance(node.args[0].value, str)
+        ):
+            for fmt in checked[node.func.value.id]:
+                schema.optional.setdefault(fmt, set()).add(
+                    node.args[0].value
+                )
+
+
+def _propagate_checker_call(
+    schema: _Schema,
+    call: ast.Call,
+    info: FunctionInfo,
+    module: ModuleInfo,
+    program: Program,
+    checked: Dict[str, Set[str]],
+) -> None:
+    """``f(X)`` where ``f`` format-checks that parameter marks X checked."""
+    owner = (
+        program.modules[info.module].classes.get(info.class_name)
+        if info.class_name
+        else None
+    )
+    for callee in program._resolve_callable(call.func, module, owner):
+        table = schema.checkers.get(callee)
+        if not table:
+            continue
+        callee_info = program.functions[callee]
+        offset = 0
+        if callee_info.class_name is not None and isinstance(
+            call.func, ast.Attribute
+        ):
+            offset = 1  # self is bound by the attribute access
+        for position, arg in enumerate(call.args):
+            param_index = position + offset
+            if param_index in table and isinstance(arg, ast.Name):
+                fmt = table[param_index]
+                checked.setdefault(arg.id, set()).add(fmt)
+                schema.reader_site.setdefault(
+                    fmt, (module.path, call.lineno, call.col_offset)
+                )
+        callee_params = _param_names(callee_info)
+        for keyword in call.keywords:
+            if keyword.arg in callee_params and isinstance(
+                keyword.value, ast.Name
+            ):
+                param_index = callee_params.index(keyword.arg)
+                if param_index in table:
+                    fmt = table[param_index]
+                    checked.setdefault(keyword.value.id, set()).add(fmt)
+                    schema.reader_site.setdefault(
+                        fmt, (module.path, call.lineno, call.col_offset)
+                    )
+
+
+# -- reporting ---------------------------------------------------------------
+
+
+def _report(schema: _Schema) -> List[Finding]:
+    out: List[Finding] = []
+    formats = sorted(
+        set(schema.written) | set(schema.required) | set(schema.optional)
+        | set(schema.reader_site)
+    )
+
+    for fmt in formats:
+        written = schema.written.get(fmt, {})
+        required = schema.required.get(fmt, {})
+        optional = schema.optional.get(fmt, set())
+        has_reader = fmt in schema.reader_site
+        if written and not has_reader:
+            path, line, col = schema.writer_site[fmt]
+            out.append(
+                Finding(
+                    path=path, line=line, col=col,
+                    rule="wire-orphan-format",
+                    message=f"format {fmt!r} is written but never read",
+                )
+            )
+        if has_reader and not written:
+            path, line, col = schema.reader_site[fmt]
+            out.append(
+                Finding(
+                    path=path, line=line, col=col,
+                    rule="wire-orphan-format",
+                    message=f"format {fmt!r} is read but never written",
+                )
+            )
+        if written and has_reader:
+            for key in sorted(required):
+                if key not in written:
+                    for path, line, col in schema.required[fmt][key]:
+                        out.append(
+                            Finding(
+                                path=path, line=line, col=col,
+                                rule="wire-missing-key",
+                                message=(
+                                    f"reader requires key {key!r} that no "
+                                    f"writer of {fmt!r} emits"
+                                ),
+                            )
+                        )
+            for key in sorted(written):
+                if (
+                    key not in required
+                    and key not in optional
+                    and key not in PROVENANCE_KEYS
+                ):
+                    for path, line, col in written[key]:
+                        out.append(
+                            Finding(
+                                path=path, line=line, col=col,
+                                rule="wire-dead-key",
+                                message=(
+                                    f"writer of {fmt!r} emits key {key!r} "
+                                    "that no reader ever touches"
+                                ),
+                            )
+                        )
+
+    stems: Dict[str, Set[str]] = {}
+    for fmt in formats:
+        match = _VERSIONED.match(fmt)
+        if match:
+            stems.setdefault(match.group("stem"), set()).add(fmt)
+    for stem in sorted(stems):
+        versions = stems[stem]
+        if len(versions) > 1:
+            site = min(
+                schema.writer_site.get(fmt) or schema.reader_site[fmt]
+                for fmt in versions
+            )
+            out.append(
+                Finding(
+                    path=site[0], line=site[1], col=site[2],
+                    rule="wire-version-mismatch",
+                    message=(
+                        f"format stem {stem!r} is live at multiple "
+                        f"versions: {sorted(versions)}"
+                    ),
+                )
+            )
+    out.sort(key=lambda f: (f.path, f.line, f.col, f.rule, f.message))
+    return out

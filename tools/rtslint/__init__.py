@@ -8,37 +8,29 @@ the rule catalogue).  Suppress a finding in place with a line pragma::
 or disable a rule for a whole file with a pragma in the first ten lines::
 
     # rtslint: disable-file=paper-ref-docstring
+
+A line pragma on any physical line of a multi-line statement covers the
+whole statement, so wrapped calls can carry the pragma on whichever line
+fits.  A pragma naming a rule rtslint does not know is itself reported
+(rule ``unknown-pragma``) — a typo must not silently disable nothing.
+
+Suppression and baseline mechanics are shared with ``tools.rtscheck``
+through :mod:`tools.lintkit`.
 """
 
 from __future__ import annotations
 
 import ast
-import pathlib
-import re
-from typing import Dict, Iterable, List, Set
+from typing import Iterable, List
 
+from ..lintkit import (
+    iter_python_files,
+    parse_pragmas,
+    validate_pragmas,
+)
 from .rules import RULES, LintViolation
 
-_LINE_PRAGMA = re.compile(r"#\s*rtslint:\s*disable=([\w,\-]+)")
-_FILE_PRAGMA = re.compile(r"#\s*rtslint:\s*disable-file=([\w,\-]+)")
-
-#: How many leading lines may carry a ``disable-file`` pragma.
-_FILE_PRAGMA_WINDOW = 10
-
-
-def _parse_pragmas(source: str) -> (Dict[int, Set[str]], Set[str]):
-    """Extract per-line and per-file rule suppressions from ``source``."""
-    line_disables: Dict[int, Set[str]] = {}
-    file_disables: Set[str] = set()
-    for lineno, line in enumerate(source.splitlines(), start=1):
-        m = _LINE_PRAGMA.search(line)
-        if m:
-            line_disables[lineno] = set(m.group(1).split(","))
-        if lineno <= _FILE_PRAGMA_WINDOW:
-            m = _FILE_PRAGMA.search(line)
-            if m:
-                file_disables.update(m.group(1).split(","))
-    return line_disables, file_disables
+TOOL = "rtslint"
 
 
 def lint_source(
@@ -47,6 +39,7 @@ def lint_source(
     """Lint one file's text; returns violations surviving the pragmas.
 
     ``select`` restricts checking to the named rules (default: all).
+    Pragmas naming unknown rules are reported regardless of ``select``.
     Raises SyntaxError if the source does not parse.
     """
     names = list(select) or list(RULES)
@@ -55,30 +48,16 @@ def lint_source(
         known = ", ".join(sorted(RULES))
         raise ValueError(f"unknown rule(s) {unknown}; choose from: {known}")
     module = ast.parse(source, filename=path)
-    line_disables, file_disables = _parse_pragmas(source)
-    out: List[LintViolation] = []
+    pragmas = parse_pragmas(source, TOOL, tree=module)
+    out: List[LintViolation] = list(validate_pragmas(pragmas, RULES, path))
     for name in names:
-        if name in file_disables or "all" in file_disables:
-            continue
         _desc, fn = RULES[name]
         for violation in fn(module, path, source):
-            disabled = line_disables.get(violation.line, ())
+            disabled = pragmas.disabled_at(violation.line)
             if name in disabled or "all" in disabled:
                 continue
             out.append(violation)
     out.sort(key=lambda v: (v.path, v.line, v.col, v.rule))
-    return out
-
-
-def iter_python_files(paths: Iterable[str]) -> List[pathlib.Path]:
-    """Expand files/directories into a sorted list of ``.py`` files."""
-    out: List[pathlib.Path] = []
-    for raw in paths:
-        p = pathlib.Path(raw)
-        if p.is_dir():
-            out.extend(sorted(p.rglob("*.py")))
-        else:
-            out.append(p)
     return out
 
 

@@ -1,4 +1,13 @@
-"""CLI: ``python -m tools.rtslint src/ [--json] [--select rule,...]``."""
+"""CLI: ``python -m tools.rtslint src/ [--json] [--select rule,...]``.
+
+Baselines (shared protocol with rtscheck, see ``tools/lintkit.py``)::
+
+    python -m tools.rtslint src/ --write-baseline rtslint-baseline.json
+    python -m tools.rtslint src/ --baseline rtslint-baseline.json
+
+With ``--baseline`` only findings *not* in the baseline fail the run, so
+a new rule can land with its existing findings grandfathered.
+"""
 
 from __future__ import annotations
 
@@ -7,7 +16,8 @@ import json
 import sys
 from typing import List, Optional
 
-from . import RULES, lint_paths
+from ..lintkit import load_baseline, new_findings, write_baseline
+from . import RULES, TOOL, lint_paths
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -32,6 +42,16 @@ def main(argv: Optional[List[str]] = None) -> int:
         action="store_true",
         help="print the rule catalogue and exit",
     )
+    parser.add_argument(
+        "--baseline",
+        metavar="PATH",
+        help="compare against a JSON baseline; only new findings fail",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        metavar="PATH",
+        help="write the current findings as a baseline and exit zero",
+    )
     args = parser.parse_args(argv)
 
     if args.list_rules:
@@ -43,6 +63,22 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     select = [s for s in args.select.split(",") if s]
     violations = lint_paths(args.paths, select=select)
+
+    if args.write_baseline:
+        write_baseline(args.write_baseline, violations, TOOL)
+        print(
+            f"wrote {len(violations)} finding(s) to {args.write_baseline}",
+            file=sys.stderr,
+        )
+        return 0
+    if args.baseline:
+        try:
+            baseline = load_baseline(args.baseline, TOOL)
+        except (OSError, ValueError, KeyError) as exc:
+            print(f"rtslint: bad baseline: {exc}", file=sys.stderr)
+            return 2
+        violations = new_findings(violations, baseline)
+
     if args.json:
         print(json.dumps([v.to_json() for v in violations], indent=2))
     else:

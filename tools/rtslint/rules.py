@@ -10,31 +10,15 @@ from __future__ import annotations
 
 import ast
 import re
-from dataclasses import dataclass
 from typing import Callable, Dict, Iterator, List, Set, Tuple
 
+from ..lintkit import Finding
 
-@dataclass(frozen=True)
-class LintViolation:
-    """One rule hit, pointing at a source location."""
-
-    path: str
-    line: int
-    col: int
-    rule: str
-    message: str
-
-    def render(self) -> str:
-        return f"{self.path}:{self.line}:{self.col}: [{self.rule}] {self.message}"
-
-    def to_json(self) -> Dict[str, object]:
-        return {
-            "path": self.path,
-            "line": self.line,
-            "col": self.col,
-            "rule": self.rule,
-            "message": self.message,
-        }
+#: One rule hit, pointing at a source location.  The historical rtslint
+#: name for the shared :class:`tools.lintkit.Finding` shape — kept so
+#: rule functions and external callers are unaffected by the move to
+#: the shared kit (which added baseline fingerprints).
+LintViolation = Finding
 
 
 RuleFn = Callable[[ast.Module, str, str], Iterator[LintViolation]]
