@@ -124,10 +124,12 @@ def main(argv: Optional[List[str]] = None) -> int:
     )
     parser.add_argument(
         "--level",
-        choices=["basic", "full"],
+        choices=["basic", "full", "shard"],
         default="full",
         help="'sanitize'/'chaos' targets: invariant check level "
-        "(default: full)",
+        "(default: full); 'chaos --level shard' instead runs the "
+        "shard-supervision layer (seeded worker crashes vs the "
+        "serial-executor oracle, see docs/ROBUSTNESS.md)",
     )
     parser.add_argument(
         "--drop",
@@ -198,7 +200,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         "--shards",
         default="",
         help="'bench' target: comma-separated shard counts to bench the "
-        "sharded system at (e.g. 1,2,4; empty = no sharded rows)",
+        "sharded system at (e.g. 1,2,4; empty = no sharded rows); "
+        "'chaos --level shard': shard counts to crash-test (default 2)",
     )
     parser.add_argument(
         "--shard-policy",
@@ -692,6 +695,9 @@ def _run_chaos(args, parser) -> int:
     from ..dt.faults import FaultSpec
     from .chaos import chaos_engines, run_protocol_chaos, run_system_chaos
 
+    if args.level == "shard":
+        return _run_shard_chaos(args, parser)
+
     script = _build_or_load_workload(args, parser)
     report: dict = {"engines": {}, "protocol": {}}
     ok = True
@@ -785,6 +791,94 @@ def _run_chaos(args, parser) -> int:
         )
         for line in protocol.mismatches + protocol.overhead_breaches:
             print(f"  - {line}")
+    return 0 if ok else 1
+
+
+def _run_shard_chaos(args, parser) -> int:
+    """Supervised shard crash/replay chaos; verify against the oracle.
+
+    Every requested engine × shard count drives the workload through a
+    SupervisedExecutor whose workers crash at seeded batch ordinals; the
+    run must reproduce the serial-executor oracle's maturity-event
+    sequence exactly, restart once per injected crash, and replay with
+    zero orphan events (docs/ROBUSTNESS.md, "Shard supervision").
+    Exits 0 only when every run is clean.
+    """
+    import json
+
+    from .chaos import chaos_engines, run_shard_chaos
+
+    try:
+        shard_counts = [int(s) for s in args.shards.split(",") if s]
+    except ValueError:
+        parser.error(f"--shards must be comma-separated ints, got {args.shards!r}")
+    if any(s < 1 for s in shard_counts):
+        parser.error("--shards values must be positive")
+    if not shard_counts:
+        shard_counts = [2]
+
+    script = _build_or_load_workload(args, parser)
+    report: dict = {"runs": []}
+    ok = True
+    for engine in chaos_engines(args.engine):
+        for shards in shard_counts:
+            started = time.perf_counter()
+            result = run_shard_chaos(
+                script,
+                engine,
+                shards=shards,
+                crashes=args.crashes,
+                seed=args.seed,
+            )
+            elapsed = time.perf_counter() - started
+            ok = ok and result.ok
+            report["runs"].append(
+                {
+                    "engine": engine,
+                    "shards": shards,
+                    "status": result.status,
+                    "elapsed_s": round(elapsed, 2),
+                    "crashes": result.crashes,
+                    "restarts": result.restarts,
+                    "replayed_batches": result.replayed,
+                    "batches": result.batches,
+                    "maturities": result.maturities,
+                    "detail": result.detail,
+                }
+            )
+
+    if args.obs_format == "json":
+        print(
+            json.dumps(
+                {
+                    "level": "shard",
+                    "mode": script.mode,
+                    "seed": args.seed,
+                    "crashes": args.crashes,
+                    **report,
+                },
+                indent=2,
+            )
+        )
+    else:
+        print(
+            f"# shard chaos on {script.mode!r} workload "
+            f"(dims={script.params.dims}, ops={script.operation_count()}, "
+            f"seed={args.seed}, crashes={args.crashes})"
+        )
+        for info in report["runs"]:
+            tag = f"{info['engine']} x{info['shards']}"
+            if info["status"] == "ok":
+                print(
+                    f"{tag}: exact after {info['restarts']} worker restarts "
+                    f"({info['replayed_batches']} batches replayed, "
+                    f"{info['batches']} routed, "
+                    f"{info['maturities']} maturities, {info['elapsed_s']}s)"
+                )
+            elif info["status"] == "skipped":
+                print(f"{tag}: skipped ({info['detail']})")
+            else:
+                print(f"{tag}: {info['status'].upper()}: {info['detail']}")
     return 0 if ok else 1
 
 

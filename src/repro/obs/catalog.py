@@ -168,6 +168,30 @@ _SPECS: Tuple[MetricSpec, ...] = (
         "Wall time spent inside shard workers' process_batch",
         deterministic=False,
     ),
+    # -- shard supervision -------------------------------------------------
+    # Fault-schedule dependent (and wall-clock driven for timeouts), so
+    # excluded from the serial-vs-parallel conservation contract.
+    MetricSpec(
+        "rts_shard_restarts_total",
+        "counter",
+        "Supervised shard worker restarts (crash or hang escalation)",
+        labels=("shard",),
+        deterministic=False,
+    ),
+    MetricSpec(
+        "rts_shard_rpc_timeouts_total",
+        "counter",
+        "Supervised shard RPC deadline expiries, by operation",
+        labels=("shard", "op"),
+        deterministic=False,
+    ),
+    MetricSpec(
+        "rts_shard_replayed_batches_total",
+        "counter",
+        "Journaled batches replayed into restarted shard workers",
+        labels=("shard",),
+        deterministic=False,
+    ),
     # -- phase profiler ----------------------------------------------------
     MetricSpec(
         "rts_phase_seconds",

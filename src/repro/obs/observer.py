@@ -107,6 +107,15 @@ class NullObservability:
     def shard_worker_batch(self, n: int, busy_seconds: float) -> None:
         pass
 
+    def shard_restart(self, shard: int) -> None:
+        pass
+
+    def shard_rpc_timeout(self, shard: int, op: str) -> None:
+        pass
+
+    def shard_replayed(self, shard: int, n: int = 1) -> None:
+        pass
+
     def phase(self, name: str, seconds: float) -> None:
         pass
 
@@ -331,6 +340,36 @@ class Observability(NullObservability):
         per-shard accounting the bench reads from the merged registry."""
         self._worker_batches.inc()
         self._worker_busy.inc(busy_seconds)
+
+    # -- shard supervision --------------------------------------------------
+    # Cold-path hooks (a restart is an event, not a per-element cost), so
+    # they hit the registry directly instead of caching instruments.
+
+    def shard_restart(self, shard: int) -> None:
+        """The supervisor restarted a dead or unresponsive shard worker."""
+        self.metrics.counter(
+            "rts_shard_restarts_total",
+            "Supervised shard worker restarts (crash or hang escalation)",
+            shard=str(shard),
+        ).inc()
+        self.trace.append("shard.restart", ts=self._now, shard=shard)
+
+    def shard_rpc_timeout(self, shard: int, op: str) -> None:
+        """One supervised RPC wait window expired (retry follows)."""
+        self.metrics.counter(
+            "rts_shard_rpc_timeouts_total",
+            "Supervised shard RPC deadline expiries, by operation",
+            shard=str(shard),
+            op=op,
+        ).inc()
+
+    def shard_replayed(self, shard: int, n: int = 1) -> None:
+        """``n`` journaled batches were replayed into a restarted worker."""
+        self.metrics.counter(
+            "rts_shard_replayed_batches_total",
+            "Journaled batches replayed into restarted shard workers",
+            shard=str(shard),
+        ).inc(n)
 
     # -- phase profiler ----------------------------------------------------
 

@@ -33,6 +33,7 @@ from ..dt.reliable import (
     ReliableChannel,
 )
 from ..shard.executor import SerialExecutor
+from ..shard.supervisor import SupervisedExecutor
 from ..shard.system import ShardedRTSSystem
 from ..structures.heap import AddressableMinHeap, ScanMinList
 from ..structures.interval_tree import CenteredIntervalTree
@@ -809,6 +810,46 @@ def validate_sharded_system(
                     context=_ctx(shard=shard),
                 )
             yield from collect(shard_system, level)
+    if isinstance(executor, SupervisedExecutor):
+        for shard, st in enumerate(executor._states):
+            if st.orphans:
+                yield Violation(
+                    "shard-replay-exactly-once",
+                    f"shard {shard}'s journal replay produced {st.orphans} "
+                    "event keys the parent never emitted before the restart "
+                    "(recovery diverged from the fault-free decision "
+                    "sequence)",
+                    section="S3.2",
+                    subject=subject,
+                    context=_ctx(shard=shard, orphans=st.orphans),
+                )
+            journal_batches = sum(
+                1 for entry in st.journal if entry[0] == "process"
+            )
+            if journal_batches != st.since_snapshot:
+                yield Violation(
+                    "shard-journal-consistency",
+                    f"shard {shard} journals {journal_batches} batches since "
+                    f"its checkpoint but counts {st.since_snapshot} "
+                    "(a restart would replay the wrong suffix)",
+                    section="S3.2",
+                    subject=subject,
+                    context=_ctx(
+                        shard=shard,
+                        journal_batches=journal_batches,
+                        since_snapshot=st.since_snapshot,
+                    ),
+                )
+            if st.quarantined and st.pool is not None:
+                yield Violation(
+                    "shard-quarantine-accounting",
+                    f"shard {shard} is quarantined but still holds a live "
+                    "worker pool (its loss accounting no longer matches "
+                    "what the pool could process)",
+                    section="S3.2",
+                    subject=subject,
+                    context=_ctx(shard=shard, failure=st.failure),
+                )
 
 
 # ---------------------------------------------------------------------------

@@ -1,6 +1,7 @@
 """Sharded parallel RTS: query partitioning with a deterministic merge.
 
-Public surface of the sharding subsystem (see ``docs/SHARDING.md``):
+Public surface of the sharding subsystem (see ``docs/SHARDING.md`` and,
+for supervision, ``docs/ROBUSTNESS.md``):
 
 * :class:`ShardedRTSSystem` — the multi-shard façade mirroring
   :class:`~repro.core.system.RTSSystem`.
@@ -8,10 +9,15 @@ Public surface of the sharding subsystem (see ``docs/SHARDING.md``):
   :class:`SpatialGridPolicy`, plus the :func:`make_policy` /
   :func:`available_policies` registry.
 * Shard executors — :class:`SerialExecutor` (in-process determinism
-  oracle) and :class:`ParallelExecutor` (persistent worker processes),
-  plus :func:`make_executor` / :func:`available_executors`.
+  oracle), :class:`ParallelExecutor` (persistent worker processes), and
+  :class:`SupervisedExecutor` (crash detection, retry/backoff, replay
+  recovery), plus :func:`make_executor` / :func:`available_executors`.
+* Structured failures — :class:`ShardRPCError` (per-call shard/op
+  attribution) and :class:`ShardFailedError` (restart budget exhausted),
+  and the :class:`ShardFaultPlan` seeded fault-injection schedule.
 """
 
+from .errors import ShardError, ShardFailedError, ShardRPCError
 from .executor import (
     ParallelExecutor,
     SerialExecutor,
@@ -28,6 +34,7 @@ from .partition import (
     make_policy,
     stable_rect_hash,
 )
+from .supervisor import ShardFaultPlan, SupervisedExecutor
 from .system import SHARD_SNAPSHOT_FORMAT, ShardedRTSSystem
 
 __all__ = [
@@ -43,6 +50,11 @@ __all__ = [
     "ShardExecutor",
     "SerialExecutor",
     "ParallelExecutor",
+    "SupervisedExecutor",
+    "ShardFaultPlan",
+    "ShardError",
+    "ShardRPCError",
+    "ShardFailedError",
     "available_executors",
     "make_executor",
 ]

@@ -18,6 +18,14 @@ instances.
     payloads ever cross the boundary; slices for all shards are submitted
     before any result is awaited, which is what overlaps shard work
     across cores.
+
+:class:`~repro.shard.supervisor.SupervisedExecutor` (registry name
+``"supervised"``) adds crash detection, RPC deadlines with retry and
+backoff, and snapshot+journal replay recovery on top of the same pool
+mechanics — see ``docs/ROBUSTNESS.md``, "Shard supervision".
+
+Every RPC failure carries shard and operation attribution as a
+:class:`~repro.shard.errors.ShardRPCError`.
 """
 
 from __future__ import annotations
@@ -26,6 +34,7 @@ import abc
 import time
 from typing import Dict, List, Optional, Tuple
 
+from .errors import ShardRPCError
 from .wire import EventKey, ShardSlice, encode_queries
 
 #: Per-shard outcome of one routed batch:
@@ -229,22 +238,39 @@ class ParallelExecutor(ShardExecutor):
             else None
         )
         self.close()
-        self._pools = []
-        for k, config in enumerate(configs):
-            blob = snapshots[k] if snapshots is not None else None
-            self._pools.append(
-                ProcessPoolExecutor(
-                    max_workers=1,
-                    mp_context=ctx,
-                    initializer=worker.init_shard,
-                    initargs=(config, blob),
+        pools: List = []
+        try:
+            for k, config in enumerate(configs):
+                blob = snapshots[k] if snapshots is not None else None
+                pools.append(
+                    ProcessPoolExecutor(
+                        max_workers=1,
+                        mp_context=ctx,
+                        initializer=worker.init_shard,
+                        initargs=(config, blob),
+                    )
                 )
-            )
+        except BaseException:
+            # Initialization failed partway: release the pools already
+            # created so no worker processes leak.
+            for pool in pools:
+                pool.shutdown(wait=False, cancel_futures=True)
+            raise
+        self._pools = pools
+
+    def _rpc(self, shard: int, op: str, fn, *args):
+        """One worker call with shard/operation attribution on failure."""
+        try:
+            return self._pools[shard].submit(fn, *args).result()
+        except ShardRPCError:
+            raise
+        except Exception as exc:
+            raise ShardRPCError(shard, op, exc) from exc
 
     def register(self, shard: int, queries: List) -> None:
         from . import worker
 
-        self._pools[shard].submit(worker.register, encode_queries(queries)).result()
+        self._rpc(shard, "register", worker.register, encode_queries(queries))
 
     def process(
         self, slices: Dict[int, ShardSlice], trace: Optional[tuple] = None
@@ -257,7 +283,13 @@ class ParallelExecutor(ShardExecutor):
             futures[shard] = self._pools[shard].submit(
                 worker.process, values, weights, timestamps, trace
             )
-        return {shard: fut.result() for shard, fut in futures.items()}
+        out: Dict[int, ShardOutcome] = {}
+        for shard, fut in futures.items():
+            try:
+                out[shard] = fut.result()
+            except Exception as exc:
+                raise ShardRPCError(shard, "process", exc) from exc
+        return out
 
     def drain_telemetry(self) -> Dict[int, dict]:
         from . import worker
@@ -266,41 +298,66 @@ class ParallelExecutor(ShardExecutor):
             shard: pool.submit(worker.drain_telemetry)
             for shard, pool in enumerate(self._pools)
         }
-        return {
-            shard: payload
-            for shard, fut in futures.items()
-            if (payload := fut.result()) is not None
-        }
+        out: Dict[int, dict] = {}
+        for shard, fut in futures.items():
+            try:
+                payload = fut.result()
+            except Exception as exc:
+                raise ShardRPCError(shard, "drain_telemetry", exc) from exc
+            if payload is not None:
+                out[shard] = payload
+        return out
 
     def terminate(self, shard: int, query_ids: List[object]) -> int:
         from . import worker
 
-        return self._pools[shard].submit(worker.terminate, query_ids).result()
+        return self._rpc(shard, "terminate", worker.terminate, query_ids)
 
     def collected_weight(self, shard: int, query_id: object) -> int:
         from . import worker
 
-        return self._pools[shard].submit(worker.collected_weight, query_id).result()
+        return self._rpc(shard, "collected_weight", worker.collected_weight, query_id)
 
     def snapshot(self, shard: int) -> dict:
         from . import worker
 
-        return self._pools[shard].submit(worker.snapshot).result()
+        return self._rpc(shard, "snapshot", worker.snapshot)
 
     def describe(self, shard: int) -> Dict[str, object]:
         from . import worker
 
-        return self._pools[shard].submit(worker.describe).result()
+        return self._rpc(shard, "describe", worker.describe)
 
     def close(self) -> None:
-        for pool in self._pools:
-            pool.shutdown(wait=True, cancel_futures=True)
-        self._pools = []
+        """Shut down every pool; idempotent and exception-safe.
+
+        The pool list is detached first, so a second ``close()`` is a
+        no-op and a pool whose ``shutdown()`` raises cannot abort the
+        shutdown of the remaining pools (the first error is re-raised
+        once all pools have been offered teardown).
+        """
+        pools, self._pools = self._pools, []
+        first_error: Optional[BaseException] = None
+        for pool in pools:
+            try:
+                pool.shutdown(wait=True, cancel_futures=True)
+            except Exception as exc:
+                if first_error is None:
+                    first_error = exc
+        if first_error is not None:
+            raise first_error
+
+
+def _supervised_executor(**options):
+    from .supervisor import SupervisedExecutor
+
+    return SupervisedExecutor(**options)
 
 
 _EXECUTORS = {
     SerialExecutor.name: SerialExecutor,
     ParallelExecutor.name: ParallelExecutor,
+    "supervised": _supervised_executor,
 }
 
 

@@ -158,9 +158,21 @@ class ShardedRTSSystem:
         #: ``process_batch``, excluding routing and IPC overhead).
         self.shard_busy_seconds: List[float] = [0.0] * shards
         self._profiler = PhaseProfiler(self.obs)
+        self._bind_executor()
         self.executor.start(self._shard_configs())
 
     # -- lifecycle plumbing ------------------------------------------------
+
+    def _bind_executor(self) -> None:
+        """Hand the executor the parent telemetry sink when it wants one.
+
+        The supervised executor emits restart/replay metrics and
+        ``recover``-phase timings through the parent's observability;
+        the plain executors expose no such hook.
+        """
+        bind = getattr(self.executor, "bind_observability", None)
+        if bind is not None:
+            bind(self.obs)
 
     def _shard_configs(self) -> List[dict]:
         return [
@@ -179,10 +191,17 @@ class ShardedRTSSystem:
 
         Drains the shards' pending registry deltas first, so counts that
         accrued outside a batch reply (registrations, terminations) reach
-        the parent registry before the workers go away.
+        the parent registry before the workers go away.  The drain is
+        best-effort: a shard whose worker already died (broken pool,
+        exhausted restart budget) must not block teardown of the rest.
         """
         if self.obs.enabled:
-            self._drain_telemetry()
+            from .errors import ShardError
+
+            try:
+                self._drain_telemetry()
+            except ShardError:
+                pass  # the worker is gone; its pending deltas are lost
         self.executor.close()
 
     def __enter__(self) -> "ShardedRTSSystem":
@@ -638,6 +657,7 @@ class ShardedRTSSystem:
                 if item.get("matured_at") is not None:
                     system._maturity_times[query.query_id] = int(item["matured_at"])
         t_recover = system._profiler.start()
+        system._bind_executor()
         system.executor.start(system._shard_configs(), snapshots=list(blobs))
         system._profiler.stop("recover", t_recover)
         if system._sanitize:

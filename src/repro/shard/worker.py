@@ -24,16 +24,29 @@ _SYSTEM = None
 _OBS = None
 #: Registry snapshot at the last piggybacked delta (rts-metrics-v1).
 _PREV = None
+#: Parsed in-worker fault schedule (supervision tests / chaos harness).
+_FAULTS = None
 
 
 def init_shard(config: dict, snapshot: Optional[dict] = None) -> None:
     """Pool initializer: build (or restore) this worker's shard system."""
-    global _SYSTEM, _OBS, _PREV
+    global _SYSTEM, _OBS, _PREV, _FAULTS
     from ..core.system import RTSSystem
     from ..obs.observer import Observability
 
     _OBS = Observability() if config.get("observe") else None
     _PREV = None
+    faults = config.get("faults")
+    if faults:
+        _FAULTS = {
+            "crash": frozenset(faults.get("crash", ())),
+            "hang": frozenset(faults.get("hang", ())),
+            "slow": frozenset(faults.get("slow", ())),
+            "hang_seconds": float(faults.get("hang_seconds", 3600.0)),
+            "slow_seconds": float(faults.get("slow_seconds", 0.05)),
+        }
+    else:
+        _FAULTS = None
     if snapshot is not None:
         _SYSTEM = RTSSystem.restore(
             snapshot, observability=_OBS, sanitize=config.get("sanitize")
@@ -54,8 +67,33 @@ def register(query_objs: List[dict]) -> int:
     return _SYSTEM.alive_count
 
 
+def _maybe_fault(tick: Optional[int]) -> None:
+    """Fire a scheduled fault for this fresh-batch ordinal, if any.
+
+    ``tick`` is None for replayed batches (and for unsupervised
+    executors), so faults only ever fire on fresh work — recovery can
+    never re-trigger the fault that caused it.
+    """
+    if tick is None or _FAULTS is None:
+        return
+    if tick in _FAULTS["crash"]:
+        import os
+
+        # Hard exit, no interpreter cleanup: from the parent's point of
+        # view this is indistinguishable from a segfaulted worker.
+        os._exit(70)
+    if tick in _FAULTS["hang"]:
+        time.sleep(_FAULTS["hang_seconds"])
+    elif tick in _FAULTS["slow"]:
+        time.sleep(_FAULTS["slow_seconds"])
+
+
 def process(
-    values, weights, timestamps: List[int], trace: Optional[tuple] = None
+    values,
+    weights,
+    timestamps: List[int],
+    trace: Optional[tuple] = None,
+    fault_tick: Optional[int] = None,
 ) -> Tuple[List[EventKey], float, Optional[dict]]:
     """Process one routed slice; return (event keys, busy seconds, telemetry).
 
@@ -64,7 +102,11 @@ def process(
     they go back on the wire.  When this worker is observed, the third
     element is the piggybacked ``rts-metrics-v1`` registry delta plus the
     descend-phase span record (child of the router's ``trace`` context).
+
+    ``fault_tick`` is the supervisor's fresh-batch ordinal for this
+    shard; it keys the seeded fault schedule and is None on replay.
     """
+    _maybe_fault(fault_tick)
     # Busy-time telemetry (deterministic=False metric family).
     start = time.perf_counter()  # rtscheck: disable=det-wallclock
     from ..core.batch import PreparedBatch

@@ -1,0 +1,90 @@
+"""Shard-level chaos: ``run_shard_chaos`` and ``chaos --level shard``.
+
+The harness under test drives one workload script through a supervised
+sharded system whose workers crash on a seeded schedule and demands
+exact equivalence with the fault-free serial-executor oracle — one
+restart per injected crash, no replay orphans, identical events
+(``docs/ROBUSTNESS.md``, "Shard supervision").
+"""
+
+import json
+
+import pytest
+
+from repro.experiments.chaos import run_shard_chaos
+from repro.experiments.cli import main
+from repro.streams.scale import paper_params
+from repro.streams.workload import build_stochastic_workload
+
+
+def _script(seed=4):
+    return build_stochastic_workload(paper_params(1, 40000), seed=seed)
+
+
+class TestShardChaosHarness:
+    def test_crash_replay_is_exact(self):
+        result = run_shard_chaos(
+            _script(), "dt", shards=2, crashes=2, batch=16, seed=5
+        )
+        assert result.ok and result.status == "ok", result
+        assert result.crashes == 2
+        assert result.restarts == 2
+        assert result.replayed >= 0
+        assert result.batches > 0
+
+    def test_single_shard_still_recovers(self):
+        result = run_shard_chaos(_script(), "baseline", shards=1, crashes=1)
+        assert result.status == "ok", result
+        assert result.restarts == 1
+
+    def test_dims_mismatch_is_skipped_not_failed(self):
+        result = run_shard_chaos(_script(), "seg-intv-tree", shards=2)
+        assert result.status == "skipped" and result.ok
+
+    def test_unknown_engine_raises(self):
+        with pytest.raises(KeyError):
+            run_shard_chaos(_script(), "no-such-engine")
+
+    def test_zero_crashes_still_verifies(self):
+        result = run_shard_chaos(_script(), "interval-tree", crashes=0)
+        assert result.status == "ok" and result.crashes == 0
+        assert result.restarts == 0
+
+
+class TestShardChaosTarget:
+    ARGS = [
+        "chaos",
+        "--level",
+        "shard",
+        "--mode",
+        "stochastic",
+        "--scale",
+        "40000",
+        "--seed",
+        "4",
+        "--engine",
+        "dt",
+        "--crashes",
+        "2",
+    ]
+
+    def test_exit_zero_and_summary(self, capsys):
+        rc = main(self.ARGS + ["--shards", "1,2"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "dt x1: exact after 2 worker restarts" in out
+        assert "dt x2: exact after 2 worker restarts" in out
+
+    def test_json_report_parses(self, capsys):
+        rc = main(self.ARGS + ["--format", "json"])
+        assert rc == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["level"] == "shard"
+        runs = report["runs"]
+        assert [r["shards"] for r in runs] == [2]  # default shard count
+        assert all(r["status"] == "ok" for r in runs)
+        assert all(r["restarts"] == r["crashes"] == 2 for r in runs)
+
+    def test_bad_shards_flag_errors(self):
+        with pytest.raises(SystemExit):
+            main(self.ARGS + ["--shards", "two"])

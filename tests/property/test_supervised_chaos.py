@@ -1,0 +1,185 @@
+"""Acceptance property: supervised recovery is decision-identical.
+
+For any seeded :class:`ShardFaultPlan` — worker crashes at arbitrary
+per-shard batch ordinals, across every 1-D engine and shard counts
+S ∈ {1, 2, 4} — the supervised parallel executor must emit the
+byte-identical ordered maturity-event sequence as the fault-free
+:class:`SerialExecutor` oracle, *including* a mid-stream
+snapshot/restore of the whole sharded system (JSON round-tripped), and
+the ``rts_shard_restarts_total`` counter must equal the number of
+injected crashes.
+
+Crash cells are drawn only where the routing will actually deliver a
+batch: before the restore every shard owns a query (queries >= S, and
+routing extents never shrink mid-run), while the restored system
+rebuilds its extents from the queries still alive, so post-restore
+cells are restricted to shards that still own one.
+"""
+
+import json
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro import Query, StreamElement
+from repro.core.query import QueryStatus
+from repro.obs.aggregate import labelled_total
+from repro.obs.observer import Observability
+from repro.shard import ShardedRTSSystem, ShardFaultPlan, SupervisedExecutor
+
+ENGINES_1D = ["baseline", "dt", "dt-scan", "dt-static", "interval-tree"]
+SHARD_COUNTS = [1, 2, 4]
+
+
+@st.composite
+def workloads(draw):
+    queries = []
+    for i in range(draw(st.integers(4, 7))):
+        lo = draw(st.integers(0, 80))
+        hi = lo + draw(st.integers(1, 40))
+        tau = draw(st.integers(1, 120))
+        queries.append(Query([(lo, hi)], tau, query_id=f"q{i}"))
+    elements = [
+        StreamElement(draw(st.integers(0, 100)), draw(st.integers(1, 9)))
+        for _ in range(draw(st.integers(8, 32)))
+    ]
+    chunks = []
+    remaining = len(elements)
+    while remaining > 0:
+        size = draw(st.integers(1, min(remaining, 8)))
+        chunks.append(size)
+        remaining -= size
+    return queries, elements, chunks
+
+
+def _ev_key(events):
+    return [(e.query.query_id, e.timestamp, e.weight_seen) for e in events]
+
+
+def _drive(system, elements, chunks, lo, hi):
+    events, pos = [], sum(chunks[:lo])
+    for size in chunks[lo:hi]:
+        events.extend(_ev_key(system.process_batch(elements[pos : pos + size])))
+        pos += size
+    return events
+
+
+def _oracle_run(engine, shards, queries, elements, chunks, restore_at):
+    """Fault-free serial run; also reports who is alive at the restore."""
+    with ShardedRTSSystem(shards=shards, engine=engine, executor="serial") as s:
+        s.register_batch(queries)
+        events = _drive(s, elements, chunks, 0, restore_at)
+        alive = {
+            q.query_id for q in queries if s.status(q) is QueryStatus.ALIVE
+        }
+        events += _drive(s, elements, chunks, restore_at, len(chunks))
+        weights = {
+            q.query_id: s.progress(q)[0]
+            for q in queries
+            if s.status(q) is QueryStatus.ALIVE
+        }
+    return events, alive, weights
+
+
+def _split_plan(cells, restore_at):
+    head, tail = {}, {}
+    for shard, tick in cells:
+        if tick <= restore_at:
+            head.setdefault(shard, []).append(tick)
+        else:
+            tail.setdefault(shard, []).append(tick - restore_at)
+    return (
+        ShardFaultPlan(crash={k: tuple(v) for k, v in head.items()}),
+        ShardFaultPlan(crash={k: tuple(v) for k, v in tail.items()}),
+    )
+
+
+def _supervisor(plan):
+    return SupervisedExecutor(
+        mp_context="fork",
+        backoff_base=0.0,
+        max_restarts=max(plan.total_crashes, 1),
+        snapshot_every=3,
+        faults=plan,
+    )
+
+
+def _check(engine, shards, queries, elements, chunks, restore_at, draw):
+    expected, alive, expected_weights = _oracle_run(
+        engine, shards, queries, elements, chunks, restore_at
+    )
+    owners_alive = {i % shards for i, q in enumerate(queries) if q.query_id in alive}
+    eligible = [
+        (k, t) for k in range(shards) for t in range(1, restore_at + 1)
+    ] + [
+        (k, t)
+        for k in owners_alive
+        for t in range(restore_at + 1, len(chunks) + 1)
+    ]
+    crashes = draw(st.integers(1, min(3, len(eligible))))
+    picks = draw(
+        st.lists(
+            st.sampled_from(eligible),
+            min_size=crashes,
+            max_size=crashes,
+            unique=True,
+        )
+    )
+    plan_head, plan_tail = _split_plan(picks, restore_at)
+
+    obs = Observability()
+    system = ShardedRTSSystem(
+        shards=shards,
+        engine=engine,
+        executor=_supervisor(plan_head),
+        observability=obs,
+    )
+    with system:
+        system.register_batch(queries)
+        got = _drive(system, elements, chunks, 0, restore_at)
+        snap = json.loads(json.dumps(system.snapshot()))
+    restored = ShardedRTSSystem.restore(
+        snap, executor=_supervisor(plan_tail), observability=obs
+    )
+    with restored:
+        got += _drive(restored, elements, chunks, restore_at, len(chunks))
+        got_weights = {
+            q.query_id: restored.progress(q)[0]
+            for q in queries
+            if restored.status(q) is QueryStatus.ALIVE
+        }
+    orphans = (
+        system.executor.replay_orphans_total
+        + restored.executor.replay_orphans_total
+    )
+
+    label = f"{engine}/S={shards} crashes={sorted(picks)} restore@{restore_at}"
+    assert got == expected, f"{label}: diverged from fault-free oracle"
+    assert got_weights == expected_weights, f"{label}: survivor weights differ"
+    assert orphans == 0, f"{label}: replay violated exactly-once"
+    restarts = labelled_total(obs.metrics, "rts_shard_restarts_total")
+    assert restarts == crashes, (
+        f"{label}: {restarts} restarts for {crashes} injected crashes"
+    )
+
+
+@settings(
+    max_examples=3,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+@given(data=st.data())
+def test_supervised_matches_fault_free_oracle(data):
+    queries, elements, chunks = data.draw(workloads())
+    restore_at = data.draw(st.integers(1, max(1, len(chunks) - 1)))
+    for engine in ENGINES_1D:
+        for shards in SHARD_COUNTS:
+            _check(
+                engine,
+                shards,
+                queries,
+                elements,
+                chunks,
+                restore_at,
+                data.draw,
+            )

@@ -1,0 +1,137 @@
+"""Executor lifecycle hardening: idempotent, exception-safe teardown.
+
+Satellite contracts of the supervision PR: ``close()`` must be callable
+twice, must offer shutdown to every pool even when one raises, and
+``start()`` must not leak worker processes when initialization fails
+partway.  A killed worker must surface as a structured
+:class:`ShardRPCError` (never a bare ``BrokenProcessPool``), and a
+broken pool must not make teardown raise.
+"""
+
+import pytest
+
+from repro import Query, StreamElement
+from repro.shard import ShardedRTSSystem, ShardRPCError
+from repro.shard.executor import ParallelExecutor
+
+QUERIES = [
+    Query([(0, 50)], 5, query_id="a"),
+    Query([(25, 100)], 8, query_id="b"),
+]
+
+
+class _StubPool:
+    """Records shutdown calls; optionally raises on the first one."""
+
+    def __init__(self, fail=False):
+        self.fail = fail
+        self.shutdowns = 0
+
+    def shutdown(self, wait=True, cancel_futures=False):
+        self.shutdowns += 1
+        if self.fail and self.shutdowns == 1:
+            raise RuntimeError("pool teardown exploded")
+
+
+def test_close_is_idempotent():
+    executor = ParallelExecutor()
+    executor.start([{"dims": 1, "engine": "dt"}])
+    executor.close()
+    executor.close()  # second close: detached pool list, no-op
+    assert executor._pools == []
+
+
+def test_close_offers_shutdown_to_every_pool():
+    executor = ParallelExecutor()
+    failing, healthy = _StubPool(fail=True), _StubPool()
+    executor._pools = [failing, healthy]
+    with pytest.raises(RuntimeError, match="teardown exploded"):
+        executor.close()
+    # The failing pool did not abort the rest, and the list is detached:
+    # a retry cannot double-shutdown.
+    assert healthy.shutdowns == 1
+    assert executor._pools == []
+    executor.close()
+    assert failing.shutdowns == 1
+
+
+def test_start_cleans_up_partial_initialization(monkeypatch):
+    import concurrent.futures
+
+    created = []
+
+    def flaky_pool(*args, **kwargs):
+        if created:
+            raise OSError("no more processes")
+        pool = _StubPool()
+        created.append(pool)
+        return pool
+
+    monkeypatch.setattr(concurrent.futures, "ProcessPoolExecutor", flaky_pool)
+    executor = ParallelExecutor()
+    with pytest.raises(OSError, match="no more processes"):
+        executor.start([{"dims": 1, "engine": "dt"}] * 2)
+    assert created[0].shutdowns == 1
+    assert executor._pools == []
+
+
+def test_sharded_system_exit_closes_executor_on_error():
+    executor = ParallelExecutor()
+    with pytest.raises(RuntimeError, match="body failed"):
+        with ShardedRTSSystem(shards=2, executor=executor) as system:
+            system.register_batch(QUERIES)
+            raise RuntimeError("body failed")
+    assert executor._pools == []
+
+
+def _kill_workers(pool):
+    for proc in list(pool._processes.values()):
+        proc.kill()
+
+
+@pytest.mark.parametrize("mp_context", ["fork", "spawn"])
+def test_killed_worker_surfaces_structured_error(mp_context):
+    executor = ParallelExecutor(mp_context=mp_context)
+    with ShardedRTSSystem(shards=2, executor=executor) as system:
+        system.register_batch(QUERIES)
+        system.process_batch([StreamElement(30, 1)])
+        _kill_workers(executor._pools[0])
+        with pytest.raises(ShardRPCError) as excinfo:
+            system.process_batch([StreamElement(40, 1)])
+        assert excinfo.value.shard == 0
+        assert excinfo.value.op == "process"
+    # close() after the broken pool must not raise (covered by __exit__).
+    assert executor._pools == []
+
+
+def test_close_after_broken_pool_with_observability():
+    from repro.obs.observer import Observability
+
+    executor = ParallelExecutor()
+    system = ShardedRTSSystem(
+        shards=2, executor=executor, observability=Observability()
+    )
+    system.register_batch(QUERIES)
+    system.process_batch([StreamElement(30, 1)])
+    for pool in executor._pools:
+        _kill_workers(pool)
+    # Teardown drains telemetry from dead workers; the structured RPC
+    # failure is absorbed, not raised.
+    system.close()
+    assert executor._pools == []
+
+
+def test_register_failure_carries_shard_attribution():
+    executor = ParallelExecutor()
+    with ShardedRTSSystem(shards=2, executor=executor) as system:
+        system.register_batch(QUERIES)  # spawns both workers
+        _kill_workers(executor._pools[1])
+        with pytest.raises(ShardRPCError) as excinfo:
+            system.register_batch(
+                [
+                    Query([(0, 10)], 4, query_id="c"),  # seq 2 -> shard 0
+                    Query([(0, 10)], 4, query_id="d"),  # seq 3 -> shard 1
+                ]
+            )
+        assert excinfo.value.shard == 1
+        assert excinfo.value.op == "register"

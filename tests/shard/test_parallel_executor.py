@@ -39,7 +39,7 @@ def _events(system):
 
 
 def test_available_executors():
-    assert available_executors() == ["parallel", "serial"]
+    assert available_executors() == ["parallel", "serial", "supervised"]
 
 
 def test_parallel_matches_serial_oracle():

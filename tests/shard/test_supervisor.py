@@ -1,0 +1,251 @@
+"""Supervised shard workers: crash detection, retry, replay recovery.
+
+The contract under test (``docs/ROBUSTNESS.md``, "Shard supervision"):
+a supervised run under any seeded fault schedule emits the identical
+ordered maturity-event sequence as the fault-free serial oracle, the
+supervisor restarts exactly once per injected crash, replay produces no
+orphan events, and escalation follows ``on_shard_failure``.
+
+Worker processes are expensive next to these tiny workloads, so each
+scenario is one compact end-to-end run on the fork context (cheapest on
+Linux; the spawn path is covered by the lifecycle tests).
+"""
+
+import pytest
+
+from repro import Query, StreamElement
+from repro.obs.aggregate import labelled_total
+from repro.obs.observer import Observability
+from repro.shard import (
+    ShardedRTSSystem,
+    ShardFailedError,
+    ShardFaultPlan,
+    ShardRPCError,
+    SupervisedExecutor,
+)
+
+
+def _q(lo, hi, tau, qid):
+    return Query([(lo, hi)], tau, query_id=qid)
+
+
+QUERIES = [
+    _q(0, 30, 5, "a"),
+    _q(20, 60, 8, "b"),
+    _q(50, 100, 3, "c"),
+    _q(0, 100, 20, "d"),
+]
+VALUES = [5, 25, 55, 70, 10, 40, 90, 22, 33, 66, 15, 80, 51, 29, 3, 97]
+CHUNKS = [VALUES[0:4], VALUES[4:7], VALUES[7:10], VALUES[10:13], VALUES[13:]]
+
+
+def _drive(system, chunks=CHUNKS):
+    events = []
+    for chunk in chunks:
+        events.extend(
+            (e.query.query_id, e.timestamp, e.weight_seen)
+            for e in system.process_batch([StreamElement(v, 2) for v in chunk])
+        )
+    return events
+
+
+def _oracle(chunks=CHUNKS, shards=2):
+    with ShardedRTSSystem(shards=shards, executor="serial") as system:
+        system.register_batch(QUERIES)
+        return _drive(system, chunks)
+
+
+def _supervised(shards=2, observability=None, **options):
+    options.setdefault("mp_context", "fork")
+    options.setdefault("backoff_base", 0.0)
+    executor = SupervisedExecutor(**options)
+    system = ShardedRTSSystem(
+        shards=shards, executor=executor, observability=observability
+    )
+    return system, executor
+
+
+def test_crash_restart_replay_matches_oracle():
+    plan = ShardFaultPlan(crash={0: (2,), 1: (4,)})
+    obs = Observability()
+    system, executor = _supervised(
+        faults=plan, snapshot_every=3, observability=obs
+    )
+    with system:
+        system.register_batch(QUERIES)
+        events = _drive(system)
+    assert events == _oracle()
+    assert executor.restarts_total == plan.total_crashes == 2
+    assert executor.replay_orphans_total == 0
+    assert labelled_total(obs.metrics, "rts_shard_restarts_total") == 2.0
+    # Supervision accounting stays readable after close.
+    stats = executor.supervision()
+    assert stats["restarts"] == [1, 1]
+    assert stats["quarantined"] == []
+
+
+def test_two_crashes_on_one_shard():
+    plan = ShardFaultPlan(crash={1: (1, 3)})
+    system, executor = _supervised(faults=plan, snapshot_every=2)
+    with system:
+        system.register_batch(QUERIES)
+        events = _drive(system)
+    assert events == _oracle()
+    assert executor.supervision()["restarts"] == [0, 2]
+    assert executor.replay_orphans_total == 0
+
+
+def test_hang_escalates_to_restart():
+    plan = ShardFaultPlan(hang={0: (2,)})
+    system, executor = _supervised(
+        faults=plan, rpc_timeout=0.2, rpc_retries=1
+    )
+    with system:
+        system.register_batch(QUERIES)
+        events = _drive(system)
+    assert events == _oracle()
+    assert executor.restarts_total == 1
+    # Every expired wait is counted: first deadline plus one retry.
+    assert executor.rpc_timeouts_total == 2
+
+
+def test_slow_fault_retries_without_restart():
+    plan = ShardFaultPlan(slow={0: (1,)}, slow_seconds=0.4)
+    system, executor = _supervised(
+        faults=plan, rpc_timeout=0.1, rpc_retries=4
+    )
+    with system:
+        system.register_batch(QUERIES)
+        events = _drive(system)
+    assert events == _oracle()
+    assert executor.restarts_total == 0
+    assert executor.rpc_timeouts_total >= 1
+
+
+def test_fail_policy_raises_structured_error():
+    plan = ShardFaultPlan(crash={0: (1,)})
+    system, executor = _supervised(faults=plan, max_restarts=0)
+    with pytest.raises(ShardFailedError) as excinfo:
+        with system:
+            system.register_batch(QUERIES)
+            _drive(system)
+    assert excinfo.value.shard == 0
+    assert excinfo.value.op == "process"
+
+
+def test_degrade_policy_quarantines_with_loss_accounting():
+    plan = ShardFaultPlan(crash={0: (1,)})
+    system, executor = _supervised(
+        faults=plan, max_restarts=0, on_shard_failure="degrade"
+    )
+    with system:
+        system.register_batch(QUERIES)
+        events = _drive(system)
+        # The healthy shard keeps emitting; shard 0's events are lost.
+        healthy = {k for k, st in enumerate(executor._states) if not st.quarantined}
+        assert healthy == {1}
+        oracle_shard1 = [
+            e for e in _oracle() if e[0] in ("b", "d")  # seq 1, 3 -> shard 1
+        ]
+        assert events == oracle_shard1
+        stats = executor.supervision()
+        assert stats["quarantined"] == [0]
+        loss = stats["loss"][0]
+        assert loss["batches"] == len(CHUNKS)
+        assert loss["elements"] == len(VALUES)
+        # Reads on the quarantined shard fail with attribution ...
+        with pytest.raises(ShardRPCError, match="quarantined"):
+            system.progress("a")
+        # ... diagnostics degrade explicitly ...
+        describe = system.describe()["shard_describes"][0]
+        assert describe["quarantined"] is True
+        # ... and terminate trusts the router's bookkeeping.
+        assert system.terminate_batch(["a"]) == [True]
+        assert executor._states[0].loss["terminates"] == 1
+
+
+def test_periodic_snapshot_truncates_journal():
+    system, executor = _supervised(snapshot_every=2)
+    with system:
+        system.register_batch(QUERIES)
+        _drive(system)  # 5 batches -> checkpoints after 2 and 4
+        depths = executor.supervision()["journal_depth"]
+        assert all(depth <= 2 for depth in depths)
+        assert all(st.since_snapshot <= 1 for st in executor._states)
+
+
+def test_externally_killed_worker_restarts_transparently():
+    system, executor = _supervised()
+    with system:
+        system.register_batch(QUERIES)
+        head = _drive(system, CHUNKS[:2])
+        for proc in list(executor._states[0].pool._processes.values()):
+            proc.kill()
+        tail = _drive(system, CHUNKS[2:])
+    assert head + tail == _oracle()
+    assert executor.restarts_total == 1
+    assert executor.replay_orphans_total == 0
+
+
+def test_supervised_snapshot_restores_and_faults_resume():
+    """A mid-stream checkpoint of the whole sharded system round-trips."""
+    import json
+
+    plan = ShardFaultPlan(crash={0: (2,)})
+    system, executor = _supervised(faults=plan, snapshot_every=100)
+    with system:
+        system.register_batch(QUERIES)
+        head = _drive(system, CHUNKS[:2])
+        snap = json.loads(json.dumps(system.snapshot()))
+    # Second half under a fresh supervisor: ticks restart at 1.
+    plan2 = ShardFaultPlan(crash={1: (1,)})
+    restored = ShardedRTSSystem.restore(
+        snap,
+        executor=SupervisedExecutor(
+            mp_context="fork", backoff_base=0.0, faults=plan2
+        ),
+    )
+    with restored:
+        tail = _drive(restored, CHUNKS[2:])
+        assert restored.executor.restarts_total == 1
+    assert head + tail == _oracle()
+    assert executor.restarts_total == 1
+
+
+def test_registry_name_and_options():
+    with ShardedRTSSystem(
+        shards=2,
+        executor="supervised",
+        executor_options={"mp_context": "fork", "rpc_retries": 0},
+    ) as system:
+        assert system.executor.name == "supervised"
+        system.register_batch(QUERIES)
+        assert _drive(system) == _oracle()
+
+
+def test_option_validation():
+    with pytest.raises(ValueError, match="rpc_timeout"):
+        SupervisedExecutor(rpc_timeout=0)
+    with pytest.raises(ValueError, match="on_shard_failure"):
+        SupervisedExecutor(on_shard_failure="retry")
+    with pytest.raises(ValueError, match="snapshot_every"):
+        SupervisedExecutor(snapshot_every=0)
+    with pytest.raises(ValueError, match="max_restarts"):
+        SupervisedExecutor(max_restarts=-1)
+
+
+def test_fault_plan_validation_and_seeding():
+    with pytest.raises(ValueError, match="1-based"):
+        ShardFaultPlan(crash={0: (0,)})
+    plan = ShardFaultPlan.seeded(shards=3, batches=10, crashes=4, seed=7)
+    assert plan.total_crashes == 4
+    cells = [(k, t) for k, ticks in plan.crash.items() for t in ticks]
+    assert len(cells) == len(set(cells))
+    assert all(0 <= k < 3 and 1 <= t <= 10 for k, t in cells)
+    # Per-shard bounds exclude shards that never receive batches.
+    bounded = ShardFaultPlan.seeded(
+        shards=3, batches=10, crashes=5, seed=7, batches_per_shard=[10, 0, 4]
+    )
+    for k, ticks in {**bounded.crash, **bounded.hang, **bounded.slow}.items():
+        assert k != 1
+        assert all(t <= [10, 0, 4][k] for t in ticks)
