@@ -18,6 +18,7 @@ path.
 
 from __future__ import annotations
 
+from operator import attrgetter
 from typing import List, Optional, Sequence
 
 from ..streams.element import StreamElement
@@ -30,6 +31,8 @@ except ImportError:  # pragma: no cover - numpy ships with the package
 #: Above this total batch weight the float64 leaf sums of the vectorized
 #: routing step could round; such batches take the scalar path instead.
 MAX_EXACT_WEIGHT = 1 << 53
+
+_GET_VALUE = attrgetter("value")
 
 
 class PreparedBatch:
@@ -45,29 +48,77 @@ class PreparedBatch:
         The engine's data-space dimensionality.
     """
 
-    __slots__ = ("elements", "size", "values", "weights", "vectorizable", "_arange")
+    __slots__ = (
+        "elements",
+        "size",
+        "values",
+        "weights",
+        "vectorizable",
+        "_arange",
+        "_wf64",
+    )
 
     def __init__(self, elements: Sequence[StreamElement], dims: int):
-        batch: List[StreamElement] = []
-        for element in elements:
-            if not isinstance(element, StreamElement):
-                raise TypeError(f"expected a StreamElement, got {element!r}")
-            if element.dims != dims:
-                raise ValueError(
-                    f"element has {element.dims} coordinate(s); engine "
-                    f"handles {dims} dimension(s)"
-                )
-            batch.append(element)
+        batch = list(elements)
+        n = len(batch)
+        # Fast pack: build the value block straight from the element
+        # fields and validate in aggregate — exact type via one C-level
+        # ``map(type)`` sweep, per-element dimensionality via a
+        # ``map(len)`` sweep over the value tuples.  Anything else
+        # (wrong type, wrong dims, ragged values) drops to the strict
+        # per-element loop below, which raises the precise error.
+        values = None
+        strict = True
+        if batch and _np is not None:
+            try:
+                if dims == 1:
+                    # Lengths are non-negative, so a length sum of n with
+                    # no empty tuple forces every length to be exactly 1
+                    # — and an empty tuple can't slip through, since the
+                    # ``e.value[0]`` pack below raises IndexError on it
+                    # (caught here, dropping to the strict loop).
+                    strict = not (
+                        set(map(type, batch)) == {StreamElement}
+                        and sum(map(len, map(_GET_VALUE, batch))) == n
+                    )
+                    if not strict:
+                        values = _np.array(
+                            [e.value[0] for e in batch], dtype=_np.float64
+                        ).reshape(n, 1)
+                else:
+                    strict = not (
+                        set(map(type, batch)) == {StreamElement}
+                        and set(map(len, map(_GET_VALUE, batch))) == {dims}
+                    )
+                    if not strict:
+                        values = _np.fromiter(
+                            (v for e in batch for v in e.value),
+                            dtype=_np.float64,
+                            count=n * dims,
+                        ).reshape(n, dims)
+            except (AttributeError, IndexError, OverflowError, TypeError, ValueError):
+                strict = True
+        if strict:
+            for element in batch:
+                if not isinstance(element, StreamElement):
+                    raise TypeError(f"expected a StreamElement, got {element!r}")
+                if element.dims != dims:
+                    raise ValueError(
+                        f"element has {element.dims} coordinate(s); engine "
+                        f"handles {dims} dimension(s)"
+                    )
         self.elements = batch
         self.size = len(batch)
         self.values = None
         self.weights = None
         self._arange = None
+        self._wf64 = None
         self.vectorizable = False
         if _np is None or not batch:
             return
         try:
-            values = _np.array([e.value for e in batch], dtype=_np.float64)
+            if strict:
+                values = _np.array([e.value for e in batch], dtype=_np.float64)
             weights = _np.array([e.weight for e in batch], dtype=_np.int64)
         except (OverflowError, ValueError):
             return  # weights beyond int64: scalar fallback stays exact
@@ -96,6 +147,7 @@ class PreparedBatch:
         batch.size = len(elements)
         batch.values = values
         batch.weights = weights
+        batch._wf64 = None
         if values is None or weights is None or _np is None or not len(elements):
             batch.values = None
             batch.weights = None
@@ -105,6 +157,20 @@ class PreparedBatch:
             batch._arange = _np.arange(batch.size, dtype=_np.intp)
             batch.vectorizable = True
         return batch
+
+    @property
+    def weights_f64(self):
+        """Float64 view of the weights, built once per batch.
+
+        The columnar descent's ``bincount`` wants float64 weights; the
+        conversion is exact (the vectorizability precondition bounds the
+        batch's total weight below 2^53) and cached so bisected
+        sub-ranges share it.
+        """
+        w = self._wf64
+        if w is None:
+            w = self._wf64 = self.weights.astype(_np.float64)
+        return w
 
     def indices(self, lo: int, hi: int):
         """Index array selecting the sub-range ``[lo, hi)`` (a view)."""

@@ -38,7 +38,7 @@ except ImportError:  # pragma: no cover - numpy ships with the package
 #: Ranges at most this long skip the bulk attempt and replay element by
 #: element — below the cutoff a vectorized pass costs more than the
 #: scalar loop it would replace.
-BATCH_SCALAR_CUTOFF = 8
+BATCH_SCALAR_CUTOFF = 4
 
 #: Failed bulk attempts allowed per batch before the driver stops trying
 #: and replays the rest scalar.  On slack-starved workloads (signals due
@@ -46,7 +46,7 @@ BATCH_SCALAR_CUTOFF = 8
 #: pass — and, when a round ended meanwhile, a full heap-min refresh —
 #: per level per failure; the fuel bound keeps the worst case within a
 #: small constant factor of plain scalar processing.
-BATCH_FAIL_FUEL = 8
+BATCH_FAIL_FUEL = 24
 
 #: Consecutive fuel-exhausted batches before the driver backs off to
 #: plain scalar replay, and how many *elements* the backoff lasts
@@ -74,7 +74,9 @@ def apply_collected(out, dirty, counters: WorkCounters) -> None:
     for state, deltas in out:
         state.apply(deltas)
         dirty[id(state)] = state
-        bumps += int(_np.count_nonzero(deltas))
+        # deltas[-1] is the columnar scratch slot (paths padding), not a
+        # node; only real node bumps enter the accounting.
+        bumps += int(_np.count_nonzero(deltas[:-1]))
     counters.counter_bumps += bumps
 
 
@@ -91,46 +93,87 @@ def bisect_batch(engine: Engine, batch: PreparedBatch, timestamp: int, try_bulk,
     amortising the Section 4 per-element hot loop over whole batches.
 
     Processes batch ranges in arrival order from an explicit stack:
-    ``try_bulk(lo, hi)`` either applies the whole range (True) or
-    declines (False), in which case the range is split in half and both
-    halves are retried — down to :data:`BATCH_SCALAR_CUTOFF` (or until
-    the failure fuel runs out), where ``run_scalar(lo, hi, events)``
-    replays the engine's exact per-element code path.  Because bulk
-    application only ever happens on ranges that provably produce no
-    events, and scalar leaves replay the exact per-element code path
-    (including rebuild checks), the event stream is bit-identical to
-    one-at-a-time processing.
+    ``try_bulk(lo, hi, hints, stash)`` either applies the whole range
+    (True) or declines (False), in which case the range is split in half
+    and both halves are retried — down to :data:`BATCH_SCALAR_CUTOFF`
+    (or until the failure fuel runs out), where
+    ``run_scalar(lo, hi, events, hints)`` replays the engine's exact
+    per-element code path.  Because bulk application only ever happens
+    on ranges that provably produce no events, and scalar leaves replay
+    the exact per-element code path (including rebuild checks), the
+    event stream is bit-identical to one-at-a-time processing.
+
+    Delta vectors are additive over disjoint element ranges, so the
+    driver caches each attempted range's per-state deltas (``stash``)
+    and hands every *right* half the exact difference ``parent - left``
+    as ``hints`` — a right sibling never pays a second vectorized
+    routing pass, and a fuel-exhausted right half resyncs its scalar
+    replay for free.  The cached vectors depend only on the batch values
+    and the frozen skeleton, so they stay exact across scalar replays,
+    heap mutations, and epoch bumps within the batch; a mid-batch
+    rebuild replaces the state object itself, which misses the
+    state-keyed lookup and routes fresh.
     """
     events: List[MaturityEvent] = []
+    obs = engine.obs
     if engine._bulk_backoff > 0:
         # Recent batches exhausted their fuel: the stream is slack-starved
         # right now, so skip the probing entirely for a while.  A maturity
         # detaches its tracker's heap entries — often the very entries
         # that starved the slack — so it ends the backoff early.
         engine._bulk_backoff -= batch.size
-        run_scalar(0, batch.size, events)
+        if obs.enabled:
+            obs.columnar_fallback(batch.size)
+        run_scalar(0, batch.size, events, None)
         if events:
             engine._bulk_backoff = 0
             engine._bulk_strikes = 0
         return events
-    stack: List[Tuple[int, int]] = [(0, batch.size)]
+    stack: List[Tuple[int, int, Optional[Tuple[int, int]]]] = [
+        (0, batch.size, None)
+    ]
+    cache: Dict[Tuple[int, int], dict] = {}
     # Scale the failure budget with the batch so small batches don't pay
     # a disproportionate number of failed vectorized passes per element.
-    fuel = min(BATCH_FAIL_FUEL, max(4, batch.size >> 6))
+    fuel = min(BATCH_FAIL_FUEL, max(4, batch.size >> 5))
     while stack:
-        lo, hi = stack.pop()
+        lo, hi, parent = stack.pop()
+        hints = None
+        if parent is not None and lo != parent[0]:
+            # Right half: derive deltas from the parent attempt minus the
+            # (already processed) left sibling.  Only states routed by
+            # *both* attempts are derivable; a None entry means the range
+            # routed nowhere, i.e. an all-zero delta vector.
+            parent_deltas = cache.pop(parent, None)
+            left_deltas = cache.pop((parent[0], lo), None)
+            if parent_deltas is not None and left_deltas is not None:
+                hints = {}
+                for state, pd in parent_deltas.items():
+                    if pd is None:
+                        hints[state] = None
+                    elif state in left_deltas:
+                        ld = left_deltas[state]
+                        hints[state] = pd if ld is None else pd - ld
         if hi - lo > BATCH_SCALAR_CUTOFF and fuel:
-            if try_bulk(lo, hi):
+            stash: dict = {}
+            if try_bulk(lo, hi, hints, stash):
+                if obs.enabled:
+                    obs.columnar_descent(hi - lo)
+                cache[(lo, hi)] = stash
                 continue
+            cache[(lo, hi)] = stash
             fuel -= 1
-            obs = engine.obs
             if obs.enabled:
                 obs.batch_bisected(hi - lo)
             mid = (lo + hi) >> 1
-            stack.append((mid, hi))
-            stack.append((lo, mid))
+            stack.append((mid, hi, (lo, hi)))
+            stack.append((lo, mid, (lo, hi)))
         else:
-            run_scalar(lo, hi, events)
+            if obs.enabled:
+                obs.columnar_fallback(hi - lo)
+            stash = {}
+            run_scalar(lo, hi, events, hints, stash)
+            cache[(lo, hi)] = stash
     if fuel == 0:
         engine._bulk_strikes += 1
         if engine._bulk_strikes >= BATCH_BACKOFF_STRIKES:
@@ -188,6 +231,9 @@ class TreeInstance:
                 heapified[id(node)] = node
         for node in heapified.values():
             node.heap.heapify()
+        # Rebuild boundary: freeze the columnar mirror while the
+        # skeleton is fresh, so no batch pays the pointer-graph walk.
+        self.tree.freeze(counters)
         self.built_count = len(self.trackers)
         self.alive = self.built_count
 
@@ -226,7 +272,16 @@ class TreeInstance:
                     self.alive -= 1
         return matured
 
-    def collect_batch(self, batch: PreparedBatch, lo: int, hi: int, out, epoch: int) -> bool:
+    def collect_batch(
+        self,
+        batch: PreparedBatch,
+        lo: int,
+        hi: int,
+        out,
+        epoch: int,
+        hints=None,
+        stash=None,
+    ) -> bool:
         """Slack-check the batch range ``[lo, hi)`` against this tree.
 
         Appends ``(state, deltas)`` pairs to ``out`` and returns True
@@ -237,17 +292,34 @@ class TreeInstance:
         """
         return self.tree.bulk_collect(
             batch.values,
-            batch.weights,
+            batch.weights_f64,
             batch.indices(lo, hi),
             out,
             self._counters,
             epoch,
+            hints,
+            stash,
         )
 
-    def resync_batch(self, batch: PreparedBatch, lo: int, hi: int, old_epoch: int, new_epoch: int) -> None:
+    def resync_batch(
+        self,
+        batch: PreparedBatch,
+        lo: int,
+        hi: int,
+        old_epoch: int,
+        new_epoch: int,
+        hints=None,
+        stash=None,
+    ) -> None:
         """Fold a scalar-replayed range into this tree's bulk mirrors."""
         self.tree.bulk_resync(
-            batch.values, batch.weights, batch.indices(lo, hi), old_epoch, new_epoch
+            batch.values,
+            batch.weights_f64,
+            batch.indices(lo, hi),
+            old_epoch,
+            new_epoch,
+            hints,
+            stash,
         )
 
     # -- management ---------------------------------------------------------
@@ -462,17 +534,21 @@ class StaticDTEngine(Engine):
         dirty = self._bulk_dirty
         scalar_elements = batch.elements
 
-        def try_bulk(lo: int, hi: int) -> bool:
+        def try_bulk(lo: int, hi: int, hints=None, stash=None) -> bool:
             instance = self._instance
             if instance is None:
                 return True
             out: List[Tuple[object, object]] = []
-            if not instance.collect_batch(batch, lo, hi, out, self._bulk_epoch):
+            if not instance.collect_batch(
+                batch, lo, hi, out, self._bulk_epoch, hints, stash
+            ):
                 return False
             apply_collected(out, dirty, self.counters)
             return True
 
-        def run_scalar(lo: int, hi: int, events: List[MaturityEvent]) -> None:
+        def run_scalar(
+            lo: int, hi: int, events: List[MaturityEvent], hints=None, stash=None
+        ) -> None:
             # process() flushes the deferred deltas before reading real
             # counters; afterwards the range's own bumps are folded back
             # into the mirrors so they stay exact without a rebuild.
@@ -481,7 +557,9 @@ class StaticDTEngine(Engine):
                 events.extend(self.process(scalar_elements[i], timestamp + i))
             instance = self._instance
             if instance is not None:
-                instance.resync_batch(batch, lo, hi, old_epoch, self._bulk_epoch)
+                instance.resync_batch(
+                    batch, lo, hi, old_epoch, self._bulk_epoch, hints, stash
+                )
 
         # Deferred deltas stay in the mirrors across batches; every real-
         # counter reader flushes via _bulk_flush first.

@@ -38,10 +38,13 @@ logarithmic method (:mod:`repro.core.logmethod`), exactly as in Section 5.
 
 from __future__ import annotations
 
+from functools import partial
+from itertools import compress as _compress
+from operator import attrgetter, is_not, itemgetter
 from typing import Iterator, List, Optional, Sequence, Tuple
 
 from ..structures.bst import build_skeleton as _build_skeleton
-from ..structures.heap import AddressableMinHeap
+from ..structures.heap import AddressableMinHeap, bulk_min_keys
 from .engine import WorkCounters
 from .geometry import PLUS_INFINITY, BoundaryKey, Rect, encoded_key
 
@@ -56,6 +59,13 @@ except ImportError:  # pragma: no cover - numpy ships with the package
 #: construct a brand-new EndpointTree.  Cleared wholesale when full.
 HOT_CACHE_LIMIT = 4096
 
+#: C-level field sweeps for the columnar flatten/refresh hot loops.
+_GET_COUNTER = attrgetter("counter")
+_GET_HEAP = attrgetter("heap")
+_KEY_VALUE = itemgetter(0)
+_KEY_BIT = itemgetter(1)
+_IS_NOT_NONE = partial(is_not, None)
+
 #: Node counters are mirrored in float64 arrays on the bulk path; stay
 #: well below 2^53 so every mirrored value and sum is exactly
 #: representable.  Beyond this total weight the tree simply stops
@@ -65,81 +75,412 @@ MAX_EXACT_COUNTER = float(1 << 52)
 _INF = float("inf")
 
 
-class _BulkState:
-    """Vectorized mirror of one last-dimension tree for batched ingestion.
+class ColumnarTree:
+    """Structure-of-arrays image of one last-dimension tree.
 
-    ``cnts``
-        float64 mirror of the *logical* counters ``c(u)`` (real node
-        counters plus not-yet-flushed bulk deltas), indexed like the
-        flat node list.
-    ``pend``
-        Bulk deltas accepted but not yet written back to the real
-        ``ETNode.counter`` ints; :meth:`flush` settles them (the write-
-        back is deferred so one Python loop covers many applied ranges).
-    ``heap_idx`` / ``heaps`` / ``mins``
-        The nodes owning a heap (the only ones that can veto a range),
-        their heaps, and a cached float64 of each heap's minimum sigma
-        (+inf when empty).  The cache is refreshed whenever the engine's
-        ``heap_ops`` counter moved — every sigma mutation in the tracker
-        protocol passes through a ``counters.heap_ops`` bump, so a stale
-        cache is always detected.
-    ``epoch``
-        The engine mutation epoch the mirror is synchronized to; any
-        engine mutation outside the batch driver's control (scalar
-        ``process``, register, terminate, credit) advances the epoch and
-        orphans the mirror.
-    ``guard`` / ``usable``
-        Remaining exactly-representable headroom; the mirror disables
-        itself before float64 rounding could bite.
+    Built once per :class:`EndpointTree` (the skeleton is immutable —
+    rebuilds construct a brand-new tree), the columnar image freezes the
+    pointer graph into parallel numpy arrays in BFS order (root at index
+    0, children of consecutive nodes laid out consecutively — the
+    Eytzinger layout generalized to non-complete skeletons via explicit
+    child-index arrays):
+
+    frozen skeleton columns
+        ``left`` / ``right`` / ``parent`` / ``depth`` — child, parent
+        and depth indices (-1 for "none"); ``lo`` / ``hi`` — encoded
+        jurisdiction bounds per node; ``leaf_lows`` / ``leaf_ids`` — the
+        leaves' encoded jurisdiction lows in key order plus their node
+        indices (the ``searchsorted`` routing table); ``paths`` — one
+        row per sorted leaf holding its full root-to-leaf node-index
+        path, padded with the sentinel index ``n`` so a whole batch
+        descends with one gather + one ``bincount``; ``heap_idx`` /
+        ``heaps`` — the nodes owning a heap (the only ones that can veto
+        a range; the heap set is fixed before any stream processing).
+
+    refreshable mirror columns
+        ``cnts`` — float64 mirror of the *logical* counters ``c(u)``
+        (real node counters plus not-yet-flushed bulk deltas); ``pend``
+        — bulk deltas accepted but not yet written back to the real
+        ``ETNode.counter`` ints (:meth:`flush` settles them; the write-
+        back is deferred so one Python loop covers many applied ranges);
+        ``mins`` — cached float64 of each heap's minimum sigma (+inf
+        when empty), refreshed whenever the engine's ``heap_ops``
+        counter moved; ``alive`` — which heap-bearing nodes still held
+        entries at the last min refresh.  Both ``cnts`` and the per-
+        range delta vectors carry one extra scratch slot at index ``n``
+        that absorbs the ``paths`` padding.
+
+    ``epoch`` is the engine mutation epoch the mirror is synchronized
+    to; any engine mutation outside the batch driver's control (scalar
+    ``process``, register, terminate) advances the epoch and orphans the
+    mirror, and :meth:`refresh` re-syncs it from the real counters
+    without rebuilding the frozen skeleton columns.  ``guard`` /
+    ``usable`` track the remaining exactly-representable float64
+    headroom; the mirror disables itself before rounding could bite.
     """
 
     __slots__ = (
+        # frozen skeleton columns
         "nodes",
-        "cnts",
-        "pend",
+        "n",
+        "left",
+        "right",
+        "parent",
+        "depth",
+        "height",
+        "leaf_lows",
+        "leaf_ids",
+        "levels",
         "heap_idx",
         "heaps",
+        "_peek_mins",
+        "_lo",
+        "_hi",
+        "_paths",
+        "_pos_cache",
+        # refreshable mirror columns
+        "cnts",
+        "pend",
         "mins",
+        "slack",
+        "heap_pos",
+        "alive",
         "heap_stamp",
         "rounds_stamp",
+        "bump_stamp",
         "epoch",
         "guard",
         "usable",
     )
 
-    def __init__(self, nodes, epoch: int, heap_stamp: int, rounds_stamp: int):
+    def __init__(self, root: ETNode, epoch: int, counters) -> None:
+        # BFS flatten: visiting node i appends both its children, so
+        # siblings are adjacent, nodes are depth-sorted, and the root
+        # sits at index 0.  That pairing makes the whole layout
+        # arithmetic — the k-th internal node (in BFS order) got the
+        # k-th child pair, at slots ``2k+1`` and ``2k+2`` of the append
+        # sequence — so the walk only records the node objects and which
+        # of them are internal; every index column falls out vectorized.
+        nodes: List[ETNode] = [root]
+        internal_list: List[int] = []
+        napp = nodes.append
+        iapp = internal_list.append
+        i = 0
+        while i < len(nodes):
+            node = nodes[i]
+            child = node.left
+            if child is not None:
+                iapp(i)
+                napp(child)
+                napp(node.right)
+            i += 1
         n = len(nodes)
-        cnts = _np.empty(n, dtype=_np.float64)
-        heap_idx: List[int] = []
-        heaps = []
-        for i, node in enumerate(nodes):
-            cnts[i] = node.counter
-            if node.heap is not None:
-                heap_idx.append(i)
-                heaps.append(node.heap)
         self.nodes = nodes
-        self.cnts = cnts
-        self.pend = _np.zeros(n, dtype=_np.float64)
-        self.heap_idx = _np.array(heap_idx, dtype=_np.intp)
-        self.heaps = heaps
-        self.mins = _np.empty(len(heaps), dtype=_np.float64)
+        self.n = n
+        internal = _np.array(internal_list, dtype=_np.intp)
+        k = _np.arange(len(internal), dtype=_np.intp)
+        lefts = _np.full(n, -1, dtype=_np.intp)
+        lefts[internal] = 2 * k + 1
+        rights = _np.full(n, -1, dtype=_np.intp)
+        rights[internal] = 2 * k + 2
+        parent = _np.empty(n, dtype=_np.intp)
+        parent[0] = -1
+        if n > 1:
+            parent[1:] = _np.repeat(internal, 2)
+        # Depth bands: band d+1 is exactly the children of band d's
+        # internal nodes, so each band edge advances by twice the number
+        # of internal nodes the previous band contained.
+        depths = _np.empty(n, dtype=_np.intp)
+        e_prev, e, a_prev, d = 0, 1, 0, 0
+        while e_prev < e:
+            depths[e_prev:e] = d
+            a = int(_np.searchsorted(internal, e))
+            e_prev, e = e, e + 2 * (a - a_prev)
+            a_prev = a
+            d += 1
+        self.left = lefts
+        self.right = rights
+        self.parent = parent
+        self.depth = depths
+        self.height = height = d - 1
+        # Heaps are captured once here: the heap set is fixed before any
+        # stream processing (tracker.start attaches them during
+        # TreeInstance construction), so this first-bulk-use scan is
+        # exhaustive.
+        heap_list = list(map(_GET_HEAP, nodes))
+        has_heap = list(map(_IS_NOT_NONE, heap_list))
+        self.heap_idx = _np.nonzero(
+            _np.fromiter(has_heap, dtype=bool, count=n)
+        )[0]
+        self.heaps = heaps = list(_compress(heap_list, has_heap))
+        self.heap_pos = _np.full(n, -1, dtype=_np.intp)
+        self.heap_pos[self.heap_idx] = _np.arange(len(heaps), dtype=_np.intp)
+        self._peek_mins = bool(heaps) and set(map(type, heaps)) == {
+            AddressableMinHeap
+        }
+        self._lo = None  # encoded jurisdiction bounds, built on demand
+        self._hi = None
+        self._paths = None  # root-to-leaf path matrix, built on demand
+        self._pos_cache = None
+
+        # Leaf routing table: the leaves' encoded jurisdiction lows in
+        # key order.  A leaf's low is its BST key, so key order is the
+        # symmetric (in-order) order; the (value, bit) boundary keys
+        # encode vectorized (see geometry.encoded_key).
+        leaf_ids = _np.nonzero(lefts < 0)[0]
+        leaf_los = [nodes[j].lo for j in leaf_ids.tolist()]
+        n_leaves = len(leaf_los)
+        lows = _np.fromiter(
+            map(_KEY_VALUE, leaf_los), dtype=_np.float64, count=n_leaves
+        )
+        bits = _np.fromiter(map(_KEY_BIT, leaf_los), dtype=bool, count=n_leaves)
+        if bits.any():
+            lows[bits] = _np.nextafter(lows[bits], _INF)
+        order = _np.argsort(lows, kind="stable")
+        self.leaf_ids = leaf_ids[order]
+        self.leaf_lows = lows[order]
+
+        # Per-level ``(parents, child_start, child_end)`` triples,
+        # deepest first, for the level-synchronous bottom-up delta
+        # propagation preserving c(parent) = c(left) + c(right).  BFS
+        # order is depth-sorted and appends sibling pairs consecutively
+        # in parent order, so depth band d+1 *is* the children of the
+        # depth-d internal nodes — a contiguous slice whose pairwise
+        # sums line up with those parents.
+        d_int = depths[internal]
+        self.levels = []
+        for d in range(height - 1, -1, -1) if n > 1 else []:
+            a, b = _np.searchsorted(d_int, (d, d + 1))
+            if a < b:
+                par = internal[a:b]
+                self.levels.append((par, int(lefts[par[0]]), int(rights[par[-1]]) + 1))
+
+        self.cnts = _np.empty(n + 1, dtype=_np.float64)
+        cnts = self.cnts
+        cnts[:n] = _np.fromiter(map(_GET_COUNTER, nodes), _np.float64, count=n)
+        cnts[n] = 0.0
+        self.pend = _np.zeros(n + 1, dtype=_np.float64)
+        self.mins = _np.empty(0, dtype=_np.float64)
+        self.slack = None
+        self.alive = _np.zeros(len(heaps), dtype=bool)
         self.refresh_mins()
-        self.heap_stamp = heap_stamp
-        self.rounds_stamp = rounds_stamp
+        self.heap_stamp = counters.heap_ops
+        self.rounds_stamp = counters.rounds
+        self.bump_stamp = counters.counter_bumps
         self.epoch = epoch
-        self.guard = MAX_EXACT_COUNTER - (float(cnts.max()) if n else 0.0)
+        self.guard = MAX_EXACT_COUNTER - float(cnts[:n].max())
+        self.usable = self.guard > 0.0
+
+    def refresh(self, epoch: int, counters) -> None:
+        """Re-sync the mirror columns from the real pointer-graph state.
+
+        Called when the engine epoch moved outside the batch driver's
+        control; any deferred deltas must already have been flushed (the
+        driver flushes before every epoch bump), so re-reading the real
+        counters is exact.  The frozen skeleton columns are untouched.
+        When the engine work stamps prove nothing moved since the last
+        sync — no counter bump, heap op, or round transition anywhere in
+        the engine — the mirror is already exact and only the epoch
+        advances (the common case right after a rebuild-boundary
+        :meth:`EndpointTree.freeze`, where the epoch moved because of
+        registrations that built *this very* tree).
+        """
+        if (
+            counters.counter_bumps == self.bump_stamp
+            and counters.heap_ops == self.heap_stamp
+            and counters.rounds == self.rounds_stamp
+        ):
+            self.epoch = epoch
+            return
+        n = self.n
+        cnts = self.cnts
+        cnts[:n] = _np.fromiter(map(_GET_COUNTER, self.nodes), _np.float64, count=n)
+        cnts[n] = 0.0
+        self.pend[:] = 0.0
+        self.refresh_mins()
+        self.heap_stamp = counters.heap_ops
+        self.rounds_stamp = counters.rounds
+        self.bump_stamp = counters.counter_bumps
+        self.epoch = epoch
+        self.guard = MAX_EXACT_COUNTER - float(cnts[:n].max())
         self.usable = self.guard > 0.0
 
     def refresh_mins(self) -> None:
-        mins = self.mins
-        for i, heap in enumerate(self.heaps):
-            mk = heap.min_key
-            mins[i] = _INF if mk is None else mk
+        heaps = self.heaps
+        if self._peek_mins:
+            # Addressable heaps keep their minimum at the array root, so
+            # read it via the heap module's bulk sweep instead of paying
+            # a ``min_key`` property call per heap (this runs over every
+            # heap on each refresh).
+            mins = _np.array(bulk_min_keys(heaps, _INF), dtype=_np.float64)
+        else:
+            mins = _np.array(
+                [
+                    _INF if mk is None else mk
+                    for mk in (heap.min_key for heap in heaps)
+                ],
+                dtype=_np.float64,
+            )
+        if mins.shape == self.mins.shape:
+            self.mins[:] = mins
+        else:  # first fill
+            self.mins = mins
+        self.alive = mins < _INF
+        # Full-length slack column ``min H(u) - c(u)`` (+inf at heap-less
+        # nodes): the bulk safety check reduces to one vectorized
+        # ``deltas >= slack`` sweep, no per-probe gather.  The DT
+        # invariant keeps every entry positive between refreshes.
+        n = self.n
+        slack = self.slack
+        if slack is None or slack.shape[0] != n:
+            slack = self.slack = _np.full(n, _INF, dtype=_np.float64)
+        else:
+            slack[:] = _INF
+        hidx = self.heap_idx
+        slack[hidx] = mins - self.cnts[hidx]
+
+    def bounds(self):
+        """Encoded per-node jurisdiction bounds ``(lo, hi)`` columns.
+
+        Built on demand — the descent itself only needs the leaf routing
+        table; these full columns serve the columnar↔pointer sanitizer
+        cross-check and introspection.
+        """
+        lo = self._lo
+        if lo is None:
+            nodes = self.nodes
+            lo = self._lo = _np.array(
+                [encoded_key(nd.lo) for nd in nodes], dtype=_np.float64
+            )
+            self._hi = _np.array(
+                [encoded_key(nd.hi) for nd in nodes], dtype=_np.float64
+            )
+        return lo, self._hi
+
+    def paths(self):
+        """Root-to-leaf path matrix (one row per sorted leaf), on demand.
+
+        Row ``r`` holds the node indices from the root down to sorted
+        leaf ``r``, padded with the sentinel index ``n`` (the scratch
+        slot every delta vector carries).  Row ``-1`` is all-sentinel:
+        elements whose leaf slot came back ``-1`` (value left of the
+        leftmost endpoint — they route nowhere) wrap onto it under
+        numpy's negative fancy indexing, so the gather path needs no
+        drop-out mask; their weight lands in the scratch slot, which
+        every consumer already ignores.  Built lazily, on the first
+        range that takes the gather path.
+        """
+        paths = self._paths
+        if paths is None:
+            n = self.n
+            leaf_ids = self.leaf_ids
+            paths = _np.full((len(leaf_ids) + 1, self.height + 1), n, dtype=_np.intp)
+            rows = _np.arange(len(leaf_ids), dtype=_np.intp)
+            climb = self.parent.copy()
+            climb[0] = 0  # the root climbs to itself (idempotent re-write)
+            cur = leaf_ids.copy()
+            dep = self.depth
+            for _ in range(self.height + 1):
+                paths[rows, dep[cur]] = cur
+                cur = climb[cur]
+            self._paths = paths
+        return paths
+
+    def _positions(self, values, dim):
+        """Leaf slot of every batch element (cached per batch).
+
+        One ``searchsorted`` over the whole batch serves every bisected
+        sub-range via slicing.  The cache holds a strong reference to
+        the batch's value array, so identity comparison cannot alias a
+        recycled allocation.
+        """
+        cache = self._pos_cache
+        if cache is not None and cache[0] is values:
+            return cache
+        pos = _np.searchsorted(self.leaf_lows, values[:, dim], side="right") - 1
+        # Slot 2 records whether every element landed on a leaf (none
+        # fell left of the leftmost endpoint): when True, every bisected
+        # sub-range can skip its drop-out mask.  Slot 3 lazily holds the
+        # whole batch's path-repeated weights for the full-range gather.
+        cache = self._pos_cache = [values, pos, bool((pos >= 0).all()), None]
+        return cache
+
+    def route(self, values, weights_f64, sel, dim):
+        """Vectorized descent: per-node weight deltas for ``sel``.
+
+        Exactly the counter increments the scalar descents of ``sel``
+        would perform: elements land on leaf slots via ``searchsorted``
+        over the encoded jurisdiction lows (values below the leftmost
+        endpoint drop out, as in ``_descend``), then every ancestor
+        accumulates — normally through a single ``bincount`` over the
+        gathered :meth:`paths` rows, or for a range so large the path
+        block would dwarf the tree through the level-synchronous
+        gather/scatter over :attr:`levels`.  Both produce identical
+        deltas.  Returns None when nothing routes; the result
+        has ``n + 1`` slots (the last one is scratch absorbing the path
+        padding) and ``deltas[0]`` — the root's delta — is the total
+        routed weight of the range.
+        """
+        cache = self._pos_cache
+        if (cache is not None and cache[0] is values) or (
+            4 * sel.size >= values.shape[0]
+        ):
+            cache = self._positions(values, dim)
+            pos_all = cache[1]
+            full = sel.size == pos_all.size
+            pos = pos_all if full else pos_all[sel]
+        else:
+            # Small slices (bisection probes, secondary-tree subsets)
+            # search directly; priming a whole-batch cache would cost
+            # more than it saves.
+            pos = _np.searchsorted(self.leaf_lows, values[sel, dim], side="right") - 1
+            full = False
+            cache = None
+        n = self.n
+        if pos.size * (self.height + 1) < 4 * n:
+            # Gather the root-to-leaf paths and scatter-add them in one
+            # weighted bincount.  Wins well past the naive n-slot
+            # crossover: the level loop pays ~height numpy dispatches,
+            # the gather pays three on a contiguous block.  Drop-outs
+            # (``pos == -1``) wrap onto the all-sentinel last path row,
+            # so no mask is needed here.
+            touched = self.paths()[pos]
+            if full:
+                # Whole-batch descent: reuse the path-repeated weight
+                # vector across this batch's top-level probes.
+                wrep = cache[3]
+                if wrep is None or wrep.size != sel.size * touched.shape[1]:
+                    wrep = cache[3] = _np.repeat(weights_f64, touched.shape[1])
+            else:
+                wrep = _np.repeat(weights_f64[sel], touched.shape[1])
+            return _np.bincount(
+                touched.ravel(),
+                weights=wrep,
+                minlength=n + 1,
+            )
+        # ``pos`` rides in whole-batch order on the full fast path and in
+        # ``sel`` order otherwise; the weight vector must ride the same
+        # order (secondary trees pass ``sel`` permuted by an earlier
+        # dimension's sort, so the two orders genuinely differ).
+        w = weights_f64 if full else weights_f64[sel]
+        mask = pos >= 0
+        if not mask.all():
+            if not mask.any():
+                return None
+            pos = pos[mask]
+            w = w[mask]
+        leaf_deltas = _np.bincount(pos, weights=w, minlength=len(self.leaf_lows))
+        deltas = _np.zeros(n + 1, dtype=_np.float64)
+        deltas[self.leaf_ids] = leaf_deltas
+        for par, child_start, child_end in self.levels:
+            deltas[par] = deltas[child_start:child_end].reshape(-1, 2).sum(axis=1)
+        return deltas
 
     def apply(self, deltas) -> None:
         """Accept a safe range's deltas (deferred; see :meth:`flush`)."""
         self.cnts += deltas
         self.pend += deltas
+        self.slack -= deltas[: self.n]
         # deltas[0] is the root's delta == the range's total routed
         # weight, an upper bound on any node's growth.
         self.guard -= float(deltas[0])
@@ -149,6 +490,7 @@ class _BulkState:
     def charge(self, deltas) -> None:
         """Fold a scalar-replayed range's deltas into the mirror."""
         self.cnts += deltas
+        self.slack -= deltas[: self.n]
         self.guard -= float(deltas[0])
         if self.guard <= 0.0:
             self.usable = False
@@ -156,12 +498,15 @@ class _BulkState:
     def flush(self) -> None:
         """Write deferred deltas back to the real node counters."""
         pend = self.pend
-        idx = _np.nonzero(pend)[0]
+        n = self.n
+        idx = _np.nonzero(pend[:n])[0]
         if idx.size:
             nodes = self.nodes
             for i, v in zip(idx.tolist(), pend[idx].astype(_np.int64).tolist()):
                 nodes[i].counter += v
             pend[idx] = 0.0
+        pend[n] = 0.0
+        self.cnts[n] = 0.0
 
 
 class ETNode:
@@ -331,9 +676,9 @@ class EndpointTree:
         self.last_dim = dim == ndims - 1
         self._counters = counters
         self.size = len(items)
-        self._flat = None  # lazy vectorized-routing index (bulk_collect)
+        self._flat = None  # lazy secondary-dimension routing index
         self._hot_cache: dict = {}  # value point -> tuple of touched nodes
-        self._bulk: Optional[_BulkState] = None  # batched-ingestion mirror
+        self._bulk: Optional[ColumnarTree] = None  # columnar batch engine
 
         keys = set()
         usable: List[Tuple[Rect, List[ETNode]]] = []
@@ -439,134 +784,113 @@ class EndpointTree:
     # -- batched bulk collection (docs/PERFORMANCE.md) ---------------------
 
     def _ensure_flat(self):
-        """Build (once) the flat routing index used by :meth:`bulk_collect`.
+        """Build (once) the secondary routing index for earlier dimensions.
 
-        For a last-dimension tree: every node in an indexable list, the
-        leaves' encoded jurisdiction lows in key order (for
-        ``searchsorted`` routing), and per-depth ``(parent, left, right)``
-        index arrays, deepest first, for the bottom-up delta propagation
-        that preserves ``c(parent) = c(left) + c(right)``.
-
-        For an earlier dimension: the nodes owning a secondary tree, as
-        ``(encoded lo, encoded hi, secondary)`` triples — an element is
+        The nodes owning a secondary tree, as parallel arrays of encoded
+        jurisdiction bounds plus the secondary list — an element is
         handled by a secondary iff its coordinate lies in the owning
         node's jurisdiction, which is exactly what the scalar descent
-        path visits.
+        path visits.  Both bound lookups then run as *one*
+        ``searchsorted`` call over all secondaries of the level.
+        (Last-dimension trees flatten into a :class:`ColumnarTree`
+        instead; see :meth:`bulk_collect`.)
         """
         flat = self._flat
         if flat is not None:
             return flat
-        root = self.root
-        if self.last_dim:
-            nodes: List[ETNode] = []
-            leaves: List[Tuple[float, int]] = []
-            internal: List[Tuple[int, int, ETNode]] = []
-            walk: List[Tuple[ETNode, int]] = [(root, 0)] if root is not None else []
-            while walk:
-                node, depth = walk.pop()
-                idx = len(nodes)
-                nodes.append(node)
-                if node.left is None:
-                    leaves.append((encoded_key(node.lo), idx))
-                else:
-                    internal.append((depth, idx, node))
-                    walk.append((node.right, depth + 1))
-                    walk.append((node.left, depth + 1))
-            index_of = {id(node): i for i, node in enumerate(nodes)}
-            by_depth: dict = {}
-            for depth, idx, node in internal:
-                bucket = by_depth.setdefault(depth, ([], [], []))
-                bucket[0].append(idx)
-                bucket[1].append(index_of[id(node.left)])
-                bucket[2].append(index_of[id(node.right)])
-            levels = [
-                tuple(_np.array(ids, dtype=_np.intp) for ids in by_depth[d])
-                for d in sorted(by_depth, reverse=True)
-            ]
-            leaves.sort()
-            leaf_lows = _np.array([lo for lo, _ in leaves], dtype=_np.float64)
-            leaf_ids = _np.array([i for _, i in leaves], dtype=_np.intp)
-            flat = (nodes, leaf_lows, leaf_ids, levels)
-        else:
-            secondaries: List[Tuple[float, float, EndpointTree]] = []
-            walk2: List[ETNode] = [root] if root is not None else []
-            while walk2:
-                node = walk2.pop()
-                if node.secondary is not None:
-                    secondaries.append(
-                        (encoded_key(node.lo), encoded_key(node.hi), node.secondary)
-                    )
-                if node.left is not None:
-                    walk2.append(node.right)
-                    walk2.append(node.left)
-            flat = secondaries
+        los: List[float] = []
+        his: List[float] = []
+        secondaries: List[EndpointTree] = []
+        walk: List[ETNode] = [self.root] if self.root is not None else []
+        while walk:
+            node = walk.pop()
+            if node.secondary is not None:
+                los.append(encoded_key(node.lo))
+                his.append(encoded_key(node.hi))
+                secondaries.append(node.secondary)
+            if node.left is not None:
+                walk.append(node.right)
+                walk.append(node.left)
+        flat = (
+            _np.array(los, dtype=_np.float64),
+            _np.array(his, dtype=_np.float64),
+            secondaries,
+        )
         self._flat = flat
         return flat
 
-    def _route_deltas(self, values, weights, sel):
-        """Vectorized last-dimension routing: per-node weight deltas.
-
-        Exactly the counter increments the scalar descents of ``sel``
-        would perform: elements land on leaves via ``searchsorted`` over
-        the encoded jurisdiction lows (values below the leftmost
-        endpoint drop out, as in ``_descend``), then propagate bottom-up
-        so ``delta(parent) = delta(left) + delta(right)``.  Returns None
-        when nothing routes.  ``deltas[0]`` is the root's delta — the
-        total routed weight of the range.
-        """
-        nodes, leaf_lows, leaf_ids, levels = self._ensure_flat()
-        v = values[sel, self.dim]
-        pos = _np.searchsorted(leaf_lows, v, side="right") - 1
-        mask = pos >= 0
-        if not mask.any():
-            return None
-        w = weights[sel]
-        leaf_deltas = _np.bincount(
-            pos[mask],
-            weights=w[mask].astype(_np.float64),
-            minlength=len(leaf_lows),
-        )
-        deltas = _np.zeros(len(nodes), dtype=_np.float64)
-        deltas[leaf_ids] = leaf_deltas
-        for parents, lefts, rights in levels:
-            deltas[parents] = deltas[lefts] + deltas[rights]
-        return deltas
-
-    def _make_bulk_state(self, epoch: int, counters) -> _BulkState:
-        nodes = self._ensure_flat()[0]
-        state = _BulkState(nodes, epoch, counters.heap_ops, counters.rounds)
-        self._bulk = state
+    def _columnar(self, epoch: int, counters) -> ColumnarTree:
+        """The tree's :class:`ColumnarTree`, flattened once and refreshed
+        whenever the engine epoch moved outside the batch driver."""
+        state = self._bulk
+        if state is None:
+            state = self._bulk = ColumnarTree(self.root, epoch, counters)
+        elif state.epoch != epoch:
+            state.refresh(epoch, counters)
         return state
 
-    def bulk_collect(self, values, weights, sel, out, counters, epoch) -> bool:
+    def freeze(self, counters) -> None:
+        """Pre-build the columnar mirrors at a rebuild boundary.
+
+        Rebuilds construct a brand-new skeleton, so the flatten — the
+        only part of the columnar lifecycle that walks the pointer graph
+        — belongs to construction, not to the first batch that happens
+        to arrive.  The mirror is left stale (``epoch = -1``): the first
+        batched use re-syncs the refreshable columns, which is cheap (and
+        free when the engine stamps prove nothing moved since).
+        """
+        if _np is None or self.root is None:
+            return
+        if self.last_dim:
+            if self._bulk is None:
+                state = self._bulk = ColumnarTree(self.root, -1, counters)
+                state.paths()  # the descent's gather matrix, also frozen
+            return
+        for secondary in self._ensure_flat()[2]:
+            secondary.freeze(counters)
+
+    def bulk_collect(
+        self, values, weights, sel, out, counters, epoch, hints=None, stash=None
+    ) -> bool:
         """Slack-check a batch sub-range for bulk application.
 
         ``values``/``weights`` are the full batch arrays of a
-        :class:`~repro.core.batch.PreparedBatch`; ``sel`` indexes the
-        elements under consideration.  Returns True iff the range is
-        *safe* everywhere: at each touched node ``u``,
-        ``min H(u) > c(u) + delta(u)``.  Counters are monotone within
-        the range, so safety means no prefix of it can trigger a signal
-        anywhere — applying the deltas in one step is then
-        observationally identical to element-at-a-time processing (and
-        produces zero events).
+        :class:`~repro.core.batch.PreparedBatch` (``weights`` already
+        float64); ``sel`` indexes the elements under consideration.
+        Returns True iff the range is *safe* everywhere: at each touched
+        node ``u``, ``min H(u) > c(u) + delta(u)``.  Counters are
+        monotone within the range, so safety means no prefix of it can
+        trigger a signal anywhere — applying the deltas in one step is
+        then observationally identical to element-at-a-time processing
+        (and produces zero events).
 
-        The check runs entirely on the tree's :class:`_BulkState` mirror
-        (one vectorized comparison over the heap-bearing nodes); on
-        success ``(state, deltas)`` is appended to ``out`` for the
-        caller to apply once *every* participating tree agrees.  On
-        False nothing has been applied and ``out`` must be discarded.
+        The check runs entirely on the tree's :class:`ColumnarTree`
+        image (one vectorized comparison over the heap-bearing nodes the
+        range actually touches); on success ``(state, deltas)`` is
+        appended to ``out`` for the caller to apply once *every*
+        participating tree agrees.  On False nothing has been applied
+        and ``out`` must be discarded.
+
+        ``hints`` maps mirror states to precomputed delta vectors (or
+        None for "routes nowhere"): deltas are additive over disjoint
+        element sets, so the bisection driver derives a right half's
+        deltas as ``parent - left`` instead of re-routing (exact — the
+        sums are integers below 2^53).  ``stash``, when given, collects
+        this range's per-state deltas so the driver can derive siblings.
         """
         root = self.root
         if root is None or len(sel) == 0:
             return True
         if self.last_dim:
-            state = self._bulk
-            if state is None or state.epoch != epoch:
-                state = self._make_bulk_state(epoch, counters)
+            state = self._columnar(epoch, counters)
             if not state.usable:
                 return False
-            deltas = self._route_deltas(values, weights, sel)
+            if hints is not None and state in hints:
+                deltas = hints[state]
+            else:
+                deltas = state.route(values, weights, sel, self.dim)
+            if stash is not None:
+                stash[state] = deltas
             if deltas is None:
                 return True
             if state.rounds_stamp != counters.rounds:
@@ -579,11 +903,13 @@ class EndpointTree:
                 state.refresh_mins()
                 state.rounds_stamp = counters.rounds
                 state.heap_stamp = counters.heap_ops
-            hidx = state.heap_idx
-            eff = state.cnts[hidx] + deltas[hidx]
-            mins = state.mins
-            viol = _np.nonzero(mins <= eff)[0]
-            if viol.size:
+            # One vectorized sweep against the maintained slack column
+            # ``min H(u) - c(u)``: a node violates iff its delta reaches
+            # the slack (the DT invariant keeps fresh slack positive, so
+            # untouched nodes — delta zero — can never trigger here).
+            d = deltas[: state.n]
+            viol = d >= state.slack
+            if viol.any():
                 if state.heap_stamp == counters.heap_ops:
                     return False  # mins are current: a signal would fire
                 # Between round transitions sigma keys only move up, so a
@@ -591,11 +917,18 @@ class EndpointTree:
                 # Re-read just the violating heaps (usually a handful)
                 # instead of paying a full refresh on every failed probe.
                 heaps = state.heaps
-                for i in viol:
-                    mk = heaps[i].min_key
+                mins = state.mins
+                slack = state.slack
+                cnts = state.cnts
+                hpos = state.heap_pos
+                for j in _np.nonzero(viol)[0].tolist():
+                    p = hpos[j]
+                    mk = heaps[p].min_key
                     m = _INF if mk is None else mk
-                    mins[i] = m
-                    if m <= eff[i]:
+                    mins[p] = m
+                    s = m - cnts[j]
+                    slack[j] = s
+                    if d[j] >= s:
                         return False  # a signal would fire inside the range
             out.append((state, deltas))
             return True
@@ -603,24 +936,42 @@ class EndpointTree:
         order = _np.argsort(v, kind="stable")
         sorted_v = v[order]
         sorted_sel = sel[order]
-        for enc_lo, enc_hi, secondary in self._ensure_flat():
-            a = _np.searchsorted(sorted_v, enc_lo, side="left")
-            b = _np.searchsorted(sorted_v, enc_hi, side="left")
-            if a < b and not secondary.bulk_collect(
-                values, weights, sorted_sel[a:b], out, counters, epoch
+        los, his, secondaries = self._ensure_flat()
+        starts = _np.searchsorted(sorted_v, los, side="left")
+        stops = _np.searchsorted(sorted_v, his, side="left")
+        for j in _np.nonzero(starts < stops)[0]:
+            if not secondaries[j].bulk_collect(
+                values,
+                weights,
+                sorted_sel[starts[j] : stops[j]],
+                out,
+                counters,
+                epoch,
+                hints,
+                stash,
             ):
                 return False
         return True
 
-    def bulk_resync(self, values, weights, sel, old_epoch: int, new_epoch: int) -> None:
+    def bulk_resync(
+        self,
+        values,
+        weights,
+        sel,
+        old_epoch: int,
+        new_epoch: int,
+        hints=None,
+        stash=None,
+    ) -> None:
         """Re-synchronize live mirrors after a scalar replay of ``sel``.
 
         The scalar path bumped real node counters directly; folding the
         same routed deltas into each mirror's ``cnts`` (and advancing its
         epoch) keeps the mirror exact without a rebuild.  Mirrors at an
-        unexpected epoch are dropped instead — they will be rebuilt from
-        the real counters on next use.  Subtrees the range never touches
-        still get their epoch advanced (their counters didn't move).
+        unexpected epoch are marked stale instead — their frozen skeleton
+        columns survive and only the mirror columns re-read the real
+        counters on next use.  Subtrees the range never touches still get
+        their epoch advanced (their counters didn't move).
         """
         if self.root is None:
             return
@@ -629,33 +980,42 @@ class EndpointTree:
             if state is None:
                 return
             if state.epoch != old_epoch:
-                self._bulk = None
+                state.epoch = -1  # stale: refresh from real counters on next use
                 return
             if len(sel):
-                deltas = self._route_deltas(values, weights, sel)
+                if hints is not None and state in hints:
+                    deltas = hints[state]
+                else:
+                    deltas = state.route(values, weights, sel, self.dim)
+                if stash is not None:
+                    stash[state] = deltas
                 if deltas is not None:
                     state.charge(deltas)
             state.epoch = new_epoch
             return
-        secondaries = self._ensure_flat()
+        los, his, secondaries = self._ensure_flat()
         if len(sel):
             v = values[sel, self.dim]
             order = _np.argsort(v, kind="stable")
             sorted_v = v[order]
             sorted_sel = sel[order]
             empty = sorted_sel[:0]
-            for enc_lo, enc_hi, secondary in secondaries:
-                a = _np.searchsorted(sorted_v, enc_lo, side="left")
-                b = _np.searchsorted(sorted_v, enc_hi, side="left")
+            starts = _np.searchsorted(sorted_v, los, side="left")
+            stops = _np.searchsorted(sorted_v, his, side="left")
+            for j, secondary in enumerate(secondaries):
+                a = starts[j]
+                b = stops[j]
                 secondary.bulk_resync(
                     values,
                     weights,
                     sorted_sel[a:b] if a < b else empty,
                     old_epoch,
                     new_epoch,
+                    hints,
+                    stash,
                 )
         else:
-            for _enc_lo, _enc_hi, secondary in secondaries:
+            for secondary in secondaries:
                 secondary.bulk_resync(values, weights, sel, old_epoch, new_epoch)
 
     def bulk_flush(self) -> None:
@@ -671,7 +1031,7 @@ class EndpointTree:
             return
         if self.root is None:
             return
-        for _enc_lo, _enc_hi, secondary in self._ensure_flat():
+        for secondary in self._ensure_flat()[2]:
             secondary.bulk_flush()
 
     # -- introspection -------------------------------------------------------

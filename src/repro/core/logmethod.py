@@ -242,17 +242,19 @@ class DTEngine(Engine):
         dirty = self._bulk_dirty
         scalar_elements = batch.elements
 
-        def try_bulk(lo: int, hi: int) -> bool:
+        def try_bulk(lo: int, hi: int, hints=None, stash=None) -> bool:
             out: List[Tuple[object, object]] = []
             for tree in self._trees:
                 if tree is not None and not tree.collect_batch(
-                    batch, lo, hi, out, self._bulk_epoch
+                    batch, lo, hi, out, self._bulk_epoch, hints, stash
                 ):
                     return False
             apply_collected(out, dirty, self.counters)
             return True
 
-        def run_scalar(lo: int, hi: int, events: List[MaturityEvent]) -> None:
+        def run_scalar(
+            lo: int, hi: int, events: List[MaturityEvent], hints=None, stash=None
+        ) -> None:
             # process() flushes the deferred deltas before reading real
             # counters; afterwards the range's own bumps are folded back
             # into every tree's mirrors so they stay exact without a
@@ -262,7 +264,9 @@ class DTEngine(Engine):
                 events.extend(self.process(scalar_elements[i], timestamp + i))
             for tree in self._trees:
                 if tree is not None:
-                    tree.resync_batch(batch, lo, hi, old_epoch, self._bulk_epoch)
+                    tree.resync_batch(
+                        batch, lo, hi, old_epoch, self._bulk_epoch, hints, stash
+                    )
 
         # Deferred deltas stay in the mirrors across batches; every real-
         # counter reader flushes via _bulk_flush first.

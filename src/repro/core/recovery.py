@@ -207,6 +207,10 @@ class DurableSystem:
 
         Returns the JSON-compatible snapshot; the caller persists it, and
         from then on only operations after this instant need replaying.
+
+        Safe to call while a batched engine has deferred columnar deltas
+        outstanding: the snapshot reads W(q) through ``collected_weight``,
+        which flushes pending deltas into the canonical counters first.
         """
         snap = self.system.snapshot()
         self.wal.clear()

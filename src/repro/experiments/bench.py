@@ -37,6 +37,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from ..core.batch import MAX_EXACT_WEIGHT, PreparedBatch
 from ..core.system import make_engine
 from ..streams.generators import QueryFactory, elements_from_arrays, generate_element_arrays
 from ..streams.scale import PAPER_TAU, paper_params
@@ -64,7 +65,20 @@ SMALL_TAU_HORIZON = 0.02
 
 @dataclass(slots=True)
 class BenchWorkload:
-    """Materialised benchmark inputs plus their provenance."""
+    """Materialised benchmark inputs plus their provenance.
+
+    The stream is generated columnar (``generate_element_arrays``), and
+    both views of it are kept: ``elements`` (the object view, fed to the
+    scalar path one at a time) and ``values``/``weights`` (the array
+    view the generator produced).  The batched path ingests row-slices
+    of the array view via :meth:`PreparedBatch.from_arrays` — the same
+    pack-once-slice-many pattern the sharded router uses — so a batch
+    benchmark measures the engines' columnar descent, not the cost of
+    re-deriving arrays from Python objects the generator had to begin
+    with.  Both views are exact images of each other (float64 values
+    round-trip through ``StreamElement`` bit-for-bit), so events are
+    byte-identical either way.
+    """
 
     dims: int
     m: int
@@ -74,6 +88,8 @@ class BenchWorkload:
     scale: int
     queries: List[object]
     elements: List[object]
+    values: Optional[object] = None
+    weights: Optional[object] = None
 
     def meta(self) -> Dict[str, object]:
         return {
@@ -118,6 +134,8 @@ def build_bench_workload(
         queries[i] = type(q)(q.rect, small_tau, query_id=q.query_id)
     values, weights = generate_element_arrays(rng, n, params)
     elements = elements_from_arrays(values, weights)
+    if int(weights.sum()) >= MAX_EXACT_WEIGHT:  # pragma: no cover - huge weights
+        values = weights = None  # vectorized routing couldn't stay exact
     return BenchWorkload(
         dims=dims,
         m=params.m,
@@ -127,6 +145,8 @@ def build_bench_workload(
         scale=scale,
         queries=queries,
         elements=elements,
+        values=values,
+        weights=weights,
     )
 
 
@@ -179,8 +199,17 @@ def _run_once(
                     events.append((e.query.query_id, e.timestamp, e.weight_seen))
     else:
         ts = 1
+        values = workload.values
+        weights = workload.weights
         for i in range(0, len(elements), batch_size):
-            chunk = elements[i : i + batch_size]
+            j = i + batch_size
+            chunk = elements[i:j]
+            if values is not None:
+                # The generator produced the stream columnar; hand the
+                # engine a row-slice of that array view (exactly what
+                # the sharded router does per shard) instead of
+                # re-packing the object view per batch.
+                chunk = PreparedBatch.from_arrays(chunk, values[i:j], weights[i:j])
             c0 = time.perf_counter()
             evs = eng.process_batch(chunk, ts)
             if timed_calls:
@@ -301,8 +330,14 @@ def _observed_shard_replay(
     try:
         system.register_batch(workload.queries)
         elements = workload.elements
+        values = workload.values
+        weights = workload.weights
         for i in range(0, len(elements), batch_size):
-            system.process_batch(elements[i : i + batch_size])
+            j = i + batch_size
+            chunk = elements[i:j]
+            if values is not None:
+                chunk = PreparedBatch.from_arrays(chunk, values[i:j], weights[i:j])
+            system.process_batch(chunk)
     finally:
         system.close()  # drains the shards' final registry deltas
     metrics = obs.metrics
@@ -410,9 +445,20 @@ def bench_sharded(
             try:
                 system.register_batch(workload.queries)
                 run_events: List[Tuple[object, int, int]] = []
+                values = workload.values
+                weights = workload.weights
                 t0 = time.perf_counter()
                 for i in range(0, len(elements), batch_size):
-                    for e in system.process_batch(elements[i : i + batch_size]):
+                    j = i + batch_size
+                    chunk = elements[i:j]
+                    if values is not None:
+                        # Same columnar ingestion as the un-sharded row:
+                        # the router slices these arrays per shard and
+                        # the workers descend them columnar.
+                        chunk = PreparedBatch.from_arrays(
+                            chunk, values[i:j], weights[i:j]
+                        )
+                    for e in system.process_batch(chunk):
                         run_events.append(
                             (e.query.query_id, e.timestamp, e.weight_seen)
                         )
@@ -557,6 +603,44 @@ def check_against_baseline(
                 f"{engine}.{metric}: {value:.4f} vs baseline {base_value:.4f} "
                 f"(floor {floor:.4f}) [{status}]"
             )
+    return result
+
+
+#: Engines whose batched path is the columnar descent (docs/PERFORMANCE.md,
+#: "Columnar descent") — the absolute floor gate applies to these.
+COLUMNAR_ENGINES = ("dt", "dt-static")
+
+
+def check_columnar_floor(
+    report: Dict[str, object], floor: float
+) -> GateResult:
+    """Absolute columnar-descent gate, independent of any baseline.
+
+    The relative baseline check tolerates slow drift (each new baseline
+    re-anchors the floor); this one pins a hard minimum: every columnar
+    engine in the report must beat its own scalar replay by at least
+    ``floor``x at the largest benched batch size.  It answers "did the
+    columnar fast path stop engaging" even on a fresh machine with no
+    committed baseline.
+    """
+    result = GateResult(ok=True)
+    for engine in report.get("engines", {}):
+        if engine not in COLUMNAR_ENGINES:
+            continue
+        gate = report.get("gate", {}).get(engine, {})
+        keys = [k for k in gate if k.startswith("batch_speedup_b")]
+        if not keys:
+            result.ok = False
+            result.lines.append(f"{engine}: no batch_speedup gate keys")
+            continue
+        key = max(keys, key=lambda k: int(k.rsplit("b", 1)[1]))
+        value = gate[key]
+        status = "ok" if value >= floor else "TOO SLOW"
+        if value < floor:
+            result.ok = False
+        result.lines.append(
+            f"{engine}.{key}: {value:.2f}x vs floor {floor:.2f}x [{status}]"
+        )
     return result
 
 

@@ -232,6 +232,15 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="'bench' target: baseline rts-bench-v1 JSON to gate against",
     )
     parser.add_argument(
+        "--check-columnar-floor",
+        type=float,
+        default=None,
+        help="'bench' target: exit non-zero unless each columnar engine "
+        "(dt, dt-static) beats its scalar replay by at least this "
+        "factor at the largest batch size (absolute floor, no "
+        "baseline needed)",
+    )
+    parser.add_argument(
         "--bench-glob",
         default="BENCH_PR*.json",
         help="'report' target: glob for the committed bench baselines "
@@ -434,6 +443,18 @@ def _run_bench(args, parser) -> int:
             print("PERF REGRESSION", file=sys.stderr)
             return 1
         print("# gate: ok")
+
+    if args.check_columnar_floor is not None:
+        from .bench import check_columnar_floor
+
+        gate = check_columnar_floor(report, args.check_columnar_floor)
+        print(f"# columnar floor gate ({args.check_columnar_floor:.1f}x)")
+        for line in gate.lines:
+            print(f"  {line}")
+        if not gate.ok:
+            print("COLUMNAR FLOOR MISSED", file=sys.stderr)
+            return 1
+        print("# columnar gate: ok")
 
     if args.check_shard_speedup is not None:
         floor = args.check_shard_speedup

@@ -76,6 +76,17 @@ _SPECS: Tuple[MetricSpec, ...] = (
         "counter",
         "Batch ranges split because a node's heap slack was too small",
     ),
+    MetricSpec(
+        "rts_columnar_descents_total",
+        "counter",
+        "Batch ranges bulk-applied through a columnar (SoA) tree descent",
+    ),
+    MetricSpec(
+        "rts_columnar_fallbacks_total",
+        "counter",
+        "Batch ranges replayed element-at-a-time (slack exhaustion, "
+        "bisection cutoff, or backoff)",
+    ),
     # -- query lifecycle ---------------------------------------------------
     MetricSpec("rts_queries_registered_total", "counter", "Queries registered"),
     MetricSpec("rts_queries_matured_total", "counter", "Queries matured"),

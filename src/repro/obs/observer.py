@@ -66,6 +66,12 @@ class NullObservability:
     def batch_bisected(self, span: int) -> None:
         pass
 
+    def columnar_descent(self, span: int) -> None:
+        pass
+
+    def columnar_fallback(self, span: int) -> None:
+        pass
+
     def query_registered(self, query_id: object, ts: int) -> None:
         pass
 
@@ -245,6 +251,16 @@ class Observability(NullObservability):
     def batch_bisected(self, span: int) -> None:
         """A batch range of ``span`` elements failed the slack check."""
         self.metrics.counter("rts_batch_bisections_total").inc()
+
+    def columnar_descent(self, span: int) -> None:
+        """A batch range of ``span`` elements was bulk-applied through a
+        vectorized columnar tree descent."""
+        self.metrics.counter("rts_columnar_descents_total").inc()
+
+    def columnar_fallback(self, span: int) -> None:
+        """A batch range of ``span`` elements fell back to the scalar
+        per-element path (slack exhaustion, cutoff, or backoff)."""
+        self.metrics.counter("rts_columnar_fallbacks_total").inc()
 
     # -- query lifecycle ---------------------------------------------------
 

@@ -135,6 +135,8 @@ def validate_endpoint_tree(tree: EndpointTree, level: str) -> Iterator[Violation
     if not level_covers(level, "full"):
         return
     yield from _walk_level(tree)
+    for owner, state in _columnar_mirrors(tree):
+        yield from _validate_columnar_mirror(owner, state)
 
 
 def _walk_level(tree: EndpointTree) -> Iterator[Violation]:
@@ -218,6 +220,144 @@ def _walk_level(tree: EndpointTree) -> Iterator[Violation]:
                         subject=subject,
                     )
                 yield from _walk_level(node.secondary)
+
+
+def _columnar_mirrors(tree: EndpointTree) -> Iterator[Tuple[EndpointTree, object]]:
+    """Yield ``(owning last-dim tree, ColumnarTree)`` over all levels."""
+    if tree.last_dim:
+        state = tree._bulk
+        if state is not None:
+            yield tree, state
+        return
+    for node in tree.iter_nodes():
+        if node.secondary is not None:
+            yield from _columnar_mirrors(node.secondary)
+
+
+def _validate_columnar_mirror(tree: EndpointTree, state) -> Iterator[Violation]:
+    """Columnar <-> pointer cross-check (docs/PERFORMANCE.md).
+
+    The frozen skeleton columns must be an exact image of the pointer
+    graph at all times (the skeleton is immutable), and the maintained
+    mirror columns must satisfy their internal identities
+    (``slack = mins - cnts`` at heap-bearing nodes, the ``heap_pos``
+    inverse map).  The counter identity is checked separately by
+    :func:`_validate_columnar_counters`, which needs the engine's
+    work-counter sink for its freshness gate.
+    """
+    import numpy as np
+
+    def bad(ident, msg, **ctx):
+        return Violation(
+            ident, msg, section="S4", subject=f"ColumnarTree(n={state.n})",
+            context=_ctx(dim=tree.dim, **ctx),
+        )
+
+    nodes = state.nodes
+    n = state.n
+    if n != len(nodes) or nodes[0] is not tree.root:
+        yield bad("columnar-skeleton", "node table does not start at the tree root")
+        return
+    left, right, parent, depth = state.left, state.right, state.parent, state.depth
+    for i, node in enumerate(nodes):
+        li, ri, pi = int(left[i]), int(right[i]), int(parent[i])
+        if node.left is None:
+            if li != -1 or ri != -1:
+                yield bad(
+                    "columnar-skeleton",
+                    f"leaf node {i} has child indices ({li}, {ri})",
+                    node=i,
+                )
+        elif (
+            li < 0
+            or ri < 0
+            or nodes[li] is not node.left
+            or nodes[ri] is not node.right
+        ):
+            yield bad(
+                "columnar-skeleton",
+                f"child indices ({li}, {ri}) of node {i} do not match the "
+                "pointer graph",
+                node=i,
+            )
+        if i == 0:
+            if pi != -1 or int(depth[i]) != 0:
+                yield bad("columnar-skeleton", "root has a parent or depth != 0")
+        elif (
+            pi < 0
+            or (nodes[pi].left is not node and nodes[pi].right is not node)
+            or int(depth[i]) != int(depth[pi]) + 1
+        ):
+            yield bad(
+                "columnar-skeleton",
+                f"parent/depth of node {i} do not match the pointer graph",
+                node=i,
+            )
+    # Leaf routing table: one slot per leaf, strictly increasing encoded
+    # lows (ties are impossible — leaf jurisdictions tile the line).
+    leaf_count = sum(1 for nd in nodes if nd.left is None)
+    if state.leaf_ids.size != leaf_count or not (
+        np.diff(state.leaf_lows) > 0
+    ).all():
+        yield bad(
+            "columnar-leaf-table",
+            "leaf routing table is not a strictly sorted image of the leaves",
+            leaves=leaf_count,
+        )
+    # Heap columns: exactly the heap-bearing nodes, heap_pos the inverse.
+    with_heaps = [i for i, nd in enumerate(nodes) if nd.heap is not None]
+    if list(state.heap_idx) != with_heaps or any(
+        state.heaps[k] is not nodes[i].heap
+        or int(state.heap_pos[i]) != k
+        for k, i in enumerate(with_heaps)
+    ):
+        yield bad(
+            "columnar-heap-index",
+            "heap_idx/heaps/heap_pos do not mirror the heap-bearing nodes",
+            heaps=len(with_heaps),
+        )
+    # Mirror-internal identity: slack = mins - cnts at heap nodes, +inf
+    # elsewhere (maintained incrementally by apply/charge/refresh).
+    if state.slack is not None and len(state.heap_idx):
+        hidx = state.heap_idx
+        expect = state.mins - state.cnts[hidx]
+        if not np.array_equal(state.slack[hidx], expect):
+            yield bad(
+                "columnar-slack",
+                "slack column diverges from mins - cnts at heap-bearing nodes",
+            )
+        rest = np.ones(n, dtype=bool)
+        rest[hidx] = False
+        if not np.isposinf(state.slack[:n][rest]).all():
+            yield bad(
+                "columnar-slack",
+                "slack column is finite at a node without a heap",
+            )
+
+
+def _validate_columnar_counters(tree: EndpointTree, state, counters) -> Iterator[Violation]:
+    """Counter identity ``cnts - pend == c(u)`` under a freshness gate.
+
+    Exact while no scalar bump is awaiting a mirror refresh (epoch -1
+    explicitly marks a stale mirror); the gate compares the engine's
+    bump counter against the mirror's sync stamp, so mid-stream desync
+    windows are skipped instead of raising falsely.
+    """
+    import numpy as np
+
+    if state.epoch == -1 or counters.counter_bumps != state.bump_stamp:
+        return
+    nodes = state.nodes
+    n = state.n
+    real = np.fromiter((nd.counter for nd in nodes), dtype=np.float64, count=n)
+    if not np.array_equal(state.cnts[:n] - state.pend[:n], real):
+        yield Violation(
+            "columnar-counters",
+            "cnts - pend diverges from the real node counters",
+            section="S4",
+            subject=f"ColumnarTree(n={n})",
+            context=_ctx(dim=tree.dim),
+        )
 
 
 def _last_dim_nodes(tree: EndpointTree) -> Iterator[Tuple[EndpointTree, ETNode]]:
@@ -420,6 +560,13 @@ def validate_tree_instance(inst: TreeInstance, level: str) -> Iterator[Violation
         return
 
     yield from validate_endpoint_tree(inst.tree, level)
+
+    # The engine's work-counter sink is in reach here, so the columnar
+    # counter identity gets its sound freshness gate (see
+    # _validate_columnar_mirror; the structural columns were already
+    # checked by the tree validator above).
+    for owner, state in _columnar_mirrors(inst.tree):
+        yield from _validate_columnar_counters(owner, state, inst._counters)
 
     # One walk over every last-dimension node: heap integrity, drain
     # quiescence, and entry-ownership, plus the node -> owning-tree map

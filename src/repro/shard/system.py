@@ -450,6 +450,13 @@ class ShardedRTSSystem:
         n = prepared.size
         values = prepared.values if prepared.vectorizable else None
         weights = prepared.weights if prepared.vectorizable else None
+        if self.shards == 1:
+            # S=1 passthrough: the single shard owns every query, so the
+            # whole batch is its slice by construction.  Skip the extent
+            # mask and the per-batch timestamp materialisation (a lazy
+            # range serves the per-event remap) — BENCH_PR5 measured the
+            # routing machinery at ~1% of the batched run for S=1.
+            return {0: ShardSlice(batch, range(start, start + n), values, weights)}
         timestamps = list(range(start, start + n))
         slices: Dict[int, ShardSlice] = {}
         prune = self.policy.prunes_elements

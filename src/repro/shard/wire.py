@@ -49,7 +49,7 @@ class ShardSlice:
     def __init__(
         self,
         elements: List[StreamElement],
-        timestamps: List[int],
+        timestamps: Sequence[int],
         values=None,
         weights=None,
     ):

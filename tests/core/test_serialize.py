@@ -166,6 +166,61 @@ class TestPropertyRoundTrips:
         )
 
 
+class TestSnapshotWithPendingColumnarDeltas:
+    """Checkpoints settle deferred bulk deltas before reading W(q).
+
+    A batched descent leaves weight in the ColumnarTree mirrors
+    (``_bulk_dirty``) rather than the real node counters; the snapshot
+    path reads through ``collected_weight``, which flushes first.  The
+    round-trip must therefore be exact even when taken immediately
+    after ``process_batch`` with deltas outstanding.
+    """
+
+    @pytest.mark.parametrize("engine", ["dt", "dt-static"])
+    def test_roundtrip_mid_batched_run(self, engine):
+        from repro import RTSSystem
+
+        def fresh():
+            system = RTSSystem(dims=1, engine=engine)
+            for i in range(6):
+                lo = 10 * i
+                system.register(
+                    Query([(lo, lo + 25)], 10_000, query_id=f"q{i}")
+                )
+            return system
+
+        elements = [
+            StreamElement(float((7 * k) % 60), weight=1 + k % 5)
+            for k in range(192)
+        ]
+
+        system = fresh()
+        system.process_batch(elements[:128])
+        # The contract under test is only exercised if the batch really
+        # left deferred deltas behind.
+        assert system.engine._bulk_dirty, "batched run left no pending deltas"
+
+        snap = roundtrip_json(system.snapshot())
+        restored = RTSSystem.restore(snap)
+
+        reference = fresh()
+        reference.process_batch(elements[:128])
+        for q in [f"q{i}" for i in range(6)]:
+            assert restored.engine.collected_weight(q) == (
+                reference.engine.collected_weight(q)
+            )
+
+        tail_restored = [
+            (e.query.query_id, e.timestamp, e.weight_seen)
+            for e in restored.process_batch(elements[128:])
+        ]
+        tail_reference = [
+            (e.query.query_id, e.timestamp, e.weight_seen)
+            for e in reference.process_batch(elements[128:])
+        ]
+        assert tail_restored == tail_reference
+
+
 class TestWorkloadScriptPersistence:
     def test_save_load_replays_identically(self, tmp_path):
         from repro import RTSSystem

@@ -2,12 +2,14 @@
 
 The batched fast path's whole contract (docs/PERFORMANCE.md) is that
 chunking the stream changes *nothing* observable: every engine, fed the
-same elements in arbitrary chunk sizes — interleaved with scalar calls,
-mid-stream registrations/terminations, and a snapshot/restore in the
-middle of the run — must produce the same maturity events (queries,
-timestamps, weights) in the same order, and report the same collected
-weights for the survivors.  Hypothesis drives the chunking and the
-workload; any divergence shrinks to a minimal trace.
+same elements in arbitrary chunk sizes — interleaved with mid-stream
+registrations and terminations (which force global rebuilds and orphan
+the columnar mirrors), maturity-driven rebuilds *inside* a batch, and a
+snapshot/restore in the middle of the run — must produce the same
+maturity events (queries, timestamps, weights) in the same order, and
+report the same collected weights for the survivors.  Hypothesis drives
+the chunking, the lifecycle ops, and the workload; any divergence
+shrinks to a minimal trace.
 """
 
 from hypothesis import HealthCheck, given, settings
@@ -20,7 +22,7 @@ ENGINES_1D = ["baseline", "dt", "dt-scan", "dt-static", "interval-tree"]
 ENGINES_2D = ["baseline", "dt", "dt-scan", "dt-static", "rtree", "seg-intv-tree"]
 
 
-def _queries(draw, dims, count):
+def _queries(draw, dims, count, prefix="q"):
     queries = []
     for i in range(count):
         rect = []
@@ -29,7 +31,7 @@ def _queries(draw, dims, count):
             hi = lo + draw(st.integers(1, 40))
             rect.append((lo, hi))
         tau = draw(st.integers(1, 400))
-        queries.append(Query(rect, tau, query_id=f"q{i}"))
+        queries.append(Query(rect, tau, query_id=f"{prefix}{i}"))
     return queries
 
 
@@ -53,7 +55,23 @@ def workloads(draw, dims):
         size = draw(st.integers(1, remaining))
         chunks.append(size)
         remaining -= size
-    return queries, elements, chunks
+    # Lifecycle ops at chunk boundaries: op index -> what happens before
+    # that chunk.  Both replays apply them at the same element offsets,
+    # so any divergence is the batched path's fault.  Terminations cut
+    # the alive count (global-rebuild trigger); registrations rebuild
+    # static engines and orphan every columnar mirror.
+    ops = {}
+    extra = _queries(draw, dims, draw(st.integers(0, 3)), prefix="late")
+    for i, query in enumerate(extra):
+        at = draw(st.integers(0, len(chunks) - 1))
+        ops.setdefault(at, {"terminate": [], "register": []})
+        ops[at]["register"].append(query)
+    for _ in range(draw(st.integers(0, 4))):
+        at = draw(st.integers(0, len(chunks) - 1))
+        victim = draw(st.integers(0, len(queries) - 1))
+        ops.setdefault(at, {"terminate": [], "register": []})
+        ops[at]["terminate"].append(queries[victim].query_id)
+    return queries, elements, chunks, ops
 
 
 def _ev_key(events):
@@ -70,17 +88,44 @@ def _survivor_weights(system, queries):
     return weights
 
 
-def _scalar_run(engine, dims, queries, elements):
+def _apply_ops(system, ops_at):
+    if ops_at is None:
+        return
+    for query_id in ops_at["terminate"]:
+        # Returns False if already matured/terminated — identically in
+        # both replays, so the op is a no-op in both or neither.
+        system.terminate(query_id)
+    for query in ops_at["register"]:
+        system.register(query)
+
+
+def _boundary_offsets(chunks):
+    offsets = []
+    pos = 0
+    for size in chunks:
+        offsets.append(pos)
+        pos += size
+    return offsets
+
+
+def _all_queries(queries, ops):
+    extra = [q for at in sorted(ops) for q in ops[at]["register"]]
+    return queries + extra
+
+
+def _scalar_run(engine, dims, queries, elements, chunks, ops):
     system = RTSSystem(dims=dims, engine=engine)
     for q in queries:
         system.register(q)
+    boundaries = {off: ops[i] for i, off in enumerate(_boundary_offsets(chunks)) if i in ops}
     events = []
-    for el in elements:
+    for pos, el in enumerate(elements):
+        _apply_ops(system, boundaries.get(pos))
         events.extend(_ev_key(system.process(el)))
-    return events, _survivor_weights(system, queries)
+    return events, _survivor_weights(system, _all_queries(queries, ops))
 
 
-def _batched_run(engine, dims, queries, elements, chunks, restore_at):
+def _batched_run(engine, dims, queries, elements, chunks, ops, restore_at):
     system = RTSSystem(dims=dims, engine=engine)
     for q in queries:
         system.register(q)
@@ -91,15 +136,18 @@ def _batched_run(engine, dims, queries, elements, chunks, restore_at):
             # Snapshot/restore between batches: the restored system must
             # continue the event stream bit-identically.
             system = RTSSystem.restore(system.snapshot())
+        _apply_ops(system, ops.get(i))
         events.extend(_ev_key(system.process_batch(elements[pos : pos + size])))
         pos += size
-    return events, _survivor_weights(system, queries)
+    return events, _survivor_weights(system, _all_queries(queries, ops))
 
 
-def _check_engine(engine, dims, queries, elements, chunks, restore_at):
-    scalar_events, scalar_weights = _scalar_run(engine, dims, queries, elements)
+def _check_engine(engine, dims, queries, elements, chunks, ops, restore_at):
+    scalar_events, scalar_weights = _scalar_run(
+        engine, dims, queries, elements, chunks, ops
+    )
     batch_events, batch_weights = _batched_run(
-        engine, dims, queries, elements, chunks, restore_at
+        engine, dims, queries, elements, chunks, ops, restore_at
     )
     if restore_at is not None:
         # Restoring rebuilds the engine with one batch merge, which may
@@ -119,26 +167,101 @@ def _check_engine(engine, dims, queries, elements, chunks, restore_at):
 @settings(max_examples=25, deadline=None, suppress_health_check=[HealthCheck.too_slow])
 @given(data=st.data())
 def test_batch_equals_scalar_1d(data):
-    queries, elements, chunks = data.draw(workloads(dims=1))
+    queries, elements, chunks, ops = data.draw(workloads(dims=1))
     restore_at = data.draw(
         st.one_of(st.none(), st.integers(0, max(0, len(chunks) - 1)))
     )
     for engine in ENGINES_1D:
-        _check_engine(engine, 1, queries, elements, chunks, restore_at)
+        _check_engine(engine, 1, queries, elements, chunks, ops, restore_at)
 
 
 @settings(max_examples=10, deadline=None, suppress_health_check=[HealthCheck.too_slow])
 @given(data=st.data())
 def test_batch_equals_scalar_2d(data):
-    queries, elements, chunks = data.draw(workloads(dims=2))
+    queries, elements, chunks, ops = data.draw(workloads(dims=2))
     restore_at = data.draw(
         st.one_of(st.none(), st.integers(0, max(0, len(chunks) - 1)))
     )
     for engine in ENGINES_2D:
-        _check_engine(engine, 2, queries, elements, chunks, restore_at)
+        _check_engine(engine, 2, queries, elements, chunks, ops, restore_at)
 
 
 def test_engine_lineup_is_complete():
     # Every registered engine appears in one of the parametrised line-ups,
     # so a future engine cannot silently skip the batch contract.
     assert set(ENGINES_1D) | set(ENGINES_2D) == set(available_engines())
+
+
+def test_forced_rebuild_mid_batch():
+    """One batch whose maturities halve the alive count mid-descent.
+
+    The global-rebuilding trigger (2 * alive <= built_count) fires while
+    the batch driver is still bisecting, so the columnar mirrors of the
+    old tree are orphaned mid-batch and the remainder replays against
+    the rebuilt tree — events must still match the scalar replay.
+    """
+    for engine in ("dt", "dt-static", "dt-scan"):
+        queries = [
+            Query([(10 * i, 10 * i + 15)], 5 + i, query_id=f"q{i}")
+            for i in range(8)
+        ]
+        elements = [
+            StreamElement(float((11 * k) % 80), weight=2) for k in range(256)
+        ]
+
+        scalar = RTSSystem(dims=1, engine=engine)
+        for q in queries:
+            scalar.register(q)
+        scalar_events = []
+        for el in elements:
+            scalar_events.extend(_ev_key(scalar.process(el)))
+
+        batched = RTSSystem(dims=1, engine=engine)
+        for q in queries:
+            batched.register(q)
+        batch_events = _ev_key(batched.process_batch(elements))
+
+        assert len(scalar_events) == len(queries)  # all matured in-run
+        assert batch_events == scalar_events, f"{engine} diverged"
+
+
+def test_permuted_secondary_selection_2d():
+    """2-D batch whose secondary-tree selection is a true permutation.
+
+    The outer dimension's router argsorts the batch by dim-0 value, so
+    the last-dimension tree receives a *permuted* full-coverage ``sel``
+    — and one element lies right of every dim-1 endpoint (regression:
+    the columnar level-synchronous branch once paired batch-order leaf
+    positions with sel-order weights, crediting the out-of-range
+    element's weight to an in-range leaf and maturing one element
+    early).
+    """
+    elements = [
+        StreamElement(v, w)
+        for v, w in [
+            ((0.0, 0.0), 1),
+            ((0.0, 1.0), 1),
+            ((0.0, 1.0), 1),
+            ((1.0, 0.0), 1),  # dim-0 sort moves this behind the others
+            ((0.0, 0.0), 1),
+            ((0.0, 2.0), 2),  # right of every dim-1 endpoint: no credit
+        ]
+    ]
+    for engine in ENGINES_2D:
+        scalar = RTSSystem(dims=2, engine=engine)
+        scalar.register(Query([(0, 1), (0, 1)], 6, query_id="q0"))
+        scalar_events = []
+        for el in elements:
+            scalar_events.extend(_ev_key(scalar.process(el)))
+
+        batched = RTSSystem(dims=2, engine=engine)
+        batched.register(Query([(0, 1), (0, 1)], 6, query_id="q0"))
+        batch_events = _ev_key(batched.process_batch(elements))
+
+        assert batch_events == scalar_events, f"{engine} diverged"
+        assert scalar_events == []  # W stops at 5 < 6: nothing matures
+        assert (
+            batched.engine.collected_weight("q0")
+            == scalar.engine.collected_weight("q0")
+            == 5
+        )
